@@ -1,0 +1,45 @@
+//! # pi2m-baseline
+//!
+//! Sequential comparison meshers standing in for CGAL and TetGen in the
+//! paper's Table 6 (see DESIGN.md "Substitutions"). Both share PI2M's
+//! Bowyer–Watson kernel — the paper stresses that CGAL, TetGen and PI2M all
+//! insert through the same kernel, which is what makes rate comparisons
+//! meaningful — but reproduce the *algorithmic structure* of the originals:
+//!
+//! * [`IsosurfaceBaseline`] ("CGAL-like"): an Isosurface-based sequential
+//!   refiner driven by a priority queue of poor elements, with eager
+//!   reclassification of every created cell and **no removals** — the
+//!   heavier bookkeeping PI2M's lazy PELs avoid.
+//! * [`PlcBaseline`] ("TetGen-like"): a PLC-based volume mesher that takes a
+//!   recovered boundary surface as input (exactly how the paper feeds
+//!   TetGen), inserts its vertices, and refines only interior quality/size —
+//!   no EDT preprocessing, so it wins on small meshes and loses on large
+//!   ones, matching the paper's observation.
+
+pub mod isosurface;
+pub mod plc;
+
+pub use isosurface::IsosurfaceBaseline;
+pub use plc::PlcBaseline;
+
+/// Timing/throughput results shared by both baselines.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineOutput {
+    pub mesh: pi2m_refine::FinalMesh,
+    /// Everything except disk I/O (paper's accounting), seconds.
+    pub total_time: f64,
+    /// EDT preprocessing component (zero for the PLC baseline).
+    pub edt_time: f64,
+    /// Point-insertion operations performed.
+    pub operations: u64,
+}
+
+impl BaselineOutput {
+    pub fn tets_per_second(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.mesh.num_tets() as f64 / self.total_time
+        } else {
+            0.0
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! **Figure 6** — cumulative overhead vs. wall time for the 176-core weak
+//! scaling run: the early "Phase 1" burst of contention/load imbalance while
+//! the mesh is still tiny (strong-scaling-like behaviour right after the
+//! 6-tetrahedron box), flattening as parallelism becomes available.
+//!
+//! Prints (wall-time, cumulative overhead) series per category; the paper
+//! overlays them as stacked lines.
+//!
+//! Run: `cargo bench -p pi2m-bench --bench fig6_overhead_timeline`
+
+use pi2m_bench::{full_mode, weak_scaling_delta};
+use pi2m_image::phantoms;
+use pi2m_refine::OverheadKind;
+use pi2m_sim::{SimConfig, SimMachine, SimMesher};
+
+fn main() {
+    let n = 176usize;
+    let delta1 = if full_mode() { 1.5 } else { 2.2 };
+    let cfg = SimConfig {
+        vthreads: n,
+        machine: SimMachine::blacklight(),
+        delta: weak_scaling_delta(delta1, n),
+        trace: true,
+        livelock_vtime: 2.0,
+        ..Default::default()
+    };
+    let out = SimMesher::new(phantoms::abdominal(1.0), cfg).run();
+    let stats = out.stats;
+    assert!(!stats.livelock);
+
+    let trace = stats.merged_trace();
+    let t_end = stats.vtime.max(1e-9);
+    let bins = 40usize;
+    let mut cum = [[0.0f64; 3]; 1024];
+    for ev in &trace {
+        let b = (((ev.at as f64) / t_end * bins as f64) as usize).min(bins - 1);
+        let k = match ev.kind {
+            OverheadKind::Contention => 0,
+            OverheadKind::LoadBalance => 1,
+            OverheadKind::Rollback => 2,
+        };
+        cum[b][k] += ev.dur as f64;
+    }
+    println!(
+        "Figure 6 — overhead vs wall time ({} vthreads, {} elements, makespan {:.3} vs)",
+        n, stats.final_elements, stats.vtime
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "wall(s)", "contention", "load balance", "rollback", "total(cum)"
+    );
+    let mut totals = [0.0f64; 3];
+    for b in 0..bins {
+        for k in 0..3 {
+            totals[k] += cum[b][k];
+        }
+        println!(
+            "{:>10.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
+            (b + 1) as f64 / bins as f64 * t_end,
+            totals[0],
+            totals[1],
+            totals[2],
+            totals.iter().sum::<f64>()
+        );
+    }
+    // Phase-1 utilisation figure like the paper's "73% of the first 14s"
+    let early_end = t_end * 0.1;
+    let early: f64 = trace
+        .iter()
+        .filter(|e| (e.at as f64) < early_end)
+        .map(|e| e.dur as f64)
+        .sum();
+    let budget = early_end * n as f64;
+    println!(
+        "\nPhase 1 (first {:.1}% of the run): {:.1}% of thread-time was useful work",
+        10.0,
+        100.0 * (budget - early).max(0.0) / budget
+    );
+}

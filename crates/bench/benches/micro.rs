@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the substrates: robust predicates,
+//! expansion arithmetic, the EDT, point location, and raw kernel
+//! insertion/removal throughput (the quantities behind the paper's
+//! "fastest sequential performance" claim).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pi2m_delaunay::{SharedMesh, VertexKind};
+use pi2m_edt::surface_feature_transform;
+use pi2m_geometry::{Aabb, Point3};
+use pi2m_image::phantoms;
+use pi2m_predicates::{insphere, insphere_sos, orient3d, Expansion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pts: Vec<[f64; 3]> = (0..1000)
+        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+    c.bench_function("orient3d/generic", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let p = &pts[i % 996..];
+            i += 1;
+            black_box(orient3d(&p[0], &p[1], &p[2], &p[3]))
+        })
+    });
+    c.bench_function("insphere/generic", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let p = &pts[i % 995..];
+            i += 1;
+            black_box(insphere(&p[0], &p[1], &p[2], &p[3], &p[4]))
+        })
+    });
+    // exactly cospherical: exercises the exact + SoS path
+    let a = [0.0, 0.0, 0.0];
+    let bb = [1.0, 0.0, 0.0];
+    let cc = [0.0, 1.0, 0.0];
+    let d = [0.0, 0.0, -1.0];
+    let e = [1.0, 1.0, -1.0];
+    c.bench_function("insphere/degenerate_exact", |b| {
+        b.iter(|| black_box(insphere_sos(&a, &bb, &cc, &d, &e, [0, 1, 2, 3, 4])))
+    });
+    c.bench_function("expansion/mul", |b| {
+        let x = Expansion::from_diff(1.0 + 2f64.powi(-30), 2f64.powi(-52));
+        let y = Expansion::from_diff(3.0, 2f64.powi(-40));
+        b.iter(|| black_box(x.mul(&y)))
+    });
+}
+
+fn bench_edt(c: &mut Criterion) {
+    let img = phantoms::abdominal(1.0);
+    c.bench_function("edt/abdominal_1thread", |b| {
+        b.iter(|| black_box(surface_feature_transform(&img, 1)))
+    });
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel/insert_1k_random", |b| {
+        b.iter(|| {
+            let m = SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)));
+            let mut ctx = m.make_ctx(0);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let p = [
+                    rng.gen_range(0.01..0.99),
+                    rng.gen_range(0.01..0.99),
+                    rng.gen_range(0.01..0.99),
+                ];
+                let _ = ctx.insert(p, VertexKind::Circumcenter);
+            }
+            black_box(m.num_vertices())
+        })
+    });
+    c.bench_function("kernel/insert_remove_cycle", |b| {
+        b.iter(|| {
+            let m = SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)));
+            let mut ctx = m.make_ctx(0);
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let mut vs = Vec::new();
+            for _ in 0..200 {
+                let p = [
+                    rng.gen_range(0.01..0.99),
+                    rng.gen_range(0.01..0.99),
+                    rng.gen_range(0.01..0.99),
+                ];
+                if let Ok(r) = ctx.insert(p, VertexKind::Circumcenter) {
+                    vs.push(r.vertex);
+                }
+            }
+            for v in vs {
+                let _ = ctx.remove(v);
+            }
+            black_box(m.num_alive_cells())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_predicates, bench_edt, bench_kernel
+);
+criterion_main!(benches);

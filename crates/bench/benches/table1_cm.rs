@@ -1,0 +1,100 @@
+//! **Table 1** — contention manager comparison on the simulated Blacklight
+//! at 128 and 256 cores: execution time, rollbacks, the three overhead
+//! categories, speedup, and livelock occurrence.
+//!
+//! Paper reference points (150M-element abdominal mesh):
+//! * 128 cores: Aggressive livelocks; Random 64.2 s / 2.48e6 rollbacks;
+//!   Global 23.7 s (speedup 45.6); Local 19.3 s (speedup 56.0).
+//! * 256 cores: Random also livelocks; Global 22.3 s (48.4);
+//!   Local 14.1 s (76.6), with Local showing *more* rollbacks but *less*
+//!   contention overhead than Global.
+//!
+//! Run: `cargo bench -p pi2m-bench --bench table1_cm` (set `PI2M_FULL=1`
+//! for a larger mesh).
+
+use pi2m_bench::{all_cms, eng, full_mode, rule};
+use pi2m_image::phantoms;
+use pi2m_sim::{SimConfig, SimMachine, SimMesher};
+
+fn main() {
+    let scale = if full_mode() { 1.4 } else { 1.0 };
+    let delta1 = if full_mode() { 0.7 } else { 1.1 };
+    let img = phantoms::abdominal(scale);
+
+    // sequential reference for speedups
+    let seq = SimMesher::new(
+        img.clone(),
+        SimConfig {
+            vthreads: 1,
+            machine: SimMachine::blacklight(),
+            delta: delta1,
+            ..Default::default()
+        },
+    )
+    .run();
+    println!(
+        "single-threaded reference: {} elements in {:.3} virtual s\n",
+        seq.stats.final_elements, seq.stats.vtime
+    );
+
+    for cores in [128usize, 256] {
+        println!("Table 1{} — {cores} cores", if cores == 128 { "a" } else { "b" });
+        println!(
+            "{:<28} {:>12} {:>12} {:>12} {:>12}",
+            "", "Aggressive", "Random", "Global", "Local"
+        );
+        let mut rows: Vec<Vec<String>> = vec![Vec::new(); 8];
+        for cm in all_cms() {
+            let cfg = SimConfig {
+                vthreads: cores,
+                machine: SimMachine::blacklight(),
+                delta: delta1,
+                cm,
+                livelock_vtime: 0.25,
+                max_events: 25_000_000,
+                max_real_seconds: 75.0,
+                ..Default::default()
+            };
+            let out = SimMesher::new(img.clone(), cfg).run();
+            let s = &out.stats;
+            if s.livelock || s.aborted {
+                for row in rows.iter_mut().take(7) {
+                    row.push("n/a".into());
+                }
+                rows[7].push("yes".into());
+            } else {
+                rows[0].push(format!("{:.3}", s.vtime));
+                rows[1].push(format!("{}", s.total_rollbacks()));
+                rows[2].push(eng(s.contention_overhead()));
+                rows[3].push(eng(s.load_balance_overhead()));
+                rows[4].push(eng(s.rollback_overhead()));
+                rows[5].push(eng(s.total_overhead()));
+                rows[6].push(format!("{:.1}", seq.stats.vtime / s.vtime));
+                rows[7].push(match cm {
+                    pi2m_refine::CmKind::Global | pi2m_refine::CmKind::Local => {
+                        "not possible".into()
+                    }
+                    _ => "no".into(),
+                });
+            }
+        }
+        let labels = [
+            "time (virtual secs)",
+            "rollbacks",
+            "contention overhead (s)",
+            "load balance overhead (s)",
+            "rollback overhead (s)",
+            "total overhead (s)",
+            "speedup",
+            "livelock",
+        ];
+        for (label, row) in labels.iter().zip(&rows) {
+            print!("{label:<28}");
+            for cell in row {
+                print!(" {cell:>12}");
+            }
+            println!();
+        }
+        println!("{}\n", rule(80));
+    }
+}

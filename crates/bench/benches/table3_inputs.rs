@@ -1,0 +1,33 @@
+//! **Table 3** — the input images: paper atlas vs. the phantom standing in
+//! for it (dimensions, spacing, tissue counts).
+//!
+//! Run: `cargo bench -p pi2m-bench --bench table3_inputs`
+
+use pi2m_bench::full_mode;
+use pi2m_image::phantoms;
+
+fn main() {
+    let scale = if full_mode() { 2.0 } else { 1.0 };
+    println!("Table 3 — inputs (phantom scale {scale})\n");
+    println!(
+        "{:<12} {:<28} {:>16} {:>18} {:>8}  {:>16} {:>18} {:>8}",
+        "phantom", "paper analog", "paper dims", "paper spacing", "tissues", "our dims", "our spacing", "tissues"
+    );
+    for s in phantoms::specs(scale) {
+        println!(
+            "{:<12} {:<28} {:>16} {:>18} {:>8}  {:>16} {:>18} {:>8}",
+            s.name,
+            s.paper_analog,
+            format!("{}x{}x{}", s.paper_dims[0], s.paper_dims[1], s.paper_dims[2]),
+            format!(
+                "{}x{}x{} mm",
+                s.paper_spacing[0], s.paper_spacing[1], s.paper_spacing[2]
+            ),
+            s.paper_tissues,
+            format!("{}x{}x{}", s.dims[0], s.dims[1], s.dims[2]),
+            format!("{}x{}x{} mm", s.spacing[0], s.spacing[1], s.spacing[2]),
+            s.tissues,
+        );
+    }
+    println!("\n(Phantoms substitute the clinical atlases; see DESIGN.md \"Substitutions\".)");
+}

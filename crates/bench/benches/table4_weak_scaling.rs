@@ -1,0 +1,146 @@
+//! **Table 4** — weak scaling on the simulated Blacklight: elements, time,
+//! elements/second, speedup, efficiency, and overhead seconds per thread,
+//! for the abdominal (4a) and knee (4b) inputs.
+//!
+//! Paper reference shape: ≥82% efficiency through 144 cores (peak rate
+//! 14.3M elements/s), collapsing to 0.59/0.49 at 160/176 cores as traffic
+//! crosses the 5-hop root switches.
+//!
+//! The weak-scaling speedup follows the paper's definition:
+//! `Elements(n)·Time(1) / (Time(n)·Elements(1))`.
+//!
+//! Run: `cargo bench -p pi2m-bench --bench table4_weak_scaling`
+
+use pi2m_bench::{eng, full_mode, weak_scaling_delta};
+use pi2m_image::phantoms;
+use pi2m_sim::{CostModel, SimConfig, SimMachine, SimMesher};
+
+/// Blacklight with a zero-latency interconnect: the reference that isolates
+/// how much of the >144-core degradation the network is responsible for
+/// (the paper's §6.3 argument: "the real bottleneck is the overhead spent on
+/// (often remote) memory loads/stores").
+fn ideal_network() -> SimMachine {
+    let mut m = SimMachine::blacklight();
+    m.cost = CostModel {
+        remote_socket: 0.0,
+        per_hop: 0.0,
+        congestion_per_blade: 0.0,
+        ..m.cost
+    };
+    m
+}
+
+fn main() {
+    let thread_counts: Vec<usize> = if full_mode() {
+        vec![1, 16, 32, 64, 128, 144, 160, 176]
+    } else {
+        vec![1, 16, 32, 64, 128, 144, 160, 176]
+    };
+    let delta1 = if full_mode() { 1.2 } else { 2.2 };
+
+    for (tag, name, img) in [
+        ("4a", "abdominal atlas", phantoms::abdominal(1.0)),
+        ("4b", "knee atlas", phantoms::knee(1.0)),
+    ] {
+        println!("Table {tag} — weak scaling, {name}");
+        println!(
+            "{:<22} {}",
+            "#Threads",
+            thread_counts
+                .iter()
+                .map(|n| format!("{n:>10}"))
+                .collect::<String>()
+        );
+        let mut elements = Vec::new();
+        let mut times = Vec::new();
+        let mut rates = Vec::new();
+        let mut overheads = Vec::new();
+        let mut net_slowdown = Vec::new();
+        for &n in &thread_counts {
+            let delta = weak_scaling_delta(delta1, n);
+            let cfg = SimConfig {
+                vthreads: n,
+                machine: SimMachine::blacklight(),
+                delta,
+                livelock_vtime: 2.0,
+                ..Default::default()
+            };
+            let out = SimMesher::new(img.clone(), cfg).run();
+            let s = out.stats;
+            assert!(!s.livelock, "unexpected livelock at {n} threads");
+            elements.push(s.final_elements as f64);
+            times.push(s.vtime);
+            rates.push(s.elements_per_second());
+            overheads.push(s.overhead_per_thread());
+            // isolate the network's contribution at the large counts
+            if n == 144 || n == 176 {
+                let ideal = SimMesher::new(
+                    img.clone(),
+                    SimConfig {
+                        vthreads: n,
+                        machine: ideal_network(),
+                        delta,
+                        livelock_vtime: 2.0,
+                        ..Default::default()
+                    },
+                )
+                .run();
+                net_slowdown.push(Some(s.vtime / ideal.stats.vtime.max(1e-12)));
+            } else {
+                net_slowdown.push(None);
+            }
+        }
+        let print_row = |label: &str, vals: &[String]| {
+            print!("{label:<22}");
+            for v in vals {
+                print!("{v:>10}");
+            }
+            println!();
+        };
+        print_row(
+            "#Elements",
+            &elements.iter().map(|&v| eng(v)).collect::<Vec<_>>(),
+        );
+        print_row(
+            "Time (virtual secs)",
+            &times.iter().map(|&v| format!("{v:.3}")).collect::<Vec<_>>(),
+        );
+        print_row(
+            "Elements per second",
+            &rates.iter().map(|&v| eng(v)).collect::<Vec<_>>(),
+        );
+        let speedups: Vec<f64> = (0..thread_counts.len())
+            .map(|i| (elements[i] * times[0]) / (times[i] * elements[0]))
+            .collect();
+        print_row(
+            "Speedup",
+            &speedups.iter().map(|&v| format!("{v:.2}")).collect::<Vec<_>>(),
+        );
+        print_row(
+            "Efficiency",
+            &speedups
+                .iter()
+                .zip(&thread_counts)
+                .map(|(&s, &n)| format!("{:.2}", s / n as f64))
+                .collect::<Vec<_>>(),
+        );
+        print_row(
+            "Overhead s/thread",
+            &overheads
+                .iter()
+                .map(|&v| format!("{v:.4}"))
+                .collect::<Vec<_>>(),
+        );
+        print_row(
+            "Network slowdown",
+            &net_slowdown
+                .iter()
+                .map(|v| match v {
+                    Some(x) => format!("{x:.2}x"),
+                    None => "-".into(),
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    }
+}

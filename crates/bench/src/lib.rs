@@ -1,0 +1,81 @@
+//! # pi2m-bench
+//!
+//! Shared plumbing for the per-table/per-figure harnesses (see DESIGN.md's
+//! experiment index). Every harness prints the same rows/series the paper
+//! reports; EXPERIMENTS.md records paper-vs-measured values.
+//!
+//! Knobs (environment variables):
+//! * `PI2M_FULL=1` — run closer-to-paper problem sizes (slower).
+//! * `PI2M_EPT` — target elements per virtual thread in scaling studies.
+
+use pi2m_refine::CmKind;
+
+/// True when `PI2M_FULL=1`: larger problems, longer runs.
+pub fn full_mode() -> bool {
+    std::env::var("PI2M_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Target elements per thread for weak-scaling studies.
+pub fn elements_per_thread() -> f64 {
+    std::env::var("PI2M_EPT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if full_mode() { 4000.0 } else { 1200.0 })
+}
+
+/// The weak-scaling δ for `n` threads given the 1-thread δ: the paper's
+/// volume argument (§6.3) — "a decrease of δ by a factor of x results in an
+/// x³ times increase of the mesh size" — so δ(n) = δ(1)·n^(-1/3) keeps
+/// elements per thread constant.
+pub fn weak_scaling_delta(delta1: f64, n: usize) -> f64 {
+    delta1 * (n as f64).powf(-1.0 / 3.0)
+}
+
+/// All four contention managers in the paper's column order.
+pub fn all_cms() -> [CmKind; 4] {
+    [CmKind::Aggressive, CmKind::Random, CmKind::Global, CmKind::Local]
+}
+
+/// Pretty horizontal rule for harness output.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Format a float with engineering-style compactness.
+pub fn eng(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.2}e{}", v / 10f64.powi(a.log10() as i32), a.log10() as i32)
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_delta_scales_cubically() {
+        let d1 = 2.0;
+        let d8 = weak_scaling_delta(d1, 8);
+        assert!((d8 - 1.0).abs() < 1e-12);
+        // elements ratio (d1/d8)^3 == 8
+        assert!(((d1 / d8).powi(3) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eng_formats() {
+        assert_eq!(eng(1234567.0), "1.23e6");
+        assert_eq!(eng(123.4), "123");
+        assert_eq!(eng(1.5), "1.50");
+        assert_eq!(eng(0.0123), "0.0123");
+    }
+}

@@ -1,0 +1,82 @@
+//! A minimal Fx-style hasher for hot per-operation maps (cavity state, face
+//! matching). The standard SipHash is measurably slower for small integer
+//! keys (see the perf notes in DESIGN.md); this is the classic
+//! multiply-rotate mix used by rustc, implemented locally to keep the
+//! dependency set to the approved list.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher for integer-ish keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&437], 874);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(bh.hash_one(i));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

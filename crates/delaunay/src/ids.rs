@@ -1,0 +1,103 @@
+//! Identifier types for the concurrent triangulation.
+
+/// Sentinel meaning "no vertex" / "no cell" (also used for hull faces with no
+/// neighbor).
+pub const NONE: u32 = u32::MAX;
+
+/// Index of a vertex in the vertex pool. Vertex ids are allocated
+/// monotonically and never reused, so the id doubles as the vertex's global
+/// *insertion timestamp* — the order used to resolve degenerate ball
+/// re-triangulations during removals (paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == NONE
+    }
+}
+
+/// Index of a cell (tetrahedron) slot in the cell pool. Slots are reused;
+/// a [`CellRef`] pairs the index with the slot generation to detect reuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == NONE
+    }
+}
+
+/// A generation-stamped cell reference: valid only while the slot generation
+/// matches (ABA protection for optimistic readers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellRef {
+    pub id: CellId,
+    pub gen: u32,
+}
+
+/// The role of a vertex in the refinement (paper §3: isosurface vertices,
+/// circumcenters, and surface-centers; plus the virtual-box corners).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum VertexKind {
+    /// One of the 8 virtual-box corners (never removed).
+    BoxCorner = 0,
+    /// A sample lying precisely on the isosurface ∂O (rules R1).
+    Isosurface = 1,
+    /// A tetrahedron circumcenter (rules R2, R4, R5; removable by R6).
+    Circumcenter = 2,
+    /// A facet surface-center `c_surf(f)` (rule R3).
+    SurfaceCenter = 3,
+}
+
+impl VertexKind {
+    #[inline]
+    pub fn from_u8(v: u8) -> VertexKind {
+        match v {
+            0 => VertexKind::BoxCorner,
+            1 => VertexKind::Isosurface,
+            2 => VertexKind::Circumcenter,
+            _ => VertexKind::SurfaceCenter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for k in [
+            VertexKind::BoxCorner,
+            VertexKind::Isosurface,
+            VertexKind::Circumcenter,
+            VertexKind::SurfaceCenter,
+        ] {
+            assert_eq!(VertexKind::from_u8(k as u8), k);
+        }
+    }
+
+    #[test]
+    fn sentinels() {
+        assert!(VertexId(NONE).is_none());
+        assert!(!VertexId(0).is_none());
+        assert!(CellId(NONE).is_none());
+    }
+
+    #[test]
+    fn ids_order_by_timestamp() {
+        assert!(VertexId(3) < VertexId(10));
+    }
+}

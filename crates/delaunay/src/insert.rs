@@ -1,0 +1,448 @@
+//! Speculative Bowyer–Watson point insertion.
+//!
+//! The cavity of `p` — every cell whose circumsphere strictly contains `p` —
+//! is discovered by BFS from the containing cell, locking the vertices of
+//! every touched cell on the way (rejected boundary cells included, matching
+//! the paper's "any vertex touched during cavity expansion needs to be
+//! locked"). Expansion is read-only: a lock conflict rolls the operation back
+//! at zero structural cost. The commit retriangulates the cavity onto `p`
+//! under the complete lock set.
+//!
+//! Degeneracy policy: `insphere == 0` keeps a cell *out* of the cavity; if a
+//! cavity boundary face turns out coplanar with `p` (which would create a
+//! zero-volume cell), the offending outside cell is force-added and the
+//! boundary recomputed, restoring strict star-shapedness.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{CellId, VertexId, VertexKind};
+use crate::mesh::{InsertResult, OpCtx, OpError};
+use pi2m_geometry::{insphere_sos, orient3d, TET_FACES};
+
+/// Key standing in for the point being inserted: it will receive the largest
+/// vertex id allocated so far, so it is "newest" relative to every vertex it
+/// can be tested against.
+const PENDING_KEY: u64 = u64::MAX;
+
+/// A face of the cavity boundary.
+pub(crate) struct BFace {
+    /// Face vertices, oriented so `orient3d(verts, p) > 0` (outward normal).
+    verts: [VertexId; 3],
+    /// The cell outside the cavity across this face (`NONE` on the hull).
+    outside: CellId,
+    /// The cavity cell this face came from (to find the outside cell's
+    /// back-pointer).
+    from: CellId,
+}
+
+/// A fully expanded insertion cavity, locks held, not yet committed.
+/// Obtain via [`OpCtx::prepare_insert`]; then either [`OpCtx::commit_insert`]
+/// or [`OpCtx::abort`]. Structure is only mutated at commit.
+pub struct PreparedInsert {
+    point: [f64; 3],
+    kind: VertexKind,
+    cavity: Vec<CellId>,
+    bfaces: Vec<BFace>,
+}
+
+impl PreparedInsert {
+    /// Cells that will be retriangulated.
+    pub fn cavity_size(&self) -> usize {
+        self.cavity.len()
+    }
+
+    /// Cells that will be created.
+    pub fn boundary_size(&self) -> usize {
+        self.bfaces.len()
+    }
+
+    /// The ids of the cavity cells (for cost/NUMA models).
+    pub fn cavity(&self) -> &[CellId] {
+        &self.cavity
+    }
+}
+
+impl OpCtx<'_> {
+    /// Insert a point, maintaining the Delaunay property. On any error the
+    /// operation has been rolled back (no locks held, no structural change).
+    pub fn insert(&mut self, p: [f64; 3], kind: VertexKind) -> Result<InsertResult, OpError> {
+        let prep = self.prepare_insert(p, kind)?;
+        let res = self.commit_insert(prep);
+        self.unlock_all();
+        Ok(res)
+    }
+
+    /// Expansion phase: locate, build and validate the cavity, locking every
+    /// touched vertex. On error the operation has been rolled back; on
+    /// success the locks stay held until `commit_insert` + `release_locks`
+    /// or `abort`.
+    pub fn prepare_insert(
+        &mut self,
+        p: [f64; 3],
+        kind: VertexKind,
+    ) -> Result<PreparedInsert, OpError> {
+        let r = self.prepare_insert_inner(p, kind);
+        if r.is_err() {
+            self.unlock_all();
+        }
+        r
+    }
+
+    fn prepare_insert_inner(
+        &mut self,
+        p: [f64; 3],
+        kind: VertexKind,
+    ) -> Result<PreparedInsert, OpError> {
+        let c0 = self.locate(p)?;
+
+        // exact-duplicate rejection
+        {
+            let cell = self.mesh.cell(c0);
+            for k in 0..4 {
+                let v = cell.vert(k);
+                if self.mesh.pos3(v) == p {
+                    return Err(OpError::Duplicate(v));
+                }
+            }
+        }
+
+        // ---- cavity discovery ----
+        let mut cavity: Vec<CellId> = vec![c0];
+        let mut state: FxHashMap<u32, bool> = FxHashMap::default();
+        state.insert(c0.0, true);
+        let mut qi = 0usize;
+        self.expand_cavity(&p, &mut cavity, &mut state, &mut qi)?;
+
+        // ---- boundary extraction with degeneracy repair ----
+        let mut bfaces: Vec<BFace> = Vec::with_capacity(cavity.len() * 2);
+        loop {
+            bfaces.clear();
+            let mut forced: Vec<CellId> = Vec::new();
+            for &c in &cavity {
+                let cell = self.mesh.cell(c);
+                for i in 0..4 {
+                    let n = cell.nei(i);
+                    if !n.is_none() && state.get(&n.0) == Some(&true) {
+                        continue; // interior face
+                    }
+                    let f = TET_FACES[i];
+                    let fv = [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])];
+                    let s = orient3d(
+                        &self.mesh.pos3(fv[0]),
+                        &self.mesh.pos3(fv[1]),
+                        &self.mesh.pos3(fv[2]),
+                        &p,
+                    );
+                    if s <= 0.0 {
+                        if n.is_none() {
+                            // coplanar with a hull face: cannot repair
+                            return Err(OpError::Degenerate);
+                        }
+                        forced.push(n);
+                    } else {
+                        bfaces.push(BFace {
+                            verts: fv,
+                            outside: n,
+                            from: c,
+                        });
+                    }
+                }
+            }
+            if forced.is_empty() {
+                break;
+            }
+            for n in forced {
+                if state.get(&n.0) == Some(&true) {
+                    continue;
+                }
+                // already locked (it was a tested boundary cell)
+                state.insert(n.0, true);
+                cavity.push(n);
+            }
+            self.expand_cavity(&p, &mut cavity, &mut state, &mut qi)?;
+        }
+        debug_assert!(bfaces.len() >= 4);
+
+        // Orphan guard: if some cavity vertex appears on no boundary face,
+        // retriangulating would leave it dangling inside a new cell (possible
+        // only for exotic cospherical configurations where the perturbed
+        // triangulation "hides" an old vertex). Skip such insertions.
+        {
+            let mut on_boundary = crate::fxhash::FxHashSet::default();
+            for bf in &bfaces {
+                for u in bf.verts {
+                    on_boundary.insert(u.0);
+                }
+            }
+            for &c in &cavity {
+                let cell = self.mesh.cell(c);
+                for k in 0..4 {
+                    if !on_boundary.contains(&cell.vert(k).0) {
+                        return Err(OpError::Degenerate);
+                    }
+                }
+            }
+        }
+
+        Ok(PreparedInsert {
+            point: p,
+            kind,
+            cavity,
+            bfaces,
+        })
+    }
+
+    /// Commit a prepared insertion: allocate the vertex, retriangulate the
+    /// cavity, rewire adjacency. Infallible under the held locks. The caller
+    /// must still call `release_locks` (or use the `insert` wrapper).
+    pub fn commit_insert(&mut self, prep: PreparedInsert) -> InsertResult {
+        let PreparedInsert {
+            point: p,
+            kind,
+            cavity,
+            bfaces,
+        } = prep;
+        let v = self.mesh.verts.alloc(p, kind);
+        let new_ids: Vec<CellId> = bfaces
+            .iter()
+            .map(|_| self.mesh.cells.reserve(&mut self.free_cells))
+            .collect();
+
+        // internal adjacency: face k (k < 3) of the new cell over bface `bi`
+        // is opposite bface vertex k and shares the edge (k+1, k+2) with its
+        // twin new cell.
+        let mut neis: Vec<[CellId; 4]> = bfaces
+            .iter()
+            .map(|bf| [CellId(crate::ids::NONE), CellId(crate::ids::NONE), CellId(crate::ids::NONE), bf.outside])
+            .collect();
+        let mut edge_map: FxHashMap<u64, (usize, usize)> = FxHashMap::default();
+        edge_map.reserve(bfaces.len() * 2);
+        for (bi, bf) in bfaces.iter().enumerate() {
+            for k in 0..3 {
+                let a = bf.verts[(k + 1) % 3].0;
+                let b = bf.verts[(k + 2) % 3].0;
+                let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
+                match edge_map.remove(&key) {
+                    Some((bj, fj)) => {
+                        neis[bi][k] = new_ids[bj];
+                        neis[bj][fj] = new_ids[bi];
+                    }
+                    None => {
+                        edge_map.insert(key, (bi, k));
+                    }
+                }
+            }
+        }
+        debug_assert!(edge_map.is_empty(), "unmatched cavity boundary edges");
+
+        for (bi, bf) in bfaces.iter().enumerate() {
+            // vertex order [f0, f1, f2, v] is positively oriented because
+            // orient3d(f, p) > 0 was enforced above.
+            self.mesh.cells.activate(
+                new_ids[bi],
+                [bf.verts[0], bf.verts[1], bf.verts[2], v],
+                neis[bi],
+            );
+        }
+        // outside back-pointers
+        for (bi, bf) in bfaces.iter().enumerate() {
+            if bf.outside.is_none() {
+                continue;
+            }
+            let out = self.mesh.cell(bf.outside);
+            let j = out
+                .face_to(bf.from)
+                .expect("outside cell must point at the cavity");
+            out.set_nei(j, new_ids[bi]);
+        }
+        // kill the cavity
+        let mut killed = Vec::with_capacity(cavity.len());
+        for &c in &cavity {
+            let tag = self.mesh.cell(c).tag.load(std::sync::atomic::Ordering::Relaxed);
+            killed.push((c, tag));
+            self.mesh.cells.free(c, &mut self.free_cells);
+        }
+        // hints
+        self.mesh.vertex(v).set_hint(new_ids[0]);
+        for (bi, bf) in bfaces.iter().enumerate() {
+            for u in bf.verts {
+                self.mesh.vertex(u).set_hint(new_ids[bi]);
+            }
+        }
+        self.mesh.set_recent(new_ids[0]);
+        self.last_cell = new_ids[0];
+
+        InsertResult {
+            vertex: v,
+            created: new_ids,
+            killed,
+        }
+    }
+
+    /// BFS rounds of cavity expansion from `cavity[*qi..]`, locking every
+    /// touched cell's vertices. `state`: true = in cavity, false = tested and
+    /// rejected (boundary outside cell).
+    fn expand_cavity(
+        &mut self,
+        p: &[f64; 3],
+        cavity: &mut Vec<CellId>,
+        state: &mut FxHashMap<u32, bool>,
+        qi: &mut usize,
+    ) -> Result<(), OpError> {
+        while *qi < cavity.len() {
+            let c = cavity[*qi];
+            *qi += 1;
+            for i in 0..4 {
+                let n = self.mesh.cell(c).nei(i);
+                if n.is_none() || state.contains_key(&n.0) {
+                    continue;
+                }
+                let ncell = self.mesh.cell(n);
+                for k in 0..4 {
+                    self.lock_vertex(ncell.vert(k))?;
+                }
+                debug_assert!(ncell.is_alive(), "neighbor died under face locks");
+                let nv = ncell.verts();
+                let np = [
+                    self.mesh.pos3(nv[0]),
+                    self.mesh.pos3(nv[1]),
+                    self.mesh.pos3(nv[2]),
+                    self.mesh.pos3(nv[3]),
+                ];
+                let inside = insphere_sos(
+                    &np[0],
+                    &np[1],
+                    &np[2],
+                    &np[3],
+                    p,
+                    [
+                        nv[0].0 as u64,
+                        nv[1].0 as u64,
+                        nv[2].0 as u64,
+                        nv[3].0 as u64,
+                        PENDING_KEY,
+                    ],
+                ) > 0;
+                state.insert(n.0, inside);
+                if inside {
+                    cavity.push(n);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ids::VertexKind;
+    use crate::mesh::{OpError, SharedMesh};
+    use pi2m_geometry::{Aabb, Point3};
+
+    fn unit_mesh() -> SharedMesh {
+        SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)))
+    }
+
+    #[test]
+    fn single_insertion_center() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let r = ctx
+            .insert([0.5, 0.5, 0.5], VertexKind::Circumcenter)
+            .unwrap();
+        // the diagonal point is on all 6 circumspheres: cavity = whole box
+        assert_eq!(r.killed.len(), 6);
+        assert!(r.created.len() >= 8);
+        assert_eq!(ctx.locks_held(), 0);
+        m.check_adjacency().unwrap();
+        m.check_orientation().unwrap();
+        m.check_delaunay().unwrap();
+        assert!((m.total_volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_random_insertions_stay_delaunay() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        // deterministic pseudo-random points
+        let mut s = 12345u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let p = [next() * 0.98 + 0.01, next() * 0.98 + 0.01, next() * 0.98 + 0.01];
+            ctx.insert(p, VertexKind::Circumcenter).unwrap();
+        }
+        m.check_adjacency().unwrap();
+        m.check_orientation().unwrap();
+        m.check_delaunay().unwrap();
+        assert!((m.total_volume() - 1.0).abs() < 1e-9);
+        assert_eq!(m.num_vertices(), 208);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let r = ctx.insert([0.25, 0.5, 0.5], VertexKind::Isosurface).unwrap();
+        match ctx.insert([0.25, 0.5, 0.5], VertexKind::Isosurface) {
+            Err(OpError::Duplicate(v)) => assert_eq!(v, r.vertex),
+            other => panic!("expected duplicate, got {other:?}"),
+        }
+        assert_eq!(ctx.locks_held(), 0);
+        m.check_delaunay().unwrap();
+    }
+
+    #[test]
+    fn outside_point_rejected() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        assert_eq!(
+            ctx.insert([2.0, 0.5, 0.5], VertexKind::Circumcenter),
+            Err(OpError::OutsideDomain)
+        );
+    }
+
+    #[test]
+    fn conflict_rolls_back_cleanly() {
+        let m = unit_mesh();
+        let mut other = m.make_ctx(1);
+        other.lock_vertex(m.corner_ids()[7]).unwrap();
+        let mut ctx = m.make_ctx(0);
+        // the center needs every corner: must conflict
+        match ctx.insert([0.5, 0.5, 0.5], VertexKind::Circumcenter) {
+            Err(OpError::Conflict { owner, .. }) => assert_eq!(owner, 1),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert_eq!(ctx.locks_held(), 0);
+        assert_eq!(m.num_alive_cells(), 6); // untouched
+        other.unlock_all();
+        // and succeeds once the lock is gone
+        ctx.insert([0.5, 0.5, 0.5], VertexKind::Circumcenter)
+            .unwrap();
+        m.check_delaunay().unwrap();
+    }
+
+    #[test]
+    fn cospherical_grid_insertions() {
+        // grid points create many exactly-cospherical configurations; the
+        // zero-is-outside policy plus coplanar repair must keep everything
+        // valid.
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        for x in 1..4 {
+            for y in 1..4 {
+                for z in 1..4 {
+                    let p = [x as f64 / 4.0, y as f64 / 4.0, z as f64 / 4.0];
+                    ctx.insert(p, VertexKind::Circumcenter).unwrap();
+                }
+            }
+        }
+        m.check_adjacency().unwrap();
+        m.check_orientation().unwrap();
+        m.check_delaunay().unwrap();
+        assert!((m.total_volume() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,443 @@
+//! A small sequential Delaunay triangulation used to re-triangulate the ball
+//! of a removed vertex (paper §4.2): "we compute a local Delaunay
+//! triangulation D_B of the vertices incident to p, such that the vertices
+//! inserted earlier in the shared triangulation are inserted into D_B first".
+//!
+//! The structure triangulates an auxiliary bounding box (8 aux points, 6
+//! tets); callers insert the link vertices in global-timestamp order and then
+//! read back the finite tetrahedra. The Bowyer–Watson logic mirrors the
+//! concurrent kernel (insphere > 0 cavity, zero-is-outside, coplanar-repair)
+//! so degenerate configurations resolve the same way.
+
+use crate::boxinit::box_mesh;
+use crate::fxhash::FxHashMap;
+use pi2m_geometry::{insphere_sos, orient3d, Aabb, TET_FACES};
+
+const LNONE: u32 = u32::MAX;
+
+/// Number of auxiliary (bounding box) points.
+pub const AUX_COUNT: u32 = 8;
+
+/// Keys of the auxiliary box corners: above every possible real key (real
+/// keys are global vertex ids, bounded by `u32::MAX`), below the
+/// pending-insertion sentinel used by the global kernel.
+pub const AUX_KEY_BASE: u64 = u64::MAX - 8;
+
+#[derive(Clone, Debug)]
+struct LCell {
+    v: [u32; 4],
+    n: [u32; 4],
+    alive: bool,
+}
+
+/// Errors from local insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalError {
+    /// Point outside the auxiliary box (caller sized the box wrong).
+    Outside,
+    /// Exact duplicate of an already-inserted point.
+    Duplicate(u32),
+    /// Unresolvable degeneracy.
+    Degenerate,
+}
+
+/// Sequential Delaunay triangulation of points inside an auxiliary box.
+pub struct LocalDt {
+    pts: Vec<[f64; 3]>,
+    keys: Vec<u64>,
+    cells: Vec<LCell>,
+    free: Vec<u32>,
+    last: u32,
+}
+
+impl LocalDt {
+    /// Create the triangulation of `bbox` (inflate generously around the
+    /// points you plan to insert).
+    pub fn new(bbox: &Aabb) -> LocalDt {
+        let mut aux_keys = [0u64; 8];
+        for (k, slot) in aux_keys.iter_mut().enumerate() {
+            *slot = AUX_KEY_BASE + k as u64;
+        }
+        let (corners, tets, adj) = box_mesh(bbox, &aux_keys);
+        let pts: Vec<[f64; 3]> = corners.to_vec();
+        let mut cells = Vec::with_capacity(tets.len());
+        for (ti, t) in tets.iter().enumerate() {
+            let mut n = [LNONE; 4];
+            for i in 0..4 {
+                if adj[ti][i] != usize::MAX {
+                    n[i] = adj[ti][i] as u32;
+                }
+            }
+            cells.push(LCell {
+                v: [t[0] as u32, t[1] as u32, t[2] as u32, t[3] as u32],
+                n,
+                alive: true,
+            });
+        }
+        LocalDt {
+            pts,
+            keys: aux_keys.to_vec(),
+            cells,
+            free: Vec::new(),
+            last: 0,
+        }
+    }
+
+    /// Position of a point by local index.
+    #[inline]
+    pub fn point(&self, i: u32) -> [f64; 3] {
+        self.pts[i as usize]
+    }
+
+    /// Number of points (including the 8 auxiliary corners).
+    pub fn num_points(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Insert a point with its symbolic-perturbation key (the global vertex
+    /// id); returns its local index (aux corners occupy `0..8`).
+    pub fn insert(&mut self, p: [f64; 3], key: u64) -> Result<u32, LocalError> {
+        debug_assert!(key < AUX_KEY_BASE, "real keys must stay below aux keys");
+        let c0 = self.locate(p)?;
+        for &v in &self.cells[c0 as usize].v {
+            if self.pts[v as usize] == p {
+                return Err(LocalError::Duplicate(v));
+            }
+        }
+
+        // cavity BFS
+        let mut cavity = vec![c0];
+        let mut state: FxHashMap<u32, bool> = FxHashMap::default();
+        state.insert(c0, true);
+        let mut qi = 0;
+        self.expand(&p, key, &mut cavity, &mut state, &mut qi);
+
+        // boundary + coplanar repair
+        let mut bfaces: Vec<([u32; 3], u32, u32)> = Vec::new(); // verts, outside, from
+        loop {
+            bfaces.clear();
+            let mut forced = Vec::new();
+            for &c in &cavity {
+                let cell = self.cells[c as usize].clone();
+                for i in 0..4 {
+                    let n = cell.n[i];
+                    if n != LNONE && state.get(&n) == Some(&true) {
+                        continue;
+                    }
+                    let f = TET_FACES[i];
+                    let fv = [cell.v[f[0]], cell.v[f[1]], cell.v[f[2]]];
+                    let s = orient3d(
+                        &self.pts[fv[0] as usize],
+                        &self.pts[fv[1] as usize],
+                        &self.pts[fv[2] as usize],
+                        &p,
+                    );
+                    if s <= 0.0 {
+                        if n == LNONE {
+                            return Err(LocalError::Degenerate);
+                        }
+                        forced.push(n);
+                    } else {
+                        bfaces.push((fv, n, c));
+                    }
+                }
+            }
+            if forced.is_empty() {
+                break;
+            }
+            for n in forced {
+                if state.get(&n) != Some(&true) {
+                    state.insert(n, true);
+                    cavity.push(n);
+                }
+            }
+            self.expand(&p, key, &mut cavity, &mut state, &mut qi);
+        }
+
+        // commit
+        let vid = self.pts.len() as u32;
+        self.pts.push(p);
+        self.keys.push(key);
+        let new_ids: Vec<u32> = (0..bfaces.len()).map(|_| self.reserve()).collect();
+        let mut neis: Vec<[u32; 4]> = bfaces
+            .iter()
+            .map(|&(_, outside, _)| [LNONE, LNONE, LNONE, outside])
+            .collect();
+        let mut edge_map: FxHashMap<u64, (usize, usize)> = FxHashMap::default();
+        for (bi, (fv, _, _)) in bfaces.iter().enumerate() {
+            for k in 0..3 {
+                let a = fv[(k + 1) % 3];
+                let b = fv[(k + 2) % 3];
+                let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
+                match edge_map.remove(&key) {
+                    Some((bj, fj)) => {
+                        neis[bi][k] = new_ids[bj];
+                        neis[bj][fj] = new_ids[bi];
+                    }
+                    None => {
+                        edge_map.insert(key, (bi, k));
+                    }
+                }
+            }
+        }
+        for (bi, (fv, outside, from)) in bfaces.iter().enumerate() {
+            let id = new_ids[bi] as usize;
+            self.cells[id] = LCell {
+                v: [fv[0], fv[1], fv[2], vid],
+                n: neis[bi],
+                alive: true,
+            };
+            if *outside != LNONE {
+                let out = &mut self.cells[*outside as usize];
+                let j = (0..4)
+                    .find(|&j| out.n[j] == *from)
+                    .expect("outside back-pointer");
+                out.n[j] = new_ids[bi];
+            }
+        }
+        for &c in &cavity {
+            self.cells[c as usize].alive = false;
+            self.free.push(c);
+        }
+        self.last = new_ids[0];
+        Ok(vid)
+    }
+
+    fn reserve(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(c) => c,
+            None => {
+                self.cells.push(LCell {
+                    v: [LNONE; 4],
+                    n: [LNONE; 4],
+                    alive: false,
+                });
+                (self.cells.len() - 1) as u32
+            }
+        }
+    }
+
+    fn expand(
+        &mut self,
+        p: &[f64; 3],
+        key: u64,
+        cavity: &mut Vec<u32>,
+        state: &mut FxHashMap<u32, bool>,
+        qi: &mut usize,
+    ) {
+        while *qi < cavity.len() {
+            let c = cavity[*qi];
+            *qi += 1;
+            for i in 0..4 {
+                let n = self.cells[c as usize].n[i];
+                if n == LNONE || state.contains_key(&n) {
+                    continue;
+                }
+                let nv = self.cells[n as usize].v;
+                let inside = insphere_sos(
+                    &self.pts[nv[0] as usize],
+                    &self.pts[nv[1] as usize],
+                    &self.pts[nv[2] as usize],
+                    &self.pts[nv[3] as usize],
+                    p,
+                    [
+                        self.keys[nv[0] as usize],
+                        self.keys[nv[1] as usize],
+                        self.keys[nv[2] as usize],
+                        self.keys[nv[3] as usize],
+                        key,
+                    ],
+                ) > 0;
+                state.insert(n, inside);
+                if inside {
+                    cavity.push(n);
+                }
+            }
+        }
+    }
+
+    fn locate(&mut self, p: [f64; 3]) -> Result<u32, LocalError> {
+        let mut cur = if self.cells[self.last as usize].alive {
+            self.last
+        } else {
+            self.cells
+                .iter()
+                .position(|c| c.alive)
+                .ok_or(LocalError::Degenerate)? as u32
+        };
+        let mut steps = 0;
+        'walk: loop {
+            steps += 1;
+            if steps > 100_000 {
+                return Err(LocalError::Degenerate);
+            }
+            let cv = self.cells[cur as usize].v;
+            let pos = [
+                self.pts[cv[0] as usize],
+                self.pts[cv[1] as usize],
+                self.pts[cv[2] as usize],
+                self.pts[cv[3] as usize],
+            ];
+            for (i, f) in TET_FACES.iter().enumerate() {
+                if orient3d(&pos[f[0]], &pos[f[1]], &pos[f[2]], &p) < 0.0 {
+                    let n = self.cells[cur as usize].n[i];
+                    if n == LNONE {
+                        return Err(LocalError::Outside);
+                    }
+                    cur = n;
+                    continue 'walk;
+                }
+            }
+            self.last = cur;
+            return Ok(cur);
+        }
+    }
+
+    /// Indices of alive cells.
+    pub fn alive(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.cells.len() as u32).filter(|&c| self.cells[c as usize].alive)
+    }
+
+    /// Vertices of a cell.
+    #[inline]
+    pub fn cell_verts(&self, c: u32) -> [u32; 4] {
+        self.cells[c as usize].v
+    }
+
+    /// Neighbors of a cell (`u32::MAX` = hull).
+    #[inline]
+    pub fn cell_neis(&self, c: u32) -> [u32; 4] {
+        self.cells[c as usize].n
+    }
+
+    /// Does the cell avoid all auxiliary (box) vertices?
+    pub fn is_finite(&self, c: u32) -> bool {
+        self.cells[c as usize].v.iter().all(|&v| v >= AUX_COUNT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2m_geometry::{signed_volume, Point3};
+
+    fn dt_with(points: &[[f64; 3]]) -> LocalDt {
+        let mut bb = Aabb::empty();
+        for p in points {
+            bb.include(Point3::from_array(*p));
+        }
+        let mut dt = LocalDt::new(&bb.inflated(bb.diagonal().max(1.0)));
+        for (i, p) in points.iter().enumerate() {
+            dt.insert(*p, i as u64).unwrap();
+        }
+        dt
+    }
+
+    fn check_delaunay(dt: &LocalDt) {
+        let ids: Vec<u32> = dt.alive().collect();
+        for &c in &ids {
+            let v = dt.cell_verts(c);
+            let pos: Vec<[f64; 3]> = v.iter().map(|&i| dt.point(i)).collect();
+            for q in 8..dt.num_points() as u32 {
+                if v.contains(&q) {
+                    continue;
+                }
+                let s = pi2m_predicates::insphere_sign(
+                    &pos[0],
+                    &pos[1],
+                    &pos[2],
+                    &pos[3],
+                    &dt.point(q),
+                );
+                assert!(s <= 0, "point {q} strictly inside circumsphere of {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn tetrahedron_of_four_points() {
+        let dt = dt_with(&[
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]);
+        let finite: Vec<u32> = dt.alive().filter(|&c| dt.is_finite(c)).collect();
+        assert_eq!(finite.len(), 1);
+        check_delaunay(&dt);
+    }
+
+    #[test]
+    fn random_points_delaunay() {
+        let mut s = 99u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<[f64; 3]> = (0..60).map(|_| [next(), next(), next()]).collect();
+        let dt = dt_with(&pts);
+        check_delaunay(&dt);
+        // volume of finite region is positive and bounded by unit cube
+        let vol: f64 = dt
+            .alive()
+            .filter(|&c| dt.is_finite(c))
+            .map(|c| {
+                let v = dt.cell_verts(c);
+                signed_volume(
+                    Point3::from_array(dt.point(v[0])),
+                    Point3::from_array(dt.point(v[1])),
+                    Point3::from_array(dt.point(v[2])),
+                    Point3::from_array(dt.point(v[3])),
+                )
+            })
+            .sum();
+        assert!(vol > 0.0 && vol <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn grid_degeneracies_handled() {
+        let mut pts = Vec::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                for z in 0..3 {
+                    pts.push([x as f64, y as f64, z as f64]);
+                }
+            }
+        }
+        let dt = dt_with(&pts);
+        check_delaunay(&dt);
+        // grid cube volume = 8, tiled by finite tets
+        let vol: f64 = dt
+            .alive()
+            .filter(|&c| dt.is_finite(c))
+            .map(|c| {
+                let v = dt.cell_verts(c);
+                signed_volume(
+                    Point3::from_array(dt.point(v[0])),
+                    Point3::from_array(dt.point(v[1])),
+                    Point3::from_array(dt.point(v[2])),
+                    Point3::from_array(dt.point(v[3])),
+                )
+            })
+            .sum();
+        assert!((vol - 8.0).abs() < 1e-9, "grid volume {vol}");
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut dt = LocalDt::new(&Aabb::new(
+            Point3::new(-1.0, -1.0, -1.0),
+            Point3::new(2.0, 2.0, 2.0),
+        ));
+        let a = dt.insert([0.5, 0.5, 0.5], 0).unwrap();
+        assert_eq!(dt.insert([0.5, 0.5, 0.5], 1), Err(LocalError::Duplicate(a)));
+    }
+
+    #[test]
+    fn outside_detection() {
+        let mut dt = LocalDt::new(&Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)));
+        assert_eq!(dt.insert([5.0, 0.5, 0.5], 0), Err(LocalError::Outside));
+    }
+}

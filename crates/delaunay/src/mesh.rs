@@ -1,0 +1,516 @@
+//! The shared concurrent triangulation and per-thread operation contexts.
+//!
+//! ## Locking protocol (paper §4.2)
+//!
+//! Every vertex *touched* by an operation — the vertices of every cavity/ball
+//! cell — must be speculatively locked by the operating thread. A failed
+//! try-lock aborts the operation (a **rollback**): all held locks are
+//! released, no structural change has been made (structure is only mutated in
+//! the commit phase, which runs entirely under a complete lock set), and the
+//! conflicting thread's id is reported to the contention manager.
+//!
+//! Structural invariants protected by the protocol:
+//!
+//! * killing a cell or creating one requires holding all 4 of its vertices;
+//! * rewiring a live cell's neighbor pointer across face `f` requires holding
+//!   the 3 vertices of `f`;
+//! * vertex positions/kinds are immutable after allocation;
+//! * all live cells are positively oriented (`orient3d(v0,v1,v2,v3) > 0`).
+//!
+//! Lock-free readers (point-location walks) read generation-validated
+//! [`CellSnap`]s and re-validate under locks before the cavity is used, so
+//! races are benign.
+
+use crate::boxinit::{box_mesh, virtual_box};
+use crate::ids::{CellId, VertexId, VertexKind, NONE};
+use crate::pool::{Cell, CellPool, CellSnap, Vertex, VertexPool};
+use pi2m_geometry::{orient3d_sign, signed_volume, Aabb, Point3, TET_FACES};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Why an operation did not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// Speculative conflict: a touched vertex is locked by thread `owner`.
+    /// The operation rolled back; the contention manager decides what next.
+    /// `vertex` is the contested vertex and `held` how many locks this
+    /// operation had acquired before failing (used by the simulator's
+    /// incremental-acquisition model).
+    Conflict { owner: u32, vertex: VertexId, held: u32 },
+    /// The point lies outside the triangulated virtual box; the refinement
+    /// rule proposing it is skipped.
+    OutsideDomain,
+    /// The point coincides exactly with an existing vertex.
+    Duplicate(VertexId),
+    /// A removal could not be glued safely (degenerate local triangulation);
+    /// the vertex stays. Removal is best-effort (paper: ~2% of operations).
+    RemovalBlocked,
+    /// Unrecoverable geometric degeneracy for this element; skip it.
+    Degenerate,
+}
+
+/// Result of a successful insertion.
+#[derive(Debug, PartialEq)]
+pub struct InsertResult {
+    pub vertex: VertexId,
+    pub created: Vec<CellId>,
+    /// Killed cells with the `tag` word they carried (the refinement layer
+    /// uses tags for PEL bookkeeping).
+    pub killed: Vec<(CellId, u64)>,
+}
+
+/// Result of a successful removal.
+#[derive(Debug, PartialEq)]
+pub struct RemoveResult {
+    pub removed: VertexId,
+    pub created: Vec<CellId>,
+    pub killed: Vec<(CellId, u64)>,
+}
+
+/// The concurrent Delaunay triangulation of the virtual box.
+pub struct SharedMesh {
+    pub(crate) verts: VertexPool,
+    pub(crate) cells: CellPool,
+    bbox: Aabb,
+    corner_ids: [VertexId; 8],
+    /// A recently created cell — a always-fresh walk hint.
+    recent: AtomicU32,
+}
+
+impl SharedMesh {
+    /// Create the triangulation of a virtual box enclosing `domain`
+    /// (inflated per DESIGN.md) and subdivide it into 6 tetrahedra
+    /// (paper Figure 1a). This is the only sequential step of the pipeline.
+    pub fn enclosing(domain: &Aabb) -> SharedMesh {
+        Self::with_box(virtual_box(domain))
+    }
+
+    /// Create the triangulation with the exact given box.
+    pub fn with_box(b: Aabb) -> SharedMesh {
+        let verts = VertexPool::new();
+        let cells = CellPool::new();
+        // corner keys = their future vertex ids (0..8)
+        let keys: [u64; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+        let (corners, tets, adj) = box_mesh(&b, &keys);
+
+        let mut corner_ids = [VertexId(NONE); 8];
+        for (i, c) in corners.iter().enumerate() {
+            corner_ids[i] = verts.alloc(*c, VertexKind::BoxCorner);
+        }
+        let mut free = Vec::new();
+        let mut cell_ids = Vec::with_capacity(tets.len());
+        for t in &tets {
+            let vs = [
+                corner_ids[t[0]],
+                corner_ids[t[1]],
+                corner_ids[t[2]],
+                corner_ids[t[3]],
+            ];
+            cell_ids.push(cells.alloc(&mut free, vs, [CellId(NONE); 4]));
+        }
+        for (ti, na) in adj.iter().enumerate() {
+            for i in 0..4 {
+                if na[i] != usize::MAX {
+                    cells.cell(cell_ids[ti]).set_nei(i, cell_ids[na[i]]);
+                }
+            }
+            for k in 0..4 {
+                verts
+                    .vertex(cells.cell(cell_ids[ti]).vert(k))
+                    .set_hint(cell_ids[ti]);
+            }
+        }
+        let recent = AtomicU32::new(cell_ids[0].0);
+        SharedMesh {
+            verts,
+            cells,
+            bbox: b,
+            corner_ids,
+            recent,
+        }
+    }
+
+    /// The virtual box.
+    #[inline]
+    pub fn bbox(&self) -> Aabb {
+        self.bbox
+    }
+
+    /// Ids of the 8 box-corner vertices.
+    #[inline]
+    pub fn corner_ids(&self) -> [VertexId; 8] {
+        self.corner_ids
+    }
+
+    #[inline]
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        self.verts.vertex(v)
+    }
+
+    #[inline]
+    pub fn cell(&self, c: CellId) -> &Cell {
+        self.cells.cell(c)
+    }
+
+    #[inline]
+    pub fn position(&self, v: VertexId) -> Point3 {
+        Point3::from_array(self.verts.vertex(v).pos())
+    }
+
+    #[inline]
+    pub fn pos3(&self, v: VertexId) -> [f64; 3] {
+        self.verts.vertex(v).pos()
+    }
+
+    /// High-water vertex count (allocated, including dead).
+    pub fn num_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// High-water cell slot count.
+    pub fn num_cell_slots(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Count alive cells (O(slots); quiescent use).
+    pub fn num_alive_cells(&self) -> usize {
+        self.cells.alive_ids().count()
+    }
+
+    /// Iterate alive cell ids (quiescent use).
+    pub fn alive_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells.alive_ids()
+    }
+
+    /// The positions of a cell's 4 vertices.
+    pub fn cell_points(&self, c: CellId) -> [Point3; 4] {
+        let cell = self.cells.cell(c);
+        [
+            self.position(cell.vert(0)),
+            self.position(cell.vert(1)),
+            self.position(cell.vert(2)),
+            self.position(cell.vert(3)),
+        ]
+    }
+
+    #[inline]
+    pub(crate) fn recent_cell(&self) -> CellId {
+        CellId(self.recent.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn set_recent(&self, c: CellId) {
+        self.recent.store(c.0, Ordering::Relaxed);
+    }
+
+    /// Make a per-thread operation context. `tid` must be unique per
+    /// concurrently operating thread.
+    pub fn make_ctx(&self, tid: u32) -> OpCtx<'_> {
+        OpCtx {
+            mesh: self,
+            tid,
+            locked: Vec::with_capacity(64),
+            free_cells: Vec::new(),
+            last_cell: self.recent_cell(),
+            rng: 0x9e37_79b9_7f4a_7c15u64 ^ ((tid as u64 + 1) << 32),
+        }
+    }
+
+    // ---------- verification helpers (tests, debug assertions) ----------
+
+    /// Check mutual adjacency consistency of all alive cells. Quiescent only.
+    pub fn check_adjacency(&self) -> Result<(), String> {
+        for c in self.alive_cells() {
+            let cell = self.cell(c);
+            for i in 0..4 {
+                let n = cell.nei(i);
+                if n.is_none() {
+                    continue;
+                }
+                let ncell = self.cell(n);
+                if !ncell.is_alive() {
+                    return Err(format!("cell {c:?} points to dead {n:?}"));
+                }
+                let back = ncell.face_to(c);
+                if back.is_none() {
+                    return Err(format!("cell {n:?} lacks back-pointer to {c:?}"));
+                }
+                // shared face must consist of the same 3 vertices
+                let mut fa: Vec<u32> = TET_FACES[i].iter().map(|&k| cell.vert(k).0).collect();
+                let j = back.unwrap();
+                let mut fb: Vec<u32> = TET_FACES[j].iter().map(|&k| ncell.vert(k).0).collect();
+                fa.sort_unstable();
+                fb.sort_unstable();
+                if fa != fb {
+                    return Err(format!("face mismatch between {c:?} and {n:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check all alive cells are positively oriented. Quiescent only.
+    pub fn check_orientation(&self) -> Result<(), String> {
+        for c in self.alive_cells() {
+            let p = self.cell_points(c);
+            if orient3d_sign(
+                &p[0].to_array(),
+                &p[1].to_array(),
+                &p[2].to_array(),
+                &p[3].to_array(),
+            ) <= 0
+            {
+                return Err(format!("cell {c:?} not positively oriented"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Local Delaunay check: for each interior face, the opposite vertex of
+    /// the neighbor must not lie strictly inside the cell's circumsphere.
+    /// With exact predicates this implies the global Delaunay property.
+    /// Quiescent only.
+    pub fn check_delaunay(&self) -> Result<(), String> {
+        for c in self.alive_cells() {
+            let cell = self.cell(c);
+            let pts = self.cell_points(c);
+            for i in 0..4 {
+                let n = cell.nei(i);
+                if n.is_none() {
+                    continue;
+                }
+                let ncell = self.cell(n);
+                // the neighbor's vertex not shared with c
+                let opp = (0..4)
+                    .map(|k| ncell.vert(k))
+                    .find(|&v| !cell.has_vertex(v))
+                    .ok_or_else(|| format!("{n:?} duplicates {c:?}"))?;
+                let w = self.pos3(opp);
+                let s = pi2m_predicates::insphere_sign(
+                    &pts[0].to_array(),
+                    &pts[1].to_array(),
+                    &pts[2].to_array(),
+                    &pts[3].to_array(),
+                    &w,
+                );
+                if s > 0 {
+                    return Err(format!(
+                        "Delaunay violation: vertex {opp:?} inside circumsphere of {c:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Strict (symbolically perturbed) local Delaunay check: for each
+    /// interior face the neighbor's opposite vertex must be strictly outside
+    /// the perturbed circumsphere. Passing this certifies the triangulation
+    /// is *the* unique SoS-Delaunay triangulation of its vertex set — the
+    /// invariant that removals rely on. Quiescent only.
+    pub fn check_delaunay_sos(&self) -> Result<(), String> {
+        for c in self.alive_cells() {
+            let cell = self.cell(c);
+            let pts = self.cell_points(c);
+            let vids = cell.verts();
+            for i in 0..4 {
+                let n = cell.nei(i);
+                if n.is_none() {
+                    continue;
+                }
+                let ncell = self.cell(n);
+                let opp = (0..4)
+                    .map(|k| ncell.vert(k))
+                    .find(|&v| !cell.has_vertex(v))
+                    .ok_or_else(|| format!("{n:?} duplicates {c:?}"))?;
+                let w = self.pos3(opp);
+                let s = pi2m_predicates::insphere_sos(
+                    &pts[0].to_array(),
+                    &pts[1].to_array(),
+                    &pts[2].to_array(),
+                    &pts[3].to_array(),
+                    &w,
+                    [
+                        vids[0].0 as u64,
+                        vids[1].0 as u64,
+                        vids[2].0 as u64,
+                        vids[3].0 as u64,
+                        opp.0 as u64,
+                    ],
+                );
+                if s >= 0 {
+                    return Err(format!(
+                        "perturbed Delaunay violation: {opp:?} vs cell {c:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of alive cell volumes — must equal the box volume at all quiescent
+    /// points (the triangulation always tiles the box).
+    pub fn total_volume(&self) -> f64 {
+        self.alive_cells()
+            .map(|c| {
+                let p = self.cell_points(c);
+                signed_volume(p[0], p[1], p[2], p[3])
+            })
+            .sum()
+    }
+}
+
+/// Per-thread operation context: scratch state, the lock set, and the local
+/// cell free-list. Not `Send`-migrating mid-operation; one per worker.
+pub struct OpCtx<'m> {
+    pub mesh: &'m SharedMesh,
+    pub tid: u32,
+    pub(crate) locked: Vec<VertexId>,
+    /// Cells freed by this thread, reused for its future allocations.
+    pub free_cells: Vec<CellId>,
+    /// Walk hint: last cell this thread created/visited.
+    pub last_cell: CellId,
+    pub(crate) rng: u64,
+}
+
+impl<'m> OpCtx<'m> {
+    /// Try to lock `v`; on failure report the owning thread (rollback path).
+    #[inline]
+    pub(crate) fn lock_vertex(&mut self, v: VertexId) -> Result<(), OpError> {
+        match self.mesh.verts.vertex(v).try_lock(self.tid) {
+            Ok(true) => {
+                self.locked.push(v);
+                Ok(())
+            }
+            Ok(false) => Ok(()),
+            Err(owner) => Err(OpError::Conflict {
+                owner,
+                vertex: v,
+                held: self.locked.len() as u32,
+            }),
+        }
+    }
+
+    /// The vertices locked by the in-progress operation, in acquisition
+    /// order (the simulator derives virtual lock-acquisition timing from
+    /// this).
+    pub fn locked_vertices(&self) -> &[VertexId] {
+        &self.locked
+    }
+
+    /// Release every lock held by a *prepared* operation that the caller
+    /// decided not to commit.
+    pub fn abort(&mut self) {
+        self.unlock_all();
+    }
+
+    /// Release locks after a successful `commit_*` (the `insert`/`remove`
+    /// convenience wrappers do this automatically).
+    pub fn release_locks(&mut self) {
+        self.unlock_all();
+    }
+
+    /// Release every held lock (end of operation or rollback).
+    pub(crate) fn unlock_all(&mut self) {
+        for v in self.locked.drain(..) {
+            self.mesh.verts.vertex(v).unlock(self.tid);
+        }
+    }
+
+    /// Number of currently held locks (diagnostics).
+    pub fn locks_held(&self) -> usize {
+        self.locked.len()
+    }
+
+    /// xorshift step for randomized walk tie-breaking.
+    #[inline]
+    pub(crate) fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Gen-validated snapshot helper.
+    #[inline]
+    pub(crate) fn snap(&self, c: CellId) -> Option<CellSnap> {
+        if c.is_none() || c.idx() >= self.mesh.cells.len() {
+            return None;
+        }
+        self.mesh.cells.cell(c).snapshot()
+    }
+}
+
+impl Drop for OpCtx<'_> {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.locked.is_empty(),
+            "OpCtx dropped while holding locks"
+        );
+        self.unlock_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_mesh() -> SharedMesh {
+        SharedMesh::with_box(Aabb::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 1.0, 1.0),
+        ))
+    }
+
+    #[test]
+    fn initial_box_is_valid() {
+        let m = unit_mesh();
+        assert_eq!(m.num_alive_cells(), 6);
+        assert_eq!(m.num_vertices(), 8);
+        m.check_adjacency().unwrap();
+        m.check_orientation().unwrap();
+        m.check_delaunay().unwrap();
+        assert!((m.total_volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enclosing_box_inflates() {
+        let d = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 2.0, 2.0));
+        let m = SharedMesh::enclosing(&d);
+        assert!(m.bbox().contains(Point3::new(-0.5, -0.5, -0.5)));
+        m.check_adjacency().unwrap();
+    }
+
+    #[test]
+    fn ctx_lock_and_rollback() {
+        let m = unit_mesh();
+        let v = m.corner_ids()[0];
+        let mut a = m.make_ctx(0);
+        let mut b = m.make_ctx(1);
+        a.lock_vertex(v).unwrap();
+        match b.lock_vertex(v) {
+            Err(OpError::Conflict { owner, vertex, held }) => {
+                assert_eq!(owner, 0);
+                assert_eq!(vertex, v);
+                assert_eq!(held, 0);
+            }
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        a.unlock_all();
+        b.lock_vertex(v).unwrap();
+        b.unlock_all();
+    }
+
+    #[test]
+    fn reentrant_lock_released_once() {
+        let m = unit_mesh();
+        let v = m.corner_ids()[3];
+        let mut a = m.make_ctx(7);
+        a.lock_vertex(v).unwrap();
+        a.lock_vertex(v).unwrap(); // reentrant: not double-recorded
+        assert_eq!(a.locks_held(), 1);
+        a.unlock_all();
+        assert_eq!(m.vertex(v).lock_owner(), None);
+    }
+}

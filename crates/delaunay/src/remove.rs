@@ -1,0 +1,521 @@
+//! Speculative Delaunay vertex removal.
+//!
+//! Removal is the operation that distinguishes PI2M from prior parallel
+//! refiners (paper §1: "none of the parallel Delaunay refinement algorithms
+//! support point removals"). The ball `B(p)` — all cells incident to `p` —
+//! is gathered under vertex locks; the link vertices are re-triangulated in
+//! a *local* Delaunay triangulation, inserting them in **global timestamp
+//! order** so that degenerate (cospherical) configurations resolve exactly
+//! as a sequential run would (paper §4.2); the sub-triangulation filling the
+//! star of `p` is identified by a wall-bounded flood fill, validated by a
+//! volume identity, and glued in place of the ball.
+//!
+//! If any validation fails (a link face missing from the local triangulation,
+//! an auxiliary vertex leaking into the fill region, or a volume mismatch)
+//! the removal aborts with [`OpError::RemovalBlocked`] and the mesh is left
+//! untouched — removal is best-effort, mirroring the paper where removals
+//! are ~2% of operations.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::{CellId, VertexId, VertexKind, NONE};
+use crate::local::{LocalDt, AUX_COUNT};
+use crate::mesh::{OpCtx, OpError, RemoveResult};
+use pi2m_geometry::{orient3d, signed_volume, Aabb, Point3, TET_FACES};
+
+/// Neighbor specification of a planned fill cell.
+enum Nb {
+    /// Another fill cell (index into the plan list).
+    Region(usize),
+    /// The outside cell across a link face (index into the link-face list).
+    Link(usize),
+}
+
+/// A fully planned removal, locks held, not yet committed. Obtain via
+/// [`OpCtx::prepare_remove`]; then [`OpCtx::commit_remove`] or
+/// [`OpCtx::abort`].
+pub struct PreparedRemove {
+    vertex: VertexId,
+    ball: Vec<CellId>,
+    link_faces: Vec<LinkFace>,
+    plans: Vec<([VertexId; 4], [Option<Nb>; 4])>,
+}
+
+impl PreparedRemove {
+    /// Cells that will be killed.
+    pub fn ball_size(&self) -> usize {
+        self.ball.len()
+    }
+
+    /// Cells that will be created.
+    pub fn fill_size(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The ids of the ball cells (for cost/NUMA models).
+    pub fn ball(&self) -> &[CellId] {
+        &self.ball
+    }
+}
+
+/// A face of the ball boundary (the link of `p`).
+struct LinkFace {
+    /// Global vertex ids, oriented so `orient3d(verts, p) > 0`.
+    verts: [VertexId; 3],
+    /// The cell outside the ball across this face (`NONE` on the hull).
+    outside: CellId,
+    /// The ball cell this face belongs to.
+    from: CellId,
+}
+
+impl OpCtx<'_> {
+    /// Remove vertex `v`, re-triangulating its ball. On any error the
+    /// operation has been rolled back (no locks held, no structural change).
+    pub fn remove(&mut self, v: VertexId) -> Result<RemoveResult, OpError> {
+        let prep = self.prepare_remove(v)?;
+        let res = self.commit_remove(prep);
+        self.unlock_all();
+        Ok(res)
+    }
+
+    /// Planning phase: gather and lock the ball, re-triangulate the link
+    /// locally, validate the glue. On error everything is rolled back; on
+    /// success locks stay held until `commit_remove` + `release_locks` or
+    /// `abort`.
+    pub fn prepare_remove(&mut self, v: VertexId) -> Result<PreparedRemove, OpError> {
+        let r = self.prepare_remove_inner(v);
+        if r.is_err() {
+            self.unlock_all();
+        }
+        r
+    }
+
+    fn prepare_remove_inner(&mut self, v: VertexId) -> Result<PreparedRemove, OpError> {
+        {
+            let vx = self.mesh.vertex(v);
+            if !vx.is_alive() || vx.kind() == VertexKind::BoxCorner {
+                return Err(OpError::Degenerate);
+            }
+        }
+        // find a seed incident cell before taking any locks
+        let seed = self.incident_cell(v).ok_or(OpError::Degenerate)?;
+        debug_assert_eq!(self.locks_held(), 0);
+
+        self.lock_vertex(v)?;
+
+        // ---- gather the ball under locks ----
+        let mut ball: Vec<CellId> = Vec::new();
+        let mut in_ball: FxHashSet<u32> = FxHashSet::default();
+        {
+            let cell = self.mesh.cell(seed);
+            for k in 0..4 {
+                self.lock_vertex(cell.vert(k))?;
+            }
+            if !cell.is_alive() || !cell.has_vertex(v) {
+                return Err(OpError::Degenerate); // stale seed; caller retries
+            }
+        }
+        ball.push(seed);
+        in_ball.insert(seed.0);
+        let mut qi = 0;
+        while qi < ball.len() {
+            let c = ball[qi];
+            qi += 1;
+            let vi = self.mesh.cell(c).index_of(v).expect("ball cell lost v");
+            for i in 0..4 {
+                if i == vi {
+                    continue; // link face: neighbor not in ball
+                }
+                let n = self.mesh.cell(c).nei(i);
+                debug_assert!(!n.is_none(), "interior vertex with hull face");
+                if n.is_none() || in_ball.contains(&n.0) {
+                    continue;
+                }
+                let ncell = self.mesh.cell(n);
+                for k in 0..4 {
+                    self.lock_vertex(ncell.vert(k))?;
+                }
+                debug_assert!(ncell.is_alive() && ncell.has_vertex(v));
+                in_ball.insert(n.0);
+                ball.push(n);
+            }
+        }
+
+        // ---- link faces & link vertices ----
+        let mut link_faces: Vec<LinkFace> = Vec::with_capacity(ball.len());
+        let mut link_verts: Vec<VertexId> = Vec::new();
+        let mut seen_verts: FxHashSet<u32> = FxHashSet::default();
+        for &c in &ball {
+            let cell = self.mesh.cell(c);
+            let vi = cell.index_of(v).unwrap();
+            let f = TET_FACES[vi];
+            link_faces.push(LinkFace {
+                verts: [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])],
+                outside: cell.nei(vi),
+                from: c,
+            });
+            for k in 0..4 {
+                let u = cell.vert(k);
+                if u != v && seen_verts.insert(u.0) {
+                    link_verts.push(u);
+                }
+            }
+        }
+        // insert in global timestamp order (ids are timestamps)
+        link_verts.sort_unstable();
+
+        // ---- local Delaunay triangulation of the link ----
+        let mut bb = Aabb::empty();
+        for &u in &link_verts {
+            bb.include(self.mesh.position(u));
+        }
+        let bb = bb.inflated(bb.diagonal().max(1e-6));
+        let mut dt = LocalDt::new(&bb);
+        let mut g2l: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut l2g: Vec<VertexId> = Vec::with_capacity(link_verts.len() + AUX_COUNT as usize);
+        for _ in 0..AUX_COUNT {
+            l2g.push(VertexId(NONE));
+        }
+        for &u in &link_verts {
+            let li = dt
+                .insert(self.mesh.pos3(u), u.0 as u64)
+                .map_err(|_| OpError::RemovalBlocked)?;
+            debug_assert_eq!(li as usize, l2g.len());
+            g2l.insert(u.0, li);
+            l2g.push(u);
+        }
+
+        // ---- face map of the local triangulation ----
+        let face_key = |a: u32, b: u32, c: u32| -> (u32, u32, u32) {
+            let mut t = [a, b, c];
+            t.sort_unstable();
+            (t[0], t[1], t[2])
+        };
+        let mut face_map: FxHashMap<(u32, u32, u32), Vec<(u32, usize)>> = FxHashMap::default();
+        let alive_cells: Vec<u32> = dt.alive().collect();
+        for &lc in &alive_cells {
+            let cv = dt.cell_verts(lc);
+            for (i, f) in TET_FACES.iter().enumerate() {
+                face_map
+                    .entry(face_key(cv[f[0]], cv[f[1]], cv[f[2]]))
+                    .or_default()
+                    .push((lc, i));
+            }
+        }
+
+        // ---- seeds: for each link face, the local tet on p's side ----
+        let mut walls: FxHashMap<(u32, u32, u32), usize> = FxHashMap::default(); // key -> link_faces idx
+        let mut region: FxHashSet<u32> = FxHashSet::default();
+        let mut stack: Vec<u32> = Vec::new();
+        for (fi, lf) in link_faces.iter().enumerate() {
+            let l = [
+                *g2l.get(&lf.verts[0].0).ok_or(OpError::RemovalBlocked)?,
+                *g2l.get(&lf.verts[1].0).ok_or(OpError::RemovalBlocked)?,
+                *g2l.get(&lf.verts[2].0).ok_or(OpError::RemovalBlocked)?,
+            ];
+            let key = face_key(l[0], l[1], l[2]);
+            if walls.insert(key, fi).is_some() {
+                return Err(OpError::RemovalBlocked); // duplicate link face
+            }
+            let cands = face_map.get(&key).ok_or(OpError::RemovalBlocked)?;
+            let fpos = [
+                self.mesh.pos3(lf.verts[0]),
+                self.mesh.pos3(lf.verts[1]),
+                self.mesh.pos3(lf.verts[2]),
+            ];
+            let mut found = false;
+            for &(lc, i) in cands {
+                let w = dt.cell_verts(lc)[i];
+                let s = orient3d(&fpos[0], &fpos[1], &fpos[2], &dt.point(w));
+                if s > 0.0 {
+                    // inner side (same as p, since orient3d(face, p) > 0)
+                    if !dt.is_finite(lc) {
+                        return Err(OpError::RemovalBlocked);
+                    }
+                    if region.insert(lc) {
+                        stack.push(lc);
+                    }
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return Err(OpError::RemovalBlocked);
+            }
+        }
+
+        // ---- flood fill bounded by the walls ----
+        while let Some(lc) = stack.pop() {
+            let cv = dt.cell_verts(lc);
+            let cn = dt.cell_neis(lc);
+            for (i, f) in TET_FACES.iter().enumerate() {
+                let key = face_key(cv[f[0]], cv[f[1]], cv[f[2]]);
+                if walls.contains_key(&key) {
+                    continue;
+                }
+                let n = cn[i];
+                if n == u32::MAX {
+                    return Err(OpError::RemovalBlocked); // leaked to hull
+                }
+                if !dt.is_finite(n) {
+                    return Err(OpError::RemovalBlocked); // leaked to aux
+                }
+                if region.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+
+        // ---- volume identity: region must fill exactly the ball ----
+        let vol_of = |pts: [Point3; 4]| signed_volume(pts[0], pts[1], pts[2], pts[3]);
+        let ball_vol: f64 = ball
+            .iter()
+            .map(|&c| vol_of(self.mesh.cell_points(c)))
+            .sum();
+        let region_vol: f64 = region
+            .iter()
+            .map(|&lc| {
+                let cv = dt.cell_verts(lc);
+                vol_of([
+                    Point3::from_array(dt.point(cv[0])),
+                    Point3::from_array(dt.point(cv[1])),
+                    Point3::from_array(dt.point(cv[2])),
+                    Point3::from_array(dt.point(cv[3])),
+                ])
+            })
+            .sum();
+        if (region_vol - ball_vol).abs() > 1e-9 * ball_vol.abs().max(1e-12) {
+            return Err(OpError::RemovalBlocked);
+        }
+
+        // ---- dry-run neighbor computation (fail before mutating) ----
+        let region_list: Vec<u32> = region.iter().copied().collect();
+        let mut l2new: FxHashMap<u32, usize> = FxHashMap::default();
+        for (ri, &lc) in region_list.iter().enumerate() {
+            l2new.insert(lc, ri);
+        }
+        // per region cell: (verts, neighbor spec) where neighbor spec is
+        // either Region(index) or Outside(link face index)
+        let mut plans: Vec<([VertexId; 4], [Option<Nb>; 4])> = Vec::with_capacity(region_list.len());
+        for &lc in &region_list {
+            let cv = dt.cell_verts(lc);
+            let cn = dt.cell_neis(lc);
+            let verts = [
+                l2g[cv[0] as usize],
+                l2g[cv[1] as usize],
+                l2g[cv[2] as usize],
+                l2g[cv[3] as usize],
+            ];
+            let mut nbs: [Option<Nb>; 4] = [None, None, None, None];
+            for (i, f) in TET_FACES.iter().enumerate() {
+                let key = face_key(cv[f[0]], cv[f[1]], cv[f[2]]);
+                if let Some(&fi) = walls.get(&key) {
+                    nbs[i] = Some(Nb::Link(fi));
+                } else if let Some(&ri) = l2new.get(&cn[i]) {
+                    nbs[i] = Some(Nb::Region(ri));
+                } else {
+                    return Err(OpError::RemovalBlocked);
+                }
+            }
+            plans.push((verts, nbs));
+        }
+
+        Ok(PreparedRemove {
+            vertex: v,
+            ball,
+            link_faces,
+            plans,
+        })
+    }
+
+    /// Commit a prepared removal: activate the fill cells, rewire adjacency,
+    /// kill the ball, mark the vertex dead. Infallible under the held locks.
+    pub fn commit_remove(&mut self, prep: PreparedRemove) -> RemoveResult {
+        let PreparedRemove {
+            vertex: v,
+            ball,
+            link_faces,
+            plans,
+        } = prep;
+        let new_ids: Vec<CellId> = plans
+            .iter()
+            .map(|_| self.mesh.cells.reserve(&mut self.free_cells))
+            .collect();
+        // which new cell realizes each link face (for outside back-pointers)
+        let mut wall_owner: Vec<Option<usize>> = vec![None; link_faces.len()];
+        for (ri, (verts, nbs)) in plans.iter().enumerate() {
+            let mut neis = [CellId(NONE); 4];
+            for (i, nb) in nbs.iter().enumerate() {
+                match nb {
+                    Some(Nb::Region(rj)) => neis[i] = new_ids[*rj],
+                    Some(Nb::Link(fi)) => {
+                        neis[i] = link_faces[*fi].outside;
+                        wall_owner[*fi] = Some(ri);
+                    }
+                    None => unreachable!(),
+                }
+            }
+            self.mesh.cells.activate(new_ids[ri], *verts, neis);
+        }
+        for (fi, lf) in link_faces.iter().enumerate() {
+            if lf.outside.is_none() {
+                continue;
+            }
+            let ri = wall_owner[fi].expect("every link face realized");
+            let out = self.mesh.cell(lf.outside);
+            let j = out
+                .face_to(lf.from)
+                .expect("outside cell must point at the ball");
+            out.set_nei(j, new_ids[ri]);
+        }
+        let mut killed = Vec::with_capacity(ball.len());
+        for &c in &ball {
+            let tag = self.mesh.cell(c).tag.load(std::sync::atomic::Ordering::Relaxed);
+            killed.push((c, tag));
+            self.mesh.cells.free(c, &mut self.free_cells);
+        }
+        self.mesh.vertex(v).mark_dead();
+        for (ri, (verts, _)) in plans.iter().enumerate() {
+            for u in verts {
+                self.mesh.vertex(*u).set_hint(new_ids[ri]);
+            }
+        }
+        self.mesh.set_recent(new_ids[0]);
+        self.last_cell = new_ids[0];
+
+        RemoveResult {
+            removed: v,
+            created: new_ids,
+            killed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ids::VertexKind;
+    use crate::mesh::{OpError, SharedMesh};
+    use pi2m_geometry::{Aabb, Point3};
+
+    fn unit_mesh() -> SharedMesh {
+        SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)))
+    }
+
+    fn rand_seq(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn insert_then_remove_restores_structure() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let r = ctx.insert([0.4, 0.5, 0.6], VertexKind::Circumcenter).unwrap();
+        let before = m.num_alive_cells();
+        assert!(before > 6);
+        let rr = ctx.remove(r.vertex).unwrap();
+        assert_eq!(rr.removed, r.vertex);
+        assert!(!m.vertex(r.vertex).is_alive());
+        assert_eq!(m.num_alive_cells(), 6); // back to the box subdivision
+        m.check_adjacency().unwrap();
+        m.check_orientation().unwrap();
+        m.check_delaunay().unwrap();
+        assert!((m.total_volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_box_corner_refused() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        assert_eq!(
+            ctx.remove(m.corner_ids()[0]),
+            Err(OpError::Degenerate)
+        );
+        assert_eq!(m.num_alive_cells(), 6);
+    }
+
+    #[test]
+    fn random_insertions_and_removals_stay_delaunay() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let mut next = rand_seq(777);
+        let mut inserted = Vec::new();
+        for _ in 0..120 {
+            let p = [
+                next() * 0.96 + 0.02,
+                next() * 0.96 + 0.02,
+                next() * 0.96 + 0.02,
+            ];
+            inserted.push(ctx.insert(p, VertexKind::Circumcenter).unwrap().vertex);
+        }
+        // remove every third vertex
+        let mut removed = 0;
+        let mut blocked = 0;
+        for (i, &v) in inserted.iter().enumerate() {
+            if i % 3 == 0 {
+                match ctx.remove(v) {
+                    Ok(_) => removed += 1,
+                    Err(OpError::RemovalBlocked) => blocked += 1,
+                    Err(e) => panic!("unexpected removal error {e:?}"),
+                }
+            }
+        }
+        assert!(removed > 0, "no removal succeeded ({blocked} blocked)");
+        assert!(
+            blocked <= removed / 4,
+            "too many blocked removals: {blocked} vs {removed}"
+        );
+        m.check_adjacency().unwrap();
+        m.check_orientation().unwrap();
+        m.check_delaunay().unwrap();
+        assert!((m.total_volume() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_conflict_rolls_back() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let r = ctx.insert([0.5, 0.5, 0.25], VertexKind::Circumcenter).unwrap();
+        let mut other = m.make_ctx(1);
+        other.lock_vertex(m.corner_ids()[0]).unwrap();
+        match ctx.remove(r.vertex) {
+            Err(OpError::Conflict { owner, .. }) => assert_eq!(owner, 1),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert_eq!(ctx.locks_held(), 0);
+        assert!(m.vertex(r.vertex).is_alive());
+        other.unlock_all();
+        ctx.remove(r.vertex).unwrap();
+        m.check_delaunay().unwrap();
+    }
+
+    #[test]
+    fn interleaved_insert_remove_cycles() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let mut next = rand_seq(31);
+        for round in 0..10 {
+            let mut vs = Vec::new();
+            for _ in 0..12 {
+                let p = [
+                    next() * 0.9 + 0.05,
+                    next() * 0.9 + 0.05,
+                    next() * 0.9 + 0.05,
+                ];
+                vs.push(ctx.insert(p, VertexKind::Circumcenter).unwrap().vertex);
+            }
+            for v in vs.into_iter().step_by(2) {
+                let _ = ctx.remove(v);
+            }
+            m.check_adjacency()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            m.check_delaunay()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        assert!((m.total_volume() - 1.0).abs() < 1e-9);
+    }
+}

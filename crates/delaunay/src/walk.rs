@@ -1,0 +1,283 @@
+//! Point location by randomized remembering stochastic walk.
+//!
+//! The walk reads generation-validated snapshots without locks, moving
+//! through the face whose plane separates the current cell from the query
+//! point (robust orientation tests, randomized face order to escape
+//! degenerate cycles). Under concurrency a snapshot may be stale; staleness
+//! only misroutes the walk, never corrupts it — the caller re-validates the
+//! final cell under vertex locks.
+
+use crate::ids::{CellId, VertexId};
+use crate::mesh::{OpCtx, OpError};
+use pi2m_geometry::{orient3d, TET_FACES};
+
+/// Max steps before the walk restarts from a fresh cell.
+const MAX_STEPS: usize = 100_000;
+/// Max restarts before giving up (treated as a degenerate skip).
+const MAX_RESTARTS: usize = 32;
+
+impl OpCtx<'_> {
+    /// Find the alive cell containing `p` (non-strictly: boundary counts),
+    /// lock its 4 vertices, and validate under the locks.
+    ///
+    /// On success the located cell's vertices are in the lock set and the
+    /// cell is alive and genuinely contains `p`. Errors:
+    /// * [`OpError::Conflict`] — a lock could not be taken (rollback);
+    /// * [`OpError::OutsideDomain`] — `p` lies outside the virtual box;
+    /// * [`OpError::Degenerate`] — the walk could not converge.
+    pub(crate) fn locate(&mut self, p: [f64; 3]) -> Result<CellId, OpError> {
+        if !self.mesh.bbox().contains(pi2m_geometry::Point3::from_array(p)) {
+            return Err(OpError::OutsideDomain);
+        }
+        let mut restarts = 0usize;
+        let mut cur = self.walk_start();
+        'outer: loop {
+            if restarts > MAX_RESTARTS {
+                return Err(OpError::Degenerate);
+            }
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                if steps > MAX_STEPS {
+                    restarts += 1;
+                    cur = self.random_alive_cell();
+                    continue 'outer;
+                }
+                let snap = match self.snap(cur) {
+                    Some(s) => s,
+                    None => {
+                        restarts += 1;
+                        cur = self.random_alive_cell();
+                        continue 'outer;
+                    }
+                };
+                let pos = [
+                    self.mesh.pos3(snap.verts[0]),
+                    self.mesh.pos3(snap.verts[1]),
+                    self.mesh.pos3(snap.verts[2]),
+                    self.mesh.pos3(snap.verts[3]),
+                ];
+                let rot = (self.next_rand() % 4) as usize;
+                let mut inside = true;
+                for k in 0..4 {
+                    let i = (k + rot) % 4;
+                    let f = TET_FACES[i];
+                    let s = orient3d(&pos[f[0]], &pos[f[1]], &pos[f[2]], &p);
+                    if s < 0.0 {
+                        let n = snap.neis[i];
+                        if n.is_none() {
+                            // Genuine hull exit: the box hull is static, so a
+                            // consistent snapshot with an outward-separating
+                            // hull face means p is outside the box.
+                            return Err(OpError::OutsideDomain);
+                        }
+                        cur = n;
+                        inside = false;
+                        break;
+                    }
+                }
+                if !inside {
+                    continue;
+                }
+                // Candidate found: lock and validate.
+                match self.validate_candidate(cur, snap.gen, &p) {
+                    Ok(true) => {
+                        self.last_cell = cur;
+                        return Ok(cur);
+                    }
+                    Ok(false) => {
+                        // state changed under us; retry from scratch
+                        restarts += 1;
+                        cur = self.random_alive_cell();
+                        continue 'outer;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    /// Lock the candidate's vertices and confirm it is still the same alive
+    /// incarnation and contains `p`. `Ok(false)` = stale, retry walk.
+    ///
+    /// On `Ok(false)` the locks taken for the candidate are released only if
+    /// the caller holds nothing else (locate is always the first phase of an
+    /// operation, so the lock set is exactly the candidate's vertices).
+    fn validate_candidate(
+        &mut self,
+        c: CellId,
+        gen: u32,
+        p: &[f64; 3],
+    ) -> Result<bool, OpError> {
+        let cell = self.mesh.cell(c);
+        for k in 0..4 {
+            if let Err(e) = self.lock_vertex(cell.vert(k)) {
+                self.unlock_all();
+                return Err(e);
+            }
+        }
+        if !cell.is_alive() || cell.gen() != gen {
+            self.unlock_all();
+            return Ok(false);
+        }
+        // containment under locks (positions immutable, structure frozen)
+        let pos = [
+            self.mesh.pos3(cell.vert(0)),
+            self.mesh.pos3(cell.vert(1)),
+            self.mesh.pos3(cell.vert(2)),
+            self.mesh.pos3(cell.vert(3)),
+        ];
+        for f in TET_FACES {
+            if orient3d(&pos[f[0]], &pos[f[1]], &pos[f[2]], p) < 0.0 {
+                self.unlock_all();
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Starting cell for a walk: the thread's last cell if alive, else the
+    /// globally recent cell, else a random alive cell.
+    fn walk_start(&mut self) -> CellId {
+        if self.snap(self.last_cell).is_some() {
+            return self.last_cell;
+        }
+        let r = self.mesh.recent_cell();
+        if self.snap(r).is_some() {
+            return r;
+        }
+        self.random_alive_cell()
+    }
+
+    /// Sample a random alive cell (bounded rejection sampling with a linear
+    /// fallback — the fallback only triggers in pathological states).
+    pub(crate) fn random_alive_cell(&mut self) -> CellId {
+        let n = self.mesh.cells.len() as u64;
+        debug_assert!(n > 0);
+        for _ in 0..128 {
+            let c = CellId((self.next_rand() % n) as u32);
+            if self.mesh.cells.cell(c).is_alive() {
+                return c;
+            }
+        }
+        self.mesh
+            .cells
+            .alive_ids()
+            .next()
+            .expect("triangulation has no alive cells")
+    }
+
+    /// Locate without locking (for read-only queries, quiescent state): the
+    /// id of an alive cell containing `p`, if any.
+    pub fn locate_readonly(&mut self, p: [f64; 3]) -> Option<CellId> {
+        match self.locate(p) {
+            Ok(c) => {
+                self.unlock_all();
+                Some(c)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Find a cell incident to vertex `v`, starting from its hint
+    /// (lock-free; used as the seed for ball gathering).
+    pub(crate) fn incident_cell(&mut self, v: VertexId) -> Option<CellId> {
+        // Fast path: the stored hint.
+        let h = self.mesh.vertex(v).hint();
+        if let Some(s) = self.snap(h) {
+            if s.verts.contains(&v) {
+                return Some(h);
+            }
+        }
+        // Walk to the vertex position; the arrival cell is incident or a
+        // neighbor of an incident cell.
+        let p = self.mesh.pos3(v);
+        let c = self.locate_readonly(p)?;
+        if let Some(s) = self.snap(c) {
+            if s.verts.contains(&v) {
+                return Some(c);
+            }
+            for n in s.neis {
+                if let Some(sn) = self.snap(n) {
+                    if sn.verts.contains(&v) {
+                        return Some(n);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mesh::{OpError, SharedMesh};
+    use pi2m_geometry::{Aabb, Point3, TET_FACES};
+
+    fn unit_mesh() -> SharedMesh {
+        SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)))
+    }
+
+    #[test]
+    fn locate_center() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let c = ctx.locate([0.3, 0.4, 0.5]).unwrap();
+        // validated: cell contains the point
+        let pos: Vec<[f64; 3]> = (0..4).map(|i| m.pos3(m.cell(c).vert(i))).collect();
+        for f in TET_FACES {
+            assert!(
+                pi2m_geometry::orient3d(&pos[f[0]], &pos[f[1]], &pos[f[2]], &[0.3, 0.4, 0.5])
+                    >= 0.0
+            );
+        }
+        assert_eq!(ctx.locks_held(), 4);
+        ctx.unlock_all();
+    }
+
+    #[test]
+    fn locate_outside_box() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        assert_eq!(ctx.locate([1.5, 0.5, 0.5]), Err(OpError::OutsideDomain));
+        assert_eq!(ctx.locks_held(), 0);
+    }
+
+    #[test]
+    fn locate_conflict_rolls_back() {
+        let m = unit_mesh();
+        let mut other = m.make_ctx(1);
+        // lock every corner with another thread
+        for v in m.corner_ids() {
+            other.lock_vertex(v).unwrap();
+        }
+        let mut ctx = m.make_ctx(0);
+        match ctx.locate([0.5, 0.5, 0.5]) {
+            Err(OpError::Conflict { owner, .. }) => assert_eq!(owner, 1),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert_eq!(ctx.locks_held(), 0);
+        other.unlock_all();
+    }
+
+    #[test]
+    fn incident_cell_via_hint() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        for v in m.corner_ids() {
+            let c = ctx.incident_cell(v).unwrap();
+            assert!(m.cell(c).has_vertex(v));
+        }
+    }
+
+    #[test]
+    fn locate_on_shared_face_is_ok() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        // the main diagonal is shared by all 6 tets; a point on it is on
+        // cell boundaries — location must still succeed
+        let c = ctx.locate([0.5, 0.5, 0.5]).unwrap();
+        assert!(m.cell(c).is_alive());
+        ctx.unlock_all();
+    }
+}

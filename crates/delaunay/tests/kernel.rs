@@ -1,0 +1,317 @@
+//! Kernel-level integration tests: uniqueness of the SoS triangulation,
+//! randomized insert/remove soak tests, and genuinely concurrent stress runs
+//! (oversubscribed threads with rollback-retry).
+
+use pi2m_delaunay::{OpError, SharedMesh, VertexId, VertexKind};
+use pi2m_geometry::{Aabb, Point3};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn unit_mesh() -> SharedMesh {
+    SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)))
+}
+
+fn full_checks(m: &SharedMesh) {
+    m.check_adjacency().unwrap();
+    m.check_orientation().unwrap();
+    m.check_delaunay().unwrap();
+    m.check_delaunay_sos().unwrap();
+}
+
+#[test]
+fn local_dt_is_insertion_order_independent() {
+    use pi2m_delaunay::local::LocalDt;
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for round in 0..20 {
+        // mix of generic and grid (degenerate) points
+        let mut pts: Vec<([f64; 3], u64)> = Vec::new();
+        for i in 0..12u64 {
+            let p = if round % 2 == 0 {
+                [
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ]
+            } else {
+                [
+                    (i % 3) as f64 * 0.5,
+                    ((i / 3) % 2) as f64 * 0.5,
+                    (i / 6) as f64 * 0.5,
+                ]
+            };
+            if !pts.iter().any(|(q, _)| *q == p) {
+                pts.push((p, i));
+            }
+        }
+        let bb = Aabb::new(Point3::new(-1.0, -1.0, -1.0), Point3::new(2.0, 2.0, 2.0));
+
+        let tets_of = |order: &[usize]| -> Vec<[u64; 4]> {
+            let mut dt = LocalDt::new(&bb);
+            let mut l2k = vec![u64::MAX; 8];
+            for &i in order {
+                let (p, k) = pts[i];
+                let li = dt.insert(p, k).unwrap();
+                assert_eq!(li as usize, l2k.len());
+                l2k.push(k);
+            }
+            let mut tets: Vec<[u64; 4]> = dt
+                .alive()
+                .filter(|&c| dt.is_finite(c))
+                .map(|c| {
+                    let v = dt.cell_verts(c);
+                    let mut t = [
+                        l2k[v[0] as usize],
+                        l2k[v[1] as usize],
+                        l2k[v[2] as usize],
+                        l2k[v[3] as usize],
+                    ];
+                    t.sort_unstable();
+                    t
+                })
+                .collect();
+            tets.sort_unstable();
+            tets
+        };
+
+        let order1: Vec<usize> = (0..pts.len()).collect();
+        let mut order2 = order1.clone();
+        // a deterministic shuffle
+        for i in (1..order2.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order2.swap(i, j);
+        }
+        assert_eq!(
+            tets_of(&order1),
+            tets_of(&order2),
+            "round {round}: SoS triangulation must be unique regardless of order"
+        );
+    }
+}
+
+#[test]
+fn soak_insert_remove_random() {
+    let m = unit_mesh();
+    let mut ctx = m.make_ctx(0);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut live: Vec<VertexId> = Vec::new();
+    let mut removals = 0usize;
+    for step in 0..600 {
+        let do_remove = !live.is_empty() && rng.gen_bool(0.3);
+        if do_remove {
+            let i = rng.gen_range(0..live.len());
+            let v = live.swap_remove(i);
+            match ctx.remove(v) {
+                Ok(_) => removals += 1,
+                Err(OpError::RemovalBlocked) | Err(OpError::Degenerate) => {}
+                Err(e) => panic!("step {step}: {e:?}"),
+            }
+        } else {
+            let p = [
+                rng.gen_range(0.02..0.98),
+                rng.gen_range(0.02..0.98),
+                rng.gen_range(0.02..0.98),
+            ];
+            match ctx.insert(p, VertexKind::Circumcenter) {
+                Ok(r) => live.push(r.vertex),
+                Err(OpError::Duplicate(_)) => {}
+                Err(e) => panic!("step {step}: {e:?}"),
+            }
+        }
+    }
+    assert!(removals > 50, "only {removals} removals succeeded");
+    full_checks(&m);
+    assert!((m.total_volume() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn removals_almost_never_blocked_with_sos() {
+    let m = unit_mesh();
+    let mut ctx = m.make_ctx(0);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut vs = Vec::new();
+    for _ in 0..150 {
+        let p = [
+            rng.gen_range(0.05..0.95),
+            rng.gen_range(0.05..0.95),
+            rng.gen_range(0.05..0.95),
+        ];
+        vs.push(ctx.insert(p, VertexKind::Circumcenter).unwrap().vertex);
+    }
+    let mut blocked = 0;
+    for v in vs {
+        if matches!(ctx.remove(v), Err(OpError::RemovalBlocked)) {
+            blocked += 1;
+        }
+    }
+    // with the unique SoS triangulation, the local glue should essentially
+    // always succeed for generic points
+    assert_eq!(blocked, 0, "{blocked} removals blocked");
+    // removing every inserted vertex restores the initial box subdivision
+    full_checks(&m);
+}
+
+#[test]
+fn concurrent_insertions_stress() {
+    let m = Arc::new(SharedMesh::with_box(Aabb::new(
+        Point3::ORIGIN,
+        Point3::new(1.0, 1.0, 1.0),
+    )));
+    let threads = 8usize;
+    let per_thread = 150usize;
+    let conflicts = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let m = Arc::clone(&m);
+            let conflicts = Arc::clone(&conflicts);
+            s.spawn(move || {
+                let mut ctx = m.make_ctx(t as u32);
+                let mut rng = ChaCha8Rng::seed_from_u64(1000 + t as u64);
+                let mut done = 0;
+                while done < per_thread {
+                    let p = [
+                        rng.gen_range(0.01..0.99),
+                        rng.gen_range(0.01..0.99),
+                        rng.gen_range(0.01..0.99),
+                    ];
+                    match ctx.insert(p, VertexKind::Circumcenter) {
+                        Ok(_) => done += 1,
+                        Err(OpError::Conflict { .. }) => {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                            std::hint::spin_loop();
+                        }
+                        Err(OpError::Duplicate(_)) => done += 1,
+                        Err(e) => panic!("thread {t}: {e:?}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(m.num_vertices(), 8 + threads * per_thread);
+    full_checks(&m);
+    assert!((m.total_volume() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn concurrent_insert_and_remove_stress() {
+    let m = Arc::new(SharedMesh::with_box(Aabb::new(
+        Point3::ORIGIN,
+        Point3::new(1.0, 1.0, 1.0),
+    )));
+    let threads = 6usize;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                let mut ctx = m.make_ctx(t as u32);
+                let mut rng = ChaCha8Rng::seed_from_u64(31 * (t as u64 + 1));
+                let mut mine: Vec<VertexId> = Vec::new();
+                let mut ops = 0;
+                while ops < 200 {
+                    if !mine.is_empty() && rng.gen_bool(0.25) {
+                        let i = rng.gen_range(0..mine.len());
+                        let v = mine.swap_remove(i);
+                        match ctx.remove(v) {
+                            Ok(_) => ops += 1,
+                            Err(OpError::Conflict { .. }) => {
+                                mine.push(v); // retry later
+                            }
+                            Err(_) => ops += 1, // blocked/degenerate: skip
+                        }
+                    } else {
+                        let p = [
+                            rng.gen_range(0.01..0.99),
+                            rng.gen_range(0.01..0.99),
+                            rng.gen_range(0.01..0.99),
+                        ];
+                        match ctx.insert(p, VertexKind::Circumcenter) {
+                            Ok(r) => {
+                                mine.push(r.vertex);
+                                ops += 1;
+                            }
+                            Err(OpError::Conflict { .. }) => {}
+                            Err(_) => ops += 1,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    full_checks(&m);
+    assert!((m.total_volume() - 1.0).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn delaunay_invariant_random_sequences(
+        seed in 0u64..10_000,
+        n_ins in 20usize..80,
+        remove_frac in 0.0f64..0.6,
+    ) {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut vs = Vec::new();
+        for _ in 0..n_ins {
+            let p = [
+                rng.gen_range(0.01..0.99),
+                rng.gen_range(0.01..0.99),
+                rng.gen_range(0.01..0.99),
+            ];
+            if let Ok(r) = ctx.insert(p, VertexKind::Circumcenter) {
+                vs.push(r.vertex);
+            }
+        }
+        for v in vs {
+            if rng.gen_bool(remove_frac) {
+                let _ = ctx.remove(v);
+            }
+        }
+        prop_assert!(m.check_adjacency().is_ok());
+        prop_assert!(m.check_delaunay_sos().is_ok());
+        prop_assert!((m.total_volume() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_subset_sequences(seed in 0u64..1000) {
+        // exact-degenerate workload: points on a 5x5x5 lattice inserted in a
+        // random order with random removals
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pts: Vec<[f64;3]> = Vec::new();
+        for x in 1..5 {
+            for y in 1..5 {
+                for z in 1..5 {
+                    pts.push([x as f64/5.0, y as f64/5.0, z as f64/5.0]);
+                }
+            }
+        }
+        for i in (1..pts.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pts.swap(i, j);
+        }
+        let mut vs = Vec::new();
+        for p in pts.into_iter().take(40) {
+            match ctx.insert(p, VertexKind::Circumcenter) {
+                Ok(r) => vs.push(r.vertex),
+                Err(OpError::Degenerate) | Err(OpError::Duplicate(_)) => {}
+                Err(e) => prop_assert!(false, "insert failed: {e:?}"),
+            }
+        }
+        for v in vs.into_iter().step_by(3) {
+            let r = ctx.remove(v);
+            prop_assert!(
+                !matches!(r, Err(OpError::Conflict{..})),
+                "single-threaded conflict is impossible"
+            );
+        }
+        prop_assert!(m.check_adjacency().is_ok());
+        prop_assert!(m.check_delaunay_sos().is_ok());
+        prop_assert!((m.total_volume() - 1.0).abs() < 1e-9);
+    }
+}

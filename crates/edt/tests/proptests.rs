@@ -1,0 +1,75 @@
+//! Property test: the separable feature transform equals brute force on
+//! random site sets and anisotropic spacings.
+
+use pi2m_edt::feature_transform;
+use pi2m_geometry::Point3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_brute_force(
+        seed in 1u64..10_000,
+        nx in 3usize..10,
+        ny in 3usize..10,
+        nz in 3usize..10,
+        sx in 0.25f64..4.0,
+        sy in 0.25f64..4.0,
+        sz in 0.25f64..4.0,
+        density in 0.02f64..0.4,
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let dims = [nx, ny, nz];
+        let spacing = [sx, sy, sz];
+        let mut sites = Vec::new();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if next() < density {
+                        sites.push([i, j, k]);
+                    }
+                }
+            }
+        }
+        let ft = feature_transform(
+            dims,
+            spacing,
+            Point3::ORIGIN,
+            |i, j, k| sites.contains(&[i, j, k]),
+            2,
+        );
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let mut best = f64::INFINITY;
+                    for t in &sites {
+                        let dx = (i as f64 - t[0] as f64) * sx;
+                        let dy = (j as f64 - t[1] as f64) * sy;
+                        let dz = (k as f64 - t[2] as f64) * sz;
+                        best = best.min(dx * dx + dy * dy + dz * dz);
+                    }
+                    let got = ft.dist2(i, j, k);
+                    if sites.is_empty() {
+                        prop_assert_eq!(got, f64::INFINITY);
+                    } else {
+                        prop_assert!((got - best).abs() < 1e-9 * best.max(1.0),
+                            "({i},{j},{k}): {got} vs {best}");
+                        // the reported feature achieves the distance
+                        let [si, sj, sk] = ft.nearest_site(i, j, k).unwrap();
+                        let dx = (i as f64 - si as f64) * sx;
+                        let dy = (j as f64 - sj as f64) * sy;
+                        let dz = (k as f64 - sk as f64) * sz;
+                        prop_assert!((dx*dx + dy*dy + dz*dz - got).abs() < 1e-9 * best.max(1.0));
+                    }
+                }
+            }
+        }
+    }
+}

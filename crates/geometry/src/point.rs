@@ -1,0 +1,273 @@
+//! A minimal 3D point/vector type.
+//!
+//! Kept deliberately small: the meshing kernel stores raw `[f64; 3]` in hot
+//! arrays and converts at use sites, so `Point3` only needs ergonomic math.
+
+use std::ops::{Add, Div, Index, Mul, Neg, Sub};
+
+/// A point (or vector) in 3D with `f64` coordinates.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Point3 {
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Point3::new(a[0], a[1], a[2])
+    }
+
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    #[inline]
+    pub fn dot(self, o: Point3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Point3) -> Point3 {
+        Point3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    #[inline]
+    pub fn distance(self, o: Point3) -> f64 {
+        (self - o).norm()
+    }
+
+    #[inline]
+    pub fn distance_squared(self, o: Point3) -> f64 {
+        (self - o).norm_squared()
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero vectors.
+    #[inline]
+    pub fn normalized(self) -> Option<Point3> {
+        let n = self.norm();
+        if n > 0.0 && n.is_finite() {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `o` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, o: Point3, t: f64) -> Point3 {
+        self + (o - self) * t
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Point3) -> Point3 {
+        Point3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Point3) -> Point3 {
+        Point3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, o: Point3) -> Point3 {
+        Point3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, o: Point3) -> Point3 {
+        Point3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn mul(self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn div(self, s: f64) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Point3 index out of range: {i}"),
+        }
+    }
+}
+
+impl From<[f64; 3]> for Point3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Point3::from_array(a)
+    }
+}
+
+impl From<Point3> for [f64; 3] {
+    #[inline]
+    fn from(p: Point3) -> Self {
+        p.to_array()
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    pub min: Point3,
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// The empty box (inverted bounds); grows via [`Aabb::include`].
+    pub fn empty() -> Self {
+        Aabb {
+            min: Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+            max: Point3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    pub fn new(min: Point3, max: Point3) -> Self {
+        Aabb { min, max }
+    }
+
+    pub fn include(&mut self, p: Point3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    pub fn extent(&self) -> Point3 {
+        self.max - self.min
+    }
+
+    /// Uniformly inflate by `margin` in every direction.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        let m = Point3::new(margin, margin, margin);
+        Aabb::new(self.min - m, self.max + m)
+    }
+
+    pub fn diagonal(&self) -> f64 {
+        self.extent().norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-4.0, 5.0, 0.5);
+        assert_eq!(a + b, Point3::new(-3.0, 7.0, 3.5));
+        assert_eq!(a - b, Point3::new(5.0, -3.0, 2.5));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 1.0 * -4.0 + 2.0 * 5.0 + 3.0 * 0.5);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-4.0, 5.0, 0.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(2.0, 4.0, 8.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point3::new(1.0, 2.0, 4.0));
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Point3::ORIGIN.normalized().is_none());
+        let n = Point3::new(3.0, 0.0, 4.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aabb_grows_and_contains() {
+        let mut b = Aabb::empty();
+        b.include(Point3::new(1.0, -1.0, 0.0));
+        b.include(Point3::new(-2.0, 3.0, 5.0));
+        assert!(b.contains(Point3::new(0.0, 0.0, 2.0)));
+        assert!(!b.contains(Point3::new(0.0, 0.0, 6.0)));
+        assert_eq!(b.center(), Point3::new(-0.5, 1.0, 2.5));
+        let infl = b.inflated(1.0);
+        assert!(infl.contains(Point3::new(0.0, 0.0, 5.9)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal image persistence: a plain text header plus raw `u8` labels.
+//!
+//! Format (`.pim` = "PI2M image"):
+//!
+//! ```text
+//! PI2M-IMAGE 1
+//! dims <nx> <ny> <nz>
+//! spacing <sx> <sy> <sz>
+//! origin <ox> <oy> <oz>
+//! data
+//! <nx*ny*nz raw bytes, x fastest>
+//! ```
+
+use crate::labeled::LabeledImage;
+use pi2m_geometry::Point3;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write an image to a writer in `.pim` format.
+pub fn write_pim<W: Write>(img: &LabeledImage, w: &mut W) -> io::Result<()> {
+    let d = img.dims();
+    let s = img.spacing();
+    let o = img.origin();
+    writeln!(w, "PI2M-IMAGE 1")?;
+    writeln!(w, "dims {} {} {}", d[0], d[1], d[2])?;
+    writeln!(w, "spacing {} {} {}", s[0], s[1], s[2])?;
+    writeln!(w, "origin {} {} {}", o.x, o.y, o.z)?;
+    writeln!(w, "data")?;
+    w.write_all(img.data())?;
+    Ok(())
+}
+
+/// Read an image in `.pim` format.
+pub fn read_pim<R: Read>(r: R) -> io::Result<LabeledImage> {
+    let mut br = BufReader::new(r);
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    let mut line = String::new();
+    br.read_line(&mut line)?;
+    if line.trim() != "PI2M-IMAGE 1" {
+        return Err(bad("bad magic"));
+    }
+
+    let mut dims = [0usize; 3];
+    let mut spacing = [1.0f64; 3];
+    let mut origin = [0.0f64; 3];
+    loop {
+        line.clear();
+        if br.read_line(&mut line)? == 0 {
+            return Err(bad("unexpected EOF in header"));
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("dims") => {
+                for d in &mut dims {
+                    *d = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad dims"))?;
+                }
+            }
+            Some("spacing") => {
+                for s in &mut spacing {
+                    *s = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad spacing"))?;
+                }
+            }
+            Some("origin") => {
+                for o in &mut origin {
+                    *o = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad origin"))?;
+                }
+            }
+            Some("data") => break,
+            Some(k) => return Err(bad(&format!("unknown header key {k}"))),
+            None => {}
+        }
+    }
+    if dims.iter().any(|&d| d == 0) {
+        return Err(bad("dims not specified"));
+    }
+    let n = dims[0] * dims[1] * dims[2];
+    let mut buf = vec![0u8; n];
+    br.read_exact(&mut buf)?;
+
+    let mut img = LabeledImage::new(dims, spacing);
+    img.set_origin(Point3::new(origin[0], origin[1], origin[2]));
+    for k in 0..dims[2] {
+        for j in 0..dims[1] {
+            for i in 0..dims[0] {
+                img.set(i, j, k, buf[(k * dims[1] + j) * dims[0] + i]);
+            }
+        }
+    }
+    Ok(img)
+}
+
+/// Save to a file path.
+pub fn save(img: &LabeledImage, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    write_pim(img, &mut w)?;
+    w.flush()
+}
+
+/// Load from a file path.
+pub fn load(path: impl AsRef<Path>) -> io::Result<LabeledImage> {
+    read_pim(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantoms;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let img = phantoms::nested_spheres(12, 0.5);
+        let mut buf = Vec::new();
+        write_pim(&img, &mut buf).unwrap();
+        let back = read_pim(&buf[..]).unwrap();
+        assert_eq!(back.dims(), img.dims());
+        assert_eq!(back.spacing(), img.spacing());
+        assert_eq!(back.data(), img.data());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_pim(&b"not an image"[..]).is_err());
+        assert!(read_pim(&b"PI2M-IMAGE 1\ndims 4 4 4\ndata\nxx"[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let img = phantoms::sphere(10, 1.0);
+        let dir = std::env::temp_dir().join("pi2m_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.pim");
+        save(&img, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.data(), img.data());
+        std::fs::remove_file(&path).ok();
+    }
+}

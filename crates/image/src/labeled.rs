@@ -1,0 +1,363 @@
+//! Multi-label segmented 3D images.
+//!
+//! The paper's inputs are segmented CT/MR atlases: each voxel carries a tissue
+//! label, label 0 being background. World coordinates are anisotropic
+//! (per-axis spacing in millimetres), voxel `(i, j, k)` occupying the world
+//! cell centred at `origin + ((i + 0.5) sx, (j + 0.5) sy, (k + 0.5) sz)`.
+
+use pi2m_geometry::{Aabb, Point3};
+
+/// A tissue label. `0` is background; everything else is foreground.
+pub type Label = u8;
+
+/// The background label.
+pub const BACKGROUND: Label = 0;
+
+/// A dense 3D array of labels with world-space metadata.
+#[derive(Clone, Debug)]
+pub struct LabeledImage {
+    dims: [usize; 3],
+    spacing: [f64; 3],
+    origin: Point3,
+    data: Vec<Label>,
+}
+
+impl LabeledImage {
+    /// A new image filled with background.
+    pub fn new(dims: [usize; 3], spacing: [f64; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "image dims must be >= 1");
+        assert!(
+            spacing.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "spacing must be positive"
+        );
+        LabeledImage {
+            dims,
+            spacing,
+            origin: Point3::ORIGIN,
+            data: vec![BACKGROUND; dims[0] * dims[1] * dims[2]],
+        }
+    }
+
+    /// Build by evaluating `f` at every voxel center (world coordinates).
+    pub fn from_fn(
+        dims: [usize; 3],
+        spacing: [f64; 3],
+        mut f: impl FnMut(Point3) -> Label,
+    ) -> Self {
+        let mut img = Self::new(dims, spacing);
+        for k in 0..dims[2] {
+            for j in 0..dims[1] {
+                for i in 0..dims[0] {
+                    let p = img.voxel_center(i, j, k);
+                    let idx = img.linear_index(i, j, k);
+                    img.data[idx] = f(p);
+                }
+            }
+        }
+        img
+    }
+
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    #[inline]
+    pub fn spacing(&self) -> [f64; 3] {
+        self.spacing
+    }
+
+    #[inline]
+    pub fn origin(&self) -> Point3 {
+        self.origin
+    }
+
+    pub fn set_origin(&mut self, origin: Point3) {
+        self.origin = origin;
+    }
+
+    #[inline]
+    pub fn num_voxels(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Smallest spacing component — the paper expresses δ in voxel-size
+    /// multiples; this is the reference unit.
+    #[inline]
+    pub fn min_spacing(&self) -> f64 {
+        self.spacing[0].min(self.spacing[1]).min(self.spacing[2])
+    }
+
+    #[inline]
+    pub fn linear_index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
+        (k * self.dims[1] + j) * self.dims[0] + i
+    }
+
+    /// Label at voxel `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Label {
+        self.data[self.linear_index(i, j, k)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: Label) {
+        let idx = self.linear_index(i, j, k);
+        self.data[idx] = v;
+    }
+
+    /// Raw label buffer (x fastest, z slowest).
+    #[inline]
+    pub fn data(&self) -> &[Label] {
+        &self.data
+    }
+
+    /// World coordinates of the voxel center.
+    #[inline]
+    pub fn voxel_center(&self, i: usize, j: usize, k: usize) -> Point3 {
+        self.origin
+            + Point3::new(
+                (i as f64 + 0.5) * self.spacing[0],
+                (j as f64 + 0.5) * self.spacing[1],
+                (k as f64 + 0.5) * self.spacing[2],
+            )
+    }
+
+    /// The voxel containing world point `p`, or `None` if outside the image.
+    pub fn world_to_voxel(&self, p: Point3) -> Option<[usize; 3]> {
+        let rel = p - self.origin;
+        let fi = rel.x / self.spacing[0];
+        let fj = rel.y / self.spacing[1];
+        let fk = rel.z / self.spacing[2];
+        if fi < 0.0 || fj < 0.0 || fk < 0.0 {
+            return None;
+        }
+        let (i, j, k) = (fi as usize, fj as usize, fk as usize);
+        if i >= self.dims[0] || j >= self.dims[1] || k >= self.dims[2] {
+            return None;
+        }
+        Some([i, j, k])
+    }
+
+    /// Label at a world point (nearest voxel); background outside the image.
+    #[inline]
+    pub fn label_at(&self, p: Point3) -> Label {
+        match self.world_to_voxel(p) {
+            Some([i, j, k]) => self.get(i, j, k),
+            None => BACKGROUND,
+        }
+    }
+
+    /// True iff the world point lies in a foreground voxel.
+    #[inline]
+    pub fn is_inside(&self, p: Point3) -> bool {
+        self.label_at(p) != BACKGROUND
+    }
+
+    /// A *surface voxel* is a foreground voxel with at least one 6-neighbor
+    /// of a different label (paper §3). Voxels on the image border with
+    /// foreground labels also count (their out-of-image neighbor is
+    /// background).
+    pub fn is_surface_voxel(&self, i: usize, j: usize, k: usize) -> bool {
+        let me = self.get(i, j, k);
+        if me == BACKGROUND {
+            return false;
+        }
+        let neighbors: [(isize, isize, isize); 6] = [
+            (-1, 0, 0),
+            (1, 0, 0),
+            (0, -1, 0),
+            (0, 1, 0),
+            (0, 0, -1),
+            (0, 0, 1),
+        ];
+        for (di, dj, dk) in neighbors {
+            let ni = i as isize + di;
+            let nj = j as isize + dj;
+            let nk = k as isize + dk;
+            if ni < 0
+                || nj < 0
+                || nk < 0
+                || ni as usize >= self.dims[0]
+                || nj as usize >= self.dims[1]
+                || nk as usize >= self.dims[2]
+            {
+                return true; // border foreground voxel
+            }
+            if self.get(ni as usize, nj as usize, nk as usize) != me {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All surface voxels as index triples.
+    pub fn surface_voxels(&self) -> Vec<[usize; 3]> {
+        let mut out = Vec::new();
+        for k in 0..self.dims[2] {
+            for j in 0..self.dims[1] {
+                for i in 0..self.dims[0] {
+                    if self.is_surface_voxel(i, j, k) {
+                        out.push([i, j, k]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// World-space bounding box of the whole image.
+    pub fn bounds(&self) -> Aabb {
+        let max = self.origin
+            + Point3::new(
+                self.dims[0] as f64 * self.spacing[0],
+                self.dims[1] as f64 * self.spacing[1],
+                self.dims[2] as f64 * self.spacing[2],
+            );
+        Aabb::new(self.origin, max)
+    }
+
+    /// World-space bounding box of foreground voxels (whole-voxel extents);
+    /// `None` when the image is all background.
+    pub fn foreground_bounds(&self) -> Option<Aabb> {
+        let mut bb = Aabb::empty();
+        let mut any = false;
+        for k in 0..self.dims[2] {
+            for j in 0..self.dims[1] {
+                for i in 0..self.dims[0] {
+                    if self.get(i, j, k) != BACKGROUND {
+                        any = true;
+                        let c = self.voxel_center(i, j, k);
+                        let h = Point3::new(
+                            self.spacing[0] * 0.5,
+                            self.spacing[1] * 0.5,
+                            self.spacing[2] * 0.5,
+                        );
+                        bb.include(c - h);
+                        bb.include(c + h);
+                    }
+                }
+            }
+        }
+        any.then_some(bb)
+    }
+
+    /// Histogram of label populations, indexed by label value.
+    pub fn label_histogram(&self) -> [usize; 256] {
+        let mut h = [0usize; 256];
+        for &v in &self.data {
+            h[v as usize] += 1;
+        }
+        h
+    }
+
+    /// Count of distinct non-background labels present.
+    pub fn num_tissues(&self) -> usize {
+        let h = self.label_histogram();
+        h.iter().skip(1).filter(|&&c| c > 0).count()
+    }
+
+    /// Total foreground volume in world units (mm³).
+    pub fn foreground_volume(&self) -> f64 {
+        let voxel_vol = self.spacing[0] * self.spacing[1] * self.spacing[2];
+        let fg = self.data.iter().filter(|&&v| v != BACKGROUND).count();
+        fg as f64 * voxel_vol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LabeledImage {
+        let mut img = LabeledImage::new([4, 4, 4], [1.0, 1.0, 1.0]);
+        img.set(1, 1, 1, 1);
+        img.set(2, 1, 1, 1);
+        img.set(1, 2, 1, 2);
+        img
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let img = tiny();
+        assert_eq!(img.get(1, 1, 1), 1);
+        assert_eq!(img.get(1, 2, 1), 2);
+        assert_eq!(img.get(0, 0, 0), BACKGROUND);
+    }
+
+    #[test]
+    fn world_voxel_mapping() {
+        let img = tiny();
+        let c = img.voxel_center(2, 1, 1);
+        assert_eq!(c, Point3::new(2.5, 1.5, 1.5));
+        assert_eq!(img.world_to_voxel(c), Some([2, 1, 1]));
+        assert_eq!(img.world_to_voxel(Point3::new(-0.1, 0.0, 0.0)), None);
+        assert_eq!(img.world_to_voxel(Point3::new(4.01, 1.0, 1.0)), None);
+        assert_eq!(img.label_at(c), 1);
+        assert!(img.is_inside(c));
+        assert!(!img.is_inside(Point3::new(0.1, 0.1, 0.1)));
+    }
+
+    #[test]
+    fn anisotropic_spacing() {
+        let img = LabeledImage::new([10, 10, 5], [0.5, 0.5, 2.0]);
+        assert_eq!(img.voxel_center(0, 0, 0), Point3::new(0.25, 0.25, 1.0));
+        assert_eq!(img.min_spacing(), 0.5);
+        assert_eq!(
+            img.world_to_voxel(Point3::new(4.9, 0.1, 9.9)),
+            Some([9, 0, 4])
+        );
+    }
+
+    #[test]
+    fn surface_voxel_detection() {
+        let img = tiny();
+        // every set voxel in `tiny` touches background or a different label
+        assert!(img.is_surface_voxel(1, 1, 1));
+        assert!(img.is_surface_voxel(1, 2, 1));
+        assert!(!img.is_surface_voxel(0, 0, 0)); // background is never surface
+
+        // interior of a solid block is not surface
+        let solid = LabeledImage::from_fn([5, 5, 5], [1.0; 3], |_| 1);
+        assert!(solid.is_surface_voxel(0, 0, 0)); // image border counts
+        assert!(!solid.is_surface_voxel(2, 2, 2));
+    }
+
+    #[test]
+    fn surface_voxels_of_block() {
+        // 3x3x3 foreground block centred in a 5x5x5 image: its surface is the
+        // 26 outer voxels of the block (all except the center).
+        let img = LabeledImage::from_fn([5, 5, 5], [1.0; 3], |p| {
+            let inb = |v: f64| (1.0..4.0).contains(&v);
+            if inb(p.x) && inb(p.y) && inb(p.z) {
+                1
+            } else {
+                0
+            }
+        });
+        let sv = img.surface_voxels();
+        assert_eq!(sv.len(), 26);
+        assert!(!sv.contains(&[2, 2, 2]));
+    }
+
+    #[test]
+    fn histogram_and_volume() {
+        let img = tiny();
+        let h = img.label_histogram();
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[0], 64 - 3);
+        assert_eq!(img.num_tissues(), 2);
+        assert!((img.foreground_volume() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn foreground_bounds() {
+        let img = tiny();
+        let bb = img.foreground_bounds().unwrap();
+        assert_eq!(bb.min, Point3::new(1.0, 1.0, 1.0));
+        assert_eq!(bb.max, Point3::new(3.0, 3.0, 2.0));
+        let empty = LabeledImage::new([3, 3, 3], [1.0; 3]);
+        assert!(empty.foreground_bounds().is_none());
+    }
+}

@@ -1,0 +1,12 @@
+//! # pi2m-image
+//!
+//! The image substrate for PI2M: dense multi-label segmented 3D voxel images
+//! ([`LabeledImage`]) with anisotropic world spacing, surface-voxel queries,
+//! procedural multi-tissue phantoms standing in for the paper's clinical
+//! atlases ([`phantoms`]), and a tiny persistence format ([`io`]).
+
+pub mod io;
+pub mod labeled;
+pub mod phantoms;
+
+pub use labeled::{Label, LabeledImage, BACKGROUND};

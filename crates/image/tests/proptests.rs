@@ -1,0 +1,85 @@
+//! Property tests: image persistence roundtrip and coordinate mapping
+//! invariants on random images.
+
+use pi2m_geometry::Point3;
+use pi2m_image::{io, LabeledImage};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = LabeledImage> {
+    (
+        2usize..8,
+        2usize..8,
+        2usize..8,
+        0.25f64..3.0,
+        0.25f64..3.0,
+        0.25f64..3.0,
+        any::<u64>(),
+    )
+        .prop_map(|(nx, ny, nz, sx, sy, sz, seed)| {
+            let mut s = seed | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 56) as u8 % 4
+            };
+            let mut img = LabeledImage::new([nx, ny, nz], [sx, sy, sz]);
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        img.set(i, j, k, next());
+                    }
+                }
+            }
+            img
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pim_roundtrip(img in arb_image()) {
+        let mut buf = Vec::new();
+        io::write_pim(&img, &mut buf).unwrap();
+        let back = io::read_pim(&buf[..]).unwrap();
+        prop_assert_eq!(back.dims(), img.dims());
+        prop_assert_eq!(back.spacing(), img.spacing());
+        prop_assert_eq!(back.data(), img.data());
+    }
+
+    #[test]
+    fn voxel_center_roundtrips_through_world(img in arb_image()) {
+        let d = img.dims();
+        for (i, j, k) in [(0, 0, 0), (d[0]-1, d[1]-1, d[2]-1), (d[0]/2, d[1]/2, d[2]/2)] {
+            let c = img.voxel_center(i, j, k);
+            prop_assert_eq!(img.world_to_voxel(c), Some([i, j, k]));
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_voxel_count(img in arb_image()) {
+        let h = img.label_histogram();
+        let total: usize = h.iter().sum();
+        prop_assert_eq!(total, img.num_voxels());
+        // foreground volume consistent with histogram
+        let fg: usize = h.iter().skip(1).sum();
+        let s = img.spacing();
+        let expect = fg as f64 * s[0] * s[1] * s[2];
+        prop_assert!((img.foreground_volume() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surface_voxels_are_foreground(img in arb_image()) {
+        for [i, j, k] in img.surface_voxels() {
+            prop_assert_ne!(img.get(i, j, k), 0);
+        }
+    }
+
+    #[test]
+    fn label_at_outside_is_background(img in arb_image()) {
+        let b = img.bounds();
+        prop_assert_eq!(img.label_at(b.min - Point3::new(1.0, 0.0, 0.0)), 0);
+        prop_assert_eq!(img.label_at(b.max + Point3::new(0.0, 1.0, 0.0)), 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! # pi2m-meshio
+//!
+//! Plain-text mesh exporters for PI2M outputs: legacy VTK unstructured
+//! grids (with per-element tissue labels, as in the paper's Figures 7–9),
+//! OFF boundary surfaces, and TetGen `.node`/`.ele` pairs (the format the
+//! paper's TetGen comparison consumes).
+
+pub mod vtk;
+
+pub use vtk::{write_node_ele, write_off, write_vtk};

@@ -1,0 +1,325 @@
+//! The isosurface oracle: continuous-space queries against a labeled image.
+
+use pi2m_edt::{surface_feature_transform, FeatureTransform};
+use pi2m_geometry::Point3;
+use pi2m_image::{Label, LabeledImage, BACKGROUND};
+
+/// Number of bisection iterations used to refine a detected label interface;
+/// 24 halvings locate the crossing ~7 orders of magnitude below the interval
+/// length, far below voxel precision.
+const BISECT_ITERS: usize = 24;
+
+/// Continuous-space isosurface queries for the refinement rules.
+///
+/// Owns the image and its surface-voxel feature transform; immutable after
+/// construction, so it is shared freely across refinement threads.
+pub struct IsosurfaceOracle {
+    img: LabeledImage,
+    ft: FeatureTransform,
+    /// Ray-marching step, a fraction of the smallest voxel spacing.
+    step: f64,
+}
+
+impl IsosurfaceOracle {
+    /// Build the oracle, computing the surface feature transform with
+    /// `threads` workers (the paper's parallel EDT preprocessing step).
+    pub fn new(img: LabeledImage, threads: usize) -> Self {
+        let ft = surface_feature_transform(&img, threads);
+        let step = img.min_spacing() * 0.25;
+        IsosurfaceOracle { img, ft, step }
+    }
+
+    /// The underlying image.
+    #[inline]
+    pub fn image(&self) -> &LabeledImage {
+        &self.img
+    }
+
+    /// The surface feature transform.
+    #[inline]
+    pub fn feature_transform(&self) -> &FeatureTransform {
+        &self.ft
+    }
+
+    /// Label at a world point (background outside the image).
+    #[inline]
+    pub fn label_at(&self, p: Point3) -> Label {
+        self.img.label_at(p)
+    }
+
+    /// Is `p` inside the object `O` (any foreground tissue)?
+    #[inline]
+    pub fn is_inside(&self, p: Point3) -> bool {
+        self.img.is_inside(p)
+    }
+
+    /// The closest isosurface point `p̂ ∈ ∂O` for a query `p` (paper §3):
+    /// the feature transform yields the nearest surface voxel `q`; the ray
+    /// `p → q` is traversed on small intervals until the label changes, and
+    /// the interface position is interpolated (bisection on the label field).
+    ///
+    /// `None` when the image has no surface at all, or no interface is found
+    /// near the ray (which can only happen for degenerate images).
+    pub fn closest_surface_point(&self, p: Point3) -> Option<Point3> {
+        let q = self.ft.nearest_site_world(p)?;
+        let lp = self.label_at(p);
+
+        let dir = q - p;
+        let len = dir.norm();
+        // Past q, continue up to a voxel diagonal: the interface bounding the
+        // surface voxel may lie just beyond its center.
+        let sp = self.img.spacing();
+        let diag = (sp[0] * sp[0] + sp[1] * sp[1] + sp[2] * sp[2]).sqrt();
+        let (dir, total) = if len > 1e-12 {
+            (dir / len, len + diag)
+        } else {
+            // p already sits at the surface voxel center: probe along the
+            // direction of q's differently-labeled neighborhood by scanning
+            // axis directions.
+            return self.probe_around(p, lp, diag);
+        };
+
+        if let Some(hit) = self.march(p, lp, dir, total) {
+            return Some(hit);
+        }
+        // The ray can slip past the interface (it is only guaranteed to come
+        // within a voxel of it). Fall back to probing around the surface
+        // voxel q, which by definition has a differently-labeled 6-neighbor,
+        // so an axis probe of one voxel diagonal always finds the interface.
+        let lq = self.label_at(q);
+        self.probe_around(q, lq, diag)
+    }
+
+    /// March from `p` along `dir` up to distance `total`, returning the
+    /// bisected position of the first label change (relative to `lp`).
+    fn march(&self, p: Point3, lp: Label, dir: Point3, total: f64) -> Option<Point3> {
+        let mut t_prev = 0.0;
+        let mut t = self.step.min(total);
+        loop {
+            let x = p + dir * t;
+            if self.label_at(x) != lp {
+                return Some(self.bisect(p, lp, dir, t_prev, t));
+            }
+            if t >= total {
+                return None;
+            }
+            t_prev = t;
+            t = (t + self.step).min(total);
+        }
+    }
+
+    /// Bisect the interval `[t_lo, t_hi]` along `p + dir·t` so that the label
+    /// changes across it; returns the interface point.
+    fn bisect(&self, p: Point3, lp: Label, dir: Point3, mut t_lo: f64, mut t_hi: f64) -> Point3 {
+        for _ in 0..BISECT_ITERS {
+            let mid = 0.5 * (t_lo + t_hi);
+            if self.label_at(p + dir * mid) == lp {
+                t_lo = mid;
+            } else {
+                t_hi = mid;
+            }
+        }
+        p + dir * (0.5 * (t_lo + t_hi))
+    }
+
+    /// Fallback when the query coincides with a surface voxel center: probe
+    /// the 6 axis directions for the nearest label change.
+    fn probe_around(&self, p: Point3, lp: Label, reach: f64) -> Option<Point3> {
+        let dirs = [
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(-1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, -1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(0.0, 0.0, -1.0),
+        ];
+        let mut best: Option<Point3> = None;
+        let mut best_d = f64::INFINITY;
+        for d in dirs {
+            if let Some(x) = self.march(p, lp, d, reach) {
+                let dist = x.distance(p);
+                if dist < best_d {
+                    best_d = dist;
+                    best = Some(x);
+                }
+            }
+        }
+        best
+    }
+
+    /// Distance from `p` to the isosurface (via the interpolated closest
+    /// surface point).
+    pub fn surface_distance(&self, p: Point3) -> Option<f64> {
+        self.closest_surface_point(p).map(|q| q.distance(p))
+    }
+
+    /// Does the ball centred at `c` with radius `r` intersect `∂O`?
+    /// Used by rules R1/R2 ("tetrahedron whose circumball intersects ∂O").
+    pub fn ball_intersects_surface(&self, c: Point3, r: f64) -> bool {
+        // Cheap reject: the nearest surface *voxel center* is a lower bound
+        // on surface distance minus half a voxel diagonal.
+        if let Some(q) = self.ft.nearest_site_world(c) {
+            let sp = self.img.spacing();
+            let half_diag = 0.5 * (sp[0] * sp[0] + sp[1] * sp[1] + sp[2] * sp[2]).sqrt();
+            let d = q.distance(c);
+            if d - half_diag > r {
+                return false;
+            }
+            if d + half_diag < r {
+                return true;
+            }
+            // Borderline: use the interpolated surface point.
+            match self.surface_distance(c) {
+                Some(sd) => sd <= r,
+                None => false,
+            }
+        } else {
+            false
+        }
+    }
+
+    /// A cheap lower bound on the distance from `p` to the isosurface: the
+    /// distance to the nearest surface *voxel center* minus half a voxel
+    /// diagonal (the interface lies within that ball). Zero when unknown.
+    pub fn surface_distance_lower_bound(&self, p: Point3) -> f64 {
+        match self.ft.nearest_site_world(p) {
+            Some(q) => {
+                let sp = self.img.spacing();
+                let half_diag =
+                    0.5 * (sp[0] * sp[0] + sp[1] * sp[1] + sp[2] * sp[2]).sqrt();
+                (q.distance(p) - half_diag).max(0.0)
+            }
+            None => f64::INFINITY,
+        }
+    }
+
+    /// First intersection of segment `a → b` with the isosurface (any label
+    /// change), interpolated; the *surface-center* `c_surf(f)` of rule R3
+    /// when `a`, `b` are the circumcenters joined by the facet's Voronoi
+    /// edge.
+    pub fn segment_surface_intersection(&self, a: Point3, b: Point3) -> Option<Point3> {
+        let la = self.label_at(a);
+        let dir = b - a;
+        let len = dir.norm();
+        if len <= 1e-12 {
+            return None;
+        }
+        // Cheap reject (hot path: rule R3 tests every facet): if both
+        // endpoints have the same label and the whole segment provably stays
+        // farther from ∂O than its length, it cannot cross.
+        if la == self.label_at(b) && self.surface_distance_lower_bound(a) > len {
+            return None;
+        }
+        let dir = dir / len;
+        self.march(a, la, dir, len)
+    }
+
+    /// True iff the segment `a → b` crosses the isosurface.
+    pub fn segment_crosses_surface(&self, a: Point3, b: Point3) -> bool {
+        self.segment_surface_intersection(a, b).is_some()
+    }
+
+    /// Convenience for tests/analysis: whether `p` is in the background.
+    #[inline]
+    pub fn is_background(&self, p: Point3) -> bool {
+        self.label_at(p) == BACKGROUND
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2m_image::phantoms;
+
+    fn sphere_oracle(n: usize) -> IsosurfaceOracle {
+        IsosurfaceOracle::new(phantoms::sphere(n, 1.0), 2)
+    }
+
+    #[test]
+    fn closest_surface_point_from_outside() {
+        let o = sphere_oracle(32);
+        let center = Point3::new(16.0, 16.0, 16.0);
+        let radius = 0.7 * 16.0; // normalized 0.7 of half-extent
+        let p = Point3::new(16.0, 16.0, 1.0); // outside, below
+        let s = o.closest_surface_point(p).expect("surface must be found");
+        // surface point should sit close to the analytic sphere
+        let d = s.distance(center);
+        assert!(
+            (d - radius).abs() < 1.2,
+            "surface at distance {d}, expected ≈{radius}"
+        );
+        // and roughly straight below the center from p's side
+        assert!(s.z < 16.0);
+    }
+
+    #[test]
+    fn closest_surface_point_from_inside() {
+        let o = sphere_oracle(32);
+        let center = Point3::new(16.0, 16.0, 16.0);
+        let p = center + Point3::new(5.0, 0.0, 0.0);
+        let s = o.closest_surface_point(p).unwrap();
+        let d = s.distance(center);
+        assert!((d - 11.2).abs() < 1.2, "{d}");
+        // the interface point must sit between differing labels
+        let lp = o.label_at(p);
+        let eps = 0.05;
+        let dir = (s - p).normalized().unwrap();
+        assert_eq!(o.label_at(s - dir * eps), lp);
+        assert_ne!(o.label_at(s + dir * eps), lp);
+    }
+
+    #[test]
+    fn surface_point_respects_internal_interfaces() {
+        let o = IsosurfaceOracle::new(phantoms::nested_spheres(32, 1.0), 1);
+        let center = Point3::new(16.0, 16.0, 16.0);
+        // query inside the core (label 2): nearest interface is core/shell at
+        // normalized radius 0.35 → world 5.6
+        let p = center + Point3::new(1.0, 0.0, 0.0);
+        let s = o.closest_surface_point(p).unwrap();
+        let d = s.distance(center);
+        assert!((d - 5.6).abs() < 1.2, "core interface at {d}, expected ≈5.6");
+    }
+
+    #[test]
+    fn segment_intersection_straddles_boundary() {
+        let o = sphere_oracle(32);
+        let center = Point3::new(16.0, 16.0, 16.0);
+        let a = center; // inside
+        let b = Point3::new(31.0, 16.0, 16.0); // outside
+        let x = o.segment_surface_intersection(a, b).unwrap();
+        assert!((x.distance(center) - 11.2).abs() < 1.0);
+        assert!(o.segment_crosses_surface(a, b));
+        // a segment fully inside does not cross
+        assert!(!o.segment_crosses_surface(a, center + Point3::new(2.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn ball_intersection_cases() {
+        let o = sphere_oracle(32);
+        let center = Point3::new(16.0, 16.0, 16.0);
+        // small ball at the center: far from surface
+        assert!(!o.ball_intersects_surface(center, 2.0));
+        // huge ball at the center: swallows the surface
+        assert!(o.ball_intersects_surface(center, 14.0));
+        // ball centered on the surface
+        let on_surface = center + Point3::new(11.2, 0.0, 0.0);
+        assert!(o.ball_intersects_surface(on_surface, 1.0));
+    }
+
+    #[test]
+    fn inside_outside() {
+        let o = sphere_oracle(16);
+        assert!(o.is_inside(Point3::new(8.0, 8.0, 8.0)));
+        assert!(o.is_background(Point3::new(0.5, 0.5, 0.5)));
+        assert!(o.is_background(Point3::new(-5.0, 8.0, 8.0))); // off-image
+    }
+
+    #[test]
+    fn surface_distance_monotone_towards_surface() {
+        let o = sphere_oracle(32);
+        let center = Point3::new(16.0, 16.0, 16.0);
+        let d1 = o.surface_distance(center + Point3::new(2.0, 0.0, 0.0)).unwrap();
+        let d2 = o.surface_distance(center + Point3::new(8.0, 0.0, 0.0)).unwrap();
+        assert!(d2 < d1);
+    }
+}

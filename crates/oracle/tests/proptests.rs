@@ -1,0 +1,100 @@
+//! Property tests of the isosurface oracle against randomized images.
+
+use pi2m_geometry::Point3;
+use pi2m_image::LabeledImage;
+use pi2m_oracle::IsosurfaceOracle;
+use proptest::prelude::*;
+
+/// A random blobby two-label image: union of a few random balls.
+fn random_image(seed: u64, n: usize) -> LabeledImage {
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let balls: Vec<(Point3, f64)> = (0..3)
+        .map(|_| {
+            (
+                Point3::new(
+                    next() * n as f64 * 0.6 + n as f64 * 0.2,
+                    next() * n as f64 * 0.6 + n as f64 * 0.2,
+                    next() * n as f64 * 0.6 + n as f64 * 0.2,
+                ),
+                next() * n as f64 * 0.2 + 2.0,
+            )
+        })
+        .collect();
+    LabeledImage::from_fn([n, n, n], [1.0; 3], |p| {
+        if balls.iter().any(|&(c, r)| p.distance(c) < r) {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn closest_surface_point_sits_on_an_interface(seed in 1u64..500, qx in 0.1f64..0.9, qy in 0.1f64..0.9, qz in 0.1f64..0.9) {
+        let n = 16usize;
+        let img = random_image(seed, n);
+        if img.surface_voxels().is_empty() {
+            return Ok(());
+        }
+        let oracle = IsosurfaceOracle::new(img, 1);
+        let p = Point3::new(qx * n as f64, qy * n as f64, qz * n as f64);
+        if let Some(s) = oracle.closest_surface_point(p) {
+            // within a tiny step across s along p->s, the label changes
+            let dir = (s - p).normalized().unwrap_or(Point3::new(1.0, 0.0, 0.0));
+            let eps = 1e-6;
+            let before = oracle.label_at(s - dir * eps);
+            let after = oracle.label_at(s + dir * eps);
+            prop_assert_ne!(before, after, "no label change across the returned point");
+        }
+    }
+
+    #[test]
+    fn surface_distance_bounded_by_feature_distance(seed in 1u64..500) {
+        let n = 16usize;
+        let img = random_image(seed, n);
+        if img.surface_voxels().is_empty() {
+            return Ok(());
+        }
+        let oracle = IsosurfaceOracle::new(img.clone(), 1);
+        // query at a few fixed points
+        for q in [
+            Point3::new(3.0, 3.0, 3.0),
+            Point3::new(8.0, 8.0, 8.0),
+            Point3::new(12.0, 4.0, 9.0),
+        ] {
+            if let Some(d) = oracle.surface_distance(q) {
+                // the interpolated interface is within one voxel diagonal of
+                // the nearest surface voxel center
+                let site = oracle
+                    .feature_transform()
+                    .nearest_site_world(q)
+                    .unwrap();
+                let bound = site.distance(q) + 3f64.sqrt();
+                prop_assert!(d <= bound + 1e-9, "d={d} bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_crossing_is_consistent_with_labels(seed in 1u64..500) {
+        let n = 14usize;
+        let img = random_image(seed, n);
+        let oracle = IsosurfaceOracle::new(img, 1);
+        let a = Point3::new(2.0, 2.0, 2.0);
+        let b = Point3::new(12.0, 11.0, 10.0);
+        let crosses = oracle.segment_crosses_surface(a, b);
+        if oracle.label_at(a) != oracle.label_at(b) {
+            // endpoints in different regions: must cross
+            prop_assert!(crosses);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The `insphere` predicate: is `e` inside the circumsphere of the tetrahedron
+//! `a b c d`?
+//!
+//! Returns a value with the same sign as the determinant
+//!
+//! ```text
+//! | ax-ex  ay-ey  az-ez  (ax-ex)²+(ay-ey)²+(az-ez)² |
+//! | bx-ex  by-ey  bz-ez  ...                        |
+//! | cx-ex  cy-ey  cz-ez  ...                        |
+//! | dx-ex  dy-ey  dz-ez  ...                        |
+//! ```
+//!
+//! which is positive when `e` lies inside the circumsphere, **provided the
+//! tetrahedron `a b c d` is positively oriented** (`orient3d(a,b,c,d) > 0`).
+//! For negatively oriented tetrahedra the sign flips; callers in the Delaunay
+//! kernel normalize orientation first.
+
+use crate::expansion::Expansion;
+use crate::orient::{det3_exact, P3};
+use crate::primitives::EPSILON;
+
+/// Error-bound coefficient for the filtered stage (Shewchuk's `isperrboundA`).
+const ISP_ERRBOUND_A: f64 = (16.0 + 224.0 * EPSILON) * EPSILON;
+
+/// Fast, non-robust insphere evaluation.
+#[inline]
+pub fn insphere_fast(pa: &P3, pb: &P3, pc: &P3, pd: &P3, pe: &P3) -> f64 {
+    let aex = pa[0] - pe[0];
+    let bex = pb[0] - pe[0];
+    let cex = pc[0] - pe[0];
+    let dex = pd[0] - pe[0];
+    let aey = pa[1] - pe[1];
+    let bey = pb[1] - pe[1];
+    let cey = pc[1] - pe[1];
+    let dey = pd[1] - pe[1];
+    let aez = pa[2] - pe[2];
+    let bez = pb[2] - pe[2];
+    let cez = pc[2] - pe[2];
+    let dez = pd[2] - pe[2];
+
+    let ab = aex * bey - bex * aey;
+    let bc = bex * cey - cex * bey;
+    let cd = cex * dey - dex * cey;
+    let da = dex * aey - aex * dey;
+    let ac = aex * cey - cex * aey;
+    let bd = bex * dey - dex * bey;
+
+    let abc = aez * bc - bez * ac + cez * ab;
+    let bcd = bez * cd - cez * bd + dez * bc;
+    let cda = cez * da + dez * ac + aez * cd;
+    let dab = dez * ab + aez * bd + bez * da;
+
+    let alift = aex * aex + aey * aey + aez * aez;
+    let blift = bex * bex + bey * bey + bez * bez;
+    let clift = cex * cex + cey * cey + cez * cez;
+    let dlift = dex * dex + dey * dey + dez * dez;
+
+    (dlift * abc - clift * dab) + (blift * cda - alift * bcd)
+}
+
+/// Robust insphere: sign-correct double (exactly zero for cospherical points).
+pub fn insphere(pa: &P3, pb: &P3, pc: &P3, pd: &P3, pe: &P3) -> f64 {
+    let aex = pa[0] - pe[0];
+    let bex = pb[0] - pe[0];
+    let cex = pc[0] - pe[0];
+    let dex = pd[0] - pe[0];
+    let aey = pa[1] - pe[1];
+    let bey = pb[1] - pe[1];
+    let cey = pc[1] - pe[1];
+    let dey = pd[1] - pe[1];
+    let aez = pa[2] - pe[2];
+    let bez = pb[2] - pe[2];
+    let cez = pc[2] - pe[2];
+    let dez = pd[2] - pe[2];
+
+    let aexbey = aex * bey;
+    let bexaey = bex * aey;
+    let ab = aexbey - bexaey;
+    let bexcey = bex * cey;
+    let cexbey = cex * bey;
+    let bc = bexcey - cexbey;
+    let cexdey = cex * dey;
+    let dexcey = dex * cey;
+    let cd = cexdey - dexcey;
+    let dexaey = dex * aey;
+    let aexdey = aex * dey;
+    let da = dexaey - aexdey;
+    let aexcey = aex * cey;
+    let cexaey = cex * aey;
+    let ac = aexcey - cexaey;
+    let bexdey = bex * dey;
+    let dexbey = dex * bey;
+    let bd = bexdey - dexbey;
+
+    let abc = aez * bc - bez * ac + cez * ab;
+    let bcd = bez * cd - cez * bd + dez * bc;
+    let cda = cez * da + dez * ac + aez * cd;
+    let dab = dez * ab + aez * bd + bez * da;
+
+    let alift = aex * aex + aey * aey + aez * aez;
+    let blift = bex * bex + bey * bey + bez * bez;
+    let clift = cex * cex + cey * cey + cez * cez;
+    let dlift = dex * dex + dey * dey + dez * dez;
+
+    let det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+
+    let aezplus = aez.abs();
+    let bezplus = bez.abs();
+    let cezplus = cez.abs();
+    let dezplus = dez.abs();
+    let aexbeyplus = aexbey.abs();
+    let bexaeyplus = bexaey.abs();
+    let bexceyplus = bexcey.abs();
+    let cexbeyplus = cexbey.abs();
+    let cexdeyplus = cexdey.abs();
+    let dexceyplus = dexcey.abs();
+    let dexaeyplus = dexaey.abs();
+    let aexdeyplus = aexdey.abs();
+    let aexceyplus = aexcey.abs();
+    let cexaeyplus = cexaey.abs();
+    let bexdeyplus = bexdey.abs();
+    let dexbeyplus = dexbey.abs();
+
+    let permanent = ((cexdeyplus + dexceyplus) * bezplus
+        + (dexbeyplus + bexdeyplus) * cezplus
+        + (bexceyplus + cexbeyplus) * dezplus)
+        * alift
+        + ((dexaeyplus + aexdeyplus) * cezplus
+            + (aexceyplus + cexaeyplus) * dezplus
+            + (cexdeyplus + dexceyplus) * aezplus)
+            * blift
+        + ((aexbeyplus + bexaeyplus) * dezplus
+            + (bexdeyplus + dexbeyplus) * aezplus
+            + (dexaeyplus + aexdeyplus) * bezplus)
+            * clift
+        + ((bexceyplus + cexbeyplus) * aezplus
+            + (cexaeyplus + aexceyplus) * bezplus
+            + (aexbeyplus + bexaeyplus) * cezplus)
+            * dlift;
+    let errbound = ISP_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return det;
+    }
+
+    insphere_exact(pa, pb, pc, pd, pe)
+}
+
+/// The sign of robust insphere as -1 / 0 / +1.
+#[inline]
+pub fn insphere_sign(pa: &P3, pb: &P3, pc: &P3, pd: &P3, pe: &P3) -> i8 {
+    let v = insphere(pa, pb, pc, pd, pe);
+    if v > 0.0 {
+        1
+    } else if v < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Symbolically perturbed insphere: never returns 0 for five points that are
+/// not all coplanar, so the Delaunay triangulation of any point set becomes
+/// *unique* (independent of insertion order) — the property the removal
+/// operation's ball re-triangulation relies on.
+///
+/// Each point carries a `key` (the kernel passes the vertex's global
+/// insertion timestamp; auxiliary local points use keys above all real ones).
+/// Conceptually every point's paraboloid lift is lowered by an infinitesimal
+/// `ε(key)` with larger keys perturbed more (`key1 > key2 ⇒ ε(key1) ≫
+/// ε(key2)`). When the exact determinant vanishes, the perturbation terms are
+/// examined in decreasing-ε order; the first nonvanishing term (an `orient3d`
+/// cofactor) decides the sign.
+///
+/// Returns +1 if `pe` is inside the perturbed circumsphere of the positively
+/// oriented tetrahedron `(pa, pb, pc, pd)`, -1 if outside, 0 only when all
+/// five points are coplanar.
+pub fn insphere_sos(
+    pa: &P3,
+    pb: &P3,
+    pc: &P3,
+    pd: &P3,
+    pe: &P3,
+    keys: [u64; 5],
+) -> i8 {
+    let det = insphere(pa, pb, pc, pd, pe);
+    if det > 0.0 {
+        return 1;
+    }
+    if det < 0.0 {
+        return -1;
+    }
+    // Cospherical: perturb. det4(ε) = det4 + ε_e·S − Σ_{i∈{a..d}} ε_i·C_i
+    // with C_a = -orient3d(b,c,d,e), C_b = +orient3d(a,c,d,e),
+    // C_c = -orient3d(a,b,d,e), C_d = +orient3d(a,b,c,e),
+    // S = orient3d(a,b,c,d).
+    let mut order = [0usize, 1, 2, 3, 4];
+    order.sort_unstable_by(|&i, &j| keys[j].cmp(&keys[i]));
+    for &i in &order {
+        let coeff = match i {
+            0 => orient3d_sign_of(pb, pc, pd, pe),
+            1 => -orient3d_sign_of(pa, pc, pd, pe),
+            2 => orient3d_sign_of(pa, pb, pd, pe),
+            3 => -orient3d_sign_of(pa, pb, pc, pe),
+            _ => orient3d_sign_of(pa, pb, pc, pd),
+        };
+        if coeff != 0 {
+            return coeff;
+        }
+    }
+    0
+}
+
+#[inline]
+fn orient3d_sign_of(a: &P3, b: &P3, c: &P3, d: &P3) -> i8 {
+    crate::orient::orient3d_sign(a, b, c, d)
+}
+
+/// Exact insphere via expansion arithmetic on exactly translated coordinates.
+pub fn insphere_exact(pa: &P3, pb: &P3, pc: &P3, pd: &P3, pe: &P3) -> f64 {
+    let tr = |p: &P3| {
+        [
+            Expansion::from_diff(p[0], pe[0]),
+            Expansion::from_diff(p[1], pe[1]),
+            Expansion::from_diff(p[2], pe[2]),
+        ]
+    };
+    let a = tr(pa);
+    let b = tr(pb);
+    let c = tr(pc);
+    let d = tr(pd);
+
+    let lift = |p: &[Expansion; 3]| {
+        p[0].square().add(&p[1].square()).add(&p[2].square())
+    };
+    let la = lift(&a);
+    let lb = lift(&b);
+    let lc = lift(&c);
+    let ld = lift(&d);
+
+    let m = |r0: &[Expansion; 3], r1: &[Expansion; 3], r2: &[Expansion; 3]| {
+        det3_exact(
+            &r0[0], &r0[1], &r0[2], &r1[0], &r1[1], &r1[2], &r2[0], &r2[1], &r2[2],
+        )
+    };
+    // Cofactor expansion along the lift column (column index 3):
+    // det = -la*det3(b,c,d) + lb*det3(a,c,d) - lc*det3(a,b,d) + ld*det3(a,b,c)
+    let det = lb
+        .mul(&m(&a, &c, &d))
+        .sub(&la.mul(&m(&b, &c, &d)))
+        .sub(&lc.mul(&m(&a, &b, &d)))
+        .add(&ld.mul(&m(&a, &b, &c)));
+
+    match det.sign() {
+        0 => 0.0,
+        s => {
+            let est = det.estimate();
+            if est != 0.0 && (est > 0.0) == (s > 0) {
+                est
+            } else {
+                s as f64 * f64::MIN_POSITIVE
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orient::orient3d_sign;
+
+    // Positively oriented unit tetrahedron.
+    const A: P3 = [0.0, 0.0, 0.0];
+    const B: P3 = [1.0, 0.0, 0.0];
+    const C: P3 = [0.0, 1.0, 0.0];
+    const D: P3 = [0.0, 0.0, -1.0];
+
+    #[test]
+    fn orientation_assumption_holds() {
+        assert_eq!(orient3d_sign(&A, &B, &C, &D), 1);
+    }
+
+    #[test]
+    fn clear_inside_outside() {
+        // circumsphere of A,B,C,D has center (0.5,0.5,-0.5), radius sqrt(3)/2
+        assert!(insphere(&A, &B, &C, &D, &[0.5, 0.5, -0.5]) > 0.0);
+        assert!(insphere(&A, &B, &C, &D, &[10.0, 10.0, 10.0]) < 0.0);
+    }
+
+    #[test]
+    fn cospherical_is_exact_zero() {
+        // (1,1,-1) lies on the circumsphere: distance to center (.5,.5,-.5)
+        // is sqrt(.25+.25+.25) = radius.
+        assert_eq!(insphere(&A, &B, &C, &D, &[1.0, 1.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn near_degenerate_sign() {
+        let eps = 2f64.powi(-45);
+        // nudge a cospherical point radially in/out along x from center .5
+        let inside = [1.0 - eps, 1.0, -1.0];
+        let outside = [1.0 + eps, 1.0, -1.0];
+        assert_eq!(insphere_sign(&A, &B, &C, &D, &inside), 1);
+        assert_eq!(insphere_sign(&A, &B, &C, &D, &outside), -1);
+    }
+
+    #[test]
+    fn swap_changes_sign() {
+        let e = [0.5, 0.5, -0.5];
+        let v1 = insphere_sign(&A, &B, &C, &D, &e);
+        let v2 = insphere_sign(&B, &A, &C, &D, &e);
+        assert_eq!(v1, -v2);
+    }
+
+    #[test]
+    fn sos_agrees_with_unperturbed_when_generic() {
+        let e_in = [0.5, 0.5, -0.5];
+        let e_out = [10.0, 0.0, 0.0];
+        assert_eq!(insphere_sos(&A, &B, &C, &D, &e_in, [0, 1, 2, 3, 4]), 1);
+        assert_eq!(insphere_sos(&A, &B, &C, &D, &e_out, [0, 1, 2, 3, 4]), -1);
+    }
+
+    #[test]
+    fn sos_breaks_cospherical_ties_deterministically() {
+        // (1,1,-1) is exactly cospherical with A,B,C,D.
+        let e = [1.0, 1.0, -1.0];
+        assert_eq!(insphere(&A, &B, &C, &D, &e), 0.0);
+        // newest query point (largest key) is perturbed downward the most:
+        // it must test inside the positively oriented cell's sphere.
+        assert_eq!(insphere_sos(&A, &B, &C, &D, &e, [0, 1, 2, 3, 4]), 1);
+        // oldest query point: the youngest cell vertex decides instead.
+        let s_old = insphere_sos(&A, &B, &C, &D, &e, [1, 2, 3, 4, 0]);
+        assert!(s_old == 1 || s_old == -1);
+    }
+
+    #[test]
+    fn sos_never_zero_for_nondegenerate_cell() {
+        // cospherical grid-like cases with various key assignments
+        let e = [1.0, 1.0, -1.0];
+        for perm in 0..5 {
+            let mut keys = [0u64, 1, 2, 3, 4];
+            keys.rotate_left(perm);
+            assert_ne!(insphere_sos(&A, &B, &C, &D, &e, keys), 0);
+        }
+    }
+
+    #[test]
+    fn sos_zero_only_for_coplanar() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 0.0, 0.0];
+        let c = [0.0, 1.0, 0.0];
+        let d = [1.0, 1.0, 0.0];
+        let e = [2.0, 2.0, 0.0];
+        assert_eq!(insphere_sos(&a, &b, &c, &d, &e, [0, 1, 2, 3, 4]), 0);
+    }
+
+    #[test]
+    fn exact_matches_integer_reference() {
+        let pts: [[i64; 3]; 5] = [
+            [0, 0, 0],
+            [4, 0, 0],
+            [0, 4, 0],
+            [0, 0, -4],
+            [1, 1, -1],
+        ];
+        let f = |i: usize| [pts[i][0] as f64, pts[i][1] as f64, pts[i][2] as f64];
+        // reference: i128 determinant of the translated 4x4
+        let d = |i: usize, k: usize| (pts[i][k] - pts[4][k]) as i128;
+        let lift = |i: usize| d(i, 0) * d(i, 0) + d(i, 1) * d(i, 1) + d(i, 2) * d(i, 2);
+        let det3 = |r0: usize, r1: usize, r2: usize| {
+            d(r0, 0) * (d(r1, 1) * d(r2, 2) - d(r1, 2) * d(r2, 1))
+                - d(r0, 1) * (d(r1, 0) * d(r2, 2) - d(r1, 2) * d(r2, 0))
+                + d(r0, 2) * (d(r1, 0) * d(r2, 1) - d(r1, 1) * d(r2, 0))
+        };
+        let det_ref = -lift(0) * det3(1, 2, 3) + lift(1) * det3(0, 2, 3)
+            - lift(2) * det3(0, 1, 3)
+            + lift(3) * det3(0, 1, 2);
+        let s = insphere_sign(&f(0), &f(1), &f(2), &f(3), &f(4));
+        assert_eq!(s as i128, det_ref.signum());
+    }
+}

@@ -1,0 +1,129 @@
+//! Error-free transformations: the building blocks of expansion arithmetic.
+//!
+//! These are the classic Dekker/Knuth/Shewchuk primitives. Each returns a pair
+//! `(x, y)` such that `x` is the floating-point result of the operation and
+//! `y` is the exact roundoff error, i.e. `x + y` equals the exact real result
+//! and `|y| <= ulp(x)/2`.
+//!
+//! The implementations assume round-to-nearest IEEE-754 double arithmetic and
+//! no overflow/underflow in intermediate computations, which holds for all
+//! coordinates produced by this library (voxel-scale magnitudes).
+
+/// Half the classic machine epsilon: 2^-53. This is the unit roundoff `u`
+/// used in Shewchuk's error bounds.
+pub const EPSILON: f64 = 1.110_223_024_625_156_5e-16;
+
+/// 2^27 + 1, used to split a double into two 26-bit halves.
+pub const SPLITTER: f64 = 134_217_729.0;
+
+/// Exact sum when `|a| >= |b|` (Dekker). Undefined tail otherwise.
+#[inline(always)]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    (x, b - bvirt)
+}
+
+/// Exact sum of two doubles (Knuth): returns `(x, y)` with `x + y == a + b`.
+#[inline(always)]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    let avirt = x - bvirt;
+    let bround = b - bvirt;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Exact difference of two doubles: returns `(x, y)` with `x + y == a - b`.
+#[inline(always)]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bvirt = a - x;
+    let avirt = x + bvirt;
+    let bround = bvirt - b;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Split `a` into a 26-bit high part and a 26-bit low part (Dekker).
+#[inline(always)]
+pub fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let abig = c - a;
+    let hi = c - abig;
+    let lo = a - hi;
+    (hi, lo)
+}
+
+/// Exact product of two doubles: returns `(x, y)` with `x + y == a * b`.
+#[inline(always)]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = x - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    (x, alo * blo - err3)
+}
+
+/// Exact square: slightly cheaper than `two_product(a, a)`.
+#[inline(always)]
+pub fn two_square(a: f64) -> (f64, f64) {
+    let x = a * a;
+    let (ahi, alo) = split(a);
+    let err1 = x - ahi * ahi;
+    let err3 = err1 - (ahi + ahi) * alo;
+    (x, alo * alo - err3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_is_exact_for_representable_cases() {
+        let (x, y) = two_sum(1.0, 2.0_f64.powi(-60));
+        assert_eq!(x, 1.0);
+        assert_eq!(y, 2.0_f64.powi(-60));
+    }
+
+    #[test]
+    fn two_diff_recovers_cancellation() {
+        let a = 1.0 + 2.0_f64.powi(-52);
+        let (x, y) = two_diff(a, 1.0);
+        assert_eq!(x + y, 2.0_f64.powi(-52));
+        // x is the rounded result; the pair must be exact.
+        assert_eq!(x, a - 1.0);
+    }
+
+    #[test]
+    fn two_product_tail_is_roundoff() {
+        let a = 1.0 + 2.0_f64.powi(-30);
+        let b = 1.0 - 2.0_f64.powi(-30);
+        let (x, y) = two_product(a, b);
+        // exact product is 1 - 2^-60, not representable; x+y must carry it.
+        assert_eq!(x, a * b);
+        assert_eq!(x + y, x); // y below ulp of x after rounding of the sum
+        assert_eq!(y, -(2.0_f64.powi(-60)) - (x - 1.0));
+    }
+
+    #[test]
+    fn two_square_matches_two_product() {
+        for v in [0.1, 1.5, -3.7, 12345.678, 2.0_f64.powi(-30) + 1.0] {
+            let (x1, y1) = two_product(v, v);
+            let (x2, y2) = two_square(v);
+            assert_eq!(x1, x2);
+            assert_eq!(y1, y2);
+        }
+    }
+
+    #[test]
+    fn split_reconstructs() {
+        for v in [1.0, -0.375, 1e10, 3.141592653589793] {
+            let (hi, lo) = split(v);
+            assert_eq!(hi + lo, v);
+        }
+    }
+}

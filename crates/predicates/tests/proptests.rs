@@ -1,0 +1,84 @@
+//! Property-based tests: predicates against exact integer references, and
+//! expansion algebra against i128 arithmetic.
+
+use pi2m_predicates::{insphere_sign, orient3d_sign, Expansion};
+use proptest::prelude::*;
+
+fn p3(v: [i64; 3]) -> [f64; 3] {
+    [v[0] as f64, v[1] as f64, v[2] as f64]
+}
+
+fn det3_i128(d: impl Fn(usize, usize) -> i128) -> i128 {
+    d(0, 0) * (d(1, 1) * d(2, 2) - d(1, 2) * d(2, 1))
+        - d(0, 1) * (d(1, 0) * d(2, 2) - d(1, 2) * d(2, 0))
+        + d(0, 2) * (d(1, 0) * d(2, 1) - d(1, 1) * d(2, 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn orient3d_matches_integer_determinant(
+        pts in proptest::array::uniform4(proptest::array::uniform3(-1000i64..1000)),
+    ) {
+        let d = |i: usize, k: usize| (pts[i][k] - pts[3][k]) as i128;
+        let det_ref = det3_i128(d);
+        let s = orient3d_sign(&p3(pts[0]), &p3(pts[1]), &p3(pts[2]), &p3(pts[3]));
+        prop_assert_eq!(s as i128, det_ref.signum());
+    }
+
+    #[test]
+    fn insphere_matches_integer_determinant(
+        pts in proptest::array::uniform5(proptest::array::uniform3(-200i64..200)),
+    ) {
+        let d = |i: usize, k: usize| (pts[i][k] - pts[4][k]) as i128;
+        let lift = |i: usize| d(i,0)*d(i,0) + d(i,1)*d(i,1) + d(i,2)*d(i,2);
+        let m = |r0: usize, r1: usize, r2: usize| det3_i128(|i, k| d([r0, r1, r2][i], k));
+        let det_ref = -lift(0) * m(1,2,3) + lift(1) * m(0,2,3)
+            - lift(2) * m(0,1,3) + lift(3) * m(0,1,2);
+        let s = insphere_sign(&p3(pts[0]), &p3(pts[1]), &p3(pts[2]), &p3(pts[3]), &p3(pts[4]));
+        prop_assert_eq!(s as i128, det_ref.signum());
+    }
+
+    #[test]
+    fn expansion_ring_axioms(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        c in -1_000_000i64..1_000_000,
+    ) {
+        let ea = Expansion::from_f64(a as f64);
+        let eb = Expansion::from_f64(b as f64);
+        let ec = Expansion::from_f64(c as f64);
+        // (a+b)*c == a*c + b*c, compared exactly through integer sums
+        let lhs = ea.add(&eb).mul(&ec);
+        let rhs = ea.mul(&ec).add(&eb.mul(&ec));
+        let exact = |e: &Expansion| -> i128 {
+            e.components().iter().map(|&x| x as i128).sum()
+        };
+        prop_assert_eq!(exact(&lhs), (a as i128 + b as i128) * c as i128);
+        prop_assert_eq!(exact(&lhs), exact(&rhs));
+    }
+
+    #[test]
+    fn expansion_sub_cancels(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+    ) {
+        let ea = Expansion::from_f64(a as f64);
+        let eb = Expansion::from_f64(b as f64);
+        let diff = ea.add(&eb).sub(&eb);
+        let exact: i128 = diff.components().iter().map(|&x| x as i128).sum();
+        prop_assert_eq!(exact, a as i128);
+    }
+
+    #[test]
+    fn orient3d_permutation_parity(
+        pts in proptest::array::uniform4(proptest::array::uniform3(-1000i64..1000)),
+    ) {
+        let q = [p3(pts[0]), p3(pts[1]), p3(pts[2]), p3(pts[3])];
+        let base = orient3d_sign(&q[0], &q[1], &q[2], &q[3]);
+        // odd permutation flips, even permutation preserves
+        prop_assert_eq!(orient3d_sign(&q[1], &q[0], &q[2], &q[3]), -base);
+        prop_assert_eq!(orient3d_sign(&q[1], &q[2], &q[0], &q[3]), base);
+    }
+}

@@ -1,0 +1,13 @@
+//! # pi2m-quality
+//!
+//! Quality and fidelity measurement for PI2M meshes — the quantities of the
+//! paper's Table 6: radius-edge ratios, dihedral angle extremes, smallest
+//! boundary planar angles, and the two-sided Hausdorff distance between the
+//! mesh boundary and the image isosurface; plus structural sanity checks
+//! (manifoldness of the boundary).
+
+pub mod hausdorff;
+pub mod report;
+
+pub use hausdorff::{hausdorff_distance, point_triangle_distance, TriangleSet};
+pub use report::{boundary_report, mesh_quality, BoundaryReport, QualityReport};

@@ -1,0 +1,185 @@
+//! Element-quality and boundary-quality statistics (paper Table 6 rows).
+
+use pi2m_geometry::{dihedral_extremes, radius_edge_ratio, triangle_angles, Point3};
+use pi2m_refine::FinalMesh;
+use std::collections::HashMap;
+
+/// Aggregate tetrahedron quality of a mesh.
+#[derive(Clone, Debug, Default)]
+pub struct QualityReport {
+    pub num_tets: usize,
+    pub num_points: usize,
+    /// Maximum radius-edge ratio over all elements (paper bound: 2, up to
+    /// floating point).
+    pub max_radius_edge: f64,
+    /// Global dihedral extremes in degrees.
+    pub min_dihedral_deg: f64,
+    pub max_dihedral_deg: f64,
+    /// Mean radius-edge ratio (extra diagnostic).
+    pub mean_radius_edge: f64,
+    /// Fraction of elements with radius-edge ratio above the bound 2
+    /// (numerical stragglers).
+    pub over_bound_fraction: f64,
+}
+
+/// Quality of the boundary (surface) triangles.
+#[derive(Clone, Debug, Default)]
+pub struct BoundaryReport {
+    pub num_triangles: usize,
+    /// Smallest planar angle over all boundary triangles, degrees
+    /// (paper bound: 30°, up to floating point).
+    pub min_planar_angle_deg: f64,
+    /// Edges not shared by exactly two boundary triangles (0 for a closed
+    /// manifold surface; interfaces of >2 materials legitimately exceed 2).
+    pub non_manifold_edges: usize,
+    /// Total boundary area.
+    pub area: f64,
+}
+
+/// Compute element quality statistics.
+pub fn mesh_quality(mesh: &FinalMesh) -> QualityReport {
+    let mut rep = QualityReport {
+        num_tets: mesh.num_tets(),
+        num_points: mesh.num_points(),
+        min_dihedral_deg: f64::INFINITY,
+        max_dihedral_deg: f64::NEG_INFINITY,
+        ..Default::default()
+    };
+    if mesh.tets.is_empty() {
+        rep.min_dihedral_deg = 0.0;
+        rep.max_dihedral_deg = 0.0;
+        return rep;
+    }
+    let mut sum_ratio = 0.0;
+    let mut counted = 0usize;
+    let mut over = 0usize;
+    for t in &mesh.tets {
+        let p = [
+            mesh.points[t[0] as usize],
+            mesh.points[t[1] as usize],
+            mesh.points[t[2] as usize],
+            mesh.points[t[3] as usize],
+        ];
+        if let Some(q) = radius_edge_ratio(&p) {
+            rep.max_radius_edge = rep.max_radius_edge.max(q);
+            sum_ratio += q;
+            counted += 1;
+            if q > 2.0 {
+                over += 1;
+            }
+        }
+        let (lo, hi) = dihedral_extremes(&p);
+        rep.min_dihedral_deg = rep.min_dihedral_deg.min(lo);
+        rep.max_dihedral_deg = rep.max_dihedral_deg.max(hi);
+    }
+    if counted > 0 {
+        rep.mean_radius_edge = sum_ratio / counted as f64;
+        rep.over_bound_fraction = over as f64 / counted as f64;
+    }
+    rep
+}
+
+/// Compute boundary-surface statistics over the mesh's boundary triangles.
+pub fn boundary_report(mesh: &FinalMesh) -> BoundaryReport {
+    let tris = mesh.boundary_triangles();
+    boundary_report_of(&mesh.points, &tris)
+}
+
+/// Boundary statistics of an explicit triangle soup.
+pub fn boundary_report_of(points: &[Point3], tris: &[[u32; 3]]) -> BoundaryReport {
+    let mut rep = BoundaryReport {
+        num_triangles: tris.len(),
+        min_planar_angle_deg: f64::INFINITY,
+        ..Default::default()
+    };
+    if tris.is_empty() {
+        rep.min_planar_angle_deg = 0.0;
+        return rep;
+    }
+    let mut edge_count: HashMap<(u32, u32), usize> = HashMap::new();
+    for t in tris {
+        let p = [
+            points[t[0] as usize],
+            points[t[1] as usize],
+            points[t[2] as usize],
+        ];
+        for a in triangle_angles(p[0], p[1], p[2]) {
+            rep.min_planar_angle_deg = rep.min_planar_angle_deg.min(a);
+        }
+        rep.area += 0.5 * (p[1] - p[0]).cross(p[2] - p[0]).norm();
+        for k in 0..3 {
+            let (a, b) = (t[k], t[(k + 1) % 3]);
+            let key = (a.min(b), a.max(b));
+            *edge_count.entry(key).or_insert(0) += 1;
+        }
+    }
+    rep.non_manifold_edges = edge_count.values().filter(|&&c| c != 2).count();
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2m_delaunay::VertexKind;
+
+    fn single_tet_mesh() -> FinalMesh {
+        FinalMesh {
+            points: vec![
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(1.0, 0.0, 0.0),
+                Point3::new(0.0, 1.0, 0.0),
+                Point3::new(0.0, 0.0, -1.0),
+            ],
+            point_kinds: vec![VertexKind::Isosurface; 4],
+            tets: vec![[0, 1, 2, 3]],
+            labels: vec![1],
+        }
+    }
+
+    #[test]
+    fn quality_of_single_tet() {
+        let q = mesh_quality(&single_tet_mesh());
+        assert_eq!(q.num_tets, 1);
+        assert!(q.max_radius_edge > 0.5 && q.max_radius_edge < 2.0);
+        assert!(q.min_dihedral_deg > 0.0 && q.max_dihedral_deg < 180.0);
+        assert_eq!(q.over_bound_fraction, 0.0);
+    }
+
+    #[test]
+    fn boundary_of_single_tet_is_closed() {
+        let m = single_tet_mesh();
+        let b = boundary_report(&m);
+        assert_eq!(b.num_triangles, 4);
+        assert_eq!(b.non_manifold_edges, 0); // closed surface
+        assert!(b.area > 0.0);
+        assert!(b.min_planar_angle_deg > 0.0);
+    }
+
+    #[test]
+    fn empty_mesh() {
+        let q = mesh_quality(&FinalMesh::default());
+        assert_eq!(q.num_tets, 0);
+        let b = boundary_report(&FinalMesh::default());
+        assert_eq!(b.num_triangles, 0);
+    }
+
+    #[test]
+    fn multimaterial_interface_counts_as_boundary() {
+        // two tets sharing a face with different labels
+        let m = FinalMesh {
+            points: vec![
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(1.0, 0.0, 0.0),
+                Point3::new(0.0, 1.0, 0.0),
+                Point3::new(0.0, 0.0, -1.0),
+                Point3::new(0.0, 0.0, 1.0),
+            ],
+            point_kinds: vec![VertexKind::Isosurface; 5],
+            tets: vec![[0, 1, 2, 3], [0, 2, 1, 4]],
+            labels: vec![1, 2],
+        };
+        let tris = m.boundary_triangles();
+        // 4 + 4 faces, shared one counted once but still boundary: 7 unique
+        assert_eq!(tris.len(), 7);
+    }
+}

@@ -1,0 +1,498 @@
+//! The PI2M parallel mesher (paper Algorithm 1).
+//!
+//! Each worker thread loops: pop an element from its Poor Element List,
+//! classify it against rules R1–R6, and execute the remedy through the
+//! speculative Delaunay kernel. Rollbacks report to the contention manager;
+//! empty PELs park in the load balancer's begging list; newly created cells
+//! are enqueued locally or donated to beggars; termination is detected when
+//! every thread is parked and no work remains. A watchdog aborts runs whose
+//! contention manager livelocks (Aggressive/Random, paper Table 1).
+
+use crate::balancer::{make_balancer, BalancerKind, BegOutcome, LoadBalancer, DONATE_THRESHOLD};
+use crate::cm::{make_cm, CmKind, ContentionManager};
+use crate::grid::PointGrid;
+use crate::output::FinalMesh;
+use crate::rules::{RuleConfig, Rules};
+use crate::stats::{OverheadKind, RefineStats, ThreadStats};
+use crate::sync::EngineSync;
+use crate::topology::MachineTopology;
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use pi2m_delaunay::{CellId, OpError, SharedMesh, VertexKind};
+use pi2m_geometry::circumcenter;
+use pi2m_image::LabeledImage;
+use pi2m_oracle::{IsosurfaceOracle, SizeFn};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a PI2M run.
+#[derive(Clone)]
+pub struct MesherConfig {
+    /// Isosurface sampling density δ (world units, typically a small
+    /// multiple of the voxel size).
+    pub delta: f64,
+    pub threads: usize,
+    /// Radius-edge quality bound (paper: 2).
+    pub radius_edge_bound: f64,
+    /// Boundary planar angle bound in degrees (paper: 30).
+    pub planar_angle_min_deg: f64,
+    /// Optional volume size function (rule R5).
+    pub size_fn: Option<Arc<dyn SizeFn>>,
+    /// Optional surface density function (spatially varying δ, clamped to
+    /// `delta`).
+    pub surface_size_fn: Option<Arc<dyn SizeFn>>,
+    /// Contention manager policy.
+    pub cm: CmKind,
+    /// Work-stealing policy.
+    pub balancer: BalancerKind,
+    /// Machine shape for HWS (logical on the real engine).
+    pub topology: MachineTopology,
+    /// Enable rule R6 removals.
+    pub enable_removals: bool,
+    /// Watchdog: seconds without any completed operation before a livelock
+    /// is declared.
+    pub livelock_timeout: f64,
+    /// Record per-thread overhead traces (Figure 6).
+    pub trace: bool,
+    /// Safety cap on total operations (0 = unlimited).
+    pub max_operations: u64,
+}
+
+impl Default for MesherConfig {
+    fn default() -> Self {
+        MesherConfig {
+            delta: 2.0,
+            threads: 1,
+            radius_edge_bound: 2.0,
+            planar_angle_min_deg: 30.0,
+            size_fn: None,
+            surface_size_fn: None,
+            cm: CmKind::Local,
+            balancer: BalancerKind::Hws,
+            topology: MachineTopology::flat(64),
+            enable_removals: true,
+            livelock_timeout: 30.0,
+            trace: false,
+            max_operations: 0,
+        }
+    }
+}
+
+/// Result of a PI2M run.
+pub struct MeshOutput {
+    /// The reported mesh (tets whose circumcenter lies inside O).
+    pub mesh: FinalMesh,
+    pub stats: RefineStats,
+    /// The full triangulation of the virtual box (for inspection/tests).
+    pub shared: SharedMesh,
+    pub oracle: Arc<IsosurfaceOracle>,
+}
+
+/// The parallel Image-to-Mesh converter.
+pub struct Mesher {
+    img: LabeledImage,
+    cfg: MesherConfig,
+}
+
+type Pel = Mutex<VecDeque<(u32, u32)>>;
+
+struct Env<'a> {
+    mesh: &'a SharedMesh,
+    rules: &'a Rules,
+    pels: &'a [Pel],
+    counters: &'a [CachePadded<AtomicI64>],
+    sync: &'a EngineSync,
+    cm: &'a dyn ContentionManager,
+    bal: &'a dyn LoadBalancer,
+    cfg: &'a MesherConfig,
+    ops_total: &'a AtomicU64,
+}
+
+impl Mesher {
+    pub fn new(img: LabeledImage, cfg: MesherConfig) -> Self {
+        assert!(cfg.threads >= 1, "need at least one thread");
+        assert!(cfg.delta > 0.0, "delta must be positive");
+        Mesher { img, cfg }
+    }
+
+    /// Run the full pipeline: parallel EDT, virtual-box triangulation,
+    /// parallel refinement, final-mesh extraction.
+    pub fn run(self) -> MeshOutput {
+        let cfg = self.cfg;
+        let t_edt = Instant::now();
+        let oracle = Arc::new(IsosurfaceOracle::new(self.img, cfg.threads));
+        let edt_time = t_edt.elapsed().as_secs_f64();
+
+        let domain = oracle
+            .image()
+            .foreground_bounds()
+            .unwrap_or_else(|| oracle.image().bounds());
+        let mesh = SharedMesh::enclosing(&domain);
+        let grid = Arc::new(PointGrid::new(cfg.delta));
+        let rules = Rules::new(
+            RuleConfig {
+                delta: cfg.delta,
+                radius_edge_bound: cfg.radius_edge_bound,
+                planar_angle_min_deg: cfg.planar_angle_min_deg,
+                size_fn: cfg.size_fn.clone(),
+                surface_size_fn: cfg.surface_size_fn.clone(),
+            },
+            Arc::clone(&oracle),
+            grid,
+        );
+
+        let sync = EngineSync::new(cfg.threads);
+        let cm = make_cm(cfg.cm, cfg.threads);
+        let bal = make_balancer(cfg.balancer, cfg.topology, cfg.threads);
+        let pels: Vec<Pel> = (0..cfg.threads)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        let counters: Vec<CachePadded<AtomicI64>> = (0..cfg.threads)
+            .map(|_| CachePadded::new(AtomicI64::new(0)))
+            .collect();
+        let ops_total = AtomicU64::new(0);
+
+        // Seed: the initial box cells go to the main thread's PEL (paper
+        // §4.4: "only the main thread might have a non-empty PEL").
+        {
+            let mut pel0 = pels[0].lock();
+            for c in mesh.alive_cells() {
+                pel0.push_back((c.0, mesh.cell(c).gen()));
+            }
+            let n = pel0.len() as i64;
+            counters[0].fetch_add(n, Ordering::AcqRel);
+            sync.poor_added(n);
+        }
+
+        let env = Env {
+            mesh: &mesh,
+            rules: &rules,
+            pels: &pels,
+            counters: &counters,
+            sync: &sync,
+            cm: cm.as_ref(),
+            bal: bal.as_ref(),
+            cfg: &cfg,
+            ops_total: &ops_total,
+        };
+
+        let t_refine = Instant::now();
+        let mut per_thread: Vec<ThreadStats> = Vec::new();
+        let mut final_list: Vec<(CellId, u32)> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for tid in 0..cfg.threads {
+                let env = &env;
+                handles.push(s.spawn(move || worker(env, tid)));
+            }
+            for h in handles {
+                let (st, fl) = h.join().expect("worker panicked");
+                per_thread.push(st);
+                final_list.extend(fl);
+            }
+        });
+        let wall_time = t_refine.elapsed().as_secs_f64();
+
+        let final_mesh = FinalMesh::extract(&mesh, &oracle, Some(&final_list));
+        let stats = RefineStats {
+            final_elements: final_mesh.num_tets(),
+            vertices_allocated: mesh.num_vertices(),
+            per_thread,
+            wall_time,
+            edt_time,
+            livelock: sync.livelocked(),
+        };
+        MeshOutput {
+            mesh: final_mesh,
+            stats,
+            shared: mesh,
+            oracle,
+        }
+    }
+}
+
+fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
+    let mut ctx = env.mesh.make_ctx(tid as u32);
+    let mut stats = ThreadStats::default();
+    let mut final_list: Vec<(CellId, u32)> = Vec::new();
+
+    loop {
+        if env.sync.is_done() {
+            break;
+        }
+        // Livelock watchdog (paper §5.5: Aggressive/Random can livelock).
+        if env.sync.since_progress() > env.cfg.livelock_timeout
+            && (env.sync.total_poor() > 0 || env.sync.cm_blocked() > 0)
+        {
+            env.sync.declare_livelock();
+            env.cm.release_all();
+            env.bal.release_all();
+            break;
+        }
+
+        let item = env.pels[tid].lock().pop_front();
+        let Some((cid, gen)) = item else {
+            env.cm.before_beg(tid, env.sync);
+            let (outcome, waited) = env.bal.beg(tid, env.sync, env.cm);
+            let at = env.cfg.trace.then(|| env.sync.now());
+            stats.add_overhead(OverheadKind::LoadBalance, waited, at);
+            match outcome {
+                BegOutcome::Finished => break,
+                BegOutcome::GotWork => {
+                    stats.donations_received += 1;
+                    continue;
+                }
+            }
+        };
+        env.counters[tid].fetch_sub(1, Ordering::AcqRel);
+        env.sync.poor_taken(1);
+
+        let c = CellId(cid);
+        let Some(action) = env.rules.classify(env.mesh, c, gen) else {
+            continue; // satisfied (or stale) — drop
+        };
+
+        let t0 = Instant::now();
+        match ctx.insert(action.point, action.kind) {
+            Ok(res) => {
+                stats.operations += 1;
+                stats.insertions += 1;
+                stats.cells_created += res.created.len() as u64;
+                stats.cells_killed += res.killed.len() as u64;
+                env.sync.note_progress();
+                env.cm.on_success(tid);
+                env.rules.grid.insert(res.vertex, action.point);
+                handle_created(env, tid, &mut stats, &mut final_list, &res.created);
+
+                // R6: an isosurface vertex evicts nearby circumcenters.
+                if action.kind == VertexKind::Isosurface && env.cfg.enable_removals {
+                    for victim in env.rules.r6_victims(env.mesh, action.point) {
+                        let t1 = Instant::now();
+                        match ctx.remove(victim) {
+                            Ok(rres) => {
+                                stats.operations += 1;
+                                stats.removals += 1;
+                                stats.cells_created += rres.created.len() as u64;
+                                stats.cells_killed += rres.killed.len() as u64;
+                                env.sync.note_progress();
+                                env.cm.on_success(tid);
+                                handle_created(
+                                    env,
+                                    tid,
+                                    &mut stats,
+                                    &mut final_list,
+                                    &rres.created,
+                                );
+                            }
+                            Err(OpError::Conflict { owner, .. }) => {
+                                stats.rollbacks += 1;
+                                let at = env.cfg.trace.then(|| env.sync.now());
+                                stats.add_overhead(
+                                    OverheadKind::Rollback,
+                                    t1.elapsed().as_secs_f64(),
+                                    at,
+                                );
+                                let waited =
+                                    env.cm.on_rollback(tid, owner as usize, env.sync);
+                                let at = env.cfg.trace.then(|| env.sync.now());
+                                stats.add_overhead(OverheadKind::Contention, waited, at);
+                                // best-effort: drop this victim
+                            }
+                            Err(_) => stats.removals_blocked += 1,
+                        }
+                    }
+                }
+            }
+            Err(OpError::Conflict { owner, .. }) => {
+                stats.rollbacks += 1;
+                let at = env.cfg.trace.then(|| env.sync.now());
+                stats.add_overhead(OverheadKind::Rollback, t0.elapsed().as_secs_f64(), at);
+                // the element is still poor: requeue it, then consult the CM
+                env.pels[tid].lock().push_back((cid, gen));
+                env.counters[tid].fetch_add(1, Ordering::AcqRel);
+                env.sync.poor_added(1);
+                let waited = env.cm.on_rollback(tid, owner as usize, env.sync);
+                let at = env.cfg.trace.then(|| env.sync.now());
+                stats.add_overhead(OverheadKind::Contention, waited, at);
+            }
+            Err(
+                OpError::Duplicate(_)
+                | OpError::OutsideDomain
+                | OpError::Degenerate
+                | OpError::RemovalBlocked,
+            ) => {
+                // the rule's remedy is not realizable; drop the element
+                stats.skipped += 1;
+            }
+        }
+
+        if env.cfg.max_operations > 0 {
+            let done = env.ops_total.fetch_add(1, Ordering::Relaxed) + 1;
+            if done >= env.cfg.max_operations {
+                env.sync.set_done();
+                env.cm.release_all();
+                env.bal.release_all();
+                break;
+            }
+        }
+    }
+
+    // A finished worker must leave nobody parked on its contention list.
+    env.cm.before_beg(tid, env.sync);
+    (stats, final_list)
+}
+
+/// Enqueue newly created cells for (lazy) classification, donating to a
+/// beggar when this thread has enough work of its own (paper §4.4), and
+/// record final-mesh candidates (paper §4.3's per-thread linked lists).
+fn handle_created(
+    env: &Env<'_>,
+    tid: usize,
+    stats: &mut ThreadStats,
+    final_list: &mut Vec<(CellId, u32)>,
+    created: &[CellId],
+) {
+    if created.is_empty() {
+        return;
+    }
+    // final-mesh candidates
+    for &nc in created {
+        let cell = env.mesh.cell(nc);
+        let gen = cell.gen();
+        let p = env.mesh.cell_points(nc);
+        if let Some(cc) = circumcenter(p[0], p[1], p[2], p[3]) {
+            if env.rules.oracle.is_inside(cc) {
+                final_list.push((nc, gen));
+            }
+        }
+    }
+    // enqueue / donate
+    let own = env.counters[tid].load(Ordering::Acquire);
+    let target = if own >= DONATE_THRESHOLD {
+        env.bal.pick_beggar(tid)
+    } else {
+        None
+    };
+    let n = created.len() as i64;
+    match target {
+        Some(b) => {
+            {
+                let mut pel = env.pels[b].lock();
+                for &nc in created {
+                    pel.push_back((nc.0, env.mesh.cell(nc).gen()));
+                }
+            }
+            env.counters[b].fetch_add(n, Ordering::AcqRel);
+            env.sync.poor_added(n);
+            env.bal.wake(b);
+            stats.donations_made += 1;
+            if env.cfg.topology.blade_of(tid) != env.cfg.topology.blade_of(b) {
+                stats.inter_blade_donations += 1;
+            }
+        }
+        None => {
+            {
+                let mut pel = env.pels[tid].lock();
+                for &nc in created {
+                    pel.push_back((nc.0, env.mesh.cell(nc).gen()));
+                }
+            }
+            env.counters[tid].fetch_add(n, Ordering::AcqRel);
+            env.sync.poor_added(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2m_image::phantoms;
+
+    fn small_run(threads: usize, cm: CmKind, bal: BalancerKind) -> MeshOutput {
+        let img = phantoms::sphere(16, 1.0);
+        let cfg = MesherConfig {
+            delta: 2.0,
+            threads,
+            cm,
+            balancer: bal,
+            topology: MachineTopology::flat(threads.max(1)),
+            ..Default::default()
+        };
+        Mesher::new(img, cfg).run()
+    }
+
+    #[test]
+    fn single_threaded_sphere() {
+        let out = small_run(1, CmKind::Local, BalancerKind::Rws);
+        assert!(!out.stats.livelock);
+        assert!(out.mesh.num_tets() > 50, "got {}", out.mesh.num_tets());
+        assert_eq!(out.stats.total_rollbacks(), 0);
+        out.shared.check_adjacency().unwrap();
+        out.shared.check_delaunay_sos().unwrap();
+        // fidelity smoke check: mesh volume within 25% of the sphere volume
+        let sphere_vol = out.oracle.image().foreground_volume();
+        let v = out.mesh.volume();
+        assert!(
+            (v - sphere_vol).abs() / sphere_vol < 0.25,
+            "mesh volume {v} vs sphere {sphere_vol}"
+        );
+    }
+
+    #[test]
+    fn multi_threaded_matches_structurally() {
+        let a = small_run(1, CmKind::Local, BalancerKind::Rws);
+        let b = small_run(4, CmKind::Local, BalancerKind::Hws);
+        assert!(!b.stats.livelock);
+        // same rules, different schedules: sizes in the same ballpark
+        let (na, nb) = (a.mesh.num_tets() as f64, b.mesh.num_tets() as f64);
+        assert!(
+            (na - nb).abs() / na < 0.5,
+            "1-thread {na} vs 4-thread {nb} elements"
+        );
+        b.shared.check_adjacency().unwrap();
+        b.shared.check_delaunay_sos().unwrap();
+    }
+
+    #[test]
+    fn all_cms_terminate_on_small_input() {
+        for cm in [CmKind::Aggressive, CmKind::Random, CmKind::Global, CmKind::Local] {
+            let out = small_run(3, cm, BalancerKind::Rws);
+            assert!(
+                out.mesh.num_tets() > 0,
+                "cm {cm:?} produced an empty mesh"
+            );
+        }
+    }
+
+    #[test]
+    fn removals_happen() {
+        let img = phantoms::sphere(20, 1.0);
+        let cfg = MesherConfig {
+            delta: 2.0,
+            threads: 2,
+            ..Default::default()
+        };
+        let out = Mesher::new(img, cfg).run();
+        // R6 should fire at least occasionally on a curved surface
+        assert!(out.stats.total_removals() > 0, "no removals occurred");
+        // and removals stay a small fraction of operations (paper: ~2%)
+        let frac =
+            out.stats.total_removals() as f64 / out.stats.total_operations().max(1) as f64;
+        assert!(frac < 0.35, "removal fraction {frac}");
+    }
+
+    #[test]
+    fn op_cap_stops_early() {
+        let img = phantoms::sphere(24, 1.0);
+        let cfg = MesherConfig {
+            delta: 0.8,
+            threads: 2,
+            max_operations: 100,
+            ..Default::default()
+        };
+        let out = Mesher::new(img, cfg).run();
+        assert!(out.stats.total_operations() <= 120);
+    }
+}

@@ -1,0 +1,255 @@
+//! A concurrent uniform spatial hash grid over refinement vertices.
+//!
+//! Rule R1 needs "is there an isosurface vertex within δ of z?"; rule R6
+//! needs "which circumcenter vertices lie within 2δ of z?". Both are
+//! answered by this grid, keyed at cell size δ. Buckets are sharded mutexes;
+//! entries are never physically removed (removed vertices are filtered by
+//! their alive flag at query time), which keeps the hot insert path cheap.
+
+use parking_lot::Mutex;
+use pi2m_delaunay::{SharedMesh, VertexId, VertexKind};
+use pi2m_geometry::Point3;
+
+const BUCKETS: usize = 1 << 15;
+
+/// Sharded spatial hash over vertex positions.
+pub struct PointGrid {
+    cell: f64,
+    shards: Vec<Mutex<Vec<(VertexId, [f64; 3])>>>,
+}
+
+impl PointGrid {
+    /// Build a grid with spatial cell size `cell` (use δ).
+    pub fn new(cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite());
+        let mut shards = Vec::with_capacity(BUCKETS);
+        shards.resize_with(BUCKETS, || Mutex::new(Vec::new()));
+        PointGrid { cell, shards }
+    }
+
+    #[inline]
+    fn cell_of(&self, p: [f64; 3]) -> [i64; 3] {
+        [
+            (p[0] / self.cell).floor() as i64,
+            (p[1] / self.cell).floor() as i64,
+            (p[2] / self.cell).floor() as i64,
+        ]
+    }
+
+    #[inline]
+    fn bucket(&self, c: [i64; 3]) -> usize {
+        // Fx-style integer mix
+        let mut h = 0u64;
+        for v in c {
+            h = (h.rotate_left(5) ^ (v as u64)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+        (h as usize) & (BUCKETS - 1)
+    }
+
+    /// Register a vertex at position `p`.
+    pub fn insert(&self, v: VertexId, p: [f64; 3]) {
+        let b = self.bucket(self.cell_of(p));
+        self.shards[b].lock().push((v, p));
+    }
+
+    /// Visit every *alive* vertex of the given kind within `radius` of `p`.
+    /// Stops early if `visit` returns `false`.
+    pub fn for_each_near(
+        &self,
+        mesh: &SharedMesh,
+        p: [f64; 3],
+        radius: f64,
+        kind: VertexKind,
+        mut visit: impl FnMut(VertexId, [f64; 3]) -> bool,
+    ) {
+        let r2 = radius * radius;
+        let reach = (radius / self.cell).ceil() as i64;
+        let c0 = self.cell_of(p);
+        let q = Point3::from_array(p);
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                for dz in -reach..=reach {
+                    let b = self.bucket([c0[0] + dx, c0[1] + dy, c0[2] + dz]);
+                    let shard = self.shards[b].lock();
+                    for &(v, vp) in shard.iter() {
+                        if q.distance_squared(Point3::from_array(vp)) > r2 {
+                            continue;
+                        }
+                        let vx = mesh.vertex(v);
+                        if !vx.is_alive() || vx.kind() != kind {
+                            continue;
+                        }
+                        if !visit(v, vp) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every alive vertex within `radius` whose kind satisfies
+    /// `filter`.
+    pub fn for_each_near_with(
+        &self,
+        mesh: &SharedMesh,
+        p: [f64; 3],
+        radius: f64,
+        filter: impl Fn(VertexKind) -> bool,
+        mut visit: impl FnMut(VertexId, [f64; 3]) -> bool,
+    ) {
+        let r2 = radius * radius;
+        let reach = (radius / self.cell).ceil() as i64;
+        let c0 = self.cell_of(p);
+        let q = Point3::from_array(p);
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                for dz in -reach..=reach {
+                    let b = self.bucket([c0[0] + dx, c0[1] + dy, c0[2] + dz]);
+                    let shard = self.shards[b].lock();
+                    for &(v, vp) in shard.iter() {
+                        if q.distance_squared(Point3::from_array(vp)) > r2 {
+                            continue;
+                        }
+                        let vx = mesh.vertex(v);
+                        if !vx.is_alive() || !filter(vx.kind()) {
+                            continue;
+                        }
+                        if !visit(v, vp) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is any alive *surface sample* (isosurface vertex or surface-center —
+    /// both lie precisely on ∂O) within `radius` of `p`? Used by rule R1's
+    /// δ-separation.
+    pub fn any_surface_sample_near(&self, mesh: &SharedMesh, p: [f64; 3], radius: f64) -> bool {
+        let mut found = false;
+        self.for_each_near_with(
+            mesh,
+            p,
+            radius,
+            |k| matches!(k, VertexKind::Isosurface | VertexKind::SurfaceCenter),
+            |_, _| {
+                found = true;
+                false
+            },
+        );
+        found
+    }
+
+    /// Is any alive vertex of `kind` within `radius` of `p`?
+    pub fn any_near(
+        &self,
+        mesh: &SharedMesh,
+        p: [f64; 3],
+        radius: f64,
+        kind: VertexKind,
+    ) -> bool {
+        let mut found = false;
+        self.for_each_near(mesh, p, radius, kind, |_, _| {
+            found = true;
+            false
+        });
+        found
+    }
+
+    /// Collect alive vertices of `kind` within `radius` of `p`.
+    pub fn collect_near(
+        &self,
+        mesh: &SharedMesh,
+        p: [f64; 3],
+        radius: f64,
+        kind: VertexKind,
+    ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.for_each_near(mesh, p, radius, kind, |v, _| {
+            out.push(v);
+            true
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2m_geometry::Aabb;
+
+    fn mesh_with_points() -> (SharedMesh, Vec<VertexId>) {
+        let m = SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(10.0, 10.0, 10.0)));
+        let mut vs = Vec::new();
+        {
+            let mut ctx = m.make_ctx(0);
+            for (p, kind) in [
+                ([2.0, 2.0, 2.0], VertexKind::Isosurface),
+                ([2.5, 2.0, 2.0], VertexKind::Circumcenter),
+                ([8.0, 8.0, 8.0], VertexKind::Isosurface),
+            ] {
+                vs.push(ctx.insert(p, kind).unwrap().vertex);
+            }
+        }
+        (m, vs)
+    }
+
+    #[test]
+    fn insert_and_query_by_kind() {
+        let (m, vs) = mesh_with_points();
+        let g = PointGrid::new(1.0);
+        for &v in &vs {
+            g.insert(v, m.pos3(v));
+        }
+        assert!(g.any_near(&m, [2.1, 2.0, 2.0], 0.5, VertexKind::Isosurface));
+        assert!(!g.any_near(&m, [2.1, 2.0, 2.0], 0.2, VertexKind::SurfaceCenter));
+        let near = g.collect_near(&m, [2.0, 2.0, 2.0], 1.0, VertexKind::Circumcenter);
+        assert_eq!(near, vec![vs[1]]);
+        // far point only sees its own neighborhood
+        assert!(!g.any_near(&m, [8.0, 8.0, 8.0], 2.0, VertexKind::Circumcenter));
+        assert!(g.any_near(&m, [8.0, 8.0, 8.0], 0.1, VertexKind::Isosurface));
+    }
+
+    #[test]
+    fn dead_vertices_filtered() {
+        let (m, vs) = mesh_with_points();
+        let g = PointGrid::new(1.0);
+        for &v in &vs {
+            g.insert(v, m.pos3(v));
+        }
+        let mut ctx = m.make_ctx(0);
+        ctx.remove(vs[1]).unwrap();
+        assert!(g
+            .collect_near(&m, [2.5, 2.0, 2.0], 0.5, VertexKind::Circumcenter)
+            .is_empty());
+    }
+
+    #[test]
+    fn radius_larger_than_cell() {
+        let (m, vs) = mesh_with_points();
+        let g = PointGrid::new(0.25); // small cells, big query radius
+        for &v in &vs {
+            g.insert(v, m.pos3(v));
+        }
+        let near = g.collect_near(&m, [2.0, 2.0, 2.0], 3.0, VertexKind::Circumcenter);
+        assert_eq!(near.len(), 1);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let m = SharedMesh::with_box(Aabb::new(
+            Point3::new(-10.0, -10.0, -10.0),
+            Point3::new(10.0, 10.0, 10.0),
+        ));
+        let mut ctx = m.make_ctx(0);
+        let v = ctx
+            .insert([-5.0, -5.0, -5.0], VertexKind::Isosurface)
+            .unwrap()
+            .vertex;
+        let g = PointGrid::new(1.0);
+        g.insert(v, m.pos3(v));
+        assert!(g.any_near(&m, [-5.2, -5.0, -5.0], 0.5, VertexKind::Isosurface));
+    }
+}

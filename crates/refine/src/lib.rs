@@ -1,0 +1,47 @@
+//! # pi2m-refine
+//!
+//! The PI2M refinement engine: the paper's primary contribution. Starting
+//! from a multi-label segmented image, it triangulates a virtual box,
+//! recovers the isosurface(s) and meshes the volume by parallel speculative
+//! Delaunay **insertions and removals** driven by rules R1–R6, with
+//! pluggable contention managers (Aggressive / Random / Global / Local,
+//! paper §5) and work-stealing balancers (flat RWS / hierarchical HWS,
+//! paper §6.1), full wasted-cycle accounting, and livelock watchdogging.
+//!
+//! ```no_run
+//! use pi2m_refine::{Mesher, MesherConfig};
+//! use pi2m_image::phantoms;
+//!
+//! let out = Mesher::new(phantoms::abdominal(1.0), MesherConfig {
+//!     delta: 2.0,
+//!     threads: 4,
+//!     ..Default::default()
+//! })
+//! .run();
+//! println!(
+//!     "{} tets at {:.0} elements/sec, {} rollbacks",
+//!     out.mesh.num_tets(),
+//!     out.stats.elements_per_second(),
+//!     out.stats.total_rollbacks()
+//! );
+//! ```
+
+pub mod balancer;
+pub mod cm;
+pub mod engine;
+pub mod grid;
+pub mod output;
+pub mod rules;
+pub mod stats;
+pub mod sync;
+pub mod topology;
+
+pub use balancer::{BalancerKind, LoadBalancer, DONATE_THRESHOLD};
+pub use cm::{CmKind, ContentionManager, R_PLUS, S_PLUS};
+pub use engine::{MeshOutput, Mesher, MesherConfig};
+pub use grid::PointGrid;
+pub use output::FinalMesh;
+pub use rules::{InsertAction, RuleConfig, Rules};
+pub use stats::{OverheadKind, RefineStats, ThreadStats, TraceEvent};
+pub use sync::EngineSync;
+pub use topology::MachineTopology;

@@ -1,0 +1,372 @@
+//! The refinement rules R1–R6 (paper §3).
+//!
+//! A tetrahedron is *poor* when some rule applies to it; classification
+//! computes the corresponding remedy:
+//!
+//! * **R1** — circumball intersects ∂O and the closest isosurface point `z`
+//!   is ≥ δ from every existing isosurface vertex ⇒ insert `z`.
+//! * **R2** — circumball intersects ∂O and circumradius > 2δ ⇒ insert the
+//!   circumcenter.
+//! * **R3** — a facet's Voronoi edge crosses ∂O and the facet has a small
+//!   planar angle (< 30°) or a non-isosurface vertex ⇒ insert the
+//!   surface-center.
+//! * **R4** — circumcenter inside O and radius-edge ratio > 2 ⇒ insert the
+//!   circumcenter.
+//! * **R5** — circumcenter inside O and circumradius > sf(c) ⇒ insert the
+//!   circumcenter.
+//! * **R6** — on insertion of an isosurface vertex `z`, already-inserted
+//!   circumcenters within 2δ of `z` are deleted (termination guarantee);
+//!   realized by the engine as removal actions after R1 commits.
+
+use crate::grid::PointGrid;
+use pi2m_delaunay::{CellId, SharedMesh, VertexKind};
+use pi2m_geometry::{circumcenter, min_triangle_angle, Point3, TET_EDGES, TET_FACES};
+use pi2m_oracle::{IsosurfaceOracle, SizeFn};
+use std::sync::Arc;
+
+/// Rule parameters.
+pub struct RuleConfig {
+    /// Base sampling density δ (world units); lower δ ⇒ denser surface
+    /// sampling and better fidelity (Theorem 1).
+    pub delta: f64,
+    /// Radius-edge ratio bound (paper: 2).
+    pub radius_edge_bound: f64,
+    /// Boundary planar angle bound in degrees (paper: 30°).
+    pub planar_angle_min_deg: f64,
+    /// Optional volume size function (rule R5).
+    pub size_fn: Option<Arc<dyn SizeFn>>,
+    /// Optional *surface* density function: a spatially varying δ, letting
+    /// high-curvature or high-interest parts of the isosurface be sampled
+    /// more densely (paper §2: "our method is able to satisfy both surface
+    /// and volume custom element densities"). Values are clamped to
+    /// `[0, delta]`; `None` means uniform δ.
+    pub surface_size_fn: Option<Arc<dyn SizeFn>>,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            delta: 1.0,
+            radius_edge_bound: 2.0,
+            planar_angle_min_deg: 30.0,
+            size_fn: None,
+            surface_size_fn: None,
+        }
+    }
+}
+
+impl RuleConfig {
+    /// The effective sampling density at `p`.
+    #[inline]
+    pub fn delta_at(&self, p: Point3) -> f64 {
+        match &self.surface_size_fn {
+            Some(sf) => sf.size_at(p).clamp(f64::MIN_POSITIVE, self.delta),
+            None => self.delta,
+        }
+    }
+}
+
+/// Remedy for a poor element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InsertAction {
+    pub point: [f64; 3],
+    pub kind: VertexKind,
+    /// Which rule fired (1..=5), for diagnostics.
+    pub rule: u8,
+}
+
+/// Shared, immutable rule evaluator.
+pub struct Rules {
+    pub cfg: RuleConfig,
+    pub oracle: Arc<IsosurfaceOracle>,
+    pub grid: Arc<PointGrid>,
+}
+
+impl Rules {
+    pub fn new(cfg: RuleConfig, oracle: Arc<IsosurfaceOracle>, grid: Arc<PointGrid>) -> Self {
+        Rules { cfg, oracle, grid }
+    }
+
+    /// Classify a cell; `None` means the cell satisfies all rules. The cell
+    /// must be alive with the given generation when called (the result may
+    /// race with concurrent kills — the kernel re-validates on execution).
+    pub fn classify(&self, mesh: &SharedMesh, c: CellId, gen: u32) -> Option<InsertAction> {
+        let cell = mesh.cell(c);
+        if !cell.is_alive() || cell.gen() != gen {
+            return None;
+        }
+        let verts = cell.verts();
+        let p: [Point3; 4] = [
+            mesh.position(verts[0]),
+            mesh.position(verts[1]),
+            mesh.position(verts[2]),
+            mesh.position(verts[3]),
+        ];
+        let cc = circumcenter(p[0], p[1], p[2], p[3])?;
+        let r = cc.distance(p[0]);
+
+        if self.oracle.ball_intersects_surface(cc, r) {
+            // R1: sample the isosurface near this circumball, at the local
+            // target density.
+            if let Some(z) = self.oracle.closest_surface_point(cc) {
+                let za = z.to_array();
+                let dz = self.cfg.delta_at(z);
+                if !self.grid.any_surface_sample_near(mesh, za, dz) {
+                    return Some(InsertAction {
+                        point: za,
+                        kind: VertexKind::Isosurface,
+                        rule: 1,
+                    });
+                }
+            }
+            // R2: surface-crossing ball too big.
+            if r > 2.0 * self.cfg.delta_at(cc) {
+                return Some(InsertAction {
+                    point: cc.to_array(),
+                    kind: VertexKind::Circumcenter,
+                    rule: 2,
+                });
+            }
+        }
+
+        // R3: facet surface-centers.
+        for i in 0..4 {
+            let n = cell.nei(i);
+            if n.is_none() {
+                continue;
+            }
+            let nsnap = match mesh.cell(n).snapshot() {
+                Some(s) => s,
+                None => continue,
+            };
+            let np: [Point3; 4] = [
+                mesh.position(nsnap.verts[0]),
+                mesh.position(nsnap.verts[1]),
+                mesh.position(nsnap.verts[2]),
+                mesh.position(nsnap.verts[3]),
+            ];
+            let ncc = match circumcenter(np[0], np[1], np[2], np[3]) {
+                Some(x) => x,
+                None => continue,
+            };
+            // Voronoi edge of the shared facet.
+            if let Some(cs) = self.oracle.segment_surface_intersection(cc, ncc) {
+                let f = TET_FACES[i];
+                let fv = [verts[f[0]], verts[f[1]], verts[f[2]]];
+                let angle = min_triangle_angle(p[f[0]], p[f[1]], p[f[2]]);
+                // both isosurface vertices and surface-centers lie
+                // precisely on the isosurface
+                let all_iso = fv.iter().all(|&v| {
+                    matches!(
+                        mesh.vertex(v).kind(),
+                        VertexKind::Isosurface | VertexKind::SurfaceCenter
+                    )
+                });
+                if angle < self.cfg.planar_angle_min_deg || !all_iso {
+                    return Some(InsertAction {
+                        point: cs.to_array(),
+                        kind: VertexKind::SurfaceCenter,
+                        rule: 3,
+                    });
+                }
+            }
+        }
+
+        if self.oracle.is_inside(cc) {
+            // R4: radius-edge quality.
+            let mut shortest = f64::INFINITY;
+            for (a, b) in TET_EDGES {
+                shortest = shortest.min(p[a].distance(p[b]));
+            }
+            if shortest > 0.0 && r / shortest > self.cfg.radius_edge_bound {
+                return Some(InsertAction {
+                    point: cc.to_array(),
+                    kind: VertexKind::Circumcenter,
+                    rule: 4,
+                });
+            }
+            // R5: user sizing.
+            if let Some(sf) = &self.cfg.size_fn {
+                if r > sf.size_at(cc) {
+                    return Some(InsertAction {
+                        point: cc.to_array(),
+                        kind: VertexKind::Circumcenter,
+                        rule: 5,
+                    });
+                }
+            }
+        }
+
+        None
+    }
+
+    /// R6 targets: circumcenter vertices within 2δ of a freshly inserted
+    /// isosurface vertex at `z` (local δ when a surface density is set).
+    pub fn r6_victims(&self, mesh: &SharedMesh, z: [f64; 3]) -> Vec<pi2m_delaunay::VertexId> {
+        let dz = self.cfg.delta_at(Point3::from_array(z));
+        self.grid
+            .collect_near(mesh, z, 2.0 * dz, VertexKind::Circumcenter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2m_geometry::Aabb;
+    use pi2m_image::phantoms;
+
+    fn setup(delta: f64) -> (SharedMesh, Rules) {
+        let img = phantoms::sphere(24, 1.0);
+        let oracle = Arc::new(IsosurfaceOracle::new(img, 1));
+        let bb = oracle.image().foreground_bounds().unwrap();
+        let mesh = SharedMesh::enclosing(&bb);
+        let grid = Arc::new(PointGrid::new(delta));
+        let rules = Rules::new(
+            RuleConfig {
+                delta,
+                ..Default::default()
+            },
+            oracle,
+            grid,
+        );
+        (mesh, rules)
+    }
+
+    #[test]
+    fn initial_cells_are_poor() {
+        let (mesh, rules) = setup(2.0);
+        // the huge initial box cells must trigger a surface rule
+        let mut poor = 0;
+        for c in mesh.alive_cells() {
+            let gen = mesh.cell(c).gen();
+            if rules.classify(&mesh, c, gen).is_some() {
+                poor += 1;
+            }
+        }
+        assert!(poor > 0, "at least one initial cell must be refinable");
+    }
+
+    #[test]
+    fn r1_respects_existing_samples() {
+        let (mesh, rules) = setup(2.0);
+        let c = mesh.alive_cells().next().unwrap();
+        let gen = mesh.cell(c).gen();
+        if let Some(act) = rules.classify(&mesh, c, gen) {
+            if act.rule == 1 {
+                // plant an isosurface vertex exactly at the proposed point:
+                // re-classification must not propose R1 there again
+                let mut ctx = mesh.make_ctx(0);
+                let r = ctx.insert(act.point, VertexKind::Isosurface).unwrap();
+                rules.grid.insert(r.vertex, act.point);
+                for c2 in mesh.alive_cells() {
+                    let g2 = mesh.cell(c2).gen();
+                    if let Some(a2) = rules.classify(&mesh, c2, g2) {
+                        if a2.rule == 1 {
+                            let d = Point3::from_array(a2.point)
+                                .distance(Point3::from_array(act.point));
+                            assert!(
+                                d >= rules.cfg.delta * 0.999,
+                                "R1 proposed a sample {d} away from an existing one"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_generation_not_classified() {
+        let (mesh, rules) = setup(2.0);
+        let c = mesh.alive_cells().next().unwrap();
+        let gen = mesh.cell(c).gen();
+        assert!(rules.classify(&mesh, c, gen + 1).is_none());
+    }
+
+    #[test]
+    fn sizing_rule_fires_inside() {
+        let img = phantoms::sphere(24, 1.0);
+        let oracle = Arc::new(IsosurfaceOracle::new(img, 1));
+        let bb = oracle.image().foreground_bounds().unwrap();
+        let mesh = SharedMesh::enclosing(&bb);
+        let grid = Arc::new(PointGrid::new(1.0));
+        let rules = Rules::new(
+            RuleConfig {
+                delta: 1.0,
+                size_fn: Some(Arc::new(pi2m_oracle::UniformSize(0.5))),
+                ..Default::default()
+            },
+            oracle.clone(),
+            grid,
+        );
+        // insert a few interior points to make an interior tet whose cc is
+        // inside; then any such tet bigger than 0.5 must be classified poor
+        let mut ctx = mesh.make_ctx(0);
+        let center = oracle.image().bounds().center();
+        for d in [
+            [0.0, 0.0, 0.0],
+            [2.0, 0.0, 0.0],
+            [0.0, 2.0, 0.0],
+            [0.0, 0.0, 2.0],
+        ] {
+            let p = [center.x + d[0], center.y + d[1], center.z + d[2]];
+            ctx.insert(p, VertexKind::Circumcenter).unwrap();
+        }
+        let mut fired = false;
+        for c in mesh.alive_cells() {
+            let gen = mesh.cell(c).gen();
+            if let Some(a) = rules.classify(&mesh, c, gen) {
+                if a.rule == 5 || a.rule == 4 || a.rule <= 3 {
+                    fired = true;
+                }
+            }
+        }
+        assert!(fired);
+        let _ = Aabb::empty();
+    }
+
+    #[test]
+    fn surface_size_fn_controls_local_density() {
+        use pi2m_oracle::RadialSize;
+        let img = phantoms::sphere(24, 1.0);
+        let oracle = Arc::new(IsosurfaceOracle::new(img, 1));
+        let center = oracle.image().bounds().center();
+        // fine sampling near +x pole of the sphere, coarse elsewhere
+        let focus = center + Point3::new(0.7 * 12.0, 0.0, 0.0);
+        let cfg = RuleConfig {
+            delta: 4.0,
+            surface_size_fn: Some(Arc::new(RadialSize {
+                focus,
+                near: 1.0,
+                growth: 1.0,
+                far: 4.0,
+            })),
+            ..Default::default()
+        };
+        assert!((cfg.delta_at(focus) - 1.0).abs() < 1e-12);
+        assert_eq!(cfg.delta_at(focus + Point3::new(-100.0, 0.0, 0.0)), 4.0);
+        // clamped to the base delta
+        let cfg2 = RuleConfig {
+            delta: 2.0,
+            surface_size_fn: Some(Arc::new(pi2m_oracle::UniformSize(10.0))),
+            ..Default::default()
+        };
+        assert_eq!(cfg2.delta_at(focus), 2.0);
+    }
+
+    #[test]
+    fn r6_victims_respect_radius() {
+        let (mesh, rules) = setup(1.0);
+        let mut ctx = mesh.make_ctx(0);
+        let center = rules.oracle.image().bounds().center().to_array();
+        let near = [center[0] + 1.0, center[1], center[2]];
+        let far = [center[0] + 10.0, center[1], center[2]];
+        let v1 = ctx.insert(near, VertexKind::Circumcenter).unwrap().vertex;
+        let v2 = ctx.insert(far, VertexKind::Circumcenter).unwrap().vertex;
+        rules.grid.insert(v1, near);
+        rules.grid.insert(v2, far);
+        let victims = rules.r6_victims(&mesh, center);
+        assert!(victims.contains(&v1));
+        assert!(!victims.contains(&v2));
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared engine-wide synchronization state: termination detection inputs,
+//! the livelock watchdog clock, and global progress accounting shared by the
+//! contention managers and load balancers.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Counters shared by all workers, their contention manager, and their load
+/// balancer.
+pub struct EngineSync {
+    pub threads: usize,
+    done: AtomicBool,
+    livelock: AtomicBool,
+    /// Threads parked in a begging list.
+    begging: AtomicUsize,
+    /// Threads parked by the contention manager.
+    cm_blocked: AtomicUsize,
+    /// Outstanding (possibly stale) PEL entries across all threads.
+    total_poor: AtomicI64,
+    /// Milliseconds-since-start of the last completed operation (watchdog).
+    last_progress_ms: AtomicU64,
+    start: Instant,
+}
+
+impl EngineSync {
+    pub fn new(threads: usize) -> Self {
+        EngineSync {
+            threads,
+            done: AtomicBool::new(false),
+            livelock: AtomicBool::new(false),
+            begging: AtomicUsize::new(0),
+            cm_blocked: AtomicUsize::new(0),
+            total_poor: AtomicI64::new(0),
+            last_progress_ms: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    pub fn set_done(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    #[inline]
+    pub fn livelocked(&self) -> bool {
+        self.livelock.load(Ordering::Acquire)
+    }
+
+    /// Watchdog trip: declare a livelock and stop the run.
+    pub fn declare_livelock(&self) {
+        self.livelock.store(true, Ordering::Release);
+        self.set_done();
+    }
+
+    /// Threads neither begging nor CM-blocked.
+    #[inline]
+    pub fn active(&self) -> usize {
+        self.threads
+            .saturating_sub(self.begging.load(Ordering::Acquire))
+            .saturating_sub(self.cm_blocked.load(Ordering::Acquire))
+    }
+
+    #[inline]
+    pub fn begging(&self) -> usize {
+        self.begging.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn cm_blocked(&self) -> usize {
+        self.cm_blocked.load(Ordering::Acquire)
+    }
+
+    pub fn enter_begging(&self) {
+        self.begging.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub fn exit_begging(&self) {
+        self.begging.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub fn enter_cm_block(&self) {
+        self.cm_blocked.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub fn exit_cm_block(&self) {
+        self.cm_blocked.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub fn total_poor(&self) -> i64 {
+        self.total_poor.load(Ordering::Acquire)
+    }
+
+    pub fn poor_added(&self, n: i64) {
+        self.total_poor.fetch_add(n, Ordering::AcqRel);
+    }
+
+    pub fn poor_taken(&self, n: i64) {
+        self.total_poor.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    /// Record a completed operation for the watchdog.
+    pub fn note_progress(&self) {
+        let ms = self.start.elapsed().as_millis() as u64;
+        self.last_progress_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Seconds since any thread completed an operation.
+    pub fn since_progress(&self) -> f64 {
+        let last = self.last_progress_ms.load(Ordering::Relaxed);
+        let now = self.start.elapsed().as_millis() as u64;
+        (now.saturating_sub(last)) as f64 / 1000.0
+    }
+
+    /// True when every thread is parked and no work remains — the global
+    /// termination condition. (Stale PEL entries keep `total_poor` positive,
+    /// so their owners cannot be parked; see DESIGN.md.)
+    pub fn quiescent(&self) -> bool {
+        self.cm_blocked() == 0 && self.total_poor() == 0 && self.begging() >= self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_accounting() {
+        let s = EngineSync::new(4);
+        assert_eq!(s.active(), 4);
+        s.enter_begging();
+        s.enter_cm_block();
+        assert_eq!(s.active(), 2);
+        assert_eq!(s.begging(), 1);
+        assert_eq!(s.cm_blocked(), 1);
+        s.exit_begging();
+        s.exit_cm_block();
+        assert_eq!(s.active(), 4);
+    }
+
+    #[test]
+    fn quiescence() {
+        let s = EngineSync::new(2);
+        assert!(!s.quiescent());
+        s.enter_begging();
+        s.enter_begging();
+        assert!(s.quiescent());
+        s.poor_added(3);
+        assert!(!s.quiescent());
+        s.poor_taken(3);
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn watchdog_clock() {
+        let s = EngineSync::new(1);
+        s.note_progress();
+        assert!(s.since_progress() < 0.5);
+    }
+
+    #[test]
+    fn livelock_sets_done() {
+        let s = EngineSync::new(1);
+        s.declare_livelock();
+        assert!(s.is_done());
+        assert!(s.livelocked());
+    }
+}

@@ -1,0 +1,50 @@
+//! Contention-manager laboratory: a desk-sized rerun of the paper's §5.5
+//! comparison on the simulated Blacklight.
+//!
+//! ```sh
+//! cargo run --release --example contention_lab [vthreads]
+//! ```
+
+use pi2m::image::phantoms;
+use pi2m::refine::CmKind;
+use pi2m::sim::{SimConfig, SimMachine, SimMesher};
+
+fn main() {
+    let vthreads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let delta: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.2);
+
+    println!("CM comparison on simulated Blacklight, {vthreads} virtual cores");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9}",
+        "CM", "vtime(s)", "rollbacks", "contention", "loadbal", "rollback-ovh", "livelock"
+    );
+    for cm in [CmKind::Aggressive, CmKind::Random, CmKind::Global, CmKind::Local] {
+        let cfg = SimConfig {
+            vthreads,
+            machine: SimMachine::blacklight(),
+            delta,
+            cm,
+            livelock_vtime: 0.25,
+            max_events: 40_000_000,
+            max_real_seconds: 90.0,
+            ..Default::default()
+        };
+        let out = SimMesher::new(phantoms::abdominal(1.0), cfg).run();
+        println!(
+            "{:<12} {:>10.4} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>9}",
+            format!("{cm:?}"),
+            out.stats.vtime,
+            out.stats.total_rollbacks(),
+            out.stats.contention_overhead(),
+            out.stats.load_balance_overhead(),
+            out.stats.rollback_overhead(),
+            if out.stats.livelock { "YES" } else { "no" },
+        );
+    }
+}

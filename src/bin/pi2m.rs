@@ -1,0 +1,212 @@
+//! `pi2m` — command-line Image-to-Mesh conversion.
+//!
+//! ```text
+//! pi2m mesh   <input.pim|phantom:NAME> [-o out.vtk] [--delta D] [--threads N]
+//!             [--cm aggressive|random|global|local] [--balancer rws|hws]
+//!             [--no-removals] [--size S] [--off out.off] [--stats]
+//! pi2m phantom <name> <out.pim> [--scale S]    generate a phantom image
+//! pi2m info   <input.pim>                      print image metadata
+//! ```
+//!
+//! Input images use the `.pim` format (see `pi2m::image::io`); `phantom:NAME`
+//! meshes a built-in phantom directly (sphere, nested, torus, abdominal,
+//! knee, head-neck).
+
+use pi2m::image::{io as img_io, phantoms, LabeledImage};
+use pi2m::meshio;
+use pi2m::quality;
+use pi2m::refine::{BalancerKind, CmKind, Mesher, MesherConfig};
+use std::io::BufWriter;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut a = Args {
+        positional: Vec::new(),
+        flags: Default::default(),
+        switches: Default::default(),
+    };
+    let mut it = raw.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    a.flags.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => {
+                    a.switches.insert(name.to_string());
+                }
+            }
+        } else if let Some(name) = arg.strip_prefix("-") {
+            if let Some(v) = it.next() {
+                a.flags.insert(name.to_string(), v.clone());
+            }
+        } else {
+            a.positional.push(arg.clone());
+        }
+    }
+    a
+}
+
+fn load_input(spec: &str) -> Result<LabeledImage, String> {
+    if let Some(name) = spec.strip_prefix("phantom:") {
+        phantoms::by_name(name, 1.0).ok_or_else(|| format!("unknown phantom '{name}'"))
+    } else {
+        img_io::load(spec).map_err(|e| format!("cannot read {spec}: {e}"))
+    }
+}
+
+fn cmd_mesh(args: &Args) -> Result<(), String> {
+    let input = args
+        .positional
+        .get(1)
+        .ok_or("usage: pi2m mesh <input.pim|phantom:NAME> [options]")?;
+    let img = load_input(input)?;
+
+    let delta: f64 = args
+        .flags
+        .get("delta")
+        .map(|v| v.parse().map_err(|_| "bad --delta"))
+        .transpose()?
+        .unwrap_or(2.0 * img.min_spacing());
+    let threads: usize = args
+        .flags
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| "bad --threads"))
+        .transpose()?
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let cm = match args.flags.get("cm").map(String::as_str) {
+        None | Some("local") => CmKind::Local,
+        Some("global") => CmKind::Global,
+        Some("random") => CmKind::Random,
+        Some("aggressive") => CmKind::Aggressive,
+        Some(other) => return Err(format!("unknown --cm '{other}'")),
+    };
+    let balancer = match args.flags.get("balancer").map(String::as_str) {
+        None | Some("hws") => BalancerKind::Hws,
+        Some("rws") => BalancerKind::Rws,
+        Some(other) => return Err(format!("unknown --balancer '{other}'")),
+    };
+    let size_fn = args
+        .flags
+        .get("size")
+        .map(|v| -> Result<_, String> {
+            let s: f64 = v.parse().map_err(|_| "bad --size")?;
+            Ok(Arc::new(pi2m::oracle::UniformSize(s)) as Arc<dyn pi2m::oracle::SizeFn>)
+        })
+        .transpose()?;
+
+    let cfg = MesherConfig {
+        delta,
+        threads,
+        cm,
+        balancer,
+        size_fn,
+        enable_removals: !args.switches.contains("no-removals"),
+        topology: pi2m::refine::MachineTopology::flat(threads),
+        ..Default::default()
+    };
+    eprintln!(
+        "meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}"
+    );
+    let t0 = std::time::Instant::now();
+    let out = Mesher::new(img, cfg).run();
+    let dt = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "{} tets / {} points in {:.2}s ({:.0} elements/s), {} rollbacks, {} removals",
+        out.mesh.num_tets(),
+        out.mesh.num_points(),
+        dt,
+        out.mesh.num_tets() as f64 / dt,
+        out.stats.total_rollbacks(),
+        out.stats.total_removals()
+    );
+
+    if args.switches.contains("stats") {
+        let q = quality::mesh_quality(&out.mesh);
+        let b = quality::boundary_report(&out.mesh);
+        let tris = out.mesh.boundary_triangles();
+        let hd = quality::hausdorff_distance(&out.mesh.points, &tris, &out.oracle, 7);
+        eprintln!(
+            "quality: max radius-edge {:.3}, dihedral ({:.1}°,{:.1}°), min boundary angle {:.1}°, Hausdorff {:.3}",
+            q.max_radius_edge, q.min_dihedral_deg, q.max_dihedral_deg, b.min_planar_angle_deg, hd
+        );
+    }
+
+    let out_path = args.flags.get("o").cloned().unwrap_or_else(|| "mesh.vtk".into());
+    let f = std::fs::File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    meshio::write_vtk(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {out_path}");
+    if let Some(off) = args.flags.get("off") {
+        let f = std::fs::File::create(off).map_err(|e| format!("{off}: {e}"))?;
+        meshio::write_off(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {off}");
+    }
+    Ok(())
+}
+
+fn cmd_phantom(args: &Args) -> Result<(), String> {
+    let name = args.positional.get(1).ok_or("usage: pi2m phantom <name> <out.pim>")?;
+    let out = args.positional.get(2).ok_or("usage: pi2m phantom <name> <out.pim>")?;
+    let scale: f64 = args
+        .flags
+        .get("scale")
+        .map(|v| v.parse().map_err(|_| "bad --scale"))
+        .transpose()?
+        .unwrap_or(1.0);
+    let img = phantoms::by_name(name, scale).ok_or_else(|| {
+        format!("unknown phantom '{name}' (try sphere, nested, torus, abdominal, knee, head-neck)")
+    })?;
+    img_io::save(&img, out).map_err(|e| e.to_string())?;
+    let d = img.dims();
+    eprintln!(
+        "wrote {out}: {}x{}x{}, {} tissues",
+        d[0],
+        d[1],
+        d[2],
+        img.num_tissues()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let input = args.positional.get(1).ok_or("usage: pi2m info <input.pim>")?;
+    let img = load_input(input)?;
+    let d = img.dims();
+    let s = img.spacing();
+    println!("dims     : {} x {} x {}", d[0], d[1], d[2]);
+    println!("spacing  : {} x {} x {} mm", s[0], s[1], s[2]);
+    println!("tissues  : {}", img.num_tissues());
+    println!("volume   : {:.1} mm^3 foreground", img.foreground_volume());
+    let h = img.label_histogram();
+    for (l, &c) in h.iter().enumerate().skip(1) {
+        if c > 0 {
+            println!("  label {l:>3}: {c:>9} voxels");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&raw);
+    let r = match args.positional.first().map(String::as_str) {
+        Some("mesh") => cmd_mesh(&args),
+        Some("phantom") => cmd_phantom(&args),
+        Some("info") => cmd_info(&args),
+        _ => Err("usage: pi2m <mesh|phantom|info> ... (see --help in README)".into()),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
