@@ -205,9 +205,6 @@ mod tests {
         )
         .run();
         let (a, b) = (base.mesh.num_tets() as f64, pi2m.mesh.num_tets() as f64);
-        assert!(
-            (a - b).abs() / b < 0.5,
-            "baseline {a} vs pi2m {b} elements"
-        );
+        assert!((a - b).abs() / b < 0.5, "baseline {a} vs pi2m {b} elements");
     }
 }

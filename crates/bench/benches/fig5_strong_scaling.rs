@@ -40,7 +40,10 @@ fn main() {
     }
     let t1 = hws[0].vtime.min(rws[0].vtime);
 
-    println!("Figure 5a — strong scaling speedup (fixed problem, {} elements)", hws[0].final_elements);
+    println!(
+        "Figure 5a — strong scaling speedup (fixed problem, {} elements)",
+        hws[0].final_elements
+    );
     println!("{:<10} {:>12} {:>12}", "#Threads", "RWS", "HWS");
     for (i, &n) in thread_counts.iter().enumerate() {
         println!(
@@ -51,7 +54,10 @@ fn main() {
     }
 
     println!("\nFigure 5b — inter-blade accesses");
-    println!("{:<10} {:>14} {:>14} {:>12}", "#Threads", "RWS", "HWS", "reduction");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "#Threads", "RWS", "HWS", "reduction"
+    );
     for (i, &n) in thread_counts.iter().enumerate() {
         let (a, b) = (rws[i].inter_blade_touches, hws[i].inter_blade_touches);
         let red = if a > 0 {

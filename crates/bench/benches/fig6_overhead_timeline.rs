@@ -33,13 +33,13 @@ fn main() {
     let bins = 40usize;
     let mut cum = [[0.0f64; 3]; 1024];
     for ev in &trace {
-        let b = (((ev.at as f64) / t_end * bins as f64) as usize).min(bins - 1);
+        let b = ((ev.at / t_end * bins as f64) as usize).min(bins - 1);
         let k = match ev.kind {
             OverheadKind::Contention => 0,
             OverheadKind::LoadBalance => 1,
             OverheadKind::Rollback => 2,
         };
-        cum[b][k] += ev.dur as f64;
+        cum[b][k] += ev.dur;
     }
     println!(
         "Figure 6 — overhead vs wall time ({} vthreads, {} elements, makespan {:.3} vs)",
@@ -50,9 +50,9 @@ fn main() {
         "wall(s)", "contention", "load balance", "rollback", "total(cum)"
     );
     let mut totals = [0.0f64; 3];
-    for b in 0..bins {
+    for (b, bin) in cum.iter().enumerate().take(bins) {
         for k in 0..3 {
-            totals[k] += cum[b][k];
+            totals[k] += bin[k];
         }
         println!(
             "{:>10.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
@@ -67,8 +67,8 @@ fn main() {
     let early_end = t_end * 0.1;
     let early: f64 = trace
         .iter()
-        .filter(|e| (e.at as f64) < early_end)
-        .map(|e| e.dur as f64)
+        .filter(|e| e.at < early_end)
+        .map(|e| e.dur)
         .sum();
     let budget = early_end * n as f64;
     println!(

@@ -12,7 +12,10 @@
 //! Run: `cargo bench -p pi2m-bench --bench table1_cm` (set `PI2M_FULL=1`
 //! for a larger mesh).
 
-use pi2m_bench::{all_cms, eng, full_mode, rule};
+//!
+//! Set `PI2M_REPORT_DIR` to also drop a JSON run report per configuration.
+
+use pi2m_bench::{all_cms, emit_report, eng, full_mode, rule, sim_report};
 use pi2m_image::phantoms;
 use pi2m_sim::{SimConfig, SimMachine, SimMesher};
 
@@ -38,7 +41,10 @@ fn main() {
     );
 
     for cores in [128usize, 256] {
-        println!("Table 1{} — {cores} cores", if cores == 128 { "a" } else { "b" });
+        println!(
+            "Table 1{} — {cores} cores",
+            if cores == 128 { "a" } else { "b" }
+        );
         println!(
             "{:<28} {:>12} {:>12} {:>12} {:>12}",
             "", "Aggressive", "Random", "Global", "Local"
@@ -57,6 +63,8 @@ fn main() {
             };
             let out = SimMesher::new(img.clone(), cfg).run();
             let s = &out.stats;
+            let report = sim_report("table1_cm", cm, cores, delta1, s);
+            emit_report(&report, &format!("{cores}c-{cm:?}"));
             if s.livelock || s.aborted {
                 for row in rows.iter_mut().take(7) {
                     row.push("n/a".into());

@@ -11,14 +11,24 @@ fn main() {
     println!("Table 3 — inputs (phantom scale {scale})\n");
     println!(
         "{:<12} {:<28} {:>16} {:>18} {:>8}  {:>16} {:>18} {:>8}",
-        "phantom", "paper analog", "paper dims", "paper spacing", "tissues", "our dims", "our spacing", "tissues"
+        "phantom",
+        "paper analog",
+        "paper dims",
+        "paper spacing",
+        "tissues",
+        "our dims",
+        "our spacing",
+        "tissues"
     );
     for s in phantoms::specs(scale) {
         println!(
             "{:<12} {:<28} {:>16} {:>18} {:>8}  {:>16} {:>18} {:>8}",
             s.name,
             s.paper_analog,
-            format!("{}x{}x{}", s.paper_dims[0], s.paper_dims[1], s.paper_dims[2]),
+            format!(
+                "{}x{}x{}",
+                s.paper_dims[0], s.paper_dims[1], s.paper_dims[2]
+            ),
             format!(
                 "{}x{}x{} mm",
                 s.paper_spacing[0], s.paper_spacing[1], s.paper_spacing[2]

@@ -31,11 +31,8 @@ fn ideal_network() -> SimMachine {
 }
 
 fn main() {
-    let thread_counts: Vec<usize> = if full_mode() {
-        vec![1, 16, 32, 64, 128, 144, 160, 176]
-    } else {
-        vec![1, 16, 32, 64, 128, 144, 160, 176]
-    };
+    // same ladder in both modes; PI2M_FULL only raises the mesh size
+    let thread_counts: Vec<usize> = vec![1, 16, 32, 64, 128, 144, 160, 176];
     let delta1 = if full_mode() { 1.2 } else { 2.2 };
 
     for (tag, name, img) in [
@@ -114,7 +111,10 @@ fn main() {
             .collect();
         print_row(
             "Speedup",
-            &speedups.iter().map(|&v| format!("{v:.2}")).collect::<Vec<_>>(),
+            &speedups
+                .iter()
+                .map(|&v| format!("{v:.2}"))
+                .collect::<Vec<_>>(),
         );
         print_row(
             "Efficiency",

@@ -23,7 +23,10 @@ fn main() {
     println!(
         "{:<28} {}",
         "#Cores",
-        core_counts.iter().map(|n| format!("{n:>10}")).collect::<String>()
+        core_counts
+            .iter()
+            .map(|n| format!("{n:>10}"))
+            .collect::<String>()
     );
 
     let mut rel_speedup = Vec::new();
@@ -72,10 +75,10 @@ fn main() {
         // with a core-resident sibling, each thread touches roughly half the
         // elements → fewer per-thread TLB/LLC misses; the busier pipeline
         // cuts resource stalls. Remote traffic (which *rose*) feeds back in.
-        let work_share = base.total_operations() as f64
-            / (smt.total_operations() as f64 / 2.0).max(1.0);
-        let remote_ratio = (smt.inter_blade_touches as f64 + 1.0)
-            / (base.inter_blade_touches as f64 + 1.0);
+        let work_share =
+            base.total_operations() as f64 / (smt.total_operations() as f64 / 2.0).max(1.0);
+        let remote_ratio =
+            (smt.inter_blade_touches as f64 + 1.0) / (base.inter_blade_touches as f64 + 1.0);
         tlb.push(-100.0 * (1.0 - 1.0 / work_share.max(1.0)) - 2.0 * remote_ratio.min(10.0));
         llc.push(-100.0 * (1.0 - 0.55 / work_share.max(1.0)).clamp(0.3, 0.75));
         stall.push(-100.0 * 0.45);

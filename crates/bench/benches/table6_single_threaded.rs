@@ -16,9 +16,9 @@ use pi2m_baseline::plc::PlcBaselineConfig;
 use pi2m_baseline::{IsosurfaceBaseline, PlcBaseline};
 use pi2m_bench::full_mode;
 use pi2m_image::phantoms;
+use pi2m_oracle::IsosurfaceOracle;
 use pi2m_quality::{boundary_report, hausdorff_distance, mesh_quality};
 use pi2m_refine::{FinalMesh, Mesher, MesherConfig};
-use pi2m_oracle::IsosurfaceOracle;
 use std::sync::Arc;
 
 struct Row {
@@ -35,7 +35,15 @@ struct Row {
     ops: u64,
 }
 
-fn measure(name: &'static str, mesh: &FinalMesh, time: f64, edt: f64, oracle: &IsosurfaceOracle, removals: u64, ops: u64) -> Row {
+fn measure(
+    name: &'static str,
+    mesh: &FinalMesh,
+    time: f64,
+    edt: f64,
+    oracle: &IsosurfaceOracle,
+    removals: u64,
+    ops: u64,
+) -> Row {
     let q = mesh_quality(mesh);
     let b = boundary_report(mesh);
     let tris = mesh.boundary_triangles();
@@ -127,12 +135,29 @@ fn main() {
 
         println!(
             "{:<18} {:>10} {:>9} {:>9} {:>12} {:>8} {:>10} {:>16} {:>10}",
-            "", "#tets", "time(s)", "edt(s)", "tets/sec", "max R/e", "min∠bnd", "dihedral(°)", "Hausdorff"
+            "",
+            "#tets",
+            "time(s)",
+            "edt(s)",
+            "tets/sec",
+            "max R/e",
+            "min∠bnd",
+            "dihedral(°)",
+            "Hausdorff"
         );
         for r in &rows {
             println!(
                 "{:<18} {:>10} {:>9.3} {:>9.3} {:>12.0} {:>8.2} {:>9.1}° {:>7.1}°/{:<7.1}° {:>9.2}",
-                r.name, r.tets, r.time, r.edt, r.rate, r.max_re, r.min_planar, r.dih.0, r.dih.1, r.hausdorff
+                r.name,
+                r.tets,
+                r.time,
+                r.edt,
+                r.rate,
+                r.max_re,
+                r.min_planar,
+                r.dih.0,
+                r.dih.1,
+                r.hausdorff
             );
         }
         let pi2m = &rows[0];

@@ -7,12 +7,19 @@
 //! Knobs (environment variables):
 //! * `PI2M_FULL=1` — run closer-to-paper problem sizes (slower).
 //! * `PI2M_EPT` — target elements per virtual thread in scaling studies.
+//! * `PI2M_REPORT_DIR` — when set, harnesses drop a machine-readable JSON
+//!   run report per configuration into that directory (see `emit_report`).
 
+use pi2m_obs::{OverheadBreakdown, RunReport};
 use pi2m_refine::CmKind;
+use pi2m_sim::SimStats;
+use std::path::PathBuf;
 
 /// True when `PI2M_FULL=1`: larger problems, longer runs.
 pub fn full_mode() -> bool {
-    std::env::var("PI2M_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("PI2M_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Target elements per thread for weak-scaling studies.
@@ -33,7 +40,65 @@ pub fn weak_scaling_delta(delta1: f64, n: usize) -> f64 {
 
 /// All four contention managers in the paper's column order.
 pub fn all_cms() -> [CmKind; 4] {
-    [CmKind::Aggressive, CmKind::Random, CmKind::Global, CmKind::Local]
+    [
+        CmKind::Aggressive,
+        CmKind::Random,
+        CmKind::Global,
+        CmKind::Local,
+    ]
+}
+
+/// The wasted-cycle breakdown of one simulated run, in the shape the
+/// `pi2m-obs` exporters consume.
+pub fn sim_breakdown(stats: &SimStats) -> OverheadBreakdown {
+    OverheadBreakdown {
+        contention_s: stats.contention_overhead(),
+        load_balance_s: stats.load_balance_overhead(),
+        rollback_s: stats.rollback_overhead(),
+        rollbacks: stats.total_rollbacks(),
+        livelock: stats.livelock,
+    }
+}
+
+/// Build a JSON run report for one simulated configuration. Harness-agnostic:
+/// the caller adds any extra `config` keys before emitting.
+pub fn sim_report(
+    tool: &str,
+    cm: CmKind,
+    vthreads: usize,
+    delta: f64,
+    stats: &SimStats,
+) -> RunReport {
+    let mut r = RunReport::new(tool);
+    r.config("cm", format!("{cm:?}"))
+        .config("vthreads", vthreads)
+        .config("delta", delta)
+        .config("full_mode", full_mode());
+    r.overheads = sim_breakdown(stats);
+    r.threads = vthreads;
+    r.wall_s = stats.vtime;
+    r.elements = stats.final_elements as u64;
+    r
+}
+
+/// Write `report` to `$PI2M_REPORT_DIR/<tool>-<suffix>.json` and return the
+/// path; `None` (and no I/O) when the variable is unset. Harnesses call this
+/// after each configuration so table/figure runs leave machine-readable
+/// artifacts next to their printed output.
+pub fn emit_report(report: &RunReport, suffix: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("PI2M_REPORT_DIR")?);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("PI2M_REPORT_DIR {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{}-{suffix}.json", report.tool));
+    match std::fs::write(&path, report.to_json_string()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            None
+        }
+    }
 }
 
 /// Pretty horizontal rule for harness output.
@@ -48,7 +113,11 @@ pub fn eng(v: f64) -> String {
     }
     let a = v.abs();
     if a >= 1e6 {
-        format!("{:.2}e{}", v / 10f64.powi(a.log10() as i32), a.log10() as i32)
+        format!(
+            "{:.2}e{}",
+            v / 10f64.powi(a.log10() as i32),
+            a.log10() as i32
+        )
     } else if a >= 100.0 {
         format!("{v:.0}")
     } else if a >= 1.0 {
@@ -69,6 +138,25 @@ mod tests {
         assert!((d8 - 1.0).abs() < 1e-12);
         // elements ratio (d1/d8)^3 == 8
         assert!(((d1 / d8).powi(3) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_report_round_trips_overheads() {
+        let stats = SimStats {
+            vtime: 2.0,
+            final_elements: 500,
+            ..Default::default()
+        };
+        let r = sim_report("table1_cm", CmKind::Local, 128, 1.1, &stats);
+        assert_eq!(r.tool, "table1_cm");
+        assert_eq!(r.threads, 128);
+        assert_eq!(r.elements, 500);
+        let j = pi2m_obs::json::parse(&r.to_json_string()).unwrap();
+        assert_eq!(
+            j.get("config").unwrap().get("cm").unwrap().as_str(),
+            Some("Local")
+        );
+        assert_eq!(j.get("wall_s").unwrap().as_f64(), Some(2.0));
     }
 
     #[test]

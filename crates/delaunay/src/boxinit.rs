@@ -120,12 +120,13 @@ pub fn virtual_box(domain: &Aabb) -> Aabb {
     domain.inflated(margin)
 }
 
+/// Corner positions, tetrahedra (vertex quadruples), and per-tet adjacency
+/// of the initial box triangulation.
+pub type BoxMesh = ([[f64; 3]; 8], Vec<[usize; 4]>, Vec<[usize; 4]>);
+
 /// The initial triangulation of a box: corners, positively oriented
 /// SoS-Delaunay tetrahedra (under `keys`), and their adjacency.
-pub fn box_mesh(
-    b: &Aabb,
-    keys: &[u64; 8],
-) -> ([[f64; 3]; 8], Vec<[usize; 4]>, Vec<[usize; 4]>) {
+pub fn box_mesh(b: &Aabb, keys: &[u64; 8]) -> BoxMesh {
     let corners = box_corners(b);
     let tets = sos_delaunay_of_corners(&corners, keys);
     // the SoS-DT of hull points always tiles the hull; assert it
@@ -164,7 +165,11 @@ mod tests {
     fn sos_dt_tiles_the_box() {
         let (c, tets, _) = box_mesh(&unit_box(), &KEYS);
         // 5 or 6 tets depending on the tie resolution; all positive volume
-        assert!(tets.len() == 5 || tets.len() == 6, "got {} tets", tets.len());
+        assert!(
+            tets.len() == 5 || tets.len() == 6,
+            "got {} tets",
+            tets.len()
+        );
         for t in &tets {
             let v = pi2m_geometry::signed_volume(
                 P::from_array(c[t[0]]),
@@ -199,8 +204,7 @@ mod tests {
     fn adjacency_is_symmetric_and_complete() {
         let (_, tets, adj) = box_mesh(&unit_box(), &KEYS);
         for (a, na) in adj.iter().enumerate() {
-            for i in 0..4 {
-                let b = na[i];
+            for (i, &b) in na.iter().enumerate() {
                 if b == usize::MAX {
                     continue;
                 }

@@ -119,12 +119,11 @@ impl OpCtx<'_> {
             let mut forced: Vec<CellId> = Vec::new();
             for &c in &cavity {
                 let cell = self.mesh.cell(c);
-                for i in 0..4 {
+                for (i, &f) in TET_FACES.iter().enumerate() {
                     let n = cell.nei(i);
                     if !n.is_none() && state.get(&n.0) == Some(&true) {
                         continue; // interior face
                     }
-                    let f = TET_FACES[i];
                     let fv = [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])];
                     let s = orient3d(
                         &self.mesh.pos3(fv[0]),
@@ -212,7 +211,14 @@ impl OpCtx<'_> {
         // twin new cell.
         let mut neis: Vec<[CellId; 4]> = bfaces
             .iter()
-            .map(|bf| [CellId(crate::ids::NONE), CellId(crate::ids::NONE), CellId(crate::ids::NONE), bf.outside])
+            .map(|bf| {
+                [
+                    CellId(crate::ids::NONE),
+                    CellId(crate::ids::NONE),
+                    CellId(crate::ids::NONE),
+                    bf.outside,
+                ]
+            })
             .collect();
         let mut edge_map: FxHashMap<u64, (usize, usize)> = FxHashMap::default();
         edge_map.reserve(bfaces.len() * 2);
@@ -257,7 +263,11 @@ impl OpCtx<'_> {
         // kill the cavity
         let mut killed = Vec::with_capacity(cavity.len());
         for &c in &cavity {
-            let tag = self.mesh.cell(c).tag.load(std::sync::atomic::Ordering::Relaxed);
+            let tag = self
+                .mesh
+                .cell(c)
+                .tag
+                .load(std::sync::atomic::Ordering::Relaxed);
             killed.push((c, tag));
             self.mesh.cells.free(c, &mut self.free_cells);
         }
@@ -372,7 +382,11 @@ mod tests {
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..200 {
-            let p = [next() * 0.98 + 0.01, next() * 0.98 + 0.01, next() * 0.98 + 0.01];
+            let p = [
+                next() * 0.98 + 0.01,
+                next() * 0.98 + 0.01,
+                next() * 0.98 + 0.01,
+            ];
             ctx.insert(p, VertexKind::Circumcenter).unwrap();
         }
         m.check_adjacency().unwrap();
@@ -386,7 +400,9 @@ mod tests {
     fn duplicate_rejected() {
         let m = unit_mesh();
         let mut ctx = m.make_ctx(0);
-        let r = ctx.insert([0.25, 0.5, 0.5], VertexKind::Isosurface).unwrap();
+        let r = ctx
+            .insert([0.25, 0.5, 0.5], VertexKind::Isosurface)
+            .unwrap();
         match ctx.insert([0.25, 0.5, 0.5], VertexKind::Isosurface) {
             Err(OpError::Duplicate(v)) => assert_eq!(v, r.vertex),
             other => panic!("expected duplicate, got {other:?}"),

@@ -33,5 +33,5 @@ mod walk;
 pub use ids::{CellId, CellRef, VertexId, VertexKind, NONE};
 pub use insert::PreparedInsert;
 pub use mesh::{InsertResult, OpCtx, OpError, RemoveResult, SharedMesh};
-pub use remove::PreparedRemove;
 pub use pool::{Cell, CellSnap, Vertex};
+pub use remove::PreparedRemove;

@@ -119,12 +119,11 @@ impl LocalDt {
             let mut forced = Vec::new();
             for &c in &cavity {
                 let cell = self.cells[c as usize].clone();
-                for i in 0..4 {
+                for (i, &f) in TET_FACES.iter().enumerate() {
                     let n = cell.n[i];
                     if n != LNONE && state.get(&n) == Some(&true) {
                         continue;
                     }
-                    let f = TET_FACES[i];
                     let fv = [cell.v[f[0]], cell.v[f[1]], cell.v[f[2]]];
                     let s = orient3d(
                         &self.pts[fv[0] as usize],

@@ -35,7 +35,11 @@ pub enum OpError {
     /// `vertex` is the contested vertex and `held` how many locks this
     /// operation had acquired before failing (used by the simulator's
     /// incremental-acquisition model).
-    Conflict { owner: u32, vertex: VertexId, held: u32 },
+    Conflict {
+        owner: u32,
+        vertex: VertexId,
+        held: u32,
+    },
     /// The point lies outside the triangulated virtual box; the refinement
     /// rule proposing it is skipped.
     OutsideDomain,
@@ -212,6 +216,7 @@ impl SharedMesh {
             free_cells: Vec::new(),
             last_cell: self.recent_cell(),
             rng: 0x9e37_79b9_7f4a_7c15u64 ^ ((tid as u64 + 1) << 32),
+            walk_stats: WalkStats::default(),
         }
     }
 
@@ -221,7 +226,7 @@ impl SharedMesh {
     pub fn check_adjacency(&self) -> Result<(), String> {
         for c in self.alive_cells() {
             let cell = self.cell(c);
-            for i in 0..4 {
+            for (i, face) in TET_FACES.iter().enumerate() {
                 let n = cell.nei(i);
                 if n.is_none() {
                     continue;
@@ -235,7 +240,7 @@ impl SharedMesh {
                     return Err(format!("cell {n:?} lacks back-pointer to {c:?}"));
                 }
                 // shared face must consist of the same 3 vertices
-                let mut fa: Vec<u32> = TET_FACES[i].iter().map(|&k| cell.vert(k).0).collect();
+                let mut fa: Vec<u32> = face.iter().map(|&k| cell.vert(k).0).collect();
                 let j = back.unwrap();
                 let mut fb: Vec<u32> = TET_FACES[j].iter().map(|&k| ncell.vert(k).0).collect();
                 fa.sort_unstable();
@@ -359,6 +364,16 @@ impl SharedMesh {
     }
 }
 
+/// Point-location walk effort accumulated by one [`OpCtx`] (plain counters,
+/// drained by the caller via [`OpCtx::take_walk_stats`] — no atomics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalkStats {
+    /// Completed `locate` calls.
+    pub locates: u64,
+    /// Cells visited across those walks (including restarted segments).
+    pub steps: u64,
+}
+
 /// Per-thread operation context: scratch state, the lock set, and the local
 /// cell free-list. Not `Send`-migrating mid-operation; one per worker.
 pub struct OpCtx<'m> {
@@ -370,6 +385,15 @@ pub struct OpCtx<'m> {
     /// Walk hint: last cell this thread created/visited.
     pub last_cell: CellId,
     pub(crate) rng: u64,
+    pub(crate) walk_stats: WalkStats,
+}
+
+impl OpCtx<'_> {
+    /// Drain the walk-effort counters accumulated since the last call.
+    #[inline]
+    pub fn take_walk_stats(&mut self) -> WalkStats {
+        std::mem::take(&mut self.walk_stats)
+    }
 }
 
 impl<'m> OpCtx<'m> {
@@ -444,10 +468,7 @@ impl<'m> OpCtx<'m> {
 
 impl Drop for OpCtx<'_> {
     fn drop(&mut self) {
-        debug_assert!(
-            self.locked.is_empty(),
-            "OpCtx dropped while holding locks"
-        );
+        debug_assert!(self.locked.is_empty(), "OpCtx dropped while holding locks");
         self.unlock_all();
     }
 }
@@ -490,7 +511,11 @@ mod tests {
         let mut b = m.make_ctx(1);
         a.lock_vertex(v).unwrap();
         match b.lock_vertex(v) {
-            Err(OpError::Conflict { owner, vertex, held }) => {
+            Err(OpError::Conflict {
+                owner,
+                vertex,
+                held,
+            }) => {
                 assert_eq!(owner, 0);
                 assert_eq!(vertex, v);
                 assert_eq!(held, 0);

@@ -34,8 +34,7 @@ impl Vertex {
         for (slot, v) in self.pos.iter().zip(p) {
             slot.store(v.to_bits(), Ordering::Relaxed);
         }
-        self.meta
-            .store(1 | ((kind as u32) << 8), Ordering::Release);
+        self.meta.store(1 | ((kind as u32) << 8), Ordering::Release);
         self.hint.store(NONE, Ordering::Relaxed);
         self.lock.store(0, Ordering::Release);
     }
@@ -190,7 +189,11 @@ impl Cell {
         let verts = self.verts();
         let neis = self.neis();
         let g2 = self.gen.load(Ordering::Acquire);
-        (g1 == g2).then_some(CellSnap { verts, neis, gen: g1 })
+        (g1 == g2).then_some(CellSnap {
+            verts,
+            neis,
+            gen: g1,
+        })
     }
 
     fn activate(&self, verts: [VertexId; 4], neis: [CellId; 4]) {
@@ -261,9 +264,7 @@ macro_rules! segmented_pool {
                     Err(winner) => {
                         // SAFETY: we own `ptr`, nobody else saw it.
                         unsafe {
-                            drop(Box::from_raw(std::slice::from_raw_parts_mut(
-                                ptr, SEG_SIZE,
-                            )));
+                            drop(Box::from_raw(std::slice::from_raw_parts_mut(ptr, SEG_SIZE)));
                         }
                         winner
                     }
@@ -282,7 +283,7 @@ macro_rules! segmented_pool {
             /// Access an element. Panics on out-of-range ids.
             #[inline]
             pub fn get(&self, id: u32) -> &$elem {
-                debug_assert!((id as usize) < self.len() , "stale id {}", id);
+                debug_assert!((id as usize) < self.len(), "stale id {}", id);
                 let seg = (id >> SEG_SHIFT) as usize;
                 let off = (id as usize) & (SEG_SIZE - 1);
                 let ptr = self.segs[seg].load(Ordering::Acquire);
@@ -300,9 +301,7 @@ macro_rules! segmented_pool {
                     if !ptr.is_null() {
                         // SAFETY: exclusive access in drop; ptr from Box.
                         unsafe {
-                            drop(Box::from_raw(std::slice::from_raw_parts_mut(
-                                ptr, SEG_SIZE,
-                            )));
+                            drop(Box::from_raw(std::slice::from_raw_parts_mut(ptr, SEG_SIZE)));
                         }
                     }
                 }
@@ -367,12 +366,7 @@ impl VertexPool {
 impl CellPool {
     /// Activate a cell in slot taken from `free` (or a fresh slot) and return
     /// its id.
-    pub fn alloc(
-        &self,
-        free: &mut Vec<CellId>,
-        verts: [VertexId; 4],
-        neis: [CellId; 4],
-    ) -> CellId {
+    pub fn alloc(&self, free: &mut Vec<CellId>, verts: [VertexId; 4], neis: [CellId; 4]) -> CellId {
         let id = self.reserve(free);
         self.activate(id, verts, neis);
         id
@@ -496,7 +490,10 @@ mod tests {
             assert_eq!(v.idx(), i);
         }
         assert_eq!(pool.len(), n);
-        assert_eq!(pool.vertex(VertexId(SEG_SIZE as u32 + 5)).pos()[0], (SEG_SIZE + 5) as f64);
+        assert_eq!(
+            pool.vertex(VertexId(SEG_SIZE as u32 + 5)).pos()[0],
+            (SEG_SIZE + 5) as f64
+        );
     }
 
     #[test]

@@ -267,10 +267,7 @@ impl OpCtx<'_> {
 
         // ---- volume identity: region must fill exactly the ball ----
         let vol_of = |pts: [Point3; 4]| signed_volume(pts[0], pts[1], pts[2], pts[3]);
-        let ball_vol: f64 = ball
-            .iter()
-            .map(|&c| vol_of(self.mesh.cell_points(c)))
-            .sum();
+        let ball_vol: f64 = ball.iter().map(|&c| vol_of(self.mesh.cell_points(c))).sum();
         let region_vol: f64 = region
             .iter()
             .map(|&lc| {
@@ -295,7 +292,8 @@ impl OpCtx<'_> {
         }
         // per region cell: (verts, neighbor spec) where neighbor spec is
         // either Region(index) or Outside(link face index)
-        let mut plans: Vec<([VertexId; 4], [Option<Nb>; 4])> = Vec::with_capacity(region_list.len());
+        let mut plans: Vec<([VertexId; 4], [Option<Nb>; 4])> =
+            Vec::with_capacity(region_list.len());
         for &lc in &region_list {
             let cv = dt.cell_verts(lc);
             let cn = dt.cell_neis(lc);
@@ -369,7 +367,11 @@ impl OpCtx<'_> {
         }
         let mut killed = Vec::with_capacity(ball.len());
         for &c in &ball {
-            let tag = self.mesh.cell(c).tag.load(std::sync::atomic::Ordering::Relaxed);
+            let tag = self
+                .mesh
+                .cell(c)
+                .tag
+                .load(std::sync::atomic::Ordering::Relaxed);
             killed.push((c, tag));
             self.mesh.cells.free(c, &mut self.free_cells);
         }
@@ -414,7 +416,9 @@ mod tests {
     fn insert_then_remove_restores_structure() {
         let m = unit_mesh();
         let mut ctx = m.make_ctx(0);
-        let r = ctx.insert([0.4, 0.5, 0.6], VertexKind::Circumcenter).unwrap();
+        let r = ctx
+            .insert([0.4, 0.5, 0.6], VertexKind::Circumcenter)
+            .unwrap();
         let before = m.num_alive_cells();
         assert!(before > 6);
         let rr = ctx.remove(r.vertex).unwrap();
@@ -431,10 +435,7 @@ mod tests {
     fn remove_box_corner_refused() {
         let m = unit_mesh();
         let mut ctx = m.make_ctx(0);
-        assert_eq!(
-            ctx.remove(m.corner_ids()[0]),
-            Err(OpError::Degenerate)
-        );
+        assert_eq!(ctx.remove(m.corner_ids()[0]), Err(OpError::Degenerate));
         assert_eq!(m.num_alive_cells(), 6);
     }
 
@@ -479,7 +480,9 @@ mod tests {
     fn remove_conflict_rolls_back() {
         let m = unit_mesh();
         let mut ctx = m.make_ctx(0);
-        let r = ctx.insert([0.5, 0.5, 0.25], VertexKind::Circumcenter).unwrap();
+        let r = ctx
+            .insert([0.5, 0.5, 0.25], VertexKind::Circumcenter)
+            .unwrap();
         let mut other = m.make_ctx(1);
         other.lock_vertex(m.corner_ids()[0]).unwrap();
         match ctx.remove(r.vertex) {

@@ -26,9 +26,14 @@ impl OpCtx<'_> {
     /// * [`OpError::OutsideDomain`] — `p` lies outside the virtual box;
     /// * [`OpError::Degenerate`] — the walk could not converge.
     pub(crate) fn locate(&mut self, p: [f64; 3]) -> Result<CellId, OpError> {
-        if !self.mesh.bbox().contains(pi2m_geometry::Point3::from_array(p)) {
+        if !self
+            .mesh
+            .bbox()
+            .contains(pi2m_geometry::Point3::from_array(p))
+        {
             return Err(OpError::OutsideDomain);
         }
+        self.walk_stats.locates += 1;
         let mut restarts = 0usize;
         let mut cur = self.walk_start();
         'outer: loop {
@@ -38,6 +43,7 @@ impl OpCtx<'_> {
             let mut steps = 0usize;
             loop {
                 steps += 1;
+                self.walk_stats.steps += 1;
                 if steps > MAX_STEPS {
                     restarts += 1;
                     cur = self.random_alive_cell();
@@ -103,12 +109,7 @@ impl OpCtx<'_> {
     /// On `Ok(false)` the locks taken for the candidate are released only if
     /// the caller holds nothing else (locate is always the first phase of an
     /// operation, so the lock set is exactly the candidate's vertices).
-    fn validate_candidate(
-        &mut self,
-        c: CellId,
-        gen: u32,
-        p: &[f64; 3],
-    ) -> Result<bool, OpError> {
+    fn validate_candidate(&mut self, c: CellId, gen: u32, p: &[f64; 3]) -> Result<bool, OpError> {
         let cell = self.mesh.cell(c);
         for k in 0..4 {
             if let Err(e) = self.lock_vertex(cell.vert(k)) {

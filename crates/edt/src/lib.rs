@@ -19,4 +19,7 @@
 
 mod transform;
 
-pub use transform::{feature_transform, surface_feature_transform, FeatureTransform, NO_SITE};
+pub use transform::{
+    feature_transform, feature_transform_obs, surface_feature_transform,
+    surface_feature_transform_obs, FeatureTransform, NO_SITE,
+};

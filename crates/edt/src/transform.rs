@@ -2,7 +2,9 @@
 
 use pi2m_geometry::Point3;
 use pi2m_image::LabeledImage;
+use pi2m_obs::metrics::{self, ThreadRecorder};
 use std::cell::UnsafeCell;
+use std::time::Instant;
 
 /// Sentinel feature value when the image contains no sites at all.
 pub const NO_SITE: u32 = u32::MAX;
@@ -56,6 +58,12 @@ impl FeatureTransform {
         self.dist2(i, j, k).sqrt()
     }
 
+    /// Number of site voxels (distance exactly zero). O(voxels); intended
+    /// for reporting, not hot paths.
+    pub fn num_sites(&self) -> usize {
+        self.dist2.iter().filter(|&&d| d == 0.0).count()
+    }
+
     /// World coordinates of the nearest site's voxel center for an arbitrary
     /// world point `p` (clamped to the image grid, matching the paper's use:
     /// "the EDT returns the surface voxel q which is closest to p").
@@ -98,8 +106,7 @@ unsafe impl<T: Send> Sync for LineOutput<'_, T> {}
 impl<'a, T> LineOutput<'a, T> {
     fn new(slice: &'a mut [T]) -> Self {
         // SAFETY: `UnsafeCell<T>` has the same layout as `T`.
-        let cells =
-            unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        let cells = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
         LineOutput { cells }
     }
 
@@ -216,13 +223,39 @@ pub fn feature_transform(
     is_site: impl Fn(usize, usize, usize) -> bool + Sync,
     threads: usize,
 ) -> FeatureTransform {
+    feature_transform_obs(dims, spacing, origin, is_site, threads, None)
+}
+
+/// [`feature_transform`] with observability: records voxel count, pass
+/// count, and per-axis pass wall time into `rec` when provided. The recorder
+/// belongs to the calling (pipeline) thread; worker threads inside the
+/// passes record nothing, keeping the hot loops untouched.
+pub fn feature_transform_obs(
+    dims: [usize; 3],
+    spacing: [f64; 3],
+    origin: Point3,
+    is_site: impl Fn(usize, usize, usize) -> bool + Sync,
+    threads: usize,
+    mut rec: Option<&mut ThreadRecorder>,
+) -> FeatureTransform {
     let [nx, ny, nz] = dims;
     let n = nx * ny * nz;
     let mut dist2 = vec![f64::INFINITY; n];
     let mut feat = vec![NO_SITE; n];
     let lin = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
 
+    if let Some(r) = rec.as_deref_mut() {
+        r.inc(metrics::EDT_VOXELS, n as u64);
+    }
+    let pass_done = |rec: &mut Option<&mut ThreadRecorder>, t0: Instant| {
+        if let Some(r) = rec.as_deref_mut() {
+            r.inc(metrics::EDT_PASSES, 1);
+            r.observe(metrics::EDT_PASS_SECONDS, t0.elapsed().as_secs_f64());
+        }
+    };
+
     // ---- pass X: initialize from sites and sweep along i ----
+    let t_pass = Instant::now();
     {
         let df = LineOutput::new(&mut dist2);
         let sf = LineOutput::new(&mut feat);
@@ -251,7 +284,10 @@ pub fn feature_transform(
         });
     }
 
+    pass_done(&mut rec, t_pass);
+
     // ---- pass Y: sweep along j ----
+    let t_pass = Instant::now();
     {
         let src_f = dist2.clone();
         let src_s = feat.clone();
@@ -280,7 +316,10 @@ pub fn feature_transform(
         });
     }
 
+    pass_done(&mut rec, t_pass);
+
     // ---- pass Z: sweep along k ----
+    let t_pass = Instant::now();
     {
         let src_f = dist2.clone();
         let src_s = feat.clone();
@@ -309,6 +348,8 @@ pub fn feature_transform(
         });
     }
 
+    pass_done(&mut rec, t_pass);
+
     FeatureTransform {
         dims,
         spacing,
@@ -322,12 +363,23 @@ pub fn feature_transform(
 /// what the refinement rules query (paper §3: "the EDT returns the surface
 /// voxel q which is closest to p").
 pub fn surface_feature_transform(img: &LabeledImage, threads: usize) -> FeatureTransform {
-    feature_transform(
+    surface_feature_transform_obs(img, threads, None)
+}
+
+/// [`surface_feature_transform`] with observability (see
+/// [`feature_transform_obs`]).
+pub fn surface_feature_transform_obs(
+    img: &LabeledImage,
+    threads: usize,
+    rec: Option<&mut ThreadRecorder>,
+) -> FeatureTransform {
+    feature_transform_obs(
         img.dims(),
         img.spacing(),
         img.origin(),
         |i, j, k| img.is_surface_voxel(i, j, k),
         threads,
+        rec,
     )
 }
 
@@ -337,11 +389,7 @@ mod tests {
     use pi2m_image::phantoms;
 
     /// O(n · sites) brute-force reference.
-    fn brute_force(
-        dims: [usize; 3],
-        spacing: [f64; 3],
-        sites: &[[usize; 3]],
-    ) -> Vec<f64> {
+    fn brute_force(dims: [usize; 3], spacing: [f64; 3], sites: &[[usize; 3]]) -> Vec<f64> {
         let [nx, ny, nz] = dims;
         let mut out = vec![f64::INFINITY; nx * ny * nz];
         for k in 0..nz {
@@ -447,7 +495,9 @@ mod tests {
         let img = phantoms::sphere(16, 1.0);
         let ft = surface_feature_transform(&img, 1);
         // far outside the grid still answers via clamping
-        let q = ft.nearest_site_world(Point3::new(-100.0, 8.0, 8.0)).unwrap();
+        let q = ft
+            .nearest_site_world(Point3::new(-100.0, 8.0, 8.0))
+            .unwrap();
         // nearest surface point from the -x direction is on the -x side
         assert!(q.x < 8.0);
     }

@@ -80,7 +80,7 @@ pub fn read_pim<R: Read>(r: R) -> io::Result<LabeledImage> {
             None => {}
         }
     }
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(bad("dims not specified"));
     }
     let n = dims[0] * dims[1] * dims[2];

@@ -164,17 +164,33 @@ pub fn abdominal(scale: f64) -> LabeledImage {
             return 0;
         }
         // organs, checked innermost-first
-        let liver = ellipsoid(q, Point3::new(-0.32, -0.10, 0.15), Point3::new(0.34, 0.28, 0.38))
-            .min(ellipsoid(
-                q,
-                Point3::new(-0.05, -0.22, 0.25),
-                Point3::new(0.22, 0.18, 0.25),
-            ));
-        let kid_l = ellipsoid(q, Point3::new(-0.34, 0.34, -0.28), Point3::new(0.14, 0.11, 0.22));
-        let kid_r = ellipsoid(q, Point3::new(0.34, 0.34, -0.28), Point3::new(0.14, 0.11, 0.22));
+        let liver = ellipsoid(
+            q,
+            Point3::new(-0.32, -0.10, 0.15),
+            Point3::new(0.34, 0.28, 0.38),
+        )
+        .min(ellipsoid(
+            q,
+            Point3::new(-0.05, -0.22, 0.25),
+            Point3::new(0.22, 0.18, 0.25),
+        ));
+        let kid_l = ellipsoid(
+            q,
+            Point3::new(-0.34, 0.34, -0.28),
+            Point3::new(0.14, 0.11, 0.22),
+        );
+        let kid_r = ellipsoid(
+            q,
+            Point3::new(0.34, 0.34, -0.28),
+            Point3::new(0.14, 0.11, 0.22),
+        );
         let spine = zcylinder(q, Point3::new(0.0, 0.55, 0.0), 0.12, 0.90);
         let aorta = zcylinder(q, Point3::new(0.08, 0.30, 0.0), 0.055, 0.90);
-        let stomach = ellipsoid(q, Point3::new(0.28, -0.20, 0.30), Point3::new(0.24, 0.20, 0.22));
+        let stomach = ellipsoid(
+            q,
+            Point3::new(0.28, -0.20, 0.30),
+            Point3::new(0.24, 0.20, 0.22),
+        );
 
         if liver < 0.0 {
             2
@@ -224,9 +240,21 @@ pub fn knee(scale: f64) -> LabeledImage {
             1.0
         };
         // cartilage: thin shells capping the bones across the joint space
-        let fem_cart = ellipsoid(q, Point3::new(0.0, -0.03, 0.08), Point3::new(0.33, 0.30, 0.09));
-        let tib_cart = ellipsoid(q, Point3::new(0.0, 0.00, -0.10), Point3::new(0.31, 0.28, 0.08));
-        let patella = ellipsoid(q, Point3::new(0.0, -0.52, 0.12), Point3::new(0.14, 0.10, 0.18));
+        let fem_cart = ellipsoid(
+            q,
+            Point3::new(0.0, -0.03, 0.08),
+            Point3::new(0.33, 0.30, 0.09),
+        );
+        let tib_cart = ellipsoid(
+            q,
+            Point3::new(0.0, 0.00, -0.10),
+            Point3::new(0.31, 0.28, 0.08),
+        );
+        let patella = ellipsoid(
+            q,
+            Point3::new(0.0, -0.52, 0.12),
+            Point3::new(0.14, 0.10, 0.18),
+        );
 
         if femur < 0.0 {
             2
@@ -257,7 +285,11 @@ pub fn head_neck(scale: f64) -> LabeledImage {
     LabeledImage::from_fn(dims, sp, |p| {
         let q = norm.at(p);
         // head (upper ellipsoid) + neck (lower cylinder)
-        let head = ellipsoid(q, Point3::new(0.0, 0.0, 0.35), Point3::new(0.62, 0.70, 0.55));
+        let head = ellipsoid(
+            q,
+            Point3::new(0.0, 0.0, 0.35),
+            Point3::new(0.62, 0.70, 0.55),
+        );
         let neck = zcylinder(q, Point3::new(0.0, 0.10, -0.55), 0.33, 0.42);
         let body = head.min(neck);
         if body >= 0.0 {
@@ -268,10 +300,22 @@ pub fn head_neck(scale: f64) -> LabeledImage {
         if airway < 0.0 {
             return 0;
         }
-        let brain = ellipsoid(q, Point3::new(0.0, 0.02, 0.42), Point3::new(0.42, 0.50, 0.35));
-        let skull = ellipsoid(q, Point3::new(0.0, 0.02, 0.42), Point3::new(0.50, 0.58, 0.43));
+        let brain = ellipsoid(
+            q,
+            Point3::new(0.0, 0.02, 0.42),
+            Point3::new(0.42, 0.50, 0.35),
+        );
+        let skull = ellipsoid(
+            q,
+            Point3::new(0.0, 0.02, 0.42),
+            Point3::new(0.50, 0.58, 0.43),
+        );
         let spine = zcylinder(q, Point3::new(0.0, 0.22, -0.45), 0.09, 0.55);
-        let jaw = ellipsoid(q, Point3::new(0.0, -0.42, -0.02), Point3::new(0.30, 0.16, 0.10));
+        let jaw = ellipsoid(
+            q,
+            Point3::new(0.0, -0.42, -0.02),
+            Point3::new(0.30, 0.16, 0.10),
+        );
 
         if brain < 0.0 {
             3
@@ -289,20 +333,17 @@ pub fn head_neck(scale: f64) -> LabeledImage {
 
 /// Specs tying each phantom to its paper analog (reproduces Table 3's rows).
 pub fn specs(scale: f64) -> Vec<PhantomSpec> {
-    let mk = |name,
-              paper_analog,
-              paper_dims,
-              paper_spacing,
-              paper_tissues,
-              img: &LabeledImage| PhantomSpec {
-        name,
-        paper_analog,
-        paper_dims,
-        paper_spacing,
-        paper_tissues,
-        dims: img.dims(),
-        spacing: img.spacing(),
-        tissues: img.num_tissues(),
+    let mk = |name, paper_analog, paper_dims, paper_spacing, paper_tissues, img: &LabeledImage| {
+        PhantomSpec {
+            name,
+            paper_analog,
+            paper_dims,
+            paper_spacing,
+            paper_tissues,
+            dims: img.dims(),
+            spacing: img.spacing(),
+            tissues: img.num_tissues(),
+        }
     };
     let abd = abdominal(scale);
     let kn = knee(scale);
@@ -387,8 +428,8 @@ mod tests {
         let img = abdominal(1.0);
         let h = img.label_histogram();
         // all six tissues present, trunk is the largest
-        for l in 1..=6 {
-            assert!(h[l] > 0, "tissue {l} missing ({})", h[l]);
+        for (l, &c) in h.iter().enumerate().take(7).skip(1) {
+            assert!(c > 0, "tissue {l} missing ({c})");
         }
         assert!(h[1] > h[2] && h[2] > h[3]);
         assert_eq!(img.num_tissues(), 6);
@@ -398,8 +439,8 @@ mod tests {
     fn knee_tissue_inventory() {
         let img = knee(1.0);
         let h = img.label_histogram();
-        for l in 1..=6 {
-            assert!(h[l] > 0, "tissue {l} missing");
+        for (l, &c) in h.iter().enumerate().take(7).skip(1) {
+            assert!(c > 0, "tissue {l} missing");
         }
     }
 
@@ -407,8 +448,8 @@ mod tests {
     fn head_neck_tissue_inventory_and_airway() {
         let img = head_neck(1.0);
         let h = img.label_histogram();
-        for l in 1..=5 {
-            assert!(h[l] > 0, "tissue {l} missing");
+        for (l, &c) in h.iter().enumerate().take(6).skip(1) {
+            assert!(c > 0, "tissue {l} missing");
         }
         // the airway must carve background through the neck region interior
         let dims = img.dims();

@@ -1,0 +1,274 @@
+//! Exporters: Prometheus text exposition, Chrome Trace Event JSON, and the
+//! Table-1 style overhead comparison table.
+
+use crate::json::Json;
+use crate::metrics::{bucket_upper_bound, ObsEvent};
+use crate::report::{OverheadBreakdown, RunReport, TraceSpan};
+use std::fmt::Write as _;
+
+/// Prometheus text exposition (0.0.4 format) of a run report: counters,
+/// histograms (`_bucket`/`_sum`/`_count`), per-phase and per-overhead-kind
+/// gauges. Metric names are prefixed `pi2m_`.
+pub fn render_prometheus(report: &RunReport) -> String {
+    let mut out = String::new();
+
+    for (def, v) in report.metrics.counters() {
+        let name = format!("pi2m_{}", def.name);
+        let _ = writeln!(out, "# HELP {name} {} ({})", def.help, def.unit);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+
+    for (def, h) in report.metrics.histograms() {
+        if h.count == 0 {
+            continue;
+        }
+        let name = format!("pi2m_{}", def.name);
+        let _ = writeln!(out, "# HELP {name} {} ({})", def.help, def.unit);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let le = bucket_upper_bound(i);
+            if le.is_infinite() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+        }
+        if h.buckets[h.buckets.len() - 1] == 0 {
+            // the exposition format requires a closing +Inf bucket
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP pi2m_phase_seconds Wall time per pipeline phase"
+    );
+    let _ = writeln!(out, "# TYPE pi2m_phase_seconds gauge");
+    for p in &report.phases {
+        let _ = writeln!(
+            out,
+            "pi2m_phase_seconds{{phase=\"{}\"}} {}",
+            p.name, p.seconds
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP pi2m_overhead_seconds Wasted cycles per category, summed over threads"
+    );
+    let _ = writeln!(out, "# TYPE pi2m_overhead_seconds gauge");
+    let o = &report.overheads;
+    for (kind, v) in [
+        ("contention", o.contention_s),
+        ("load_balance", o.load_balance_s),
+        ("rollback", o.rollback_s),
+    ] {
+        let _ = writeln!(out, "pi2m_overhead_seconds{{kind=\"{kind}\"}} {v}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP pi2m_wall_seconds Wall time of the measured section"
+    );
+    let _ = writeln!(out, "# TYPE pi2m_wall_seconds gauge");
+    let _ = writeln!(out, "pi2m_wall_seconds {}", report.wall_s);
+    let _ = writeln!(out, "# HELP pi2m_elements Final mesh elements");
+    let _ = writeln!(out, "# TYPE pi2m_elements gauge");
+    let _ = writeln!(out, "pi2m_elements {}", report.elements);
+    out
+}
+
+/// Chrome Trace Event JSON (the `chrome://tracing` / Perfetto "JSON Array
+/// Format" with a `traceEvents` wrapper object).
+///
+/// * `phases` appear as complete (`"ph":"X"`) events on a dedicated
+///   "pipeline" track (`tid` 0).
+/// * `events` (per-worker overhead episodes, worker lifetimes) appear on
+///   `tid = worker + 1`.
+///
+/// All timestamps must share the run-origin time base; they are emitted in
+/// microseconds as the format requires.
+pub fn render_chrome_trace(phases: &[TraceSpan], events: &[(u32, ObsEvent)]) -> String {
+    let us = |s: f64| (s * 1e6).max(0.0);
+    let mut trace_events: Vec<Json> = Vec::new();
+
+    // Track-name metadata so Perfetto shows labels instead of bare tids.
+    let thread_meta = |tid: u64, name: &str| {
+        Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::int(1)),
+            ("tid", Json::int(tid)),
+            ("args", Json::obj(vec![("name", Json::str(name))])),
+        ])
+    };
+    trace_events.push(thread_meta(0, "pipeline"));
+    let mut seen_tids: Vec<u32> = events.iter().map(|(t, _)| *t).collect();
+    seen_tids.sort_unstable();
+    seen_tids.dedup();
+    for &t in &seen_tids {
+        trace_events.push(thread_meta(t as u64 + 1, &format!("worker {t}")));
+    }
+
+    for s in phases {
+        trace_events.push(Json::obj(vec![
+            ("name", Json::str(s.name)),
+            ("cat", Json::str("phase")),
+            ("ph", Json::str("X")),
+            ("pid", Json::int(1)),
+            ("tid", Json::int(0)),
+            ("ts", Json::num(us(s.start_s))),
+            ("dur", Json::num(us(s.dur_s))),
+        ]));
+    }
+    for (tid, e) in events {
+        trace_events.push(Json::obj(vec![
+            ("name", Json::str(e.name)),
+            ("cat", Json::str(e.cat)),
+            ("ph", Json::str("X")),
+            ("pid", Json::int(1)),
+            ("tid", Json::int(*tid as u64 + 1)),
+            ("ts", Json::num(us(e.at_s))),
+            ("dur", Json::num(us(e.dur_s))),
+        ]));
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+    .dump()
+}
+
+/// Table-1 style per-contention-manager overhead comparison: one text
+/// rendering shared by the CLI, `contention_lab`, and the bench harnesses.
+pub fn render_overhead_table(rows: &[(String, OverheadBreakdown, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "CM",
+        "time(s)",
+        "rollbacks",
+        "contention",
+        "loadbal",
+        "rollback-ovh",
+        "total-ovh",
+        "livelock"
+    );
+    for (label, o, wall) in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.4} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>9}",
+            label,
+            wall,
+            o.rollbacks,
+            o.contention_s,
+            o.load_balance_s,
+            o.rollback_s,
+            o.total_s(),
+            if o.livelock { "YES" } else { "no" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::metrics::{self, ThreadRecorder};
+
+    fn sample_report() -> RunReport {
+        let mut rec = ThreadRecorder::new();
+        rec.inc(metrics::OPS_INSERTIONS, 5);
+        rec.observe(metrics::ROLLBACK_SECONDS, 0.001);
+        rec.observe(metrics::ROLLBACK_SECONDS, 0.1);
+        rec.event("worker", "worker", 0.0, 1.0);
+        let mut r = RunReport::new("test");
+        r.set_phases(&[TraceSpan {
+            name: "edt",
+            start_s: 0.0,
+            dur_s: 0.5,
+        }]);
+        r.wall_s = 1.0;
+        r.elements = 10;
+        rec.merge_into(0, &mut r.metrics);
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = render_prometheus(&sample_report());
+        assert!(text.contains("# TYPE pi2m_ops_insertions counter"));
+        assert!(text.contains("pi2m_ops_insertions 5"));
+        assert!(text.contains("# TYPE pi2m_rollback_seconds histogram"));
+        assert!(text.contains("pi2m_rollback_seconds_count 2"));
+        assert!(text.contains("pi2m_phase_seconds{phase=\"edt\"} 0.5"));
+        assert!(text.contains("pi2m_overhead_seconds{kind=\"contention\"}"));
+        // cumulative bucket counts end at the total count
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.starts_with("pi2m_rollback_seconds_bucket"))
+            .unwrap();
+        assert!(last_bucket.ends_with(" 2"), "{last_bucket}");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let r = sample_report();
+        let spans = [TraceSpan {
+            name: "edt",
+            start_s: 0.0,
+            dur_s: 0.5,
+        }];
+        let s = render_chrome_trace(&spans, &r.metrics.events);
+        let j = json::parse(&s).unwrap();
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 thread_name metadata + 1 phase + 1 worker event
+        assert_eq!(evs.len(), 4);
+        let worker_ev = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("worker"))
+            .unwrap();
+        assert_eq!(worker_ev.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(worker_ev.get("dur").unwrap().as_f64(), Some(1e6));
+        assert_eq!(worker_ev.get("tid").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn overhead_table_renders_rows() {
+        let rows = vec![
+            (
+                "Local".to_string(),
+                OverheadBreakdown {
+                    contention_s: 0.5,
+                    load_balance_s: 0.25,
+                    rollback_s: 0.125,
+                    rollbacks: 7,
+                    livelock: false,
+                },
+                2.0,
+            ),
+            (
+                "Aggressive".to_string(),
+                OverheadBreakdown {
+                    livelock: true,
+                    ..Default::default()
+                },
+                0.1,
+            ),
+        ];
+        let t = render_overhead_table(&rows);
+        assert!(t.contains("Local"));
+        assert!(t.contains("0.8750")); // total overhead
+        assert!(t.contains("YES"));
+    }
+}

@@ -1,0 +1,297 @@
+//! The self-describing run report: configuration, provenance, phase
+//! timings, overhead accounting, and the full metric snapshot of one
+//! pipeline run, serializable to JSON (see [`RunReport::to_json`]).
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// One timed phase occurrence (also the unit of the Chrome trace export).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpan {
+    pub name: &'static str,
+    /// Seconds since the run origin.
+    pub start_s: f64,
+    pub dur_s: f64,
+}
+
+/// Aggregated phase entry in the report.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    pub name: String,
+    pub seconds: f64,
+}
+
+/// The paper's three direct sources of wasted cycles (§5.5), summed over
+/// threads — the quantities behind Figure 6 and Table 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverheadBreakdown {
+    pub contention_s: f64,
+    pub load_balance_s: f64,
+    pub rollback_s: f64,
+    pub rollbacks: u64,
+    pub livelock: bool,
+}
+
+impl OverheadBreakdown {
+    pub fn total_s(&self) -> f64 {
+        self.contention_s + self.load_balance_s + self.rollback_s
+    }
+}
+
+/// A machine-readable account of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Report schema version (bump when fields change incompatibly).
+    pub schema_version: u32,
+    /// Producing tool, e.g. `"pi2m"` or a bench harness name.
+    pub tool: String,
+    /// Crate version of the producer.
+    pub version: String,
+    /// `git describe --always --dirty` of the source tree, when available.
+    pub git_describe: Option<String>,
+    /// Free-form configuration key/value pairs (δ, threads, CM, balancer…).
+    pub config: Vec<(String, String)>,
+    /// Aggregated per-phase wall time.
+    pub phases: Vec<PhaseReport>,
+    /// Wasted-cycle accounting summed over worker threads.
+    pub overheads: OverheadBreakdown,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Wall time of the measured section, seconds.
+    pub wall_s: f64,
+    /// Final mesh elements.
+    pub elements: u64,
+    /// The merged metric snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    pub fn new(tool: &str) -> Self {
+        RunReport {
+            schema_version: Self::SCHEMA_VERSION,
+            tool: tool.to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            git_describe: git_describe(),
+            ..Default::default()
+        }
+    }
+
+    pub fn config(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Fold a span list (e.g. [`crate::Phases::spans`]) into aggregated
+    /// per-phase totals, keeping first-appearance order.
+    pub fn set_phases(&mut self, spans: &[TraceSpan]) -> &mut Self {
+        self.phases.clear();
+        for s in spans {
+            match self.phases.iter_mut().find(|p| p.name == s.name) {
+                Some(p) => p.seconds += s.dur_s,
+                None => self.phases.push(PhaseReport {
+                    name: s.name.to_string(),
+                    seconds: s.dur_s,
+                }),
+            }
+        }
+        self
+    }
+
+    pub fn phase_seconds(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.seconds)
+    }
+
+    /// Elements per second of wall time.
+    pub fn elements_per_second(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.elements as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Full structured report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let hist_json = |h: &crate::metrics::Hist| {
+            let nonzero: Vec<Json> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    Json::obj(vec![
+                        ("le", Json::num(crate::metrics::bucket_upper_bound(i))),
+                        ("count", Json::int(c)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("count", Json::int(h.count)),
+                ("sum", Json::num(h.sum)),
+                ("max", Json::num(if h.count > 0 { h.max } else { 0.0 })),
+                ("mean", Json::num(h.mean())),
+                ("buckets", Json::Arr(nonzero)),
+            ])
+        };
+        Json::obj(vec![
+            ("schema_version", Json::int(self.schema_version as u64)),
+            ("tool", Json::str(&self.tool)),
+            ("version", Json::str(&self.version)),
+            (
+                "git_describe",
+                self.git_describe
+                    .as_deref()
+                    .map(Json::str)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "phases",
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|p| (p.name.clone(), Json::num(p.seconds)))
+                        .collect(),
+                ),
+            ),
+            (
+                "overheads",
+                Json::obj(vec![
+                    ("contention_s", Json::num(self.overheads.contention_s)),
+                    ("load_balance_s", Json::num(self.overheads.load_balance_s)),
+                    ("rollback_s", Json::num(self.overheads.rollback_s)),
+                    ("total_s", Json::num(self.overheads.total_s())),
+                    ("rollbacks", Json::int(self.overheads.rollbacks)),
+                    ("livelock", Json::Bool(self.overheads.livelock)),
+                ]),
+            ),
+            ("threads", Json::int(self.threads as u64)),
+            ("wall_s", Json::num(self.wall_s)),
+            ("elements", Json::int(self.elements)),
+            ("elements_per_second", Json::num(self.elements_per_second())),
+            (
+                "counters",
+                Json::Obj(
+                    self.metrics
+                        .counters()
+                        .filter(|(_, v)| *v > 0)
+                        .map(|(d, v)| (d.name.to_string(), Json::int(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.metrics
+                        .histograms()
+                        .filter(|(_, h)| h.count > 0)
+                        .map(|(d, h)| (d.name.to_string(), hist_json(h)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty JSON text, the on-disk `--report` format.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().dump_pretty()
+    }
+}
+
+/// Best-effort `git describe --always --dirty` for provenance; `None` when
+/// git or the work tree is unavailable.
+pub fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{self, ThreadRecorder};
+
+    #[test]
+    fn report_json_has_required_keys() {
+        let mut rec = ThreadRecorder::new();
+        rec.inc(metrics::OPS_INSERTIONS, 10);
+        rec.observe(metrics::CAVITY_CELLS, 5.0);
+        let mut r = RunReport::new("test");
+        r.config("delta", 2.0).config("cm", "Local");
+        r.set_phases(&[
+            TraceSpan {
+                name: "edt",
+                start_s: 0.0,
+                dur_s: 0.5,
+            },
+            TraceSpan {
+                name: "volume_refinement",
+                start_s: 0.5,
+                dur_s: 1.5,
+            },
+            TraceSpan {
+                name: "edt",
+                start_s: 2.0,
+                dur_s: 0.25,
+            },
+        ]);
+        r.threads = 4;
+        r.wall_s = 2.0;
+        r.elements = 1000;
+        rec.merge_into(0, &mut r.metrics);
+
+        let j = crate::json::parse(&r.to_json_string()).unwrap();
+        for key in [
+            "schema_version",
+            "tool",
+            "version",
+            "git_describe",
+            "config",
+            "phases",
+            "overheads",
+            "threads",
+            "wall_s",
+            "elements",
+            "elements_per_second",
+            "counters",
+            "histograms",
+        ] {
+            assert!(j.get(key).is_some(), "missing key {key}");
+        }
+        // repeated phases aggregate
+        assert_eq!(
+            j.get("phases").unwrap().get("edt").unwrap().as_f64(),
+            Some(0.75)
+        );
+        assert_eq!(
+            j.get("counters")
+                .unwrap()
+                .get("ops_insertions")
+                .unwrap()
+                .as_f64(),
+            Some(10.0)
+        );
+        let h = j.get("histograms").unwrap().get("cavity_cells").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(r.elements_per_second(), 500.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Span-based wall-clock phase timing with RAII guards.
+//!
+//! A [`Phases`] owns one run's timeline. [`Phases::span`] starts a phase and
+//! returns a [`SpanGuard`] that records the elapsed time when dropped:
+//!
+//! ```
+//! use pi2m_obs::Phases;
+//! let mut phases = Phases::new();
+//! {
+//!     let _g = phases.span("edt");
+//!     // ... work ...
+//! } // recorded here
+//! assert_eq!(phases.spans().len(), 1);
+//! assert!(phases.total("edt") >= 0.0);
+//! ```
+
+use crate::report::TraceSpan;
+use std::time::Instant;
+
+/// Wall-clock phase timeline for one run. All timestamps are seconds since
+/// construction ("run origin"), the common time base for the Chrome trace.
+#[derive(Debug)]
+pub struct Phases {
+    origin: Instant,
+    spans: Vec<TraceSpan>,
+}
+
+impl Default for Phases {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Phases {
+    pub fn new() -> Self {
+        Phases {
+            origin: Instant::now(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Seconds since the run origin.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Start a phase; the returned guard records it on drop.
+    pub fn span(&mut self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            phases: self,
+            name,
+            t0: Instant::now(),
+        }
+    }
+
+    /// Time a closure as a phase and pass its value through.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let _g = self.span(name);
+        f()
+    }
+
+    /// Record an externally-measured phase.
+    pub fn record(&mut self, name: &'static str, start_s: f64, dur_s: f64) {
+        self.spans.push(TraceSpan {
+            name,
+            start_s,
+            dur_s,
+        });
+    }
+
+    /// All recorded spans in completion order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Total recorded seconds under `name` (a phase may run multiple times).
+    pub fn total(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_s)
+            .sum()
+    }
+}
+
+/// RAII guard: records its phase into the owning [`Phases`] on drop.
+pub struct SpanGuard<'a> {
+    phases: &'a mut Phases,
+    name: &'static str,
+    t0: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur_s = self.t0.elapsed().as_secs_f64();
+        let end_s = self.phases.now();
+        self.phases.spans.push(TraceSpan {
+            name: self.name,
+            start_s: (end_s - dur_s).max(0.0),
+            dur_s,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let mut p = Phases::new();
+        {
+            let _g = p.span("edt");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        p.time("volume_refinement", || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert_eq!(p.spans().len(), 2);
+        assert!(p.total("edt") >= 0.001);
+        assert!(p.total("volume_refinement") >= 0.0005);
+        assert_eq!(p.total("missing"), 0.0);
+        // spans sit inside the run timeline
+        for s in p.spans() {
+            assert!(s.start_s >= 0.0 && s.dur_s >= 0.0);
+        }
+    }
+}

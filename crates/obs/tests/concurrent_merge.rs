@@ -1,0 +1,89 @@
+//! Recorders are owned by their worker thread and merged at join — the
+//! ownership pattern the refinement engine uses. No `Arc`, no atomics: each
+//! `ThreadRecorder` moves into its thread, comes back through `join()`, and
+//! is folded into one snapshot by the spawning thread.
+
+use pi2m_obs::metrics::{self, MetricsSnapshot, ThreadRecorder};
+
+#[test]
+fn recorders_merge_across_real_threads() {
+    const THREADS: u64 = 8;
+    const OPS_PER_THREAD: u64 = 1000;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut rec = ThreadRecorder::new();
+                for i in 0..OPS_PER_THREAD {
+                    rec.inc(metrics::OPS_INSERTIONS, 1);
+                    rec.inc(metrics::CELLS_CREATED, 4);
+                    // distinct magnitudes per thread so histogram contents
+                    // depend on every thread being merged
+                    rec.observe(metrics::CAVITY_CELLS, (t * OPS_PER_THREAD + i) as f64);
+                }
+                rec.event("worker", "worker", t as f64, 1.0);
+                rec
+            })
+        })
+        .collect();
+
+    let mut snap = MetricsSnapshot::new();
+    for (t, h) in handles.into_iter().enumerate() {
+        let rec = h.join().expect("worker panicked");
+        rec.merge_into(t as u32, &mut snap);
+    }
+
+    let n = THREADS * OPS_PER_THREAD;
+    assert_eq!(snap.counter(metrics::OPS_INSERTIONS), n);
+    assert_eq!(snap.counter(metrics::CELLS_CREATED), 4 * n);
+    assert_eq!(snap.threads_merged, THREADS as u32);
+
+    let h = snap.hist(metrics::CAVITY_CELLS);
+    assert_eq!(h.count, n);
+    // sum of 0..n is exactly representable in f64 at this size
+    assert_eq!(h.sum, (n * (n - 1) / 2) as f64);
+    assert_eq!(h.max, (n - 1) as f64);
+
+    // one lifetime event per worker, tagged with the tid used at merge
+    assert_eq!(snap.events.len(), THREADS as usize);
+    let mut tids: Vec<u32> = snap.events.iter().map(|(t, _)| *t).collect();
+    tids.sort_unstable();
+    assert_eq!(tids, (0..THREADS as u32).collect::<Vec<_>>());
+}
+
+/// Merging the same totals in a different thread order yields identical
+/// counters and histograms (merge is commutative), so scheduling order
+/// cannot change a report.
+#[test]
+fn merge_order_does_not_matter() {
+    let mk = |seed: u64| {
+        let mut rec = ThreadRecorder::new();
+        rec.inc(metrics::OPS_ROLLBACKS, seed);
+        rec.observe(metrics::ROLLBACK_SECONDS, seed as f64 * 1e-4);
+        rec
+    };
+    let mut fwd = MetricsSnapshot::new();
+    for (t, s) in [1u64, 2, 3].iter().enumerate() {
+        mk(*s).merge_into(t as u32, &mut fwd);
+    }
+    let mut rev = MetricsSnapshot::new();
+    for (t, s) in [3u64, 2, 1].iter().enumerate() {
+        mk(*s).merge_into(t as u32, &mut rev);
+    }
+    assert_eq!(
+        fwd.counter(metrics::OPS_ROLLBACKS),
+        rev.counter(metrics::OPS_ROLLBACKS)
+    );
+    assert_eq!(
+        fwd.hist(metrics::ROLLBACK_SECONDS).count,
+        rev.hist(metrics::ROLLBACK_SECONDS).count
+    );
+    assert_eq!(
+        fwd.hist(metrics::ROLLBACK_SECONDS).sum,
+        rev.hist(metrics::ROLLBACK_SECONDS).sum
+    );
+    assert_eq!(
+        fwd.hist(metrics::ROLLBACK_SECONDS).buckets,
+        rev.hist(metrics::ROLLBACK_SECONDS).buckets
+    );
+}

@@ -1,8 +1,9 @@
 //! The isosurface oracle: continuous-space queries against a labeled image.
 
-use pi2m_edt::{surface_feature_transform, FeatureTransform};
+use pi2m_edt::{surface_feature_transform, surface_feature_transform_obs, FeatureTransform};
 use pi2m_geometry::Point3;
 use pi2m_image::{Label, LabeledImage, BACKGROUND};
+use pi2m_obs::metrics::{self, ThreadRecorder};
 
 /// Number of bisection iterations used to refine a detected label interface;
 /// 24 halvings locate the crossing ~7 orders of magnitude below the interval
@@ -25,6 +26,15 @@ impl IsosurfaceOracle {
     /// `threads` workers (the paper's parallel EDT preprocessing step).
     pub fn new(img: LabeledImage, threads: usize) -> Self {
         let ft = surface_feature_transform(&img, threads);
+        let step = img.min_spacing() * 0.25;
+        IsosurfaceOracle { img, ft, step }
+    }
+
+    /// [`IsosurfaceOracle::new`] with observability: EDT pass timings and
+    /// voxel/surface-site counts are recorded into `rec`.
+    pub fn new_with_obs(img: LabeledImage, threads: usize, rec: &mut ThreadRecorder) -> Self {
+        let ft = surface_feature_transform_obs(&img, threads, Some(rec));
+        rec.inc(metrics::ORACLE_SURFACE_VOXELS, ft.num_sites() as u64);
         let step = img.min_spacing() * 0.25;
         IsosurfaceOracle { img, ft, step }
     }
@@ -185,8 +195,7 @@ impl IsosurfaceOracle {
         match self.ft.nearest_site_world(p) {
             Some(q) => {
                 let sp = self.img.spacing();
-                let half_diag =
-                    0.5 * (sp[0] * sp[0] + sp[1] * sp[1] + sp[2] * sp[2]).sqrt();
+                let half_diag = 0.5 * (sp[0] * sp[0] + sp[1] * sp[1] + sp[2] * sp[2]).sqrt();
                 (q.distance(p) - half_diag).max(0.0)
             }
             None => f64::INFINITY,
@@ -277,7 +286,10 @@ mod tests {
         let p = center + Point3::new(1.0, 0.0, 0.0);
         let s = o.closest_surface_point(p).unwrap();
         let d = s.distance(center);
-        assert!((d - 5.6).abs() < 1.2, "core interface at {d}, expected ≈5.6");
+        assert!(
+            (d - 5.6).abs() < 1.2,
+            "core interface at {d}, expected ≈5.6"
+        );
     }
 
     #[test]
@@ -318,8 +330,12 @@ mod tests {
     fn surface_distance_monotone_towards_surface() {
         let o = sphere_oracle(32);
         let center = Point3::new(16.0, 16.0, 16.0);
-        let d1 = o.surface_distance(center + Point3::new(2.0, 0.0, 0.0)).unwrap();
-        let d2 = o.surface_distance(center + Point3::new(8.0, 0.0, 0.0)).unwrap();
+        let d1 = o
+            .surface_distance(center + Point3::new(2.0, 0.0, 0.0))
+            .unwrap();
+        let d2 = o
+            .surface_distance(center + Point3::new(8.0, 0.0, 0.0))
+            .unwrap();
         assert!(d2 < d1);
     }
 }

@@ -66,6 +66,12 @@ impl Expansion {
         self.comps.len()
     }
 
+    /// True iff there are no components (the expansion is exactly zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+
     /// True iff the represented value is exactly zero.
     #[inline]
     pub fn is_zero(&self) -> bool {

@@ -174,14 +174,7 @@ pub fn insphere_sign(pa: &P3, pb: &P3, pc: &P3, pd: &P3, pe: &P3) -> i8 {
 /// Returns +1 if `pe` is inside the perturbed circumsphere of the positively
 /// oriented tetrahedron `(pa, pb, pc, pd)`, -1 if outside, 0 only when all
 /// five points are coplanar.
-pub fn insphere_sos(
-    pa: &P3,
-    pb: &P3,
-    pc: &P3,
-    pd: &P3,
-    pe: &P3,
-    keys: [u64; 5],
-) -> i8 {
+pub fn insphere_sos(pa: &P3, pb: &P3, pc: &P3, pd: &P3, pe: &P3, keys: [u64; 5]) -> i8 {
     let det = insphere(pa, pb, pc, pd, pe);
     if det > 0.0 {
         return 1;
@@ -229,9 +222,7 @@ pub fn insphere_exact(pa: &P3, pb: &P3, pc: &P3, pd: &P3, pe: &P3) -> f64 {
     let c = tr(pc);
     let d = tr(pd);
 
-    let lift = |p: &[Expansion; 3]| {
-        p[0].square().add(&p[1].square()).add(&p[2].square())
-    };
+    let lift = |p: &[Expansion; 3]| p[0].square().add(&p[1].square()).add(&p[2].square());
     let la = lift(&a);
     let lb = lift(&b);
     let lc = lift(&c);
@@ -355,13 +346,7 @@ mod tests {
 
     #[test]
     fn exact_matches_integer_reference() {
-        let pts: [[i64; 3]; 5] = [
-            [0, 0, 0],
-            [4, 0, 0],
-            [0, 4, 0],
-            [0, 0, -4],
-            [1, 1, -1],
-        ];
+        let pts: [[i64; 3]; 5] = [[0, 0, 0], [4, 0, 0], [0, 4, 0], [0, 0, -4], [1, 1, -1]];
         let f = |i: usize| [pts[i][0] as f64, pts[i][1] as f64, pts[i][2] as f64];
         // reference: i128 determinant of the translated 4x4
         let d = |i: usize, k: usize| (pts[i][k] - pts[4][k]) as i128;
@@ -371,8 +356,7 @@ mod tests {
                 - d(r0, 1) * (d(r1, 0) * d(r2, 2) - d(r1, 2) * d(r2, 0))
                 + d(r0, 2) * (d(r1, 0) * d(r2, 1) - d(r1, 1) * d(r2, 0))
         };
-        let det_ref = -lift(0) * det3(1, 2, 3) + lift(1) * det3(0, 2, 3)
-            - lift(2) * det3(0, 1, 3)
+        let det_ref = -lift(0) * det3(1, 2, 3) + lift(1) * det3(0, 2, 3) - lift(2) * det3(0, 1, 3)
             + lift(3) * det3(0, 1, 2);
         let s = insphere_sign(&f(0), &f(1), &f(2), &f(3), &f(4));
         assert_eq!(s as i128, det_ref.signum());

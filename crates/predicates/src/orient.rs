@@ -38,8 +38,7 @@ pub fn orient3d_fast(pa: &P3, pb: &P3, pc: &P3, pd: &P3) -> f64 {
     let bdz = pb[2] - pd[2];
     let cdz = pc[2] - pd[2];
 
-    adx * (bdy * cdz - bdz * cdy) + bdx * (cdy * adz - cdz * ady)
-        + cdx * (ady * bdz - adz * bdy)
+    adx * (bdy * cdz - bdz * cdy) + bdx * (cdy * adz - cdz * ady) + cdx * (ady * bdz - adz * bdy)
 }
 
 /// Robust orient3d: returns a double whose *sign* is guaranteed correct
@@ -101,9 +100,7 @@ pub fn orient3d_exact(pa: &P3, pb: &P3, pc: &P3, pd: &P3) -> f64 {
     let cdy = Expansion::from_diff(pc[1], pd[1]);
     let cdz = Expansion::from_diff(pc[2], pd[2]);
 
-    let det = det3_exact(
-        &adx, &ady, &adz, &bdx, &bdy, &bdz, &cdx, &cdy, &cdz,
-    );
+    let det = det3_exact(&adx, &ady, &adz, &bdx, &bdy, &bdz, &cdx, &cdy, &cdz);
     match det.sign() {
         0 => 0.0,
         s => {

@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn split_reconstructs() {
-        for v in [1.0, -0.375, 1e10, 3.141592653589793] {
+        for v in [1.0, -0.375, 1e10, std::f64::consts::PI] {
             let (hi, lo) = split(v);
             assert_eq!(hi + lo, v);
         }

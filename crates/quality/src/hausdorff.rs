@@ -157,9 +157,9 @@ impl TriangleSet {
                             continue;
                         }
                         any_cell = true;
-                        let b = &self.buckets
-                            [((z as usize) * self.dims[1] + y as usize) * self.dims[0]
-                                + x as usize];
+                        let b = &self.buckets[((z as usize) * self.dims[1] + y as usize)
+                            * self.dims[0]
+                            + x as usize];
                         for &ti in b {
                             let t = self.tris[ti as usize];
                             let d = point_triangle_distance(
@@ -248,7 +248,10 @@ mod tests {
             (point_triangle_distance(Point3::new(0.5, -2.0, 0.0), a, b, c) - 2.0).abs() < 1e-12
         );
         // on the triangle
-        assert_eq!(point_triangle_distance(Point3::new(0.25, 0.25, 0.0), a, b, c), 0.0);
+        assert_eq!(
+            point_triangle_distance(Point3::new(0.25, 0.25, 0.0), a, b, c),
+            0.0
+        );
     }
 
     #[test]

@@ -44,12 +44,7 @@ pub trait LoadBalancer: Send + Sync {
     /// Park until donated work arrives or the run terminates. Also performs
     /// global termination detection and deadlock-breaking release of
     /// CM-parked threads. Returns the outcome and the seconds spent parked.
-    fn beg(
-        &self,
-        tid: usize,
-        sync: &EngineSync,
-        cm: &dyn ContentionManager,
-    ) -> (BegOutcome, f64);
+    fn beg(&self, tid: usize, sync: &EngineSync, cm: &dyn ContentionManager) -> (BegOutcome, f64);
 
     /// Select (and unpark-reserve) a beggar for `donor` to feed; the donor
     /// must push work to the beggar's PEL and then call [`LoadBalancer::wake`].
@@ -135,12 +130,7 @@ impl LoadBalancer for RwsBalancer {
         "rws"
     }
 
-    fn beg(
-        &self,
-        tid: usize,
-        sync: &EngineSync,
-        cm: &dyn ContentionManager,
-    ) -> (BegOutcome, f64) {
+    fn beg(&self, tid: usize, sync: &EngineSync, cm: &dyn ContentionManager) -> (BegOutcome, f64) {
         self.list.lock().push_back(tid);
         beg_wait(tid, &self.has_work[tid], sync, cm, self)
     }
@@ -185,8 +175,12 @@ impl HwsBalancer {
         let blades = threads.div_ceil(topo.threads_per_blade());
         HwsBalancer {
             topo,
-            bl1: (0..sockets.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
-            bl2: (0..blades.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            bl1: (0..sockets.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            bl2: (0..blades.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             bl3: Mutex::new(VecDeque::new()),
             has_work: (0..threads)
                 .map(|_| CachePadded::new(AtomicBool::new(false)))
@@ -200,12 +194,7 @@ impl LoadBalancer for HwsBalancer {
         "hws"
     }
 
-    fn beg(
-        &self,
-        tid: usize,
-        sync: &EngineSync,
-        cm: &dyn ContentionManager,
-    ) -> (BegOutcome, f64) {
+    fn beg(&self, tid: usize, sync: &EngineSync, cm: &dyn ContentionManager) -> (BegOutcome, f64) {
         let socket = self.topo.socket_of(tid);
         let blade = self.topo.blade_of(tid);
         // Choose the level: BL1 unless the socket's other threads are all

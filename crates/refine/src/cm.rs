@@ -409,7 +409,7 @@ mod tests {
         let waited = cm.on_rollback(1, 0, &sync);
         assert_eq!(waited, 0.0);
         assert_eq!(sync.cm_blocked(), 1); // only T0 remains parked
-        // T1 making progress wakes T0
+                                          // T1 making progress wakes T0
         for _ in 0..S_PLUS {
             cm.on_success(1);
         }

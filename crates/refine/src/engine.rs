@@ -21,6 +21,8 @@ use parking_lot::Mutex;
 use pi2m_delaunay::{CellId, OpError, SharedMesh, VertexKind};
 use pi2m_geometry::circumcenter;
 use pi2m_image::LabeledImage;
+use pi2m_obs::metrics::{self, MetricsSnapshot, ThreadRecorder};
+use pi2m_obs::{Phases, TraceSpan};
 use pi2m_oracle::{IsosurfaceOracle, SizeFn};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -88,6 +90,12 @@ pub struct MeshOutput {
     /// The full triangulation of the virtual box (for inspection/tests).
     pub shared: SharedMesh,
     pub oracle: Arc<IsosurfaceOracle>,
+    /// Merged observability metrics (counters, histograms, worker events),
+    /// drained from the per-thread recorders at join.
+    pub metrics: MetricsSnapshot,
+    /// Pipeline phase spans (`edt`, `volume_refinement`, `extract`), in
+    /// seconds since the run origin.
+    pub phases: Vec<TraceSpan>,
 }
 
 /// The parallel Image-to-Mesh converter.
@@ -121,8 +129,18 @@ impl Mesher {
     /// parallel refinement, final-mesh extraction.
     pub fn run(self) -> MeshOutput {
         let cfg = self.cfg;
+        let mut phases = Phases::new();
+        // Pipeline-thread recorder: EDT/oracle preprocessing metrics.
+        let mut pipeline_rec = ThreadRecorder::new();
         let t_edt = Instant::now();
-        let oracle = Arc::new(IsosurfaceOracle::new(self.img, cfg.threads));
+        let oracle = {
+            let _g = phases.span("edt");
+            Arc::new(IsosurfaceOracle::new_with_obs(
+                self.img,
+                cfg.threads,
+                &mut pipeline_rec,
+            ))
+        };
         let edt_time = t_edt.elapsed().as_secs_f64();
 
         let domain = oracle
@@ -144,6 +162,10 @@ impl Mesher {
         );
 
         let sync = EngineSync::new(cfg.threads);
+        // Offset between the refinement clock (EngineSync, which timestamps
+        // overhead traces and worker events) and the run origin, so all
+        // exported timelines share one time base.
+        let sync_origin = phases.now();
         let cm = make_cm(cfg.cm, cfg.threads);
         let bal = make_balancer(cfg.balancer, cfg.topology, cfg.threads);
         let pels: Vec<Pel> = (0..cfg.threads)
@@ -180,22 +202,45 @@ impl Mesher {
 
         let t_refine = Instant::now();
         let mut per_thread: Vec<ThreadStats> = Vec::new();
+        let mut recorders: Vec<ThreadRecorder> = Vec::new();
         let mut final_list: Vec<(CellId, u32)> = Vec::new();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for tid in 0..cfg.threads {
-                let env = &env;
-                handles.push(s.spawn(move || worker(env, tid)));
-            }
-            for h in handles {
-                let (st, fl) = h.join().expect("worker panicked");
-                per_thread.push(st);
-                final_list.extend(fl);
-            }
-        });
+        {
+            let _g = phases.span("volume_refinement");
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for tid in 0..cfg.threads {
+                    let env = &env;
+                    handles.push(s.spawn(move || worker(env, tid)));
+                }
+                for h in handles {
+                    let (st, fl, rec) = h.join().expect("worker panicked");
+                    per_thread.push(st);
+                    recorders.push(rec);
+                    final_list.extend(fl);
+                }
+            });
+        }
         let wall_time = t_refine.elapsed().as_secs_f64();
 
-        let final_mesh = FinalMesh::extract(&mesh, &oracle, Some(&final_list));
+        let final_mesh = phases.time("extract", || {
+            FinalMesh::extract(&mesh, &oracle, Some(&final_list))
+        });
+
+        // Merge per-thread recorders (join-time drain: workers are done, so
+        // plain reads — the whole run records without a single atomic RMW)
+        // and bridge the ThreadStats counters into the same snapshot.
+        let mut snap = MetricsSnapshot::new();
+        pipeline_rec.merge_into(cfg.threads as u32, &mut snap);
+        for (tid, rec) in recorders.iter_mut().enumerate() {
+            for e in &mut rec.events {
+                e.at_s += sync_origin; // shift into the run-origin time base
+            }
+            rec.merge_into(tid as u32, &mut snap);
+        }
+        for st in &per_thread {
+            bridge_thread_stats(st, &mut snap);
+        }
+
         let stats = RefineStats {
             final_elements: final_mesh.num_tets(),
             vertices_allocated: mesh.num_vertices(),
@@ -203,19 +248,47 @@ impl Mesher {
             wall_time,
             edt_time,
             livelock: sync.livelocked(),
+            trace_origin: sync_origin,
         };
         MeshOutput {
             mesh: final_mesh,
             stats,
             shared: mesh,
             oracle,
+            metrics: snap,
+            phases: phases.spans().to_vec(),
         }
     }
 }
 
-fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
+/// Mirror the engine's own `ThreadStats` counters into the shared metric
+/// catalog, so exporters see one unified namespace.
+fn bridge_thread_stats(st: &ThreadStats, snap: &mut MetricsSnapshot) {
+    use metrics as m;
+    for (id, n) in [
+        (m::OPS_TOTAL, st.operations),
+        (m::OPS_INSERTIONS, st.insertions),
+        (m::OPS_REMOVALS, st.removals),
+        (m::OPS_ROLLBACKS, st.rollbacks),
+        (m::OPS_SKIPPED, st.skipped),
+        (m::REMOVALS_BLOCKED, st.removals_blocked),
+        (m::CELLS_CREATED, st.cells_created),
+        (m::CELLS_KILLED, st.cells_killed),
+        (m::DONATIONS_MADE, st.donations_made),
+        (m::DONATIONS_RECEIVED, st.donations_received),
+        (m::INTER_BLADE_DONATIONS, st.inter_blade_donations),
+    ] {
+        snap.add_counter(id, n);
+    }
+}
+
+fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>, ThreadRecorder) {
     let mut ctx = env.mesh.make_ctx(tid as u32);
     let mut stats = ThreadStats::default();
+    // Exclusively owned by this worker — every inc/observe below is a plain
+    // load/store, merged into the run snapshot after join.
+    let mut rec = ThreadRecorder::new();
+    let t_spawn = env.sync.now();
     let mut final_list: Vec<(CellId, u32)> = Vec::new();
 
     loop {
@@ -238,6 +311,7 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
             let (outcome, waited) = env.bal.beg(tid, env.sync, env.cm);
             let at = env.cfg.trace.then(|| env.sync.now());
             stats.add_overhead(OverheadKind::LoadBalance, waited, at);
+            rec.observe(metrics::LB_WAIT_SECONDS, waited);
             match outcome {
                 BegOutcome::Finished => break,
                 BegOutcome::GotWork => {
@@ -250,6 +324,7 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
         env.sync.poor_taken(1);
 
         let c = CellId(cid);
+        rec.inc(metrics::CLASSIFY_CALLS, 1);
         let Some(action) = env.rules.classify(env.mesh, c, gen) else {
             continue; // satisfied (or stale) — drop
         };
@@ -261,6 +336,7 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
                 stats.insertions += 1;
                 stats.cells_created += res.created.len() as u64;
                 stats.cells_killed += res.killed.len() as u64;
+                rec.observe(metrics::CAVITY_CELLS, res.killed.len() as f64);
                 env.sync.note_progress();
                 env.cm.on_success(tid);
                 env.rules.grid.insert(res.vertex, action.point);
@@ -288,16 +364,14 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
                             }
                             Err(OpError::Conflict { owner, .. }) => {
                                 stats.rollbacks += 1;
+                                let rolled = t1.elapsed().as_secs_f64();
                                 let at = env.cfg.trace.then(|| env.sync.now());
-                                stats.add_overhead(
-                                    OverheadKind::Rollback,
-                                    t1.elapsed().as_secs_f64(),
-                                    at,
-                                );
-                                let waited =
-                                    env.cm.on_rollback(tid, owner as usize, env.sync);
+                                stats.add_overhead(OverheadKind::Rollback, rolled, at);
+                                rec.observe(metrics::ROLLBACK_SECONDS, rolled);
+                                let waited = env.cm.on_rollback(tid, owner as usize, env.sync);
                                 let at = env.cfg.trace.then(|| env.sync.now());
                                 stats.add_overhead(OverheadKind::Contention, waited, at);
+                                rec.observe(metrics::LOCK_WAIT_SECONDS, waited);
                                 // best-effort: drop this victim
                             }
                             Err(_) => stats.removals_blocked += 1,
@@ -307,8 +381,10 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
             }
             Err(OpError::Conflict { owner, .. }) => {
                 stats.rollbacks += 1;
+                let rolled = t0.elapsed().as_secs_f64();
                 let at = env.cfg.trace.then(|| env.sync.now());
-                stats.add_overhead(OverheadKind::Rollback, t0.elapsed().as_secs_f64(), at);
+                stats.add_overhead(OverheadKind::Rollback, rolled, at);
+                rec.observe(metrics::ROLLBACK_SECONDS, rolled);
                 // the element is still poor: requeue it, then consult the CM
                 env.pels[tid].lock().push_back((cid, gen));
                 env.counters[tid].fetch_add(1, Ordering::AcqRel);
@@ -316,6 +392,7 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
                 let waited = env.cm.on_rollback(tid, owner as usize, env.sync);
                 let at = env.cfg.trace.then(|| env.sync.now());
                 stats.add_overhead(OverheadKind::Contention, waited, at);
+                rec.observe(metrics::LOCK_WAIT_SECONDS, waited);
             }
             Err(
                 OpError::Duplicate(_)
@@ -326,6 +403,18 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
                 // the rule's remedy is not realizable; drop the element
                 stats.skipped += 1;
             }
+        }
+
+        // Drain the kernel's walk-effort counters for this operation (plain
+        // u64 reads from our own ctx — the kernel stays obs-free).
+        let ws = ctx.take_walk_stats();
+        if ws.locates > 0 {
+            rec.inc(metrics::WALK_LOCATES, ws.locates);
+            rec.inc(metrics::WALK_STEPS, ws.steps);
+            rec.observe(
+                metrics::WALK_STEPS_PER_LOCATE,
+                ws.steps as f64 / ws.locates as f64,
+            );
         }
 
         if env.cfg.max_operations > 0 {
@@ -341,7 +430,9 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>) {
 
     // A finished worker must leave nobody parked on its contention list.
     env.cm.before_beg(tid, env.sync);
-    (stats, final_list)
+    // Every worker contributes at least this lifetime event to the trace.
+    rec.event("worker", "worker", t_spawn, env.sync.now() - t_spawn);
+    (stats, final_list, rec)
 }
 
 /// Enqueue newly created cells for (lazy) classification, donating to a
@@ -457,12 +548,14 @@ mod tests {
 
     #[test]
     fn all_cms_terminate_on_small_input() {
-        for cm in [CmKind::Aggressive, CmKind::Random, CmKind::Global, CmKind::Local] {
+        for cm in [
+            CmKind::Aggressive,
+            CmKind::Random,
+            CmKind::Global,
+            CmKind::Local,
+        ] {
             let out = small_run(3, cm, BalancerKind::Rws);
-            assert!(
-                out.mesh.num_tets() > 0,
-                "cm {cm:?} produced an empty mesh"
-            );
+            assert!(out.mesh.num_tets() > 0, "cm {cm:?} produced an empty mesh");
         }
     }
 
@@ -478,9 +571,47 @@ mod tests {
         // R6 should fire at least occasionally on a curved surface
         assert!(out.stats.total_removals() > 0, "no removals occurred");
         // and removals stay a small fraction of operations (paper: ~2%)
-        let frac =
-            out.stats.total_removals() as f64 / out.stats.total_operations().max(1) as f64;
+        let frac = out.stats.total_removals() as f64 / out.stats.total_operations().max(1) as f64;
         assert!(frac < 0.35, "removal fraction {frac}");
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_stats() {
+        let out = small_run(2, CmKind::Local, BalancerKind::Rws);
+        let m = &out.metrics;
+        // bridged ThreadStats counters agree with the legacy accessors
+        assert_eq!(m.counter(metrics::OPS_TOTAL), out.stats.total_operations());
+        assert_eq!(
+            m.counter(metrics::OPS_ROLLBACKS),
+            out.stats.total_rollbacks()
+        );
+        assert_eq!(m.counter(metrics::OPS_REMOVALS), out.stats.total_removals());
+        // EDT preprocessing recorded its three separable passes
+        assert_eq!(m.counter(metrics::EDT_PASSES), 3);
+        assert!(m.counter(metrics::EDT_VOXELS) > 0);
+        assert!(m.counter(metrics::ORACLE_SURFACE_VOXELS) > 0);
+        // one cavity sample per successful insertion, and walks were counted
+        let insertions: u64 = out.stats.per_thread.iter().map(|t| t.insertions).sum();
+        assert_eq!(m.hist(metrics::CAVITY_CELLS).count, insertions);
+        assert!(m.counter(metrics::WALK_LOCATES) > 0);
+        assert!(m.counter(metrics::WALK_STEPS) >= m.counter(metrics::WALK_LOCATES));
+        // every worker leaves a lifetime event on its own track
+        let mut tids: Vec<u32> = m
+            .events
+            .iter()
+            .filter(|(_, e)| e.name == "worker")
+            .map(|(t, _)| *t)
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids, vec![0, 1]);
+        // pipeline phases are spanned
+        for phase in ["edt", "volume_refinement", "extract"] {
+            assert!(
+                out.phases.iter().any(|s| s.name == phase && s.dur_s >= 0.0),
+                "missing phase {phase}"
+            );
+        }
     }
 
     #[test]

@@ -12,10 +12,12 @@ use pi2m_geometry::Point3;
 
 const BUCKETS: usize = 1 << 15;
 
+type Shard = Mutex<Vec<(VertexId, [f64; 3])>>;
+
 /// Sharded spatial hash over vertex positions.
 pub struct PointGrid {
     cell: f64,
-    shards: Vec<Mutex<Vec<(VertexId, [f64; 3])>>>,
+    shards: Vec<Shard>,
 }
 
 impl PointGrid {
@@ -143,13 +145,7 @@ impl PointGrid {
     }
 
     /// Is any alive vertex of `kind` within `radius` of `p`?
-    pub fn any_near(
-        &self,
-        mesh: &SharedMesh,
-        p: [f64; 3],
-        radius: f64,
-        kind: VertexKind,
-    ) -> bool {
+    pub fn any_near(&self, mesh: &SharedMesh, p: [f64; 3], radius: f64, kind: VertexKind) -> bool {
         let mut found = false;
         self.for_each_near(mesh, p, radius, kind, |_, _| {
             found = true;

@@ -167,8 +167,11 @@ mod tests {
             [0.0, 0.0, 3.0],
             [-3.0, -2.0, 1.0],
         ] {
-            ctx.insert([c.x + d[0], c.y + d[1], c.z + d[2]], VertexKind::Circumcenter)
-                .unwrap();
+            ctx.insert(
+                [c.x + d[0], c.y + d[1], c.z + d[2]],
+                VertexKind::Circumcenter,
+            )
+            .unwrap();
         }
         let fm = FinalMesh::extract(&mesh, &oracle, None);
         assert!(fm.num_tets() > 0);
@@ -197,8 +200,11 @@ mod tests {
         let mut ctx = mesh.make_ctx(0);
         let c = oracle.image().bounds().center();
         for d in [[0.0, 0.0, 0.0], [2.0, 1.0, 0.0], [0.0, 2.0, 2.0]] {
-            ctx.insert([c.x + d[0], c.y + d[1], c.z + d[2]], VertexKind::Circumcenter)
-                .unwrap();
+            ctx.insert(
+                [c.x + d[0], c.y + d[1], c.z + d[2]],
+                VertexKind::Circumcenter,
+            )
+            .unwrap();
         }
         let full = FinalMesh::extract(&mesh, &oracle, None);
         let all: Vec<(CellId, u32)> = mesh

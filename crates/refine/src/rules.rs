@@ -130,7 +130,7 @@ impl Rules {
         }
 
         // R3: facet surface-centers.
-        for i in 0..4 {
+        for (i, &f) in TET_FACES.iter().enumerate() {
             let n = cell.nei(i);
             if n.is_none() {
                 continue;
@@ -151,7 +151,6 @@ impl Rules {
             };
             // Voronoi edge of the shared facet.
             if let Some(cs) = self.oracle.segment_surface_intersection(cc, ncc) {
-                let f = TET_FACES[i];
                 let fv = [verts[f[0]], verts[f[1]], verts[f[2]]];
                 let angle = min_triangle_angle(p[f[0]], p[f[1]], p[f[2]]);
                 // both isosurface vertices and surface-centers lie

@@ -15,11 +15,18 @@ pub enum OverheadKind {
 }
 
 /// One trace event: (wall-clock seconds since start, kind, duration seconds).
+///
+/// Timestamps are `f64`: at f32 precision a timestamp one hour into a run
+/// quantizes to ~0.25 ms, coarser than many individual overhead episodes,
+/// which scrambles event ordering in long traces.
 #[derive(Clone, Copy, Debug)]
 pub struct TraceEvent {
-    pub at: f32,
+    pub at: f64,
     pub kind: OverheadKind,
-    pub dur: f32,
+    pub dur: f64,
+    /// Originating worker thread; filled in by [`RefineStats::merged_trace`]
+    /// (a `ThreadStats` does not know its own index).
+    pub tid: u32,
 }
 
 /// Per-thread counters; owned exclusively by its worker, merged at join.
@@ -58,9 +65,10 @@ impl ThreadStats {
         }
         if let Some(at) = trace_at {
             self.trace.push(TraceEvent {
-                at: at as f32,
+                at,
                 kind,
-                dur: secs as f32,
+                dur: secs,
+                tid: 0,
             });
         }
     }
@@ -81,6 +89,10 @@ pub struct RefineStats {
     pub final_elements: usize,
     /// Vertices allocated (including removed ones).
     pub vertices_allocated: usize,
+    /// Seconds from the pipeline run origin at which the refinement clock
+    /// (the `at` field of trace events) started; exporters add this to align
+    /// overhead traces with phase spans.
+    pub trace_origin: f64,
 }
 
 impl RefineStats {
@@ -105,7 +117,10 @@ impl RefineStats {
     }
 
     pub fn load_balance_overhead(&self) -> f64 {
-        self.per_thread.iter().map(|t| t.load_balance_overhead).sum()
+        self.per_thread
+            .iter()
+            .map(|t| t.load_balance_overhead)
+            .sum()
     }
 
     pub fn rollback_overhead(&self) -> f64 {
@@ -119,7 +134,10 @@ impl RefineStats {
     }
 
     pub fn total_inter_blade_donations(&self) -> u64 {
-        self.per_thread.iter().map(|t| t.inter_blade_donations).sum()
+        self.per_thread
+            .iter()
+            .map(|t| t.inter_blade_donations)
+            .sum()
     }
 
     pub fn total_donations(&self) -> u64 {
@@ -135,14 +153,22 @@ impl RefineStats {
         }
     }
 
-    /// Merged, time-sorted trace across threads.
+    /// Merged, time-sorted trace across threads, with `tid` stamped from the
+    /// per-thread index. Simultaneous events tie-break by thread id so the
+    /// merged order (and any export built from it) is deterministic.
     pub fn merged_trace(&self) -> Vec<TraceEvent> {
         let mut all: Vec<TraceEvent> = self
             .per_thread
             .iter()
-            .flat_map(|t| t.trace.iter().copied())
+            .enumerate()
+            .flat_map(|(tid, t)| {
+                t.trace.iter().map(move |e| TraceEvent {
+                    tid: tid as u32,
+                    ..*e
+                })
+            })
             .collect();
-        all.sort_by(|a, b| a.at.total_cmp(&b.at));
+        all.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.tid.cmp(&b.tid)));
         all
     }
 }
@@ -164,12 +190,16 @@ mod tests {
 
     #[test]
     fn aggregation() {
-        let mut a = ThreadStats::default();
-        a.rollbacks = 3;
-        a.contention_overhead = 1.0;
-        let mut b = ThreadStats::default();
-        b.rollbacks = 5;
-        b.rollback_overhead = 2.0;
+        let a = ThreadStats {
+            rollbacks: 3,
+            contention_overhead: 1.0,
+            ..Default::default()
+        };
+        let b = ThreadStats {
+            rollbacks: 5,
+            rollback_overhead: 2.0,
+            ..Default::default()
+        };
         let stats = RefineStats {
             per_thread: vec![a, b],
             wall_time: 2.0,
@@ -194,5 +224,30 @@ mod tests {
         let t = stats.merged_trace();
         assert_eq!(t.len(), 2);
         assert!(t[0].at <= t[1].at);
+        assert_eq!((t[0].tid, t[1].tid), (1, 0));
+    }
+
+    #[test]
+    fn trace_ties_break_by_thread_id() {
+        let mk = |kinds: &[OverheadKind]| {
+            let mut s = ThreadStats::default();
+            for &k in kinds {
+                s.add_overhead(k, 0.1, Some(1.0)); // identical timestamps
+            }
+            s
+        };
+        let stats = RefineStats {
+            per_thread: vec![
+                mk(&[OverheadKind::Rollback, OverheadKind::Contention]),
+                mk(&[OverheadKind::LoadBalance]),
+            ],
+            ..Default::default()
+        };
+        let t = stats.merged_trace();
+        let tids: Vec<u32> = t.iter().map(|e| e.tid).collect();
+        assert_eq!(tids, vec![0, 0, 1]);
+        // stable within a thread: insertion order preserved
+        assert_eq!(t[0].kind, OverheadKind::Rollback);
+        assert_eq!(t[1].kind, OverheadKind::Contention);
     }
 }

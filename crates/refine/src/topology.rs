@@ -137,7 +137,7 @@ mod tests {
         assert_eq!(t.hops_between(3, 3), 0);
         for (a, b) in [(0, 1), (0, 5), (0, 64), (17, 113)] {
             let h = t.hops_between(a, b);
-            assert!(h >= 1 && h <= 6);
+            assert!((1..=6).contains(&h));
             assert_eq!(h, t.hops_between(b, a));
         }
         // far blades route through more switches than near ones

@@ -122,7 +122,10 @@ impl SimStats {
         self.per_thread.iter().map(|t| t.contention_overhead).sum()
     }
     pub fn load_balance_overhead(&self) -> f64 {
-        self.per_thread.iter().map(|t| t.load_balance_overhead).sum()
+        self.per_thread
+            .iter()
+            .map(|t| t.load_balance_overhead)
+            .sum()
     }
     pub fn rollback_overhead(&self) -> f64 {
         self.per_thread.iter().map(|t| t.rollback_overhead).sum()
@@ -134,7 +137,10 @@ impl SimStats {
         self.per_thread.iter().map(|t| t.donations_made).sum()
     }
     pub fn inter_blade_donations(&self) -> u64 {
-        self.per_thread.iter().map(|t| t.inter_blade_donations).sum()
+        self.per_thread
+            .iter()
+            .map(|t| t.inter_blade_donations)
+            .sum()
     }
     /// Elements per virtual second.
     pub fn elements_per_second(&self) -> f64 {
@@ -161,14 +167,21 @@ impl SimStats {
         }
     }
 
-    /// Merged overhead trace (Figure 6).
+    /// Merged overhead trace (Figure 6), `tid`-stamped and deterministically
+    /// ordered (time, then thread id) like [`pi2m_refine::RefineStats`].
     pub fn merged_trace(&self) -> Vec<pi2m_refine::TraceEvent> {
         let mut all: Vec<pi2m_refine::TraceEvent> = self
             .per_thread
             .iter()
-            .flat_map(|t| t.trace.iter().copied())
+            .enumerate()
+            .flat_map(|(tid, t)| {
+                t.trace.iter().map(move |e| pi2m_refine::TraceEvent {
+                    tid: tid as u32,
+                    ..*e
+                })
+            })
             .collect();
-        all.sort_by(|a, b| a.at.total_cmp(&b.at));
+        all.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.tid.cmp(&b.tid)));
         all
     }
 }
@@ -383,8 +396,7 @@ impl SimBalancer {
                 let blade = self.topo.blade_of(vt);
                 if self.bl1[socket].len() < self.topo.threads_per_socket().saturating_sub(1) {
                     self.bl1[socket].push_back(vt);
-                } else if self.bl2[blade].len() < self.topo.sockets_per_blade.saturating_sub(1)
-                {
+                } else if self.bl2[blade].len() < self.topo.sockets_per_blade.saturating_sub(1) {
                     self.bl2[blade].push_back(vt);
                 } else {
                     self.bl3.push_back(vt);
@@ -567,23 +579,23 @@ impl SimMesher {
                 let fl = inflight[vt].take().unwrap();
                 states[vt] = VtState::Ready(t);
                 let ctx = &mut ctxs[vt];
-                let (created, removal, vertex_info): (Vec<CellId>, bool, Option<(VertexId, [f64; 3], VertexKind)>) =
-                    match fl.prep {
-                        Prep::Insert(p, action) => {
-                            let res = ctx.commit_insert(p);
-                            ctx.release_locks();
-                            (
-                                res.created,
-                                false,
-                                Some((res.vertex, action.point, action.kind)),
-                            )
-                        }
-                        Prep::Remove(p, _victim) => {
-                            let res = ctx.commit_remove(p);
-                            ctx.release_locks();
-                            (res.created, true, None)
-                        }
-                    };
+                type CommitEffect = (Vec<CellId>, bool, Option<(VertexId, [f64; 3], VertexKind)>);
+                let (created, removal, vertex_info): CommitEffect = match fl.prep {
+                    Prep::Insert(p, action) => {
+                        let res = ctx.commit_insert(p);
+                        ctx.release_locks();
+                        (
+                            res.created,
+                            false,
+                            Some((res.vertex, action.point, action.kind)),
+                        )
+                    }
+                    Prep::Remove(p, _victim) => {
+                        let res = ctx.commit_remove(p);
+                        ctx.release_locks();
+                        (res.created, true, None)
+                    }
+                };
                 last_commit_t = t;
                 stats[vt].operations += 1;
                 if removal {
@@ -628,8 +640,7 @@ impl SimMesher {
                             }
                             stats[vt].donations_made += 1;
                             stats[b].donations_received += 1;
-                            let cross_blade =
-                                machine.topo.blade_of(vt) != machine.topo.blade_of(b);
+                            let cross_blade = machine.topo.blade_of(vt) != machine.topo.blade_of(b);
                             if cross_blade {
                                 stats[vt].inter_blade_donations += 1;
                             }
@@ -704,11 +715,13 @@ impl SimMesher {
                         Some(a) => (a.point, a.kind, Some((cid, gen)), false, VertexId(0)),
                     }
                 }
-                Work::Removal(victim) => {
-                    ([0.0; 3], VertexKind::Circumcenter, None, true, victim)
-                }
+                Work::Removal(victim) => ([0.0; 3], VertexKind::Circumcenter, None, true, victim),
             };
-            let t_op = if is_removal { t } else { t + cost.classify * cf };
+            let t_op = if is_removal {
+                t
+            } else {
+                t + cost.classify * cf
+            };
 
             // ---- attempt prepare with incremental-acquisition preemption ----
             let mut t_try = t_op;
@@ -720,18 +733,16 @@ impl SimMesher {
                         .prepare_remove(victim)
                         .map(|p| Prep::Remove(p, victim))
                 } else {
-                    ctxs[vt]
-                        .prepare_insert(action_point, action_kind)
-                        .map(|p| {
-                            Prep::Insert(
-                                p,
-                                pi2m_refine::InsertAction {
-                                    point: action_point,
-                                    kind: action_kind,
-                                    rule: 0,
-                                },
-                            )
-                        })
+                    ctxs[vt].prepare_insert(action_point, action_kind).map(|p| {
+                        Prep::Insert(
+                            p,
+                            pi2m_refine::InsertAction {
+                                point: action_point,
+                                kind: action_kind,
+                                rule: 0,
+                            },
+                        )
+                    })
                 };
                 match prep_result {
                     Ok(prep) => {
@@ -754,8 +765,7 @@ impl SimMesher {
                             let pen = machine.touch_penalty(vt, home_vt, blades_in_use);
                             if pen == 0.0 {
                                 sim.local_touches += 1;
-                            } else if machine.topo.blade_of(vt) == machine.topo.blade_of(home_vt)
-                            {
+                            } else if machine.topo.blade_of(vt) == machine.topo.blade_of(home_vt) {
                                 sim.remote_socket_touches += 1;
                             } else {
                                 sim.inter_blade_touches += 1;
@@ -794,9 +804,7 @@ impl SimMesher {
                                     .position(|&u| u == vertex)
                                     .unwrap_or(fl.lock_order.len());
                                 fl.t_start
-                                    + (pos as f64 + 1.0)
-                                        * a
-                                        * machine.compute_factor(owner, n)
+                                    + (pos as f64 + 1.0) * a * machine.compute_factor(owner, n)
                             })
                             .unwrap_or(f64::NEG_INFINITY);
 

@@ -7,8 +7,8 @@
 //! livelocks for the non-blocking contention managers), and a cc-NUMA memory
 //! model — touched cells homed on another socket or blade cost extra, with
 //! hop counts and a root-switch congestion term reproducing the paper's
-//! >144-core degradation (§6.3: each hop adds a ~2000 cycle penalty and the
-//! upper-level switches saturate).
+//! degradation beyond 144 cores (§6.3: each hop adds a ~2000 cycle penalty
+//! and the upper-level switches saturate).
 
 use pi2m_refine::MachineTopology;
 

@@ -9,8 +9,8 @@
 //! cargo run --release --example atlas_meshing [scale]
 //! ```
 
-use pi2m::baseline::{isosurface::IsosurfaceBaselineConfig, IsosurfaceBaseline, PlcBaseline};
 use pi2m::baseline::plc::PlcBaselineConfig;
+use pi2m::baseline::{isosurface::IsosurfaceBaselineConfig, IsosurfaceBaseline, PlcBaseline};
 use pi2m::image::phantoms;
 use pi2m::meshio;
 use pi2m::refine::{FinalMesh, Mesher, MesherConfig};

@@ -1,11 +1,14 @@
 //! Contention-manager laboratory: a desk-sized rerun of the paper's §5.5
-//! comparison on the simulated Blacklight.
+//! comparison on the simulated Blacklight, printed through the shared
+//! `pi2m::obs` overhead exporter (same rendering the CLI and bench
+//! harnesses use).
 //!
 //! ```sh
-//! cargo run --release --example contention_lab [vthreads]
+//! cargo run --release --example contention_lab [vthreads] [delta]
 //! ```
 
 use pi2m::image::phantoms;
+use pi2m::obs::{render_overhead_table, OverheadBreakdown};
 use pi2m::refine::CmKind;
 use pi2m::sim::{SimConfig, SimMachine, SimMesher};
 
@@ -20,11 +23,13 @@ fn main() {
         .unwrap_or(1.2);
 
     println!("CM comparison on simulated Blacklight, {vthreads} virtual cores");
-    println!(
-        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9}",
-        "CM", "vtime(s)", "rollbacks", "contention", "loadbal", "rollback-ovh", "livelock"
-    );
-    for cm in [CmKind::Aggressive, CmKind::Random, CmKind::Global, CmKind::Local] {
+    let mut rows: Vec<(String, OverheadBreakdown, f64)> = Vec::new();
+    for cm in [
+        CmKind::Aggressive,
+        CmKind::Random,
+        CmKind::Global,
+        CmKind::Local,
+    ] {
         let cfg = SimConfig {
             vthreads,
             machine: SimMachine::blacklight(),
@@ -36,15 +41,17 @@ fn main() {
             ..Default::default()
         };
         let out = SimMesher::new(phantoms::abdominal(1.0), cfg).run();
-        println!(
-            "{:<12} {:>10.4} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>9}",
+        rows.push((
             format!("{cm:?}"),
+            OverheadBreakdown {
+                contention_s: out.stats.contention_overhead(),
+                load_balance_s: out.stats.load_balance_overhead(),
+                rollback_s: out.stats.rollback_overhead(),
+                rollbacks: out.stats.total_rollbacks(),
+                livelock: out.stats.livelock,
+            },
             out.stats.vtime,
-            out.stats.total_rollbacks(),
-            out.stats.contention_overhead(),
-            out.stats.load_balance_overhead(),
-            out.stats.rollback_overhead(),
-            if out.stats.livelock { "YES" } else { "no" },
-        );
+        ));
     }
+    print!("{}", render_overhead_table(&rows));
 }

@@ -61,11 +61,21 @@ fn main() -> std::io::Result<()> {
     println!("\n=== PI2M quickstart (sphere phantom, 32^3) ===");
     println!("elements            : {}", out.mesh.num_tets());
     println!("points              : {}", out.mesh.num_points());
-    println!("wall time           : {elapsed:.3} s ({:.0} elements/s)", out.mesh.num_tets() as f64 / elapsed);
-    println!("operations          : {} ({} removals)", out.stats.total_operations(), out.stats.total_removals());
+    println!(
+        "wall time           : {elapsed:.3} s ({:.0} elements/s)",
+        out.mesh.num_tets() as f64 / elapsed
+    );
+    println!(
+        "operations          : {} ({} removals)",
+        out.stats.total_operations(),
+        out.stats.total_removals()
+    );
     println!("rollbacks           : {}", out.stats.total_rollbacks());
     println!("max radius-edge     : {:.3}", q.max_radius_edge);
-    println!("dihedral (min, max) : ({:.1}°, {:.1}°)", q.min_dihedral_deg, q.max_dihedral_deg);
+    println!(
+        "dihedral (min, max) : ({:.1}°, {:.1}°)",
+        q.min_dihedral_deg, q.max_dihedral_deg
+    );
     println!("min boundary angle  : {:.1}°", b.min_planar_angle_deg);
     println!("Hausdorff distance  : {hausdorff:.2} (voxel = 1.0)");
 
@@ -73,6 +83,10 @@ fn main() -> std::io::Result<()> {
     meshio::write_vtk(&out.mesh, &mut BufWriter::new(File::create(&final_path)?))?;
     let off_path = out_dir.join("sphere_boundary.off");
     meshio::write_off(&out.mesh, &mut BufWriter::new(File::create(&off_path)?))?;
-    println!("\nwrote {} and {}", final_path.display(), off_path.display());
+    println!(
+        "\nwrote {} and {}",
+        final_path.display(),
+        off_path.display()
+    );
     Ok(())
 }

@@ -4,6 +4,7 @@
 //! pi2m mesh   <input.pim|phantom:NAME> [-o out.vtk] [--delta D] [--threads N]
 //!             [--cm aggressive|random|global|local] [--balancer rws|hws]
 //!             [--no-removals] [--size S] [--off out.off] [--stats]
+//!             [--report run.json] [--trace-out trace.json] [--metrics]
 //! pi2m phantom <name> <out.pim> [--scale S]    generate a phantom image
 //! pi2m info   <input.pim>                      print image metadata
 //! ```
@@ -14,8 +15,10 @@
 
 use pi2m::image::{io as img_io, phantoms, LabeledImage};
 use pi2m::meshio;
+use pi2m::obs::metrics::ObsEvent;
+use pi2m::obs::{render_chrome_trace, render_prometheus, OverheadBreakdown, RunReport};
 use pi2m::quality;
-use pi2m::refine::{BalancerKind, CmKind, Mesher, MesherConfig};
+use pi2m::refine::{BalancerKind, CmKind, Mesher, MesherConfig, OverheadKind};
 use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -25,6 +28,11 @@ struct Args {
     flags: std::collections::HashMap<String, String>,
     switches: std::collections::HashSet<String>,
 }
+
+/// Boolean options that never take a value — without this list, a switch
+/// followed by another short option (`--metrics -o out.vtk`) would greedily
+/// swallow it as a value.
+const SWITCHES: &[&str] = &["stats", "no-removals", "metrics"];
 
 fn parse_args(raw: &[String]) -> Args {
     let mut a = Args {
@@ -36,7 +44,7 @@ fn parse_args(raw: &[String]) -> Args {
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
             match it.peek() {
-                Some(v) if !v.starts_with("--") => {
+                Some(v) if !v.starts_with("--") && !SWITCHES.contains(&name) => {
                     a.flags.insert(name.to_string(), it.next().unwrap().clone());
                 }
                 _ => {
@@ -80,7 +88,11 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         .get("threads")
         .map(|v| v.parse().map_err(|_| "bad --threads"))
         .transpose()?
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
     let cm = match args.flags.get("cm").map(String::as_str) {
         None | Some("local") => CmKind::Local,
         Some("global") => CmKind::Global,
@@ -102,19 +114,20 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         })
         .transpose()?;
 
+    let enable_removals = !args.switches.contains("no-removals");
     let cfg = MesherConfig {
         delta,
         threads,
         cm,
         balancer,
         size_fn,
-        enable_removals: !args.switches.contains("no-removals"),
+        enable_removals,
         topology: pi2m::refine::MachineTopology::flat(threads),
+        // per-episode overhead events are needed for the Chrome trace
+        trace: args.flags.contains_key("trace-out"),
         ..Default::default()
     };
-    eprintln!(
-        "meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}"
-    );
+    eprintln!("meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}");
     let t0 = std::time::Instant::now();
     let out = Mesher::new(img, cfg).run();
     let dt = t0.elapsed().as_secs_f64();
@@ -139,7 +152,71 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         );
     }
 
-    let out_path = args.flags.get("o").cloned().unwrap_or_else(|| "mesh.vtk".into());
+    // --- observability exports -------------------------------------------
+    if args.flags.contains_key("report")
+        || args.flags.contains_key("trace-out")
+        || args.switches.contains("metrics")
+    {
+        let mut report = RunReport::new("pi2m");
+        report
+            .config("input", input)
+            .config("delta", delta)
+            .config("threads", threads)
+            .config("cm", format!("{cm:?}"))
+            .config("balancer", format!("{balancer:?}"))
+            .config("enable_removals", enable_removals);
+        report.set_phases(&out.phases);
+        report.overheads = OverheadBreakdown {
+            contention_s: out.stats.contention_overhead(),
+            load_balance_s: out.stats.load_balance_overhead(),
+            rollback_s: out.stats.rollback_overhead(),
+            rollbacks: out.stats.total_rollbacks(),
+            livelock: out.stats.livelock,
+        };
+        report.threads = threads;
+        report.wall_s = dt;
+        report.elements = out.mesh.num_tets() as u64;
+        report.metrics = out.metrics.clone();
+
+        if let Some(path) = args.flags.get("report") {
+            std::fs::write(path, report.to_json_string()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = args.flags.get("trace-out") {
+            // worker lifetime events are already in the run time base;
+            // overhead episodes carry refinement-clock stamps and shift by
+            // the recorded origin.
+            let mut events = out.metrics.events.clone();
+            for ev in out.stats.merged_trace() {
+                let name = match ev.kind {
+                    OverheadKind::Contention => "contention",
+                    OverheadKind::LoadBalance => "load_balance",
+                    OverheadKind::Rollback => "rollback",
+                };
+                events.push((
+                    ev.tid,
+                    ObsEvent {
+                        name,
+                        cat: "overhead",
+                        at_s: out.stats.trace_origin + ev.at,
+                        dur_s: ev.dur,
+                    },
+                ));
+            }
+            std::fs::write(path, render_chrome_trace(&out.phases, &events))
+                .map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if args.switches.contains("metrics") {
+            print!("{}", render_prometheus(&report));
+        }
+    }
+
+    let out_path = args
+        .flags
+        .get("o")
+        .cloned()
+        .unwrap_or_else(|| "mesh.vtk".into());
     let f = std::fs::File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
     meshio::write_vtk(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
     eprintln!("wrote {out_path}");
@@ -152,8 +229,14 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_phantom(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("usage: pi2m phantom <name> <out.pim>")?;
-    let out = args.positional.get(2).ok_or("usage: pi2m phantom <name> <out.pim>")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("usage: pi2m phantom <name> <out.pim>")?;
+    let out = args
+        .positional
+        .get(2)
+        .ok_or("usage: pi2m phantom <name> <out.pim>")?;
     let scale: f64 = args
         .flags
         .get("scale")
@@ -176,7 +259,10 @@ fn cmd_phantom(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
-    let input = args.positional.get(1).ok_or("usage: pi2m info <input.pim>")?;
+    let input = args
+        .positional
+        .get(1)
+        .ok_or("usage: pi2m info <input.pim>")?;
     let img = load_input(input)?;
     let d = img.dims();
     let s = img.spacing();

@@ -18,6 +18,7 @@
 //! | [`oracle`] | isosurface queries (closest surface point, surface centers) |
 //! | [`delaunay`] | concurrent Delaunay kernel (insertions and removals) |
 //! | [`refine`] | PI2M refinement engine: rules R1–R6, contention managers, work stealing |
+//! | [`obs`] | observability: metric catalog, phase spans, run reports, trace exporters |
 //! | [`sim`] | discrete-event simulated cc-NUMA machine for scaling studies |
 //! | [`baseline`] | sequential "CGAL-like" and "TetGen-like" comparison meshers |
 //! | [`quality`] | mesh statistics, Hausdorff fidelity measurement |
@@ -45,6 +46,7 @@ pub use pi2m_edt as edt;
 pub use pi2m_geometry as geometry;
 pub use pi2m_image as image;
 pub use pi2m_meshio as meshio;
+pub use pi2m_obs as obs;
 pub use pi2m_oracle as oracle;
 pub use pi2m_predicates as predicates;
 pub use pi2m_quality as quality;

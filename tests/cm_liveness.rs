@@ -21,14 +21,20 @@ fn contended_cfg(cm: CmKind, threads: usize) -> MesherConfig {
 #[test]
 fn global_cm_terminates_under_contention() {
     let out = Mesher::new(phantoms::sphere(12, 1.0), contended_cfg(CmKind::Global, 8)).run();
-    assert!(!out.stats.livelock, "Global-CM must not livelock (paper proof)");
+    assert!(
+        !out.stats.livelock,
+        "Global-CM must not livelock (paper proof)"
+    );
     assert!(out.mesh.num_tets() > 100);
 }
 
 #[test]
 fn local_cm_terminates_under_contention() {
     let out = Mesher::new(phantoms::sphere(12, 1.0), contended_cfg(CmKind::Local, 8)).run();
-    assert!(!out.stats.livelock, "Local-CM must not livelock (paper Lemmas 1-2)");
+    assert!(
+        !out.stats.livelock,
+        "Local-CM must not livelock (paper Lemmas 1-2)"
+    );
     assert!(out.mesh.num_tets() > 100);
 }
 

@@ -104,7 +104,12 @@ fn oversubscribed_parallel_run_is_consistent() {
 
 #[test]
 fn every_cm_and_balancer_combination_terminates() {
-    for cm in [CmKind::Aggressive, CmKind::Random, CmKind::Global, CmKind::Local] {
+    for cm in [
+        CmKind::Aggressive,
+        CmKind::Random,
+        CmKind::Global,
+        CmKind::Local,
+    ] {
         for bal in [BalancerKind::Rws, BalancerKind::Hws] {
             let out = Mesher::new(
                 phantoms::sphere(14, 1.0),

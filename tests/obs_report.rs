@@ -1,0 +1,132 @@
+//! Golden-file style integration test of the observability exports: a real
+//! (small) meshing run must produce a schema-valid JSON run report and a
+//! loadable Chrome trace. Keys and structural invariants are asserted —
+//! never float values, which vary run to run.
+
+use pi2m::image::phantoms;
+use pi2m::obs::json::{self, Json};
+use pi2m::obs::metrics::{self, ObsEvent};
+use pi2m::obs::{render_chrome_trace, OverheadBreakdown, RunReport};
+use pi2m::refine::{Mesher, MesherConfig, OverheadKind};
+
+const REPORT_KEYS: &[&str] = &[
+    "schema_version",
+    "tool",
+    "version",
+    "git_describe",
+    "config",
+    "phases",
+    "overheads",
+    "threads",
+    "wall_s",
+    "elements",
+    "elements_per_second",
+    "counters",
+    "histograms",
+];
+
+#[test]
+fn real_run_produces_schema_valid_report_and_trace() {
+    let cfg = MesherConfig {
+        delta: 5.0,
+        threads: 2,
+        trace: true,
+        ..MesherConfig::default()
+    };
+    let threads = cfg.threads;
+    let out = Mesher::new(phantoms::sphere(24, 1.0), cfg).run();
+    assert!(out.mesh.num_tets() > 0);
+
+    // --- report: built exactly the way the pi2m CLI builds it ------------
+    let mut report = RunReport::new("obs_report_test");
+    report.config("delta", 5.0).config("threads", threads);
+    report.set_phases(&out.phases);
+    report.overheads = OverheadBreakdown {
+        contention_s: out.stats.contention_overhead(),
+        load_balance_s: out.stats.load_balance_overhead(),
+        rollback_s: out.stats.rollback_overhead(),
+        rollbacks: out.stats.total_rollbacks(),
+        livelock: out.stats.livelock,
+    };
+    report.threads = threads;
+    report.wall_s = out.stats.wall_time;
+    report.elements = out.mesh.num_tets() as u64;
+    report.metrics = out.metrics.clone();
+
+    let j = json::parse(&report.to_json_string()).expect("report is valid JSON");
+    for key in REPORT_KEYS {
+        assert!(j.get(key).is_some(), "report missing key {key}");
+    }
+    assert_eq!(
+        j.get("schema_version").unwrap().as_f64(),
+        Some(RunReport::SCHEMA_VERSION as f64)
+    );
+
+    // phase timings present for the acceptance-criteria phases
+    let phases = j.get("phases").unwrap();
+    for phase in ["edt", "volume_refinement"] {
+        let v = phases
+            .get(phase)
+            .unwrap_or_else(|| panic!("missing phase {phase}"));
+        assert!(v.as_f64().unwrap() >= 0.0);
+    }
+
+    // counters mirror RefineStats exactly
+    let counters = j.get("counters").unwrap();
+    let counter = |name: &str| counters.get(name).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    assert_eq!(counter("ops_total"), out.stats.total_operations());
+    assert_eq!(counter("ops_rollbacks"), out.stats.total_rollbacks());
+
+    // each recorded histogram carries count/sum/buckets
+    let hists = j.get("histograms").unwrap();
+    let cavity = hists.get("cavity_cells").expect("cavity_cells histogram");
+    for key in ["count", "sum", "max", "mean", "buckets"] {
+        assert!(cavity.get(key).is_some(), "histogram missing {key}");
+    }
+    assert!(cavity.get("count").unwrap().as_f64().unwrap() > 0.0);
+
+    // --- Chrome trace: the CLI's --trace-out composition ------------------
+    let mut events: Vec<(u32, ObsEvent)> = out.metrics.events.clone();
+    for ev in out.stats.merged_trace() {
+        let name = match ev.kind {
+            OverheadKind::Contention => "contention",
+            OverheadKind::LoadBalance => "load_balance",
+            OverheadKind::Rollback => "rollback",
+        };
+        events.push((
+            ev.tid,
+            ObsEvent {
+                name,
+                cat: "overhead",
+                at_s: out.stats.trace_origin + ev.at,
+                dur_s: ev.dur,
+            },
+        ));
+    }
+    let trace = render_chrome_trace(&out.phases, &events);
+    let t = json::parse(&trace).expect("trace is valid JSON");
+    let evs = t.get("traceEvents").unwrap().as_arr().unwrap();
+
+    let by = |ph: &'static str| {
+        evs.iter()
+            .filter(move |e| e.get("ph").and_then(Json::as_str) == Some(ph))
+    };
+    // thread_name metadata for the pipeline track and both workers
+    assert!(by("M").count() > threads, "missing thread_name metadata");
+    // at least one complete event per worker track (the lifetime events)
+    for tid in 1..=threads as u64 {
+        assert!(
+            by("X").any(|e| e.get("tid").and_then(Json::as_f64) == Some(tid as f64)),
+            "no events on worker track {tid}"
+        );
+    }
+    // every complete event has non-negative microsecond timestamps
+    for e in by("X") {
+        assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    // the metrics snapshot that fed the report observed real work
+    assert!(out.metrics.counter(metrics::OPS_INSERTIONS) > 0);
+    assert_eq!(out.metrics.threads_merged as usize, threads + 1); // workers + pipeline
+}

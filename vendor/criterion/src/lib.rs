@@ -1,0 +1,80 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access (see `vendor/README.md`).
+//! `bench_function`/`iter` run a short calibrated loop and print a
+//! nanoseconds-per-iteration estimate — no statistics, plots, or baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timer handed to `bench_function` closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up, then pick an iteration count targeting ~50ms of work.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let reps =
+            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.ns_per_iter = t1.elapsed().as_nanos() as f64 / reps as f64;
+    }
+}
+
+/// Mirror of `criterion::Criterion` sufficient for `bench_function`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{name:<40} {:>14.1} ns/iter", b.ns_per_iter);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's single calibrated loop
+    /// has no sample count to configure.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,75 @@
+//! Offline stand-in for the subset of `crossbeam-utils` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the handful of external
+//! utilities the mesher relies on are vendored as small std-only
+//! re-implementations (see `vendor/README.md`). Only `CachePadded` is needed.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing false
+/// sharing between adjacent per-thread slots.
+///
+/// 128 bytes covers the common cases: x86_64 adjacent-line prefetching pulls
+/// pairs of 64-byte lines, and Apple/ARM big cores use 128-byte lines.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        assert_eq!(core::mem::align_of::<CachePadded<u8>>(), 128);
+        let c = CachePadded::new(41u64);
+        assert_eq!(*c + 1, 42);
+        assert_eq!(c.into_inner(), 41);
+    }
+}

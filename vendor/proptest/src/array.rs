@@ -1,0 +1,30 @@
+//! Fixed-size array strategies (`proptest::array::uniformN`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy generating `[S::Value; N]` from one element strategy.
+pub struct UniformArray<S, const N: usize> {
+    inner: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.inner.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($fn_name:ident => $n:literal),*) => {$(
+        pub fn $fn_name<S: Strategy>(inner: S) -> UniformArray<S, $n> {
+            UniformArray { inner }
+        }
+    )*};
+}
+
+uniform_fns!(
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8
+);

@@ -1,0 +1,159 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access (see `vendor/README.md`).
+//! This is a miniature property-testing runner with the same surface syntax:
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     #[test]
+//!     fn holds(x in 0u64..100, p in 0.0f64..1.0) { prop_assert!(x < 100); }
+//! }
+//! ```
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case panics with its inputs printed;
+//! * generation is a fixed deterministic stream per test (seeded from the
+//!   test's name), so failures reproduce across runs;
+//! * only the strategies this workspace uses exist: numeric ranges,
+//!   `any::<T>()`, tuples, `prop_map`, `Just`, and `array::uniformN`.
+
+pub mod array;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property body; panics (no shrink pass) with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Discard the current case when an assumption fails (rerolls the case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejection::Discard);
+        }
+    };
+}
+
+/// The `proptest!` block: optional `#![proptest_config(..)]`, then ordinary
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let cases = cfg.effective_cases();
+            let mut ran = 0u32;
+            let mut attempts = 0u32;
+            while ran < cases {
+                attempts += 1;
+                assert!(
+                    attempts < cases.saturating_mul(100).max(1000),
+                    "proptest stand-in: too many discarded cases in {}",
+                    stringify!($name)
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> $crate::test_runner::CaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })()
+                }));
+                match outcome {
+                    Ok(Ok(())) => ran += 1,
+                    Ok(Err($crate::test_runner::Rejection::Discard)) => {}
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest stand-in: case {} of {} failed with inputs:",
+                            ran + 1,
+                            stringify!($name),
+                        );
+                        $(eprintln!("    {} = {:?}", stringify!($arg), &$arg);)*
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            x in 0u64..100,
+            f in 0.25f64..4.0,
+            pair in (1usize..4, -5i64..5),
+            arr in crate::array::uniform3(0u8..10),
+            s in crate::strategy::any::<u64>(),
+            y in (0u32..7).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((0.25..4.0).contains(&f));
+            prop_assert!((1..4).contains(&pair.0) && (-5..5).contains(&pair.1));
+            prop_assert!(arr.iter().all(|&v| v < 10));
+            let _ = s;
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        let s = 0u64..1000;
+        for _ in 0..10 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

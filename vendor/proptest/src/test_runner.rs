@@ -1,0 +1,67 @@
+//! Runner configuration and the deterministic test RNG.
+
+use rand::{RngCore, SplitMix64};
+
+/// Mirror of `proptest::test_runner::ProptestConfig` (the fields used here).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override (same
+    /// escape hatch the real crate honours), never zero.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+            .max(1)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Rejection of a single generated case (`prop_assume!` failing).
+pub enum Rejection {
+    Discard,
+}
+
+/// Outcome of a single generated case. Like the real crate, bodies may
+/// `return Ok(())` to pass early; `prop_assume!` returns `Err(Discard)`.
+pub type CaseResult = Result<(), Rejection>;
+
+/// Deterministic per-test RNG: seeded from the test's fully qualified name,
+/// so each test sees a fixed input stream on every run and machine.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SplitMix64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test path
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng {
+            inner: SplitMix64::new(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

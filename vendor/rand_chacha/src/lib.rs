@@ -1,0 +1,65 @@
+//! Offline stand-in for `rand_chacha` (see `vendor/README.md`).
+//!
+//! Provides the `ChaCha8Rng`/`ChaCha12Rng`/`ChaCha20Rng` type names backed by
+//! a deterministic SplitMix64 stream — NOT the ChaCha cipher. The workspace
+//! only uses these as seedable, reproducible test generators; statistical
+//! uniformity is all that matters here, cryptographic strength does not.
+
+use rand::{RngCore, SeedableRng, SplitMix64};
+
+macro_rules! chacha_standin {
+    ($name:ident, $salt:literal) => {
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            inner: SplitMix64,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                // Fold the 256-bit seed into the 64-bit core, salted so the
+                // three variants produce distinct streams from equal seeds.
+                let mut k = $salt;
+                for chunk in seed.chunks(8) {
+                    let mut b = [0u8; 8];
+                    b[..chunk.len()].copy_from_slice(chunk);
+                    k = (k ^ u64::from_le_bytes(b)).wrapping_mul(0x100_0000_01B3);
+                }
+                $name {
+                    inner: SplitMix64::new(k),
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.inner.next_u64()
+            }
+        }
+    };
+}
+
+chacha_standin!(ChaCha8Rng, 0xcbf2_9ce4_8422_2325u64);
+chacha_standin!(ChaCha12Rng, 0x1234_5678_9abc_def0u64);
+chacha_standin!(ChaCha20Rng, 0x0fed_cba9_8765_4321u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+        for _ in 0..100 {
+            let f: f64 = a.gen_range(0.01..0.99);
+            assert!((0.01..0.99).contains(&f));
+        }
+    }
+}
