@@ -14,8 +14,9 @@
 //! boundary recomputed, restoring strict star-shapedness.
 
 use crate::fxhash::FxHashMap;
-use crate::ids::{CellId, VertexId, VertexKind};
-use crate::mesh::{InsertResult, OpCtx, OpError};
+use crate::ids::{CellId, VertexId, VertexKind, NONE};
+use crate::mesh::{InsertResult, KernelError, OpCtx, OpError};
+use pi2m_faults::{sites, Injected};
 use pi2m_geometry::{insphere_sos, orient3d, TET_FACES};
 
 /// Key standing in for the point being inserted: it will receive the largest
@@ -29,9 +30,10 @@ pub(crate) struct BFace {
     verts: [VertexId; 3],
     /// The cell outside the cavity across this face (`NONE` on the hull).
     outside: CellId,
-    /// The cavity cell this face came from (to find the outside cell's
-    /// back-pointer).
-    from: CellId,
+    /// Which face of `outside` points back into the cavity. Resolved during
+    /// the prepare phase so commit never has to fail a lookup (0 on the
+    /// hull, where it is unused).
+    out_face: usize,
 }
 
 /// A fully expanded insertion cavity, locks held, not yet committed.
@@ -66,6 +68,22 @@ impl OpCtx<'_> {
     /// operation has been rolled back (no locks held, no structural change).
     pub fn insert(&mut self, p: [f64; 3], kind: VertexKind) -> Result<InsertResult, OpError> {
         let prep = self.prepare_insert(p, kind)?;
+        // Injection point between the phases: a `panic` here unwinds while
+        // the full lock set is held (recovery must roll it back); deny/fail
+        // abort the prepared operation through the normal conflict path.
+        if self.has_faults() {
+            match self.fault(sites::INSERT_COMMIT) {
+                Some(Injected::Deny) => {
+                    self.abort();
+                    return Err(self.injected_conflict(VertexId(NONE)));
+                }
+                Some(Injected::Fail) => {
+                    self.abort();
+                    return Err(OpError::Kernel(KernelError::Injected));
+                }
+                None => {}
+            }
+        }
         let res = self.commit_insert(prep);
         self.unlock_all();
         Ok(res)
@@ -80,6 +98,13 @@ impl OpCtx<'_> {
         p: [f64; 3],
         kind: VertexKind,
     ) -> Result<PreparedInsert, OpError> {
+        if self.has_faults() {
+            match self.fault(sites::INSERT_PREPARE) {
+                Some(Injected::Deny) => return Err(self.injected_conflict(VertexId(NONE))),
+                Some(Injected::Fail) => return Err(OpError::Kernel(KernelError::Injected)),
+                None => {}
+            }
+        }
         let r = self.prepare_insert_inner(p, kind);
         if r.is_err() {
             self.unlock_all();
@@ -138,10 +163,20 @@ impl OpCtx<'_> {
                         }
                         forced.push(n);
                     } else {
+                        let out_face = if n.is_none() {
+                            0
+                        } else {
+                            match self.mesh.cell(n).face_to(c) {
+                                Some(j) => j,
+                                None => {
+                                    return Err(OpError::Kernel(KernelError::MissingBackPointer))
+                                }
+                            }
+                        };
                         bfaces.push(BFace {
                             verts: fv,
                             outside: n,
-                            from: c,
+                            out_face,
                         });
                     }
                 }
@@ -249,16 +284,12 @@ impl OpCtx<'_> {
                 neis[bi],
             );
         }
-        // outside back-pointers
+        // outside back-pointers (faces resolved during prepare)
         for (bi, bf) in bfaces.iter().enumerate() {
             if bf.outside.is_none() {
                 continue;
             }
-            let out = self.mesh.cell(bf.outside);
-            let j = out
-                .face_to(bf.from)
-                .expect("outside cell must point at the cavity");
-            out.set_nei(j, new_ids[bi]);
+            self.mesh.cell(bf.outside).set_nei(bf.out_face, new_ids[bi]);
         }
         // kill the cavity
         let mut killed = Vec::with_capacity(cavity.len());

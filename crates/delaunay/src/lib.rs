@@ -32,6 +32,6 @@ mod walk;
 
 pub use ids::{CellId, CellRef, VertexId, VertexKind, NONE};
 pub use insert::PreparedInsert;
-pub use mesh::{InsertResult, OpCtx, OpError, RemoveResult, SharedMesh};
+pub use mesh::{InsertResult, KernelError, OpCtx, OpError, RemoveResult, SharedMesh};
 pub use pool::{Cell, CellSnap, Vertex};
 pub use remove::PreparedRemove;

@@ -24,8 +24,43 @@
 use crate::boxinit::{box_mesh, virtual_box};
 use crate::ids::{CellId, VertexId, VertexKind, NONE};
 use crate::pool::{Cell, CellPool, CellSnap, Vertex, VertexPool};
+use pi2m_faults::{sites, FaultPlan, Injected};
 use pi2m_geometry::{orient3d_sign, signed_volume, Aabb, Point3, TET_FACES};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A kernel invariant that should be unreachable was observed broken mid
+/// operation. These replace panic-as-control-flow in the insert/remove/walk
+/// hot paths: instead of tearing down the process, the operation is abandoned
+/// (locks released, nothing mutated) and the refinement engine quarantines
+/// the work item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// A cell adjacent to the cavity/ball lacks a back-pointer to it.
+    MissingBackPointer,
+    /// A gathered ball cell no longer contains the vertex being removed.
+    BallLostVertex,
+    /// A link face of a removal is not realized by any fill cell.
+    UnrealizedLinkFace,
+    /// The triangulation has no alive cells to walk from.
+    NoAliveCells,
+    /// A synthetic failure forced by the fault-injection plan.
+    Injected,
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::MissingBackPointer => write!(f, "neighbor lacks a back-pointer"),
+            KernelError::BallLostVertex => write!(f, "ball cell lost its removal vertex"),
+            KernelError::UnrealizedLinkFace => write!(f, "link face not realized by fill"),
+            KernelError::NoAliveCells => write!(f, "triangulation has no alive cells"),
+            KernelError::Injected => write!(f, "synthetic fault-plan failure"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
 
 /// Why an operation did not complete.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +85,10 @@ pub enum OpError {
     RemovalBlocked,
     /// Unrecoverable geometric degeneracy for this element; skip it.
     Degenerate,
+    /// A broken internal invariant (see [`KernelError`]); the operation was
+    /// abandoned without structural change and the element should be
+    /// quarantined by the caller.
+    Kernel(KernelError),
 }
 
 /// Result of a successful insertion.
@@ -209,6 +248,12 @@ impl SharedMesh {
     /// Make a per-thread operation context. `tid` must be unique per
     /// concurrently operating thread.
     pub fn make_ctx(&self, tid: u32) -> OpCtx<'_> {
+        self.make_ctx_with_faults(tid, None)
+    }
+
+    /// Make a per-thread operation context with an (optionally armed) fault
+    /// plan consulted at the kernel's named injection sites.
+    pub fn make_ctx_with_faults(&self, tid: u32, faults: Option<Arc<FaultPlan>>) -> OpCtx<'_> {
         OpCtx {
             mesh: self,
             tid,
@@ -217,6 +262,7 @@ impl SharedMesh {
             last_cell: self.recent_cell(),
             rng: 0x9e37_79b9_7f4a_7c15u64 ^ ((tid as u64 + 1) << 32),
             walk_stats: WalkStats::default(),
+            faults,
         }
     }
 
@@ -386,6 +432,8 @@ pub struct OpCtx<'m> {
     pub last_cell: CellId,
     pub(crate) rng: u64,
     pub(crate) walk_stats: WalkStats,
+    /// Fault-injection plan (None = nothing armed; a single branch per site).
+    pub(crate) faults: Option<Arc<FaultPlan>>,
 }
 
 impl OpCtx<'_> {
@@ -397,9 +445,39 @@ impl OpCtx<'_> {
 }
 
 impl<'m> OpCtx<'m> {
+    /// Whether a fault plan is attached (cheap guard for injection sites).
+    #[inline]
+    pub(crate) fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Consult the fault plan at a named site. May panic or sleep inside;
+    /// returns `Some` when the site must simulate a denial/failure.
+    #[inline]
+    pub(crate) fn fault(&self, site: &'static str) -> Option<Injected> {
+        match &self.faults {
+            Some(f) => f.fire(site, self.tid),
+            None => None,
+        }
+    }
+
+    /// A synthetic self-conflict used by injected lock denials: reporting
+    /// the operating thread as the owner keeps every contention manager's
+    /// bookkeeping valid (a CM never parks a thread on its own list).
+    pub(crate) fn injected_conflict(&self, v: VertexId) -> OpError {
+        OpError::Conflict {
+            owner: self.tid,
+            vertex: v,
+            held: self.locked.len() as u32,
+        }
+    }
+
     /// Try to lock `v`; on failure report the owning thread (rollback path).
     #[inline]
     pub(crate) fn lock_vertex(&mut self, v: VertexId) -> Result<(), OpError> {
+        if self.faults.is_some() && self.fault(sites::LOCK_ACQUIRE).is_some() {
+            return Err(self.injected_conflict(v));
+        }
         match self.mesh.verts.vertex(v).try_lock(self.tid) {
             Ok(true) => {
                 self.locked.push(v);
@@ -468,7 +546,12 @@ impl<'m> OpCtx<'m> {
 
 impl Drop for OpCtx<'_> {
     fn drop(&mut self) {
-        debug_assert!(self.locked.is_empty(), "OpCtx dropped while holding locks");
+        // During a panic unwind the locks are force-released without the
+        // quiescence assertion: a panicking worker must never escalate to a
+        // process abort via a nested debug_assert failure.
+        if !std::thread::panicking() {
+            debug_assert!(self.locked.is_empty(), "OpCtx dropped while holding locks");
+        }
         self.unlock_all();
     }
 }

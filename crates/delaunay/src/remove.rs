@@ -19,10 +19,12 @@
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ids::{CellId, VertexId, VertexKind, NONE};
 use crate::local::{LocalDt, AUX_COUNT};
-use crate::mesh::{OpCtx, OpError, RemoveResult};
+use crate::mesh::{KernelError, OpCtx, OpError, RemoveResult};
+use pi2m_faults::{sites, Injected};
 use pi2m_geometry::{orient3d, signed_volume, Aabb, Point3, TET_FACES};
 
 /// Neighbor specification of a planned fill cell.
+#[derive(Clone, Copy)]
 enum Nb {
     /// Another fill cell (index into the plan list).
     Region(usize),
@@ -32,12 +34,15 @@ enum Nb {
 
 /// A fully planned removal, locks held, not yet committed. Obtain via
 /// [`OpCtx::prepare_remove`]; then [`OpCtx::commit_remove`] or
-/// [`OpCtx::abort`].
+/// [`OpCtx::abort`]. Every fallible lookup (back-pointers, wall owners) is
+/// resolved here so the commit phase cannot fail.
 pub struct PreparedRemove {
     vertex: VertexId,
     ball: Vec<CellId>,
     link_faces: Vec<LinkFace>,
-    plans: Vec<([VertexId; 4], [Option<Nb>; 4])>,
+    plans: Vec<([VertexId; 4], [Nb; 4])>,
+    /// For each link face, the plan index of the fill cell realizing it.
+    wall_owner: Vec<usize>,
 }
 
 impl PreparedRemove {
@@ -63,8 +68,9 @@ struct LinkFace {
     verts: [VertexId; 3],
     /// The cell outside the ball across this face (`NONE` on the hull).
     outside: CellId,
-    /// The ball cell this face belongs to.
-    from: CellId,
+    /// Which face of `outside` points back into the ball (0 on the hull,
+    /// where it is unused). Resolved during prepare so commit cannot fail.
+    out_face: usize,
 }
 
 impl OpCtx<'_> {
@@ -72,6 +78,21 @@ impl OpCtx<'_> {
     /// operation has been rolled back (no locks held, no structural change).
     pub fn remove(&mut self, v: VertexId) -> Result<RemoveResult, OpError> {
         let prep = self.prepare_remove(v)?;
+        // Injection point between the phases: a `panic` here unwinds while
+        // the full lock set is held; deny/fail abort the prepared removal.
+        if self.has_faults() {
+            match self.fault(sites::REMOVE_COMMIT) {
+                Some(Injected::Deny) => {
+                    self.abort();
+                    return Err(self.injected_conflict(v));
+                }
+                Some(Injected::Fail) => {
+                    self.abort();
+                    return Err(OpError::Kernel(KernelError::Injected));
+                }
+                None => {}
+            }
+        }
         let res = self.commit_remove(prep);
         self.unlock_all();
         Ok(res)
@@ -82,6 +103,13 @@ impl OpCtx<'_> {
     /// success locks stay held until `commit_remove` + `release_locks` or
     /// `abort`.
     pub fn prepare_remove(&mut self, v: VertexId) -> Result<PreparedRemove, OpError> {
+        if self.has_faults() {
+            match self.fault(sites::REMOVE_PREPARE) {
+                Some(Injected::Deny) => return Err(self.injected_conflict(v)),
+                Some(Injected::Fail) => return Err(OpError::Kernel(KernelError::Injected)),
+                None => {}
+            }
+        }
         let r = self.prepare_remove_inner(v);
         if r.is_err() {
             self.unlock_all();
@@ -120,7 +148,10 @@ impl OpCtx<'_> {
         while qi < ball.len() {
             let c = ball[qi];
             qi += 1;
-            let vi = self.mesh.cell(c).index_of(v).expect("ball cell lost v");
+            let vi = match self.mesh.cell(c).index_of(v) {
+                Some(vi) => vi,
+                None => return Err(OpError::Kernel(KernelError::BallLostVertex)),
+            };
             for i in 0..4 {
                 if i == vi {
                     continue; // link face: neighbor not in ball
@@ -146,12 +177,24 @@ impl OpCtx<'_> {
         let mut seen_verts: FxHashSet<u32> = FxHashSet::default();
         for &c in &ball {
             let cell = self.mesh.cell(c);
-            let vi = cell.index_of(v).unwrap();
+            let vi = match cell.index_of(v) {
+                Some(vi) => vi,
+                None => return Err(OpError::Kernel(KernelError::BallLostVertex)),
+            };
             let f = TET_FACES[vi];
+            let outside = cell.nei(vi);
+            let out_face = if outside.is_none() {
+                0
+            } else {
+                match self.mesh.cell(outside).face_to(c) {
+                    Some(j) => j,
+                    None => return Err(OpError::Kernel(KernelError::MissingBackPointer)),
+                }
+            };
             link_faces.push(LinkFace {
                 verts: [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])],
-                outside: cell.nei(vi),
-                from: c,
+                outside,
+                out_face,
             });
             for k in 0..4 {
                 let u = cell.vert(k);
@@ -291,10 +334,11 @@ impl OpCtx<'_> {
             l2new.insert(lc, ri);
         }
         // per region cell: (verts, neighbor spec) where neighbor spec is
-        // either Region(index) or Outside(link face index)
-        let mut plans: Vec<([VertexId; 4], [Option<Nb>; 4])> =
-            Vec::with_capacity(region_list.len());
-        for &lc in &region_list {
+        // either Region(index) or Link(link face index). The owner of every
+        // wall is also resolved here so commit never fails a lookup.
+        let mut plans: Vec<([VertexId; 4], [Nb; 4])> = Vec::with_capacity(region_list.len());
+        let mut wall_owner: Vec<usize> = vec![usize::MAX; link_faces.len()];
+        for (ri, &lc) in region_list.iter().enumerate() {
             let cv = dt.cell_verts(lc);
             let cn = dt.cell_neis(lc);
             let verts = [
@@ -303,18 +347,24 @@ impl OpCtx<'_> {
                 l2g[cv[2] as usize],
                 l2g[cv[3] as usize],
             ];
-            let mut nbs: [Option<Nb>; 4] = [None, None, None, None];
+            let mut nbs: [Nb; 4] = [Nb::Region(usize::MAX); 4];
             for (i, f) in TET_FACES.iter().enumerate() {
                 let key = face_key(cv[f[0]], cv[f[1]], cv[f[2]]);
                 if let Some(&fi) = walls.get(&key) {
-                    nbs[i] = Some(Nb::Link(fi));
-                } else if let Some(&ri) = l2new.get(&cn[i]) {
-                    nbs[i] = Some(Nb::Region(ri));
+                    nbs[i] = Nb::Link(fi);
+                    wall_owner[fi] = ri;
+                } else if let Some(&rj) = l2new.get(&cn[i]) {
+                    nbs[i] = Nb::Region(rj);
                 } else {
                     return Err(OpError::RemovalBlocked);
                 }
             }
             plans.push((verts, nbs));
+        }
+        for (fi, lf) in link_faces.iter().enumerate() {
+            if !lf.outside.is_none() && wall_owner[fi] == usize::MAX {
+                return Err(OpError::Kernel(KernelError::UnrealizedLinkFace));
+            }
         }
 
         Ok(PreparedRemove {
@@ -322,6 +372,7 @@ impl OpCtx<'_> {
             ball,
             link_faces,
             plans,
+            wall_owner,
         })
     }
 
@@ -333,37 +384,30 @@ impl OpCtx<'_> {
             ball,
             link_faces,
             plans,
+            wall_owner,
         } = prep;
         let new_ids: Vec<CellId> = plans
             .iter()
             .map(|_| self.mesh.cells.reserve(&mut self.free_cells))
             .collect();
-        // which new cell realizes each link face (for outside back-pointers)
-        let mut wall_owner: Vec<Option<usize>> = vec![None; link_faces.len()];
         for (ri, (verts, nbs)) in plans.iter().enumerate() {
             let mut neis = [CellId(NONE); 4];
             for (i, nb) in nbs.iter().enumerate() {
                 match nb {
-                    Some(Nb::Region(rj)) => neis[i] = new_ids[*rj],
-                    Some(Nb::Link(fi)) => {
-                        neis[i] = link_faces[*fi].outside;
-                        wall_owner[*fi] = Some(ri);
-                    }
-                    None => unreachable!(),
+                    Nb::Region(rj) => neis[i] = new_ids[*rj],
+                    Nb::Link(fi) => neis[i] = link_faces[*fi].outside,
                 }
             }
             self.mesh.cells.activate(new_ids[ri], *verts, neis);
         }
+        // outside back-pointers (owners and faces resolved during prepare)
         for (fi, lf) in link_faces.iter().enumerate() {
             if lf.outside.is_none() {
                 continue;
             }
-            let ri = wall_owner[fi].expect("every link face realized");
-            let out = self.mesh.cell(lf.outside);
-            let j = out
-                .face_to(lf.from)
-                .expect("outside cell must point at the ball");
-            out.set_nei(j, new_ids[ri]);
+            self.mesh
+                .cell(lf.outside)
+                .set_nei(lf.out_face, new_ids[wall_owner[fi]]);
         }
         let mut killed = Vec::with_capacity(ball.len());
         for &c in &ball {

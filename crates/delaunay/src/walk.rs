@@ -7,8 +7,9 @@
 //! only misroutes the walk, never corrupts it — the caller re-validates the
 //! final cell under vertex locks.
 
-use crate::ids::{CellId, VertexId};
-use crate::mesh::{OpCtx, OpError};
+use crate::ids::{CellId, VertexId, NONE};
+use crate::mesh::{KernelError, OpCtx, OpError};
+use pi2m_faults::{sites, Injected};
 use pi2m_geometry::{orient3d, TET_FACES};
 
 /// Max steps before the walk restarts from a fresh cell.
@@ -33,9 +34,16 @@ impl OpCtx<'_> {
         {
             return Err(OpError::OutsideDomain);
         }
+        if self.has_faults() {
+            match self.fault(sites::WALK_LOCATE) {
+                Some(Injected::Deny) => return Err(self.injected_conflict(VertexId(NONE))),
+                Some(Injected::Fail) => return Err(OpError::Kernel(KernelError::Injected)),
+                None => {}
+            }
+        }
         self.walk_stats.locates += 1;
         let mut restarts = 0usize;
-        let mut cur = self.walk_start();
+        let mut cur = self.walk_start()?;
         'outer: loop {
             if restarts > MAX_RESTARTS {
                 return Err(OpError::Degenerate);
@@ -46,14 +54,14 @@ impl OpCtx<'_> {
                 self.walk_stats.steps += 1;
                 if steps > MAX_STEPS {
                     restarts += 1;
-                    cur = self.random_alive_cell();
+                    cur = self.restart_cell()?;
                     continue 'outer;
                 }
                 let snap = match self.snap(cur) {
                     Some(s) => s,
                     None => {
                         restarts += 1;
-                        cur = self.random_alive_cell();
+                        cur = self.restart_cell()?;
                         continue 'outer;
                     }
                 };
@@ -94,7 +102,7 @@ impl OpCtx<'_> {
                     Ok(false) => {
                         // state changed under us; retry from scratch
                         restarts += 1;
-                        cur = self.random_alive_cell();
+                        cur = self.restart_cell()?;
                         continue 'outer;
                     }
                     Err(e) => return Err(e),
@@ -139,33 +147,37 @@ impl OpCtx<'_> {
 
     /// Starting cell for a walk: the thread's last cell if alive, else the
     /// globally recent cell, else a random alive cell.
-    fn walk_start(&mut self) -> CellId {
+    fn walk_start(&mut self) -> Result<CellId, OpError> {
         if self.snap(self.last_cell).is_some() {
-            return self.last_cell;
+            return Ok(self.last_cell);
         }
         let r = self.mesh.recent_cell();
         if self.snap(r).is_some() {
-            return r;
+            return Ok(r);
         }
+        self.restart_cell()
+    }
+
+    /// A fresh cell to restart a walk from, as a typed error when the
+    /// triangulation holds no alive cells at all (a state only reachable
+    /// through corruption — surfaced instead of panicking).
+    fn restart_cell(&mut self) -> Result<CellId, OpError> {
         self.random_alive_cell()
+            .ok_or(OpError::Kernel(KernelError::NoAliveCells))
     }
 
     /// Sample a random alive cell (bounded rejection sampling with a linear
     /// fallback — the fallback only triggers in pathological states).
-    pub(crate) fn random_alive_cell(&mut self) -> CellId {
+    pub(crate) fn random_alive_cell(&mut self) -> Option<CellId> {
         let n = self.mesh.cells.len() as u64;
         debug_assert!(n > 0);
         for _ in 0..128 {
             let c = CellId((self.next_rand() % n) as u32);
             if self.mesh.cells.cell(c).is_alive() {
-                return c;
+                return Some(c);
             }
         }
-        self.mesh
-            .cells
-            .alive_ids()
-            .next()
-            .expect("triangulation has no alive cells")
+        self.mesh.cells.alive_ids().next()
     }
 
     /// Locate without locking (for read-only queries, quiescent state): the

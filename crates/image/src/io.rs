@@ -83,9 +83,29 @@ pub fn read_pim<R: Read>(r: R) -> io::Result<LabeledImage> {
     if dims.contains(&0) {
         return Err(bad("dims not specified"));
     }
-    let n = dims[0] * dims[1] * dims[2];
+    for (a, &s) in spacing.iter().enumerate() {
+        if !s.is_finite() {
+            return Err(bad(&format!("spacing[{a}] is not finite ({s})")));
+        }
+        if s <= 0.0 {
+            return Err(bad(&format!("spacing[{a}] must be positive (got {s})")));
+        }
+    }
+    if !origin.iter().all(|o| o.is_finite()) {
+        return Err(bad("origin is not finite"));
+    }
+    // Reject dimension overflow *before* sizing the allocation: a hostile
+    // header like `dims 4294967295 4294967295 4294967295` must not wrap the
+    // voxel count into a small number (or abort on an oversized Vec).
+    let n = dims[0]
+        .checked_mul(dims[1])
+        .and_then(|xy| xy.checked_mul(dims[2]))
+        .ok_or_else(|| bad("dims overflow: voxel count exceeds addressable memory"))?;
     let mut buf = vec![0u8; n];
     br.read_exact(&mut buf)?;
+    if buf.iter().all(|&b| b == 0) {
+        return Err(bad("empty label set: image has no foreground voxels"));
+    }
 
     let mut img = LabeledImage::new(dims, spacing);
     img.set_origin(Point3::new(origin[0], origin[1], origin[2]));
@@ -132,6 +152,57 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_pim(&b"not an image"[..]).is_err());
         assert!(read_pim(&b"PI2M-IMAGE 1\ndims 4 4 4\ndata\nxx"[..]).is_err());
+    }
+
+    /// Build a header + one foreground voxel of data with the given
+    /// spacing/origin lines, for exercising the load-time validation.
+    fn pim_bytes(spacing: &str, origin: &str) -> Vec<u8> {
+        let mut b = format!("PI2M-IMAGE 1\ndims 1 1 1\n{spacing}\n{origin}\ndata\n").into_bytes();
+        b.push(1u8);
+        b
+    }
+
+    fn err_of(bytes: &[u8]) -> String {
+        read_pim(bytes).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn rejects_zero_spacing() {
+        let e = err_of(&pim_bytes("spacing 0 1 1", "origin 0 0 0"));
+        assert!(e.contains("spacing[0] must be positive"), "{e}");
+    }
+
+    #[test]
+    fn rejects_negative_spacing() {
+        let e = err_of(&pim_bytes("spacing 1 -0.5 1", "origin 0 0 0"));
+        assert!(e.contains("spacing[1] must be positive"), "{e}");
+    }
+
+    #[test]
+    fn rejects_nan_spacing() {
+        let e = err_of(&pim_bytes("spacing 1 1 NaN", "origin 0 0 0"));
+        assert!(e.contains("spacing[2] is not finite"), "{e}");
+    }
+
+    #[test]
+    fn rejects_infinite_origin() {
+        let e = err_of(&pim_bytes("spacing 1 1 1", "origin 0 inf 0"));
+        assert!(e.contains("origin is not finite"), "{e}");
+    }
+
+    #[test]
+    fn rejects_dimension_overflow() {
+        let big = usize::MAX / 2;
+        let hdr = format!("PI2M-IMAGE 1\ndims {big} {big} 2\nspacing 1 1 1\ndata\n");
+        let e = err_of(hdr.as_bytes());
+        assert!(e.contains("dims overflow"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_label_set() {
+        let bytes = b"PI2M-IMAGE 1\ndims 2 1 1\nspacing 1 1 1\ndata\n\0\0";
+        let e = err_of(bytes);
+        assert!(e.contains("empty label set"), "{e}");
     }
 
     #[test]

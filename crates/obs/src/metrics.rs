@@ -100,6 +100,13 @@ counters! {
     EDT_VOXELS           = ("edt_voxels", "voxels", "Voxels swept by the Euclidean distance transform"),
     EDT_PASSES           = ("edt_passes", "passes", "Separable EDT axis passes executed"),
     ORACLE_SURFACE_VOXELS = ("oracle_surface_voxels", "voxels", "Surface voxels feeding the isosurface oracle"),
+    // fault recovery (panic isolation + quarantine; see DESIGN.md)
+    WORKER_PANICS        = ("worker_panics", "events", "Panics caught by the per-operation isolation boundary"),
+    WORKER_DEATHS        = ("worker_deaths", "events", "Workers lost to un-recovered panics (run continued)"),
+    QUARANTINED_OPS      = ("quarantined_ops", "ops", "Poison work items dropped after a caught panic"),
+    RECOVERY_ROLLBACKS   = ("recovery_rollbacks", "ops", "Lock sets force-released while recovering from a panic"),
+    KERNEL_ERRORS        = ("kernel_errors", "ops", "Operations abandoned on a typed kernel-invariant error"),
+    FAULTS_INJECTED      = ("faults_injected", "events", "Faults fired by the deterministic injection plan"),
 }
 
 histograms! {

@@ -93,9 +93,10 @@ fn beg_wait(
             bal.release_all();
             break BegOutcome::Finished;
         }
-        // Deadlock-breaking fallback: if every non-begging thread is parked
-        // in a contention list, wake one so the system keeps moving.
-        if sync.cm_blocked() > 0 && sync.begging() + sync.cm_blocked() >= sync.threads {
+        // Deadlock-breaking fallback: if every non-begging live thread is
+        // parked in a contention list, wake one so the system keeps moving.
+        if sync.cm_blocked() > 0 && sync.begging() + sync.cm_blocked() + sync.dead() >= sync.threads
+        {
             cm.release_one();
         }
         std::hint::spin_loop();

@@ -10,6 +10,7 @@
 
 use crate::balancer::{make_balancer, BalancerKind, BegOutcome, LoadBalancer, DONATE_THRESHOLD};
 use crate::cm::{make_cm, CmKind, ContentionManager};
+use crate::error::RefineError;
 use crate::grid::PointGrid;
 use crate::output::FinalMesh;
 use crate::rules::{RuleConfig, Rules};
@@ -18,14 +19,16 @@ use crate::sync::EngineSync;
 use crate::topology::MachineTopology;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
-use pi2m_delaunay::{CellId, OpError, SharedMesh, VertexKind};
+use pi2m_delaunay::{CellId, OpCtx, OpError, SharedMesh, VertexKind};
+use pi2m_faults::{sites, FaultPlan};
 use pi2m_geometry::circumcenter;
 use pi2m_image::LabeledImage;
 use pi2m_obs::metrics::{self, MetricsSnapshot, ThreadRecorder};
 use pi2m_obs::{Phases, TraceSpan};
 use pi2m_oracle::{IsosurfaceOracle, SizeFn};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,6 +63,10 @@ pub struct MesherConfig {
     pub trace: bool,
     /// Safety cap on total operations (0 = unlimited).
     pub max_operations: u64,
+    /// Deterministic fault-injection plan (testing/DST only; `None` in
+    /// production). Threaded into every kernel context and consulted at the
+    /// engine's own named sites.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for MesherConfig {
@@ -78,6 +85,7 @@ impl Default for MesherConfig {
             livelock_timeout: 30.0,
             trace: false,
             max_operations: 0,
+            faults: None,
         }
     }
 }
@@ -116,6 +124,10 @@ struct Env<'a> {
     bal: &'a dyn LoadBalancer,
     cfg: &'a MesherConfig,
     ops_total: &'a AtomicU64,
+    /// Per-worker death flags: set exactly once when a worker's panic escapes
+    /// the per-operation isolation boundary. Heir selection for a dead
+    /// worker's PEL skips flagged threads.
+    dead_flags: &'a [CachePadded<AtomicBool>],
 }
 
 impl Mesher {
@@ -127,7 +139,38 @@ impl Mesher {
 
     /// Run the full pipeline: parallel EDT, virtual-box triangulation,
     /// parallel refinement, final-mesh extraction.
+    ///
+    /// Individual worker panics are isolated: the poisoned operation is
+    /// rolled back and quarantined, and if the panic escapes the operation
+    /// boundary the worker is retired while the run completes on the
+    /// survivors. Panics only if a *majority* of workers die (use
+    /// [`Mesher::try_run`] for a typed error instead).
     pub fn run(self) -> MeshOutput {
+        let out = self.run_inner();
+        let (died, threads) = (out.stats.workers_died, out.stats.threads());
+        assert!(
+            died * 2 <= threads,
+            "worker quorum lost: {died} of {threads} workers died"
+        );
+        out
+    }
+
+    /// Like [`Mesher::run`], but global failures — a majority of workers
+    /// dead, or the livelock watchdog firing — surface as a typed
+    /// [`RefineError`] instead of a panic / a flag on the stats.
+    pub fn try_run(self) -> Result<MeshOutput, RefineError> {
+        let out = self.run_inner();
+        let (died, threads) = (out.stats.workers_died, out.stats.threads());
+        if died * 2 > threads {
+            return Err(RefineError::WorkerQuorumLost { died, threads });
+        }
+        if out.stats.livelock {
+            return Err(RefineError::Livelock);
+        }
+        Ok(out)
+    }
+
+    fn run_inner(self) -> MeshOutput {
         let cfg = self.cfg;
         let mut phases = Phases::new();
         // Pipeline-thread recorder: EDT/oracle preprocessing metrics.
@@ -175,6 +218,9 @@ impl Mesher {
             .map(|_| CachePadded::new(AtomicI64::new(0)))
             .collect();
         let ops_total = AtomicU64::new(0);
+        let dead_flags: Vec<CachePadded<AtomicBool>> = (0..cfg.threads)
+            .map(|_| CachePadded::new(AtomicBool::new(false)))
+            .collect();
 
         // Seed: the initial box cells go to the main thread's PEL (paper
         // §4.4: "only the main thread might have a non-empty PEL").
@@ -198,25 +244,44 @@ impl Mesher {
             bal: bal.as_ref(),
             cfg: &cfg,
             ops_total: &ops_total,
+            dead_flags: &dead_flags,
         };
 
         let t_refine = Instant::now();
         let mut per_thread: Vec<ThreadStats> = Vec::new();
         let mut recorders: Vec<ThreadRecorder> = Vec::new();
         let mut final_list: Vec<(CellId, u32)> = Vec::new();
+        let mut workers_died = 0usize;
         {
             let _g = phases.span("volume_refinement");
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for tid in 0..cfg.threads {
                     let env = &env;
-                    handles.push(s.spawn(move || worker(env, tid)));
+                    // Stats, recorder, and final-list live OUTSIDE the panic
+                    // boundary so a dying worker's partial results survive.
+                    handles.push(s.spawn(move || {
+                        let mut stats = ThreadStats::default();
+                        let mut rec = ThreadRecorder::new();
+                        let mut fl: Vec<(CellId, u32)> = Vec::new();
+                        let died = catch_unwind(AssertUnwindSafe(|| {
+                            worker(env, tid, &mut stats, &mut rec, &mut fl)
+                        }))
+                        .is_err();
+                        if died {
+                            worker_death_cleanup(env, tid, &mut rec);
+                        }
+                        (stats, fl, rec, died)
+                    }));
                 }
                 for h in handles {
-                    let (st, fl, rec) = h.join().expect("worker panicked");
+                    // The inner catch_unwind makes this join infallible for
+                    // any panic raised inside the worker loop itself.
+                    let (st, fl, rec, died) = h.join().expect("worker harness panicked");
                     per_thread.push(st);
                     recorders.push(rec);
                     final_list.extend(fl);
+                    workers_died += died as usize;
                 }
             });
         }
@@ -240,6 +305,9 @@ impl Mesher {
         for st in &per_thread {
             bridge_thread_stats(st, &mut snap);
         }
+        if let Some(f) = &cfg.faults {
+            snap.add_counter(metrics::FAULTS_INJECTED, f.injected());
+        }
 
         let stats = RefineStats {
             final_elements: final_mesh.num_tets(),
@@ -248,6 +316,7 @@ impl Mesher {
             wall_time,
             edt_time,
             livelock: sync.livelocked(),
+            workers_died,
             trace_origin: sync_origin,
         };
         MeshOutput {
@@ -277,19 +346,28 @@ fn bridge_thread_stats(st: &ThreadStats, snap: &mut MetricsSnapshot) {
         (m::DONATIONS_MADE, st.donations_made),
         (m::DONATIONS_RECEIVED, st.donations_received),
         (m::INTER_BLADE_DONATIONS, st.inter_blade_donations),
+        (m::WORKER_PANICS, st.panics),
+        (m::QUARANTINED_OPS, st.quarantined),
+        (m::RECOVERY_ROLLBACKS, st.recovery_rollbacks),
+        (m::KERNEL_ERRORS, st.kernel_errors),
     ] {
         snap.add_counter(id, n);
     }
 }
 
-fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>, ThreadRecorder) {
-    let mut ctx = env.mesh.make_ctx(tid as u32);
-    let mut stats = ThreadStats::default();
+fn worker(
+    env: &Env<'_>,
+    tid: usize,
+    stats: &mut ThreadStats,
     // Exclusively owned by this worker — every inc/observe below is a plain
     // load/store, merged into the run snapshot after join.
-    let mut rec = ThreadRecorder::new();
+    rec: &mut ThreadRecorder,
+    final_list: &mut Vec<(CellId, u32)>,
+) {
+    let mut ctx = env
+        .mesh
+        .make_ctx_with_faults(tid as u32, env.cfg.faults.clone());
     let t_spawn = env.sync.now();
-    let mut final_list: Vec<(CellId, u32)> = Vec::new();
 
     loop {
         if env.sync.is_done() {
@@ -304,10 +382,18 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>, Thread
             env.bal.release_all();
             break;
         }
+        // Worker-scope injection: a `panic` here escapes the per-operation
+        // isolation below and kills this worker (the death-cleanup path).
+        if let Some(f) = &env.cfg.faults {
+            let _ = f.fire(sites::ENGINE_WORKER, tid as u32);
+        }
 
         let item = env.pels[tid].lock().pop_front();
         let Some((cid, gen)) = item else {
             env.cm.before_beg(tid, env.sync);
+            if let Some(f) = &env.cfg.faults {
+                let _ = f.fire(sites::BALANCER_BEG, tid as u32);
+            }
             let (outcome, waited) = env.bal.beg(tid, env.sync, env.cm);
             let at = env.cfg.trace.then(|| env.sync.now());
             stats.add_overhead(OverheadKind::LoadBalance, waited, at);
@@ -323,86 +409,23 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>, Thread
         env.counters[tid].fetch_sub(1, Ordering::AcqRel);
         env.sync.poor_taken(1);
 
-        let c = CellId(cid);
-        rec.inc(metrics::CLASSIFY_CALLS, 1);
-        let Some(action) = env.rules.classify(env.mesh, c, gen) else {
-            continue; // satisfied (or stale) — drop
-        };
-
-        let t0 = Instant::now();
-        match ctx.insert(action.point, action.kind) {
-            Ok(res) => {
-                stats.operations += 1;
-                stats.insertions += 1;
-                stats.cells_created += res.created.len() as u64;
-                stats.cells_killed += res.killed.len() as u64;
-                rec.observe(metrics::CAVITY_CELLS, res.killed.len() as f64);
-                env.sync.note_progress();
-                env.cm.on_success(tid);
-                env.rules.grid.insert(res.vertex, action.point);
-                handle_created(env, tid, &mut stats, &mut final_list, &res.created);
-
-                // R6: an isosurface vertex evicts nearby circumcenters.
-                if action.kind == VertexKind::Isosurface && env.cfg.enable_removals {
-                    for victim in env.rules.r6_victims(env.mesh, action.point) {
-                        let t1 = Instant::now();
-                        match ctx.remove(victim) {
-                            Ok(rres) => {
-                                stats.operations += 1;
-                                stats.removals += 1;
-                                stats.cells_created += rres.created.len() as u64;
-                                stats.cells_killed += rres.killed.len() as u64;
-                                env.sync.note_progress();
-                                env.cm.on_success(tid);
-                                handle_created(
-                                    env,
-                                    tid,
-                                    &mut stats,
-                                    &mut final_list,
-                                    &rres.created,
-                                );
-                            }
-                            Err(OpError::Conflict { owner, .. }) => {
-                                stats.rollbacks += 1;
-                                let rolled = t1.elapsed().as_secs_f64();
-                                let at = env.cfg.trace.then(|| env.sync.now());
-                                stats.add_overhead(OverheadKind::Rollback, rolled, at);
-                                rec.observe(metrics::ROLLBACK_SECONDS, rolled);
-                                let waited = env.cm.on_rollback(tid, owner as usize, env.sync);
-                                let at = env.cfg.trace.then(|| env.sync.now());
-                                stats.add_overhead(OverheadKind::Contention, waited, at);
-                                rec.observe(metrics::LOCK_WAIT_SECONDS, waited);
-                                // best-effort: drop this victim
-                            }
-                            Err(_) => stats.removals_blocked += 1,
-                        }
-                    }
-                }
+        // ---- per-operation panic isolation ----
+        // Classification + remedy run under `catch_unwind`: a panic rolls
+        // back whatever locks the operation still holds and quarantines the
+        // work item (it is never requeued), and the worker keeps going.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            process_item(env, tid, &mut ctx, stats, rec, final_list, cid, gen)
+        }));
+        if caught.is_err() {
+            stats.panics += 1;
+            stats.quarantined += 1;
+            if ctx.locks_held() > 0 {
+                ctx.abort();
+                stats.recovery_rollbacks += 1;
             }
-            Err(OpError::Conflict { owner, .. }) => {
-                stats.rollbacks += 1;
-                let rolled = t0.elapsed().as_secs_f64();
-                let at = env.cfg.trace.then(|| env.sync.now());
-                stats.add_overhead(OverheadKind::Rollback, rolled, at);
-                rec.observe(metrics::ROLLBACK_SECONDS, rolled);
-                // the element is still poor: requeue it, then consult the CM
-                env.pels[tid].lock().push_back((cid, gen));
-                env.counters[tid].fetch_add(1, Ordering::AcqRel);
-                env.sync.poor_added(1);
-                let waited = env.cm.on_rollback(tid, owner as usize, env.sync);
-                let at = env.cfg.trace.then(|| env.sync.now());
-                stats.add_overhead(OverheadKind::Contention, waited, at);
-                rec.observe(metrics::LOCK_WAIT_SECONDS, waited);
-            }
-            Err(
-                OpError::Duplicate(_)
-                | OpError::OutsideDomain
-                | OpError::Degenerate
-                | OpError::RemovalBlocked,
-            ) => {
-                // the rule's remedy is not realizable; drop the element
-                stats.skipped += 1;
-            }
+            // Quarantining the poison item is progress: the watchdog must
+            // not blame the recovery for the missing completions.
+            env.sync.note_progress();
         }
 
         // Drain the kernel's walk-effort counters for this operation (plain
@@ -432,7 +455,177 @@ fn worker(env: &Env<'_>, tid: usize) -> (ThreadStats, Vec<(CellId, u32)>, Thread
     env.cm.before_beg(tid, env.sync);
     // Every worker contributes at least this lifetime event to the trace.
     rec.event("worker", "worker", t_spawn, env.sync.now() - t_spawn);
-    (stats, final_list, rec)
+}
+
+/// Classify one PEL item and execute its remedy. Runs inside the worker's
+/// per-operation `catch_unwind` boundary.
+#[allow(clippy::too_many_arguments)]
+fn process_item(
+    env: &Env<'_>,
+    tid: usize,
+    ctx: &mut OpCtx<'_>,
+    stats: &mut ThreadStats,
+    rec: &mut ThreadRecorder,
+    final_list: &mut Vec<(CellId, u32)>,
+    cid: u32,
+    gen: u32,
+) {
+    // Operation-scope injection: deny re-queues the item through the normal
+    // rollback path (a synthetic self-conflict), fail quarantines it.
+    if let Some(f) = &env.cfg.faults {
+        match f.fire(sites::ENGINE_OP, tid as u32) {
+            Some(pi2m_faults::Injected::Deny) => {
+                stats.rollbacks += 1;
+                env.pels[tid].lock().push_back((cid, gen));
+                env.counters[tid].fetch_add(1, Ordering::AcqRel);
+                env.sync.poor_added(1);
+                let waited = env.cm.on_rollback(tid, tid, env.sync);
+                let at = env.cfg.trace.then(|| env.sync.now());
+                stats.add_overhead(OverheadKind::Contention, waited, at);
+                rec.observe(metrics::LOCK_WAIT_SECONDS, waited);
+                return;
+            }
+            Some(pi2m_faults::Injected::Fail) => {
+                stats.quarantined += 1;
+                return;
+            }
+            None => {}
+        }
+    }
+
+    let c = CellId(cid);
+    rec.inc(metrics::CLASSIFY_CALLS, 1);
+    let Some(action) = env.rules.classify(env.mesh, c, gen) else {
+        return; // satisfied (or stale) — drop
+    };
+
+    let t0 = Instant::now();
+    match ctx.insert(action.point, action.kind) {
+        Ok(res) => {
+            stats.operations += 1;
+            stats.insertions += 1;
+            stats.cells_created += res.created.len() as u64;
+            stats.cells_killed += res.killed.len() as u64;
+            rec.observe(metrics::CAVITY_CELLS, res.killed.len() as f64);
+            env.sync.note_progress();
+            env.cm.on_success(tid);
+            env.rules.grid.insert(res.vertex, action.point);
+            handle_created(env, tid, stats, final_list, &res.created);
+
+            // R6: an isosurface vertex evicts nearby circumcenters.
+            if action.kind == VertexKind::Isosurface && env.cfg.enable_removals {
+                for victim in env.rules.r6_victims(env.mesh, action.point) {
+                    let t1 = Instant::now();
+                    match ctx.remove(victim) {
+                        Ok(rres) => {
+                            stats.operations += 1;
+                            stats.removals += 1;
+                            stats.cells_created += rres.created.len() as u64;
+                            stats.cells_killed += rres.killed.len() as u64;
+                            env.sync.note_progress();
+                            env.cm.on_success(tid);
+                            handle_created(env, tid, stats, final_list, &rres.created);
+                        }
+                        Err(OpError::Conflict { owner, .. }) => {
+                            stats.rollbacks += 1;
+                            let rolled = t1.elapsed().as_secs_f64();
+                            let at = env.cfg.trace.then(|| env.sync.now());
+                            stats.add_overhead(OverheadKind::Rollback, rolled, at);
+                            rec.observe(metrics::ROLLBACK_SECONDS, rolled);
+                            let waited = env.cm.on_rollback(tid, owner as usize, env.sync);
+                            let at = env.cfg.trace.then(|| env.sync.now());
+                            stats.add_overhead(OverheadKind::Contention, waited, at);
+                            rec.observe(metrics::LOCK_WAIT_SECONDS, waited);
+                            // best-effort: drop this victim
+                        }
+                        Err(OpError::Kernel(_)) => {
+                            stats.kernel_errors += 1;
+                            stats.removals_blocked += 1;
+                        }
+                        Err(_) => stats.removals_blocked += 1,
+                    }
+                }
+            }
+        }
+        Err(OpError::Conflict { owner, .. }) => {
+            stats.rollbacks += 1;
+            let rolled = t0.elapsed().as_secs_f64();
+            let at = env.cfg.trace.then(|| env.sync.now());
+            stats.add_overhead(OverheadKind::Rollback, rolled, at);
+            rec.observe(metrics::ROLLBACK_SECONDS, rolled);
+            // the element is still poor: requeue it, then consult the CM
+            env.pels[tid].lock().push_back((cid, gen));
+            env.counters[tid].fetch_add(1, Ordering::AcqRel);
+            env.sync.poor_added(1);
+            if let Some(f) = &env.cfg.faults {
+                let _ = f.fire(sites::CM_ROLLBACK, tid as u32);
+            }
+            let waited = env.cm.on_rollback(tid, owner as usize, env.sync);
+            let at = env.cfg.trace.then(|| env.sync.now());
+            stats.add_overhead(OverheadKind::Contention, waited, at);
+            rec.observe(metrics::LOCK_WAIT_SECONDS, waited);
+        }
+        Err(OpError::Kernel(_)) => {
+            // a broken kernel invariant: the operation was abandoned without
+            // structural change; quarantine the element
+            stats.kernel_errors += 1;
+            stats.quarantined += 1;
+        }
+        Err(
+            OpError::Duplicate(_)
+            | OpError::OutsideDomain
+            | OpError::Degenerate
+            | OpError::RemovalBlocked,
+        ) => {
+            // the rule's remedy is not realizable; drop the element
+            stats.skipped += 1;
+        }
+    }
+}
+
+/// Retire a worker whose panic escaped the per-operation isolation: mark it
+/// dead for termination detection, bequeath its queued work to a surviving
+/// heir, and wake anyone parked on its contention list.
+fn worker_death_cleanup(env: &Env<'_>, tid: usize, rec: &mut ThreadRecorder) {
+    env.dead_flags[tid].store(true, Ordering::Release);
+    env.sync.worker_died();
+    rec.inc(metrics::WORKER_DEATHS, 1);
+
+    // Bequeath the dead worker's PEL to the nearest surviving thread so no
+    // queued element is silently lost.
+    let drained: Vec<(u32, u32)> = {
+        let mut pel = env.pels[tid].lock();
+        pel.drain(..).collect()
+    };
+    if !drained.is_empty() {
+        let n = drained.len() as i64;
+        env.counters[tid].fetch_sub(n, Ordering::AcqRel);
+        let heir = (1..env.cfg.threads)
+            .map(|k| (tid + k) % env.cfg.threads)
+            .find(|&h| !env.dead_flags[h].load(Ordering::Acquire));
+        match heir {
+            Some(h) => {
+                {
+                    let mut pel = env.pels[h].lock();
+                    for it in drained {
+                        pel.push_back(it);
+                    }
+                }
+                env.counters[h].fetch_add(n, Ordering::AcqRel);
+                env.bal.wake(h);
+            }
+            None => {
+                // no survivors: the work is lost, but so is the run — keep
+                // the poor count consistent so nothing spins on it
+                env.sync.poor_taken(n);
+            }
+        }
+    }
+    // Nobody may stay parked on a dead thread's contention list, and the
+    // termination condition (begging + dead >= threads) may have just
+    // become true — wake the beggars so one of them settles it.
+    env.cm.before_beg(tid, env.sync);
+    env.sync.note_progress();
 }
 
 /// Enqueue newly created cells for (lazy) classification, donating to a

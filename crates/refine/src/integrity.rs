@@ -1,0 +1,265 @@
+//! Post-run mesh-integrity auditing.
+//!
+//! After a refinement run — and especially after one that absorbed injected
+//! faults or recovered from worker panics — the triangulation must still
+//! satisfy every structural invariant the speculative kernel promises:
+//! symmetric adjacency, positive orientation, the (symbolically perturbed)
+//! Delaunay property, no references to dead vertices, no leaked vertex
+//! locks, and the volume identity of the virtual box. [`audit_mesh`] checks
+//! all of them and returns a typed report instead of panicking, so it can
+//! run inside tests, after fault-injection runs, and behind `pi2m --audit`.
+
+use pi2m_delaunay::{SharedMesh, VertexId};
+use pi2m_geometry::insphere_sos;
+
+/// Cap on recorded violations per check (the audit keeps scanning for the
+/// per-check counts but stops accumulating detail strings).
+const MAX_DETAILS: usize = 32;
+
+/// One broken invariant found by the audit.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which check found it (`adjacency`, `orientation`, `delaunay`,
+    /// `dead-vertex`, `lock-leak`, `volume`, `insphere-sample`).
+    pub check: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// Result of a full mesh audit.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    pub violations: Vec<Violation>,
+    pub cells_checked: usize,
+    pub vertices_checked: usize,
+    /// Random (seeded) vertex-in-circumsphere probes performed beyond the
+    /// neighbor-based Delaunay check.
+    pub insphere_samples: usize,
+}
+
+impl AuditReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Multi-line human summary (one line per violation, or "clean").
+    pub fn summary(&self) -> String {
+        if self.clean() {
+            format!(
+                "audit clean: {} cells, {} vertices, {} in-sphere samples",
+                self.cells_checked, self.vertices_checked, self.insphere_samples
+            )
+        } else {
+            let mut s = format!("audit found {} violation(s):\n", self.violations.len());
+            for v in &self.violations {
+                s.push_str(&format!("  {v}\n"));
+            }
+            s
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Audit every structural invariant of a (quiescent) shared mesh.
+///
+/// The mesh must not be under concurrent mutation: run it after the engine
+/// joined its workers. `seed` drives the extra in-sphere sampling
+/// deterministically.
+pub fn audit_mesh(mesh: &SharedMesh, seed: u64) -> AuditReport {
+    let mut report = AuditReport::default();
+    let push = |report: &mut AuditReport, check: &'static str, detail: String| {
+        if report.violations.len() < MAX_DETAILS {
+            report.violations.push(Violation { check, detail });
+        }
+    };
+
+    // 1–3: the kernel's own exhaustive invariant sweeps (adjacency symmetry
+    // + face match, orientation sign, neighbor-based Delaunay with SoS).
+    if let Err(e) = mesh.check_adjacency() {
+        push(&mut report, "adjacency", e);
+    }
+    if let Err(e) = mesh.check_orientation() {
+        push(&mut report, "orientation", e);
+    }
+    if let Err(e) = mesh.check_delaunay_sos() {
+        push(&mut report, "delaunay", e);
+    }
+
+    // 4: no alive cell may reference a dead (removed) vertex.
+    let alive_cells: Vec<_> = mesh.alive_cells().collect();
+    report.cells_checked = alive_cells.len();
+    for &c in &alive_cells {
+        let cell = mesh.cell(c);
+        for k in 0..4 {
+            let v = cell.vert(k);
+            if !mesh.vertex(v).is_alive() {
+                push(
+                    &mut report,
+                    "dead-vertex",
+                    format!("alive cell {} references dead vertex {}", c.0, v.0),
+                );
+            }
+        }
+    }
+
+    // 5: every per-vertex try-lock must be free once the engine is quiescent
+    // (a leak means some rollback or recovery path forgot an unlock).
+    let nverts = mesh.num_vertices();
+    report.vertices_checked = nverts;
+    for i in 0..nverts {
+        let v = VertexId(i as u32);
+        if let Some(owner) = mesh.vertex(v).lock_owner() {
+            push(
+                &mut report,
+                "lock-leak",
+                format!("vertex {} still locked by thread {}", v.0, owner),
+            );
+        }
+    }
+
+    // 6: volume identity — the alive cells must tile the virtual box exactly.
+    {
+        let corners = mesh.corner_ids();
+        let (mut lo, mut hi) = (mesh.pos3(corners[0]), mesh.pos3(corners[0]));
+        for &cv in &corners {
+            let p = mesh.pos3(cv);
+            for a in 0..3 {
+                lo[a] = lo[a].min(p[a]);
+                hi[a] = hi[a].max(p[a]);
+            }
+        }
+        let expected = (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+        let actual = mesh.total_volume();
+        if expected > 0.0 && ((actual - expected).abs() > 1e-6 * expected) {
+            push(
+                &mut report,
+                "volume",
+                format!("alive cells tile {actual} of the box volume {expected}"),
+            );
+        }
+    }
+
+    // 7: sampled in-sphere probes beyond the neighbor check — random alive
+    // vertices tested against random cells' circumspheres (a genuinely
+    // non-local Delaunay spot check; deterministic under `seed`).
+    if !alive_cells.is_empty() && nverts > 4 {
+        let cell_samples = alive_cells.len().min(64);
+        let probes_per_cell = 16usize;
+        let mut rng = splitmix(seed ^ 0xa0d1_7e5f);
+        for s in 0..cell_samples {
+            rng = splitmix(rng);
+            let c = alive_cells[(rng % alive_cells.len() as u64) as usize];
+            let cv = mesh.cell(c).verts();
+            let pts = mesh.cell_points(c);
+            let p = [
+                pts[0].to_array(),
+                pts[1].to_array(),
+                pts[2].to_array(),
+                pts[3].to_array(),
+            ];
+            for _ in 0..probes_per_cell {
+                rng = splitmix(rng);
+                let v = VertexId((rng % nverts as u64) as u32);
+                if !mesh.vertex(v).is_alive() || cv.contains(&v) {
+                    continue;
+                }
+                report.insphere_samples += 1;
+                let q = mesh.pos3(v);
+                let inside = insphere_sos(
+                    &p[0],
+                    &p[1],
+                    &p[2],
+                    &p[3],
+                    &q,
+                    [
+                        cv[0].0 as u64,
+                        cv[1].0 as u64,
+                        cv[2].0 as u64,
+                        cv[3].0 as u64,
+                        v.0 as u64,
+                    ],
+                ) > 0;
+                if inside {
+                    push(
+                        &mut report,
+                        "insphere-sample",
+                        format!(
+                            "vertex {} lies inside the circumsphere of cell {} (sample {s})",
+                            v.0, c.0
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2m_delaunay::VertexKind;
+    use pi2m_geometry::{Aabb, Point3};
+
+    fn unit_mesh() -> SharedMesh {
+        SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)))
+    }
+
+    #[test]
+    fn fresh_box_audits_clean() {
+        let m = unit_mesh();
+        let r = audit_mesh(&m, 42);
+        assert!(r.clean(), "{}", r.summary());
+        assert_eq!(r.cells_checked, 6);
+        assert!(r.summary().contains("clean"));
+    }
+
+    #[test]
+    fn refined_mesh_audits_clean_and_samples() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let mut s = 99u64;
+        for _ in 0..60 {
+            s = super::splitmix(s);
+            let f = |x: u64| (x % 1000) as f64 / 1000.0 * 0.9 + 0.05;
+            let p = [f(s), f(super::splitmix(s ^ 1)), f(super::splitmix(s ^ 2))];
+            let _ = ctx.insert(p, VertexKind::Circumcenter);
+        }
+        let r = audit_mesh(&m, 7);
+        assert!(r.clean(), "{}", r.summary());
+        assert!(r.insphere_samples > 0);
+    }
+
+    #[test]
+    fn leaked_lock_is_reported() {
+        let m = unit_mesh();
+        let v = m.corner_ids()[2];
+        assert_eq!(m.vertex(v).try_lock(3), Ok(true));
+        let r = audit_mesh(&m, 1);
+        assert!(!r.clean());
+        assert!(r.violations.iter().any(|x| x.check == "lock-leak"));
+        assert!(r.summary().contains("lock-leak"));
+        m.vertex(v).unlock(3);
+        assert!(audit_mesh(&m, 1).clean());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let m = unit_mesh();
+        let a = audit_mesh(&m, 5);
+        let b = audit_mesh(&m, 5);
+        assert_eq!(a.insphere_samples, b.insphere_samples);
+    }
+}

@@ -29,7 +29,9 @@
 pub mod balancer;
 pub mod cm;
 pub mod engine;
+pub mod error;
 pub mod grid;
+pub mod integrity;
 pub mod output;
 pub mod rules;
 pub mod stats;
@@ -39,7 +41,9 @@ pub mod topology;
 pub use balancer::{BalancerKind, LoadBalancer, DONATE_THRESHOLD};
 pub use cm::{CmKind, ContentionManager, R_PLUS, S_PLUS};
 pub use engine::{MeshOutput, Mesher, MesherConfig};
+pub use error::RefineError;
 pub use grid::PointGrid;
+pub use integrity::{audit_mesh, AuditReport, Violation};
 pub use output::FinalMesh;
 pub use rules::{InsertAction, RuleConfig, Rules};
 pub use stats::{OverheadKind, RefineStats, ThreadStats, TraceEvent};

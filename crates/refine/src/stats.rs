@@ -45,6 +45,14 @@ pub struct ThreadStats {
     pub donations_received: u64,
     /// Donations that crossed a blade boundary (Figure 5b).
     pub inter_blade_donations: u64,
+    /// Operations that panicked and were caught by the per-op isolation.
+    pub panics: u64,
+    /// Poison work items dropped after a caught panic (never requeued).
+    pub quarantined: u64,
+    /// Lock sets force-released while recovering from a caught panic.
+    pub recovery_rollbacks: u64,
+    /// Operations abandoned on a typed kernel-invariant error.
+    pub kernel_errors: u64,
     pub contention_overhead: f64,
     pub load_balance_overhead: f64,
     pub rollback_overhead: f64,
@@ -87,6 +95,9 @@ pub struct RefineStats {
     pub livelock: bool,
     /// Elements in the reported final mesh.
     pub final_elements: usize,
+    /// Workers that died to an un-recovered panic; the run completed on the
+    /// survivors.
+    pub workers_died: usize,
     /// Vertices allocated (including removed ones).
     pub vertices_allocated: usize,
     /// Seconds from the pipeline run origin at which the refinement clock
@@ -110,6 +121,22 @@ impl RefineStats {
 
     pub fn total_removals(&self) -> u64 {
         self.per_thread.iter().map(|t| t.removals).sum()
+    }
+
+    pub fn total_panics(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.panics).sum()
+    }
+
+    pub fn total_quarantined(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.quarantined).sum()
+    }
+
+    pub fn total_recovery_rollbacks(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.recovery_rollbacks).sum()
+    }
+
+    pub fn total_kernel_errors(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.kernel_errors).sum()
     }
 
     pub fn contention_overhead(&self) -> f64 {

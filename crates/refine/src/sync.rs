@@ -15,6 +15,8 @@ pub struct EngineSync {
     begging: AtomicUsize,
     /// Threads parked by the contention manager.
     cm_blocked: AtomicUsize,
+    /// Workers that died to an un-recovered panic (isolated, not respawned).
+    dead: AtomicUsize,
     /// Outstanding (possibly stale) PEL entries across all threads.
     total_poor: AtomicI64,
     /// Milliseconds-since-start of the last completed operation (watchdog).
@@ -30,6 +32,7 @@ impl EngineSync {
             livelock: AtomicBool::new(false),
             begging: AtomicUsize::new(0),
             cm_blocked: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
             total_poor: AtomicI64::new(0),
             last_progress_ms: AtomicU64::new(0),
             start: Instant::now(),
@@ -61,12 +64,13 @@ impl EngineSync {
         self.set_done();
     }
 
-    /// Threads neither begging nor CM-blocked.
+    /// Threads neither begging, CM-blocked, nor dead.
     #[inline]
     pub fn active(&self) -> usize {
         self.threads
             .saturating_sub(self.begging.load(Ordering::Acquire))
             .saturating_sub(self.cm_blocked.load(Ordering::Acquire))
+            .saturating_sub(self.dead.load(Ordering::Acquire))
     }
 
     #[inline]
@@ -85,6 +89,18 @@ impl EngineSync {
 
     pub fn exit_begging(&self) {
         self.begging.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Permanently retire a worker that died to an un-recovered panic. A dead
+    /// worker counts like a begging one for termination: it will never produce
+    /// or consume work again.
+    pub fn worker_died(&self) {
+        self.dead.fetch_add(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub fn dead(&self) -> usize {
+        self.dead.load(Ordering::Acquire)
     }
 
     pub fn enter_cm_block(&self) {
@@ -121,11 +137,13 @@ impl EngineSync {
         (now.saturating_sub(last)) as f64 / 1000.0
     }
 
-    /// True when every thread is parked and no work remains — the global
-    /// termination condition. (Stale PEL entries keep `total_poor` positive,
-    /// so their owners cannot be parked; see DESIGN.md.)
+    /// True when every thread is parked (or dead) and no work remains — the
+    /// global termination condition. (Stale PEL entries keep `total_poor`
+    /// positive, so their owners cannot be parked; see DESIGN.md.)
     pub fn quiescent(&self) -> bool {
-        self.cm_blocked() == 0 && self.total_poor() == 0 && self.begging() >= self.threads
+        self.cm_blocked() == 0
+            && self.total_poor() == 0
+            && self.begging() + self.dead() >= self.threads
     }
 }
 
@@ -158,6 +176,18 @@ mod tests {
         assert!(!s.quiescent());
         s.poor_taken(3);
         assert!(s.quiescent());
+    }
+
+    #[test]
+    fn dead_workers_count_toward_quiescence() {
+        let s = EngineSync::new(3);
+        s.enter_begging();
+        s.enter_begging();
+        assert!(!s.quiescent());
+        s.worker_died();
+        assert!(s.quiescent());
+        assert_eq!(s.dead(), 1);
+        assert_eq!(s.active(), 0);
     }
 
     #[test]

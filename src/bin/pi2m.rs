@@ -5,6 +5,7 @@
 //!             [--cm aggressive|random|global|local] [--balancer rws|hws]
 //!             [--no-removals] [--size S] [--off out.off] [--stats]
 //!             [--report run.json] [--trace-out trace.json] [--metrics]
+//!             [--audit]
 //! pi2m phantom <name> <out.pim> [--scale S]    generate a phantom image
 //! pi2m info   <input.pim>                      print image metadata
 //! ```
@@ -32,7 +33,7 @@ struct Args {
 /// Boolean options that never take a value — without this list, a switch
 /// followed by another short option (`--metrics -o out.vtk`) would greedily
 /// swallow it as a value.
-const SWITCHES: &[&str] = &["stats", "no-removals", "metrics"];
+const SWITCHES: &[&str] = &["stats", "no-removals", "metrics", "audit"];
 
 fn parse_args(raw: &[String]) -> Args {
     let mut a = Args {
@@ -115,6 +116,14 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         .transpose()?;
 
     let enable_removals = !args.switches.contains("no-removals");
+    // Deterministic fault injection (testing): armed only when the
+    // PI2M_FAULT_PLAN / PI2M_FAULT_SEED environment variables are set.
+    let faults = pi2m::faults::FaultPlan::from_env()
+        .map_err(|e| format!("bad fault plan: {e}"))?
+        .map(Arc::new);
+    if let Some(f) = &faults {
+        eprintln!("fault injection armed: {}", f.describe());
+    }
     let cfg = MesherConfig {
         delta,
         threads,
@@ -122,6 +131,7 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         balancer,
         size_fn,
         enable_removals,
+        faults,
         topology: pi2m::refine::MachineTopology::flat(threads),
         // per-episode overhead events are needed for the Chrome trace
         trace: args.flags.contains_key("trace-out"),
@@ -140,6 +150,26 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         out.stats.total_rollbacks(),
         out.stats.total_removals()
     );
+    if out.stats.total_panics() > 0 || out.stats.workers_died > 0 {
+        eprintln!(
+            "recovered: {} op panics, {} quarantined, {} recovery rollbacks, {} workers died",
+            out.stats.total_panics(),
+            out.stats.total_quarantined(),
+            out.stats.total_recovery_rollbacks(),
+            out.stats.workers_died
+        );
+    }
+
+    if args.switches.contains("audit") {
+        let report = pi2m::refine::audit_mesh(&out.shared, 42);
+        eprintln!("{}", report.summary().trim_end());
+        if !report.clean() {
+            return Err(format!(
+                "mesh integrity audit failed with {} violation(s)",
+                report.violations.len()
+            ));
+        }
+    }
 
     if args.switches.contains("stats") {
         let q = quality::mesh_quality(&out.mesh);

@@ -17,6 +17,7 @@
 //! | [`edt`] | parallel exact Euclidean distance/feature transform |
 //! | [`oracle`] | isosurface queries (closest surface point, surface centers) |
 //! | [`delaunay`] | concurrent Delaunay kernel (insertions and removals) |
+//! | [`faults`] | deterministic fault-injection plans (DST-style testing) |
 //! | [`refine`] | PI2M refinement engine: rules R1–R6, contention managers, work stealing |
 //! | [`obs`] | observability: metric catalog, phase spans, run reports, trace exporters |
 //! | [`sim`] | discrete-event simulated cc-NUMA machine for scaling studies |
@@ -43,6 +44,7 @@
 pub use pi2m_baseline as baseline;
 pub use pi2m_delaunay as delaunay;
 pub use pi2m_edt as edt;
+pub use pi2m_faults as faults;
 pub use pi2m_geometry as geometry;
 pub use pi2m_image as image;
 pub use pi2m_meshio as meshio;
