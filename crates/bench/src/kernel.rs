@@ -1,0 +1,436 @@
+//! Kernel hot-path benchmark: fixed-seed insertion / removal / refinement
+//! workloads, reported as `BENCH_kernel.json`.
+//!
+//! Driven by `pi2m bench` (see the CLI) and by the CI smoke job. The
+//! workloads are deterministic in their *inputs* (seeded xorshift point
+//! streams, fixed phantoms) so runs are comparable; wall-clock numbers vary
+//! with the machine, which is why the regression check uses a generous
+//! relative tolerance instead of exact values.
+//!
+//! Schema of the emitted JSON (`schema_version` 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "tool": "pi2m-bench-kernel",
+//!   "quick": false,
+//!   "seed": 42,
+//!   "workloads": {
+//!     "insertion":  {"ops": 20000, "seconds": 1.9, "ops_per_sec": 10526.0},
+//!     "removal":    {"ops": 4000,  "seconds": 1.1, "ops_per_sec": 3636.0},
+//!     "refinement": {"ops": 31415, "seconds": 2.7, "ops_per_sec": 11635.0}
+//!   },
+//!   "predicates": {"orient_semi_static": 0, "orient_filtered": 0,
+//!                  "orient_exact": 0, "insphere_semi_static": 0,
+//!                  "insphere_filtered": 0, "insphere_exact": 0},
+//!   "scratch": {"reuses": 0, "allocs": 0, "allocs_avoided": 0,
+//!               "footprint_elems": 0},
+//!   "parent_comparison": {"commit": "abc1234", "insertion_ops_per_sec": 0.0,
+//!                         "insertion_speedup": 0.0}
+//! }
+//! ```
+//!
+//! `parent_comparison` is optional: an A/B record of an older kernel run on
+//! the identical insertion workload (`--parent-commit`/`--parent-insertion`).
+//!
+//! `refinement.ops` counts finished tetrahedra (elements/second); the other
+//! two count committed kernel operations.
+
+use pi2m_delaunay::{SharedMesh, VertexKind};
+use pi2m_geometry::{Aabb, FilterStats, Point3};
+use pi2m_obs::json::Json;
+use pi2m_refine::{MachineTopology, Mesher, MesherConfig};
+use std::time::Instant;
+
+/// Options for one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelBenchOpts {
+    /// Smaller workloads for CI smoke runs.
+    pub quick: bool,
+    /// Seed of the deterministic point streams.
+    pub seed: u64,
+}
+
+impl Default for KernelBenchOpts {
+    fn default() -> Self {
+        KernelBenchOpts {
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+/// One timed workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadResult {
+    /// Committed operations (or finished elements for refinement).
+    pub ops: u64,
+    /// Wall time spent in the timed section.
+    pub seconds: f64,
+}
+
+impl WorkloadResult {
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.ops as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("ops", Json::int(self.ops)),
+            ("seconds", Json::num(self.seconds)),
+            ("ops_per_sec", Json::num(self.ops_per_sec())),
+        ])
+    }
+}
+
+/// A reference measurement of an older kernel on the identical insertion
+/// workload (recorded with `pi2m bench --parent-commit --parent-insertion`,
+/// measured via the same point stream on the same machine).
+pub struct ParentComparison {
+    /// Commit of the reference kernel.
+    pub commit: String,
+    /// Its single-thread insertion throughput.
+    pub insertion_ops_per_sec: f64,
+}
+
+/// The full report of one `pi2m bench` run.
+pub struct KernelBenchReport {
+    pub opts: KernelBenchOpts,
+    pub insertion: WorkloadResult,
+    pub removal: WorkloadResult,
+    pub refinement: WorkloadResult,
+    /// Optional A/B record against a pre-change kernel.
+    pub parent: Option<ParentComparison>,
+    /// Predicate stage hits summed over the insertion + removal workloads.
+    pub pred: FilterStats,
+    /// Scratch reuse counters summed over the insertion + removal workloads.
+    pub scratch_reuses: u64,
+    pub scratch_allocs: u64,
+    /// Arena capacity high-water mark at the end (elements, not bytes).
+    pub scratch_footprint: usize,
+}
+
+impl KernelBenchReport {
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version", Json::int(1)),
+            ("tool", Json::str("pi2m-bench-kernel")),
+            ("quick", Json::Bool(self.opts.quick)),
+            ("seed", Json::int(self.opts.seed)),
+            (
+                "workloads",
+                Json::obj(vec![
+                    ("insertion", self.insertion.to_json()),
+                    ("removal", self.removal.to_json()),
+                    ("refinement", self.refinement.to_json()),
+                ]),
+            ),
+            (
+                "predicates",
+                Json::obj(vec![
+                    (
+                        "orient_semi_static",
+                        Json::int(self.pred.orient_semi_static),
+                    ),
+                    ("orient_filtered", Json::int(self.pred.orient_filtered)),
+                    ("orient_exact", Json::int(self.pred.orient_exact)),
+                    (
+                        "insphere_semi_static",
+                        Json::int(self.pred.insphere_semi_static),
+                    ),
+                    ("insphere_filtered", Json::int(self.pred.insphere_filtered)),
+                    ("insphere_exact", Json::int(self.pred.insphere_exact)),
+                ]),
+            ),
+            (
+                "scratch",
+                Json::obj(vec![
+                    ("reuses", Json::int(self.scratch_reuses)),
+                    ("allocs", Json::int(self.scratch_allocs)),
+                    // every reuse is a buffer that did not have to grow cold
+                    ("allocs_avoided", Json::int(self.scratch_reuses)),
+                    ("footprint_elems", Json::int(self.scratch_footprint as u64)),
+                ]),
+            ),
+        ];
+        if let Some(p) = &self.parent {
+            let speedup = if p.insertion_ops_per_sec > 0.0 {
+                self.insertion.ops_per_sec() / p.insertion_ops_per_sec
+            } else {
+                0.0
+            };
+            fields.push((
+                "parent_comparison",
+                Json::obj(vec![
+                    ("commit", Json::str(&p.commit)),
+                    ("insertion_ops_per_sec", Json::num(p.insertion_ops_per_sec)),
+                    ("insertion_speedup", Json::num(speedup)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    pub fn to_json_string(&self) -> String {
+        self.to_json().dump_pretty()
+    }
+}
+
+fn xorshift_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Run the three workloads and collect the report.
+pub fn run_kernel_bench(opts: KernelBenchOpts) -> KernelBenchReport {
+    let (n_insert, sphere_res) = if opts.quick {
+        (4_000, 16)
+    } else {
+        (20_000, 24)
+    };
+
+    // ---- insertion: N seeded pseudo-random points, one worker ----
+    let mesh = SharedMesh::with_box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)));
+    let mut ctx = mesh.make_ctx(0);
+    let mut next = xorshift_stream(opts.seed);
+    let points: Vec<[f64; 3]> = (0..n_insert)
+        .map(|_| {
+            [
+                next() * 0.98 + 0.01,
+                next() * 0.98 + 0.01,
+                next() * 0.98 + 0.01,
+            ]
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut inserted = Vec::with_capacity(points.len());
+    for &p in &points {
+        if let Ok(r) = ctx.insert(p, VertexKind::Circumcenter) {
+            inserted.push(r.vertex);
+            ctx.recycle_insert(r);
+        }
+    }
+    let insertion = WorkloadResult {
+        ops: inserted.len() as u64,
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+
+    // ---- removal: every 4th inserted vertex, same mesh ----
+    let t0 = Instant::now();
+    let mut removed = 0u64;
+    for v in inserted.iter().copied().step_by(4) {
+        if let Ok(r) = ctx.remove(v) {
+            removed += 1;
+            ctx.recycle_remove(r);
+        }
+    }
+    let removal = WorkloadResult {
+        ops: removed,
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+
+    let pred = ctx.take_pred_stats();
+    let ss = ctx.take_scratch_stats();
+    let footprint = ctx.scratch_footprint();
+
+    // ---- refinement: the full pipeline on a phantom, one thread ----
+    let img = pi2m_image::phantoms::sphere(sphere_res, 1.0);
+    let delta = if opts.quick { 2.0 } else { 1.5 };
+    let t0 = Instant::now();
+    let out = Mesher::new(
+        img,
+        MesherConfig {
+            delta,
+            threads: 1,
+            topology: MachineTopology::flat(1),
+            ..Default::default()
+        },
+    )
+    .run();
+    let refinement = WorkloadResult {
+        ops: out.mesh.num_tets() as u64,
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+
+    KernelBenchReport {
+        opts,
+        insertion,
+        removal,
+        refinement,
+        parent: None,
+        pred,
+        scratch_reuses: ss.reuses,
+        scratch_allocs: ss.allocs,
+        scratch_footprint: footprint,
+    }
+}
+
+/// Compare a fresh report against a checked-in baseline JSON: each workload's
+/// `ops_per_sec` must be at least `(1 - tolerance)` of the baseline's.
+/// Returns the human-readable comparison lines; `Err` lists the regressions.
+pub fn check_against_baseline(
+    report: &KernelBenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let base = pi2m_obs::json::parse(baseline_json).map_err(|e| format!("bad baseline: {e}"))?;
+    let workloads = base
+        .get("workloads")
+        .ok_or("baseline missing 'workloads'")?;
+    let current = [
+        ("insertion", report.insertion.ops_per_sec()),
+        ("removal", report.removal.ops_per_sec()),
+        ("refinement", report.refinement.ops_per_sec()),
+    ];
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for (name, now) in current {
+        let Some(b) = workloads
+            .get(name)
+            .and_then(|w| w.get("ops_per_sec"))
+            .and_then(Json::as_f64)
+        else {
+            return Err(format!("baseline missing workloads.{name}.ops_per_sec"));
+        };
+        let ratio = if b > 0.0 { now / b } else { f64::INFINITY };
+        lines.push(format!(
+            "{name:<10} {now:>12.0} ops/s vs baseline {b:>12.0} (x{ratio:.2})"
+        ));
+        if ratio < 1.0 - tolerance {
+            regressions.push(format!(
+                "{name}: {now:.0} ops/s is {:.0}% below baseline {b:.0}",
+                (1.0 - ratio) * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(lines)
+    } else {
+        Err(regressions.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> KernelBenchReport {
+        KernelBenchReport {
+            opts: KernelBenchOpts {
+                quick: true,
+                seed: 1,
+            },
+            insertion: WorkloadResult {
+                ops: 1000,
+                seconds: 0.5,
+            },
+            removal: WorkloadResult {
+                ops: 100,
+                seconds: 0.25,
+            },
+            refinement: WorkloadResult {
+                ops: 5000,
+                seconds: 1.0,
+            },
+            parent: None,
+            pred: FilterStats::default(),
+            scratch_reuses: 10,
+            scratch_allocs: 2,
+            scratch_footprint: 1234,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = tiny_report();
+        let j = pi2m_obs::json::parse(&r.to_json_string()).unwrap();
+        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            j.get("workloads")
+                .unwrap()
+                .get("insertion")
+                .unwrap()
+                .get("ops_per_sec")
+                .unwrap()
+                .as_f64(),
+            Some(2000.0)
+        );
+        assert_eq!(
+            j.get("scratch")
+                .unwrap()
+                .get("allocs_avoided")
+                .unwrap()
+                .as_f64(),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn parent_comparison_round_trips_with_speedup() {
+        let mut r = tiny_report();
+        r.parent = Some(ParentComparison {
+            commit: "abc1234".into(),
+            insertion_ops_per_sec: 1000.0,
+        });
+        let j = pi2m_obs::json::parse(&r.to_json_string()).unwrap();
+        let p = j.get("parent_comparison").expect("parent block");
+        assert_eq!(p.get("commit").unwrap().as_str(), Some("abc1234"));
+        // 1000 ops / 0.5 s = 2000 ops/s now vs 1000 then: 2x
+        assert_eq!(p.get("insertion_speedup").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn baseline_check_passes_within_tolerance() {
+        let r = tiny_report();
+        let baseline = r.to_json_string();
+        let lines = check_against_baseline(&r, &baseline, 0.25).unwrap();
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn baseline_check_flags_regression() {
+        let mut r = tiny_report();
+        let baseline = r.to_json_string();
+        // halve throughput: 50% below baseline, over the 25% tolerance
+        r.insertion.seconds *= 2.0;
+        let err = check_against_baseline(&r, &baseline, 0.25).unwrap_err();
+        assert!(err.contains("insertion"), "{err}");
+    }
+
+    #[test]
+    fn baseline_check_rejects_malformed() {
+        let r = tiny_report();
+        assert!(check_against_baseline(&r, "{}", 0.25).is_err());
+        assert!(check_against_baseline(&r, "not json", 0.25).is_err());
+    }
+
+    #[test]
+    fn quick_bench_runs_end_to_end() {
+        // minimal smoke: the harness itself must complete and observe work
+        let rep = run_kernel_bench(KernelBenchOpts {
+            quick: true,
+            seed: 7,
+        });
+        assert!(rep.insertion.ops > 3_000);
+        assert!(rep.removal.ops > 100);
+        assert!(rep.refinement.ops > 100);
+        assert!(rep.pred.orient_total() > 0);
+        assert!(rep.pred.insphere_total() > 0);
+        assert!(
+            rep.pred.orient_semi_static > rep.pred.orient_exact,
+            "semi-static stage should dominate on generic input"
+        );
+        assert!(rep.scratch_reuses > rep.scratch_allocs);
+        let j = pi2m_obs::json::parse(&rep.to_json_string()).unwrap();
+        assert!(j.get("workloads").is_some());
+    }
+}

@@ -10,6 +10,8 @@
 //! * `PI2M_REPORT_DIR` — when set, harnesses drop a machine-readable JSON
 //!   run report per configuration into that directory (see `emit_report`).
 
+pub mod kernel;
+
 use pi2m_obs::{OverheadBreakdown, RunReport};
 use pi2m_refine::CmKind;
 use pi2m_sim::SimStats;

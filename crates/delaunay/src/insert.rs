@@ -12,12 +12,17 @@
 //! cavity boundary face turns out coplanar with `p` (which would create a
 //! zero-volume cell), the offending outside cell is force-added and the
 //! boundary recomputed, restoring strict star-shapedness.
+//!
+//! All transient buffers come from the per-worker [`KernelScratch`] arena:
+//! the prepare/commit wrappers take the arena out of the context, thread it
+//! through the phase, and reinstall it, so repeated operations run
+//! allocation-free once the buffers are warm.
 
-use crate::fxhash::FxHashMap;
 use crate::ids::{CellId, VertexId, VertexKind, NONE};
 use crate::mesh::{InsertResult, KernelError, OpCtx, OpError};
+use crate::scratch::KernelScratch;
 use pi2m_faults::{sites, Injected};
-use pi2m_geometry::{insphere_sos, orient3d, TET_FACES};
+use pi2m_geometry::TET_FACES;
 
 /// Key standing in for the point being inserted: it will receive the largest
 /// vertex id allocated so far, so it is "newest" relative to every vertex it
@@ -105,7 +110,11 @@ impl OpCtx<'_> {
                 None => {}
             }
         }
-        let r = self.prepare_insert_inner(p, kind);
+        // The arena travels out of the context for the duration of the
+        // phase; a panic mid-phase leaves a fresh default arena behind.
+        let mut s = std::mem::take(&mut self.scratch);
+        let r = self.prepare_insert_inner(p, kind, &mut s);
+        self.scratch = s;
         if r.is_err() {
             self.unlock_all();
         }
@@ -116,7 +125,9 @@ impl OpCtx<'_> {
         &mut self,
         p: [f64; 3],
         kind: VertexKind,
+        s: &mut KernelScratch,
     ) -> Result<PreparedInsert, OpError> {
+        s.begin_insert();
         let c0 = self.locate(p)?;
 
         // exact-duplicate rejection
@@ -131,37 +142,36 @@ impl OpCtx<'_> {
         }
 
         // ---- cavity discovery ----
-        let mut cavity: Vec<CellId> = vec![c0];
-        let mut state: FxHashMap<u32, bool> = FxHashMap::default();
-        state.insert(c0.0, true);
+        s.cavity.push(c0);
+        s.state.insert(c0.0, true);
         let mut qi = 0usize;
-        self.expand_cavity(&p, &mut cavity, &mut state, &mut qi)?;
+        self.expand_cavity(&p, s, &mut qi)?;
 
         // ---- boundary extraction with degeneracy repair ----
-        let mut bfaces: Vec<BFace> = Vec::with_capacity(cavity.len() * 2);
         loop {
-            bfaces.clear();
-            let mut forced: Vec<CellId> = Vec::new();
-            for &c in &cavity {
+            s.bfaces.clear();
+            s.forced.clear();
+            for ci in 0..s.cavity.len() {
+                let c = s.cavity[ci];
                 let cell = self.mesh.cell(c);
                 for (i, &f) in TET_FACES.iter().enumerate() {
                     let n = cell.nei(i);
-                    if !n.is_none() && state.get(&n.0) == Some(&true) {
+                    if !n.is_none() && s.state.get(&n.0) == Some(&true) {
                         continue; // interior face
                     }
                     let fv = [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])];
-                    let s = orient3d(
-                        &self.mesh.pos3(fv[0]),
-                        &self.mesh.pos3(fv[1]),
-                        &self.mesh.pos3(fv[2]),
-                        &p,
-                    );
-                    if s <= 0.0 {
+                    let fp = [
+                        self.mesh.pos3(fv[0]),
+                        self.mesh.pos3(fv[1]),
+                        self.mesh.pos3(fv[2]),
+                    ];
+                    let sgn = self.orient3d_st(&fp[0], &fp[1], &fp[2], &p);
+                    if sgn <= 0.0 {
                         if n.is_none() {
                             // coplanar with a hull face: cannot repair
                             return Err(OpError::Degenerate);
                         }
-                        forced.push(n);
+                        s.forced.push(n);
                     } else {
                         let out_face = if n.is_none() {
                             0
@@ -173,7 +183,7 @@ impl OpCtx<'_> {
                                 }
                             }
                         };
-                        bfaces.push(BFace {
+                        s.bfaces.push(BFace {
                             verts: fv,
                             outside: n,
                             out_face,
@@ -181,36 +191,37 @@ impl OpCtx<'_> {
                     }
                 }
             }
-            if forced.is_empty() {
+            if s.forced.is_empty() {
                 break;
             }
-            for n in forced {
-                if state.get(&n.0) == Some(&true) {
+            for fi in 0..s.forced.len() {
+                let n = s.forced[fi];
+                if s.state.get(&n.0) == Some(&true) {
                     continue;
                 }
                 // already locked (it was a tested boundary cell)
-                state.insert(n.0, true);
-                cavity.push(n);
+                s.state.insert(n.0, true);
+                s.cavity.push(n);
             }
-            self.expand_cavity(&p, &mut cavity, &mut state, &mut qi)?;
+            self.expand_cavity(&p, s, &mut qi)?;
         }
-        debug_assert!(bfaces.len() >= 4);
+        debug_assert!(s.bfaces.len() >= 4);
 
         // Orphan guard: if some cavity vertex appears on no boundary face,
         // retriangulating would leave it dangling inside a new cell (possible
         // only for exotic cospherical configurations where the perturbed
         // triangulation "hides" an old vertex). Skip such insertions.
         {
-            let mut on_boundary = crate::fxhash::FxHashSet::default();
-            for bf in &bfaces {
+            s.on_boundary.clear();
+            for bf in &s.bfaces {
                 for u in bf.verts {
-                    on_boundary.insert(u.0);
+                    s.on_boundary.insert(u.0);
                 }
             }
-            for &c in &cavity {
+            for &c in &s.cavity {
                 let cell = self.mesh.cell(c);
                 for k in 0..4 {
-                    if !on_boundary.contains(&cell.vert(k).0) {
+                    if !s.on_boundary.contains(&cell.vert(k).0) {
                         return Err(OpError::Degenerate);
                     }
                 }
@@ -220,8 +231,8 @@ impl OpCtx<'_> {
         Ok(PreparedInsert {
             point: p,
             kind,
-            cavity,
-            bfaces,
+            cavity: std::mem::take(&mut s.cavity),
+            bfaces: std::mem::take(&mut s.bfaces),
         })
     }
 
@@ -229,6 +240,13 @@ impl OpCtx<'_> {
     /// cavity, rewire adjacency. Infallible under the held locks. The caller
     /// must still call `release_locks` (or use the `insert` wrapper).
     pub fn commit_insert(&mut self, prep: PreparedInsert) -> InsertResult {
+        let mut s = std::mem::take(&mut self.scratch);
+        let res = self.commit_insert_inner(prep, &mut s);
+        self.scratch = s;
+        res
+    }
+
+    fn commit_insert_inner(&mut self, prep: PreparedInsert, s: &mut KernelScratch) -> InsertResult {
         let PreparedInsert {
             point: p,
             kind,
@@ -236,44 +254,44 @@ impl OpCtx<'_> {
             bfaces,
         } = prep;
         let v = self.mesh.verts.alloc(p, kind);
-        let new_ids: Vec<CellId> = bfaces
-            .iter()
-            .map(|_| self.mesh.cells.reserve(&mut self.free_cells))
-            .collect();
+        let mut new_ids = s.take_cells_buf();
+        new_ids.extend(
+            bfaces
+                .iter()
+                .map(|_| self.mesh.cells.reserve(&mut self.free_cells)),
+        );
 
         // internal adjacency: face k (k < 3) of the new cell over bface `bi`
         // is opposite bface vertex k and shares the edge (k+1, k+2) with its
         // twin new cell.
-        let mut neis: Vec<[CellId; 4]> = bfaces
-            .iter()
-            .map(|bf| {
-                [
-                    CellId(crate::ids::NONE),
-                    CellId(crate::ids::NONE),
-                    CellId(crate::ids::NONE),
-                    bf.outside,
-                ]
-            })
-            .collect();
-        let mut edge_map: FxHashMap<u64, (usize, usize)> = FxHashMap::default();
-        edge_map.reserve(bfaces.len() * 2);
+        s.neis.clear();
+        s.neis.extend(bfaces.iter().map(|bf| {
+            [
+                CellId(crate::ids::NONE),
+                CellId(crate::ids::NONE),
+                CellId(crate::ids::NONE),
+                bf.outside,
+            ]
+        }));
+        s.edge_map.clear();
+        s.edge_map.reserve(bfaces.len() * 2);
         for (bi, bf) in bfaces.iter().enumerate() {
             for k in 0..3 {
                 let a = bf.verts[(k + 1) % 3].0;
                 let b = bf.verts[(k + 2) % 3].0;
                 let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
-                match edge_map.remove(&key) {
+                match s.edge_map.remove(&key) {
                     Some((bj, fj)) => {
-                        neis[bi][k] = new_ids[bj];
-                        neis[bj][fj] = new_ids[bi];
+                        s.neis[bi][k] = new_ids[bj];
+                        s.neis[bj][fj] = new_ids[bi];
                     }
                     None => {
-                        edge_map.insert(key, (bi, k));
+                        s.edge_map.insert(key, (bi, k));
                     }
                 }
             }
         }
-        debug_assert!(edge_map.is_empty(), "unmatched cavity boundary edges");
+        debug_assert!(s.edge_map.is_empty(), "unmatched cavity boundary edges");
 
         for (bi, bf) in bfaces.iter().enumerate() {
             // vertex order [f0, f1, f2, v] is positively oriented because
@@ -281,7 +299,7 @@ impl OpCtx<'_> {
             self.mesh.cells.activate(
                 new_ids[bi],
                 [bf.verts[0], bf.verts[1], bf.verts[2], v],
-                neis[bi],
+                s.neis[bi],
             );
         }
         // outside back-pointers (faces resolved during prepare)
@@ -292,7 +310,8 @@ impl OpCtx<'_> {
             self.mesh.cell(bf.outside).set_nei(bf.out_face, new_ids[bi]);
         }
         // kill the cavity
-        let mut killed = Vec::with_capacity(cavity.len());
+        let mut killed = s.take_killed_buf();
+        killed.reserve(cavity.len());
         for &c in &cavity {
             let tag = self
                 .mesh
@@ -310,7 +329,11 @@ impl OpCtx<'_> {
             }
         }
         self.mesh.set_recent(new_ids[0]);
-        self.last_cell = new_ids[0];
+        // the freshly inserted vertex is the ideal hint for its region
+        self.note_cell_at(new_ids[0], &self.mesh.pos3(v), v);
+
+        // the cavity/boundary buffers return to the arena for the next op
+        s.put_insert_bufs(cavity, bfaces);
 
         InsertResult {
             vertex: v,
@@ -319,22 +342,21 @@ impl OpCtx<'_> {
         }
     }
 
-    /// BFS rounds of cavity expansion from `cavity[*qi..]`, locking every
-    /// touched cell's vertices. `state`: true = in cavity, false = tested and
-    /// rejected (boundary outside cell).
+    /// BFS rounds of cavity expansion from `s.cavity[*qi..]`, locking every
+    /// touched cell's vertices. `s.state`: true = in cavity, false = tested
+    /// and rejected (boundary outside cell).
     fn expand_cavity(
         &mut self,
         p: &[f64; 3],
-        cavity: &mut Vec<CellId>,
-        state: &mut FxHashMap<u32, bool>,
+        s: &mut KernelScratch,
         qi: &mut usize,
     ) -> Result<(), OpError> {
-        while *qi < cavity.len() {
-            let c = cavity[*qi];
+        while *qi < s.cavity.len() {
+            let c = s.cavity[*qi];
             *qi += 1;
             for i in 0..4 {
                 let n = self.mesh.cell(c).nei(i);
-                if n.is_none() || state.contains_key(&n.0) {
+                if n.is_none() || s.state.contains_key(&n.0) {
                     continue;
                 }
                 let ncell = self.mesh.cell(n);
@@ -349,7 +371,7 @@ impl OpCtx<'_> {
                     self.mesh.pos3(nv[2]),
                     self.mesh.pos3(nv[3]),
                 ];
-                let inside = insphere_sos(
+                let inside = self.insphere_sos_st(
                     &np[0],
                     &np[1],
                     &np[2],
@@ -363,9 +385,9 @@ impl OpCtx<'_> {
                         PENDING_KEY,
                     ],
                 ) > 0;
-                state.insert(n.0, inside);
+                s.state.insert(n.0, inside);
                 if inside {
-                    cavity.push(n);
+                    s.cavity.push(n);
                 }
             }
         }
@@ -491,5 +513,40 @@ mod tests {
         m.check_orientation().unwrap();
         m.check_delaunay().unwrap();
         assert!((m.total_volume() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_counters_advance() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let r = ctx
+            .insert([0.5, 0.5, 0.5], VertexKind::Circumcenter)
+            .unwrap();
+        ctx.recycle_insert(r);
+        let first = ctx.take_scratch_stats();
+        assert!(first.allocs > 0, "cold buffers must be counted");
+        let r = ctx
+            .insert([0.25, 0.25, 0.25], VertexKind::Circumcenter)
+            .unwrap();
+        ctx.recycle_insert(r);
+        let second = ctx.take_scratch_stats();
+        assert!(second.reuses > 0, "warm buffers must be reused");
+        assert_eq!(second.allocs, 0, "no cold buffers on the second op");
+    }
+
+    #[test]
+    fn staged_predicate_counters_advance() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        ctx.insert([0.3, 0.4, 0.5], VertexKind::Circumcenter)
+            .unwrap();
+        let st = ctx.take_pred_stats();
+        assert!(st.orient_total() > 0);
+        assert!(st.insphere_total() > 0);
+        assert!(
+            st.orient_semi_static + st.insphere_semi_static > 0,
+            "generic insertion must hit the semi-static stage"
+        );
+        assert_eq!(ctx.take_pred_stats(), Default::default());
     }
 }

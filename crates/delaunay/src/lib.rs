@@ -25,6 +25,7 @@ pub mod ids;
 pub mod local;
 pub mod mesh;
 pub mod pool;
+pub mod scratch;
 
 mod insert;
 mod remove;
@@ -35,3 +36,4 @@ pub use insert::PreparedInsert;
 pub use mesh::{InsertResult, KernelError, OpCtx, OpError, RemoveResult, SharedMesh};
 pub use pool::{Cell, CellSnap, Vertex};
 pub use remove::PreparedRemove;
+pub use scratch::{KernelScratch, ScratchStats};

@@ -8,10 +8,17 @@
 //! read back the finite tetrahedra. The Bowyer–Watson logic mirrors the
 //! concurrent kernel (insphere > 0 cavity, zero-is-outside, coplanar-repair)
 //! so degenerate configurations resolve the same way.
+//!
+//! The triangulation carries its **own** semi-static predicate bounds derived
+//! from the auxiliary box — the aux corners generally lie outside the shared
+//! mesh's bounding box, so the mesh-wide bounds would be unsound here — and
+//! its own internal scratch buffers, so a [`LocalDt`] parked in a
+//! [`crate::KernelScratch`] and revived via [`LocalDt::reset`] re-triangulates
+//! ball after ball without touching the allocator.
 
 use crate::boxinit::box_mesh;
 use crate::fxhash::FxHashMap;
-use pi2m_geometry::{insphere_sos, orient3d, Aabb, TET_FACES};
+use pi2m_geometry::{Aabb, FilterStats, SemiStaticBounds, TET_FACES};
 
 const LNONE: u32 = u32::MAX;
 
@@ -41,6 +48,19 @@ pub enum LocalError {
     Degenerate,
 }
 
+/// Reusable per-insertion work buffers.
+#[derive(Default)]
+struct LScratch {
+    cavity: Vec<u32>,
+    state: FxHashMap<u32, bool>,
+    /// Boundary faces: (verts, outside, from).
+    bfaces: Vec<([u32; 3], u32, u32)>,
+    forced: Vec<u32>,
+    new_ids: Vec<u32>,
+    neis: Vec<[u32; 4]>,
+    edge_map: FxHashMap<u64, (usize, usize)>,
+}
+
 /// Sequential Delaunay triangulation of points inside an auxiliary box.
 pub struct LocalDt {
     pts: Vec<[f64; 3]>,
@@ -48,19 +68,43 @@ pub struct LocalDt {
     cells: Vec<LCell>,
     free: Vec<u32>,
     last: u32,
+    bounds: SemiStaticBounds,
+    stats: FilterStats,
+    scratch: LScratch,
 }
 
 impl LocalDt {
     /// Create the triangulation of `bbox` (inflate generously around the
     /// points you plan to insert).
     pub fn new(bbox: &Aabb) -> LocalDt {
+        let mut dt = LocalDt {
+            pts: Vec::new(),
+            keys: Vec::new(),
+            cells: Vec::new(),
+            free: Vec::new(),
+            last: 0,
+            bounds: SemiStaticBounds::none(),
+            stats: FilterStats::default(),
+            scratch: LScratch::default(),
+        };
+        dt.reset(bbox);
+        dt
+    }
+
+    /// Re-initialize to the 6-tet triangulation of a (new) auxiliary box,
+    /// keeping every buffer's capacity. Equivalent to `LocalDt::new(bbox)`
+    /// minus the allocations.
+    pub fn reset(&mut self, bbox: &Aabb) {
         let mut aux_keys = [0u64; 8];
         for (k, slot) in aux_keys.iter_mut().enumerate() {
             *slot = AUX_KEY_BASE + k as u64;
         }
         let (corners, tets, adj) = box_mesh(bbox, &aux_keys);
-        let pts: Vec<[f64; 3]> = corners.to_vec();
-        let mut cells = Vec::with_capacity(tets.len());
+        self.pts.clear();
+        self.pts.extend_from_slice(&corners);
+        self.keys.clear();
+        self.keys.extend_from_slice(&aux_keys);
+        self.cells.clear();
         for (ti, t) in tets.iter().enumerate() {
             let mut n = [LNONE; 4];
             for i in 0..4 {
@@ -68,19 +112,18 @@ impl LocalDt {
                     n[i] = adj[ti][i] as u32;
                 }
             }
-            cells.push(LCell {
+            self.cells.push(LCell {
                 v: [t[0] as u32, t[1] as u32, t[2] as u32, t[3] as u32],
                 n,
                 alive: true,
             });
         }
-        LocalDt {
-            pts,
-            keys: aux_keys.to_vec(),
-            cells,
-            free: Vec::new(),
-            last: 0,
-        }
+        self.free.clear();
+        self.last = 0;
+        // Aux corners are exactly the box corners, and every inserted point
+        // must lie inside the box, so bounds from the box are sound for every
+        // predicate this triangulation evaluates.
+        self.bounds = SemiStaticBounds::for_box(&bbox.min.to_array(), &bbox.max.to_array());
     }
 
     /// Position of a point by local index.
@@ -94,9 +137,50 @@ impl LocalDt {
         self.pts.len()
     }
 
+    /// Drain the predicate stage-hit counters accumulated since the last
+    /// call (for merging into a worker's totals).
+    pub fn take_stats(&mut self) -> FilterStats {
+        self.stats.take()
+    }
+
+    /// Total reserved element capacity (scratch-arena accounting).
+    pub fn footprint(&self) -> usize {
+        self.pts.capacity()
+            + self.keys.capacity()
+            + self.cells.capacity()
+            + self.free.capacity()
+            + self.scratch.cavity.capacity()
+            + self.scratch.state.capacity()
+            + self.scratch.bfaces.capacity()
+            + self.scratch.forced.capacity()
+            + self.scratch.new_ids.capacity()
+            + self.scratch.neis.capacity()
+            + self.scratch.edge_map.capacity()
+    }
+
+    /// Staged orient3d under this triangulation's own bounds.
+    #[inline]
+    pub(crate) fn orient3d_st(
+        &mut self,
+        pa: &[f64; 3],
+        pb: &[f64; 3],
+        pc: &[f64; 3],
+        pd: &[f64; 3],
+    ) -> f64 {
+        pi2m_predicates::orient3d_staged(&self.bounds, &mut self.stats, pa, pb, pc, pd)
+    }
+
     /// Insert a point with its symbolic-perturbation key (the global vertex
-    /// id); returns its local index (aux corners occupy `0..8`).
+    /// id, so local tie-breaks agree with the global perturbation); returns
+    /// its local index (aux corners occupy `0..8`).
     pub fn insert(&mut self, p: [f64; 3], key: u64) -> Result<u32, LocalError> {
+        let mut s = std::mem::take(&mut self.scratch);
+        let r = self.insert_inner(p, key, &mut s);
+        self.scratch = s;
+        r
+    }
+
+    fn insert_inner(&mut self, p: [f64; 3], key: u64, s: &mut LScratch) -> Result<u32, LocalError> {
         debug_assert!(key < AUX_KEY_BASE, "real keys must stay below aux keys");
         let c0 = self.locate(p)?;
         for &v in &self.cells[c0 as usize].v {
@@ -106,99 +190,108 @@ impl LocalDt {
         }
 
         // cavity BFS
-        let mut cavity = vec![c0];
-        let mut state: FxHashMap<u32, bool> = FxHashMap::default();
-        state.insert(c0, true);
+        s.cavity.clear();
+        s.state.clear();
+        s.cavity.push(c0);
+        s.state.insert(c0, true);
         let mut qi = 0;
-        self.expand(&p, key, &mut cavity, &mut state, &mut qi);
+        self.expand(&p, key, &mut s.cavity, &mut s.state, &mut qi);
 
         // boundary + coplanar repair
-        let mut bfaces: Vec<([u32; 3], u32, u32)> = Vec::new(); // verts, outside, from
         loop {
-            bfaces.clear();
-            let mut forced = Vec::new();
-            for &c in &cavity {
-                let cell = self.cells[c as usize].clone();
+            s.bfaces.clear();
+            s.forced.clear();
+            for ci in 0..s.cavity.len() {
+                let c = s.cavity[ci];
+                let cv = self.cells[c as usize].v;
+                let cn = self.cells[c as usize].n;
                 for (i, &f) in TET_FACES.iter().enumerate() {
-                    let n = cell.n[i];
-                    if n != LNONE && state.get(&n) == Some(&true) {
+                    let n = cn[i];
+                    if n != LNONE && s.state.get(&n) == Some(&true) {
                         continue;
                     }
-                    let fv = [cell.v[f[0]], cell.v[f[1]], cell.v[f[2]]];
-                    let s = orient3d(
-                        &self.pts[fv[0] as usize],
-                        &self.pts[fv[1] as usize],
-                        &self.pts[fv[2] as usize],
-                        &p,
-                    );
-                    if s <= 0.0 {
+                    let fv = [cv[f[0]], cv[f[1]], cv[f[2]]];
+                    let fp = [
+                        self.pts[fv[0] as usize],
+                        self.pts[fv[1] as usize],
+                        self.pts[fv[2] as usize],
+                    ];
+                    let sgn = self.orient3d_st(&fp[0], &fp[1], &fp[2], &p);
+                    if sgn <= 0.0 {
                         if n == LNONE {
                             return Err(LocalError::Degenerate);
                         }
-                        forced.push(n);
+                        s.forced.push(n);
                     } else {
-                        bfaces.push((fv, n, c));
+                        s.bfaces.push((fv, n, c));
                     }
                 }
             }
-            if forced.is_empty() {
+            if s.forced.is_empty() {
                 break;
             }
-            for n in forced {
-                if state.get(&n) != Some(&true) {
-                    state.insert(n, true);
-                    cavity.push(n);
+            for fi in 0..s.forced.len() {
+                let n = s.forced[fi];
+                if s.state.get(&n) != Some(&true) {
+                    s.state.insert(n, true);
+                    s.cavity.push(n);
                 }
             }
-            self.expand(&p, key, &mut cavity, &mut state, &mut qi);
+            self.expand(&p, key, &mut s.cavity, &mut s.state, &mut qi);
         }
 
         // commit
         let vid = self.pts.len() as u32;
         self.pts.push(p);
         self.keys.push(key);
-        let new_ids: Vec<u32> = (0..bfaces.len()).map(|_| self.reserve()).collect();
-        let mut neis: Vec<[u32; 4]> = bfaces
-            .iter()
-            .map(|&(_, outside, _)| [LNONE, LNONE, LNONE, outside])
-            .collect();
-        let mut edge_map: FxHashMap<u64, (usize, usize)> = FxHashMap::default();
-        for (bi, (fv, _, _)) in bfaces.iter().enumerate() {
+        s.new_ids.clear();
+        for _ in 0..s.bfaces.len() {
+            let id = self.reserve();
+            s.new_ids.push(id);
+        }
+        s.neis.clear();
+        s.neis.extend(
+            s.bfaces
+                .iter()
+                .map(|&(_, outside, _)| [LNONE, LNONE, LNONE, outside]),
+        );
+        s.edge_map.clear();
+        for (bi, (fv, _, _)) in s.bfaces.iter().enumerate() {
             for k in 0..3 {
                 let a = fv[(k + 1) % 3];
                 let b = fv[(k + 2) % 3];
-                let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
-                match edge_map.remove(&key) {
+                let ekey = ((a.min(b) as u64) << 32) | a.max(b) as u64;
+                match s.edge_map.remove(&ekey) {
                     Some((bj, fj)) => {
-                        neis[bi][k] = new_ids[bj];
-                        neis[bj][fj] = new_ids[bi];
+                        s.neis[bi][k] = s.new_ids[bj];
+                        s.neis[bj][fj] = s.new_ids[bi];
                     }
                     None => {
-                        edge_map.insert(key, (bi, k));
+                        s.edge_map.insert(ekey, (bi, k));
                     }
                 }
             }
         }
-        for (bi, (fv, outside, from)) in bfaces.iter().enumerate() {
-            let id = new_ids[bi] as usize;
+        for (bi, &(fv, outside, from)) in s.bfaces.iter().enumerate() {
+            let id = s.new_ids[bi] as usize;
             self.cells[id] = LCell {
                 v: [fv[0], fv[1], fv[2], vid],
-                n: neis[bi],
+                n: s.neis[bi],
                 alive: true,
             };
-            if *outside != LNONE {
-                let out = &mut self.cells[*outside as usize];
+            if outside != LNONE {
+                let out = &mut self.cells[outside as usize];
                 let j = (0..4)
-                    .find(|&j| out.n[j] == *from)
+                    .find(|&j| out.n[j] == from)
                     .expect("outside back-pointer");
-                out.n[j] = new_ids[bi];
+                out.n[j] = s.new_ids[bi];
             }
         }
-        for &c in &cavity {
+        for &c in &s.cavity {
             self.cells[c as usize].alive = false;
             self.free.push(c);
         }
-        self.last = new_ids[0];
+        self.last = s.new_ids[0];
         Ok(vid)
     }
 
@@ -233,7 +326,9 @@ impl LocalDt {
                     continue;
                 }
                 let nv = self.cells[n as usize].v;
-                let inside = insphere_sos(
+                let inside = pi2m_predicates::insphere_sos_staged(
+                    &self.bounds,
+                    &mut self.stats,
                     &self.pts[nv[0] as usize],
                     &self.pts[nv[1] as usize],
                     &self.pts[nv[2] as usize],
@@ -278,7 +373,7 @@ impl LocalDt {
                 self.pts[cv[3] as usize],
             ];
             for (i, f) in TET_FACES.iter().enumerate() {
-                if orient3d(&pos[f[0]], &pos[f[1]], &pos[f[2]], &p) < 0.0 {
+                if self.orient3d_st(&pos[f[0]], &pos[f[1]], &pos[f[2]], &p) < 0.0 {
                     let n = self.cells[cur as usize].n[i];
                     if n == LNONE {
                         return Err(LocalError::Outside);
@@ -438,5 +533,47 @@ mod tests {
     fn outside_detection() {
         let mut dt = LocalDt::new(&Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)));
         assert_eq!(dt.insert([5.0, 0.5, 0.5], 0), Err(LocalError::Outside));
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_matches_fresh() {
+        let mut s = 7u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<[f64; 3]> = (0..40).map(|_| [next(), next(), next()]).collect();
+        let bb = Aabb::new(Point3::new(-1.0, -1.0, -1.0), Point3::new(2.0, 2.0, 2.0));
+        let finite_cells = |dt: &LocalDt| {
+            let mut out: Vec<[u32; 4]> = dt
+                .alive()
+                .filter(|&c| dt.is_finite(c))
+                .map(|c| {
+                    let mut v = dt.cell_verts(c);
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let mut dt = LocalDt::new(&bb);
+        for (i, p) in pts.iter().enumerate() {
+            dt.insert(*p, i as u64).unwrap();
+        }
+        let first_run = finite_cells(&dt);
+        let warm = dt.footprint();
+        dt.reset(&bb);
+        assert!(dt.footprint() >= warm, "reset must keep capacity");
+        for (i, p) in pts.iter().enumerate() {
+            dt.insert(*p, i as u64).unwrap();
+        }
+        check_delaunay(&dt);
+        // same box, same insertion order: the reset run must reproduce the
+        // fresh run exactly (local indices line up because aux corners and
+        // points are allocated in the same order)
+        assert_eq!(finite_cells(&dt), first_run);
     }
 }

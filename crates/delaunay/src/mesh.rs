@@ -24,10 +24,16 @@
 use crate::boxinit::{box_mesh, virtual_box};
 use crate::ids::{CellId, VertexId, VertexKind, NONE};
 use crate::pool::{Cell, CellPool, CellSnap, Vertex, VertexPool};
+use crate::scratch::{KernelScratch, ScratchStats};
 use pi2m_faults::{sites, FaultPlan, Injected};
 use pi2m_geometry::{orient3d_sign, signed_volume, Aabb, Point3, TET_FACES};
+use pi2m_predicates::{FilterStats, SemiStaticBounds};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Size of the per-worker recent-cell ring consulted when a walk needs a
+/// starting cell and `last_cell` is stale.
+pub(crate) const RECENT_RING: usize = 4;
 
 /// A kernel invariant that should be unreachable was observed broken mid
 /// operation. These replace panic-as-control-flow in the insert/remove/walk
@@ -109,6 +115,29 @@ pub struct RemoveResult {
     pub killed: Vec<(CellId, u64)>,
 }
 
+/// Side lengths (in slots) of the shared walk-hint grid levels, finest
+/// first: a 32³ + 16³ + 8³ mip pyramid (~150 KiB of hints) over the virtual
+/// box. A query probes fine→coarse, so sparse meshes (or never-touched fine
+/// slots) degrade to coarser, warmer levels instead of a cold random start.
+const HINT_GRID_DIMS: [usize; 3] = [32, 16, 8];
+
+/// Flat-array offset of each hint-grid level (finest at 0).
+const fn hint_level_offsets() -> [usize; 3] {
+    let mut off = [0usize; 3];
+    let mut i = 1;
+    while i < 3 {
+        let d = HINT_GRID_DIMS[i - 1];
+        off[i] = off[i - 1] + d * d * d;
+        i += 1;
+    }
+    off
+}
+const HINT_LEVEL_OFFSETS: [usize; 3] = hint_level_offsets();
+const HINT_GRID_SLOTS: usize = {
+    let d = HINT_GRID_DIMS[2];
+    HINT_LEVEL_OFFSETS[2] + d * d * d
+};
+
 /// The concurrent Delaunay triangulation of the virtual box.
 pub struct SharedMesh {
     pub(crate) verts: VertexPool,
@@ -117,6 +146,20 @@ pub struct SharedMesh {
     corner_ids: [VertexId; 8],
     /// A recently created cell — a always-fresh walk hint.
     recent: AtomicU32,
+    /// Semi-static predicate filter bounds, computed once from the virtual
+    /// box: every vertex the kernel ever tests lives inside it.
+    pred_bounds: SemiStaticBounds,
+    /// Shared walk-hint grid: each slot of a uniform lattice over the box
+    /// holds a *vertex* recently touched near that region (relaxed atomics).
+    /// Vertices are stored instead of cells because cells churn and die,
+    /// while an alive vertex's own hint cell is refreshed by every commit
+    /// that touches it — so even ancient slots usually resolve to an alive
+    /// cell. Stale or dead hints only cost walk steps, never correctness,
+    /// because `locate` validates the final cell under locks. All levels of
+    /// the pyramid live in one flat array (see `HINT_LEVEL_OFFSETS`).
+    hint_grid: Vec<AtomicU32>,
+    /// Precomputed point→unit-lattice scale factors (`1 / extent` per axis).
+    grid_scale: [f64; 3],
 }
 
 impl SharedMesh {
@@ -163,13 +206,65 @@ impl SharedMesh {
             }
         }
         let recent = AtomicU32::new(cell_ids[0].0);
+        let pred_bounds = SemiStaticBounds::for_box(&b.min.to_array(), &b.max.to_array());
+        let (min, max) = (b.min.to_array(), b.max.to_array());
+        let mut grid_scale = [0.0; 3];
+        for a in 0..3 {
+            let ext = max[a] - min[a];
+            grid_scale[a] = if ext > 0.0 { 1.0 / ext } else { 0.0 };
+        }
+        let hint_grid = (0..HINT_GRID_SLOTS).map(|_| AtomicU32::new(NONE)).collect();
         SharedMesh {
             verts,
             cells,
             bbox: b,
             corner_ids,
             recent,
+            pred_bounds,
+            hint_grid,
+            grid_scale,
         }
+    }
+
+    /// Flat slot of `p` in the given pyramid level (clamped to the lattice).
+    #[inline]
+    fn grid_slot(&self, level: usize, p: &[f64; 3]) -> usize {
+        let dim = HINT_GRID_DIMS[level];
+        let min = self.bbox.min.to_array();
+        let mut idx = 0usize;
+        for a in 0..3 {
+            // saturating float→usize cast clamps negatives to 0
+            let t = ((p[a] - min[a]) * self.grid_scale[a] * dim as f64) as usize;
+            idx = idx * dim + t.min(dim - 1);
+        }
+        HINT_LEVEL_OFFSETS[level] + idx
+    }
+
+    /// The hint vertex of `p`'s slot at one pyramid level (may be dead).
+    #[inline]
+    pub(crate) fn grid_hint(&self, level: usize, p: &[f64; 3]) -> VertexId {
+        VertexId(self.hint_grid[self.grid_slot(level, p)].load(Ordering::Relaxed))
+    }
+
+    /// Number of hint-grid pyramid levels (walk probes fine→coarse).
+    #[inline]
+    pub(crate) fn grid_levels(&self) -> usize {
+        HINT_GRID_DIMS.len()
+    }
+
+    /// Publish `v` as the hint vertex for the region around `p` at every
+    /// level.
+    #[inline]
+    pub(crate) fn set_grid_hint(&self, p: &[f64; 3], v: VertexId) {
+        for level in 0..HINT_GRID_DIMS.len() {
+            self.hint_grid[self.grid_slot(level, p)].store(v.0, Ordering::Relaxed);
+        }
+    }
+
+    /// The per-mesh semi-static predicate filter bounds.
+    #[inline]
+    pub fn semi_static_bounds(&self) -> &SemiStaticBounds {
+        &self.pred_bounds
     }
 
     /// The virtual box.
@@ -260,8 +355,12 @@ impl SharedMesh {
             locked: Vec::with_capacity(64),
             free_cells: Vec::new(),
             last_cell: self.recent_cell(),
+            recent_ring: [CellId(NONE); RECENT_RING],
+            ring_pos: 0,
             rng: 0x9e37_79b9_7f4a_7c15u64 ^ ((tid as u64 + 1) << 32),
             walk_stats: WalkStats::default(),
+            pred_stats: FilterStats::default(),
+            scratch: KernelScratch::default(),
             faults,
         }
     }
@@ -430,8 +529,16 @@ pub struct OpCtx<'m> {
     pub free_cells: Vec<CellId>,
     /// Walk hint: last cell this thread created/visited.
     pub last_cell: CellId,
+    /// Locality cache behind `last_cell`: recently created/visited cells
+    /// tried as walk starts when `last_cell` has died.
+    pub(crate) recent_ring: [CellId; RECENT_RING],
+    pub(crate) ring_pos: usize,
     pub(crate) rng: u64,
     pub(crate) walk_stats: WalkStats,
+    /// Staged-predicate per-stage hit counters (drained like `walk_stats`).
+    pub(crate) pred_stats: FilterStats,
+    /// Per-worker scratch arena reused across operations.
+    pub(crate) scratch: KernelScratch,
     /// Fault-injection plan (None = nothing armed; a single branch per site).
     pub(crate) faults: Option<Arc<FaultPlan>>,
 }
@@ -441,6 +548,101 @@ impl OpCtx<'_> {
     #[inline]
     pub fn take_walk_stats(&mut self) -> WalkStats {
         std::mem::take(&mut self.walk_stats)
+    }
+
+    /// Drain the staged-predicate stage counters accumulated since the last
+    /// call.
+    #[inline]
+    pub fn take_pred_stats(&mut self) -> FilterStats {
+        self.pred_stats.take()
+    }
+
+    /// Drain the scratch-arena reuse counters accumulated since the last
+    /// call.
+    #[inline]
+    pub fn take_scratch_stats(&mut self) -> ScratchStats {
+        self.scratch.stats.take()
+    }
+
+    /// Current scratch-arena element-capacity footprint (reuse tests).
+    pub fn scratch_footprint(&self) -> usize {
+        self.scratch.footprint()
+    }
+
+    /// Return a result's buffers to the scratch pools so the next operation
+    /// reuses their capacity instead of reallocating.
+    pub fn recycle_insert(&mut self, res: InsertResult) {
+        self.scratch.put_cells_buf(res.created);
+        self.scratch.put_killed_buf(res.killed);
+    }
+
+    /// Return a removal result's buffers to the scratch pools.
+    pub fn recycle_remove(&mut self, res: RemoveResult) {
+        self.scratch.put_cells_buf(res.created);
+        self.scratch.put_killed_buf(res.killed);
+    }
+
+    /// Staged orient3d using the mesh's semi-static bounds, accumulating
+    /// stage hits into this context.
+    #[inline]
+    pub(crate) fn orient3d_st(
+        &mut self,
+        pa: &[f64; 3],
+        pb: &[f64; 3],
+        pc: &[f64; 3],
+        pd: &[f64; 3],
+    ) -> f64 {
+        pi2m_predicates::orient3d_staged(
+            &self.mesh.pred_bounds,
+            &mut self.pred_stats,
+            pa,
+            pb,
+            pc,
+            pd,
+        )
+    }
+
+    /// Staged symbolically perturbed insphere (see `orient3d_st`).
+    #[inline]
+    pub(crate) fn insphere_sos_st(
+        &mut self,
+        pa: &[f64; 3],
+        pb: &[f64; 3],
+        pc: &[f64; 3],
+        pd: &[f64; 3],
+        pe: &[f64; 3],
+        keys: [u64; 5],
+    ) -> i8 {
+        pi2m_predicates::insphere_sos_staged(
+            &self.mesh.pred_bounds,
+            &mut self.pred_stats,
+            pa,
+            pb,
+            pc,
+            pd,
+            pe,
+            keys,
+        )
+    }
+
+    /// Record `c` as the freshest locality hint, demoting the previous
+    /// `last_cell` into the recent-cell ring.
+    #[inline]
+    pub(crate) fn note_cell(&mut self, c: CellId) {
+        if c != self.last_cell {
+            self.recent_ring[self.ring_pos] = self.last_cell;
+            self.ring_pos = (self.ring_pos + 1) % RECENT_RING;
+            self.last_cell = c;
+        }
+    }
+
+    /// [`note_cell`](Self::note_cell), plus publish `hint_vertex` into the
+    /// shared walk-hint grid slots around `p` (callers pass a vertex of `c`
+    /// or the vertex the operation just touched at `p`).
+    #[inline]
+    pub(crate) fn note_cell_at(&mut self, c: CellId, p: &[f64; 3], hint_vertex: VertexId) {
+        self.mesh.set_grid_hint(p, hint_vertex);
+        self.note_cell(c);
     }
 }
 

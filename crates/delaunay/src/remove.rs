@@ -15,17 +15,20 @@
 //! the removal aborts with [`OpError::RemovalBlocked`] and the mesh is left
 //! untouched — removal is best-effort, mirroring the paper where removals
 //! are ~2% of operations.
+//!
+//! All transient buffers — including the [`LocalDt`] itself — live in the
+//! per-worker [`KernelScratch`] arena and are reused across removals.
 
-use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ids::{CellId, VertexId, VertexKind, NONE};
 use crate::local::{LocalDt, AUX_COUNT};
 use crate::mesh::{KernelError, OpCtx, OpError, RemoveResult};
+use crate::scratch::{KernelScratch, FACE_SLOT_NONE};
 use pi2m_faults::{sites, Injected};
-use pi2m_geometry::{orient3d, signed_volume, Aabb, Point3, TET_FACES};
+use pi2m_geometry::{signed_volume, Aabb, Point3, TET_FACES};
 
 /// Neighbor specification of a planned fill cell.
 #[derive(Clone, Copy)]
-enum Nb {
+pub(crate) enum Nb {
     /// Another fill cell (index into the plan list).
     Region(usize),
     /// The outside cell across a link face (index into the link-face list).
@@ -63,7 +66,7 @@ impl PreparedRemove {
 }
 
 /// A face of the ball boundary (the link of `p`).
-struct LinkFace {
+pub(crate) struct LinkFace {
     /// Global vertex ids, oriented so `orient3d(verts, p) > 0`.
     verts: [VertexId; 3],
     /// The cell outside the ball across this face (`NONE` on the hull).
@@ -71,6 +74,12 @@ struct LinkFace {
     /// Which face of `outside` points back into the ball (0 on the hull,
     /// where it is unused). Resolved during prepare so commit cannot fail.
     out_face: usize,
+}
+
+fn face_key(a: u32, b: u32, c: u32) -> (u32, u32, u32) {
+    let mut t = [a, b, c];
+    t.sort_unstable();
+    (t[0], t[1], t[2])
 }
 
 impl OpCtx<'_> {
@@ -110,14 +119,23 @@ impl OpCtx<'_> {
                 None => {}
             }
         }
-        let r = self.prepare_remove_inner(v);
+        // The arena travels out of the context for the duration of the
+        // phase; a panic mid-phase leaves a fresh default arena behind.
+        let mut s = std::mem::take(&mut self.scratch);
+        let r = self.prepare_remove_inner(v, &mut s);
+        self.scratch = s;
         if r.is_err() {
             self.unlock_all();
         }
         r
     }
 
-    fn prepare_remove_inner(&mut self, v: VertexId) -> Result<PreparedRemove, OpError> {
+    fn prepare_remove_inner(
+        &mut self,
+        v: VertexId,
+        s: &mut KernelScratch,
+    ) -> Result<PreparedRemove, OpError> {
+        s.begin_remove();
         {
             let vx = self.mesh.vertex(v);
             if !vx.is_alive() || vx.kind() == VertexKind::BoxCorner {
@@ -131,8 +149,6 @@ impl OpCtx<'_> {
         self.lock_vertex(v)?;
 
         // ---- gather the ball under locks ----
-        let mut ball: Vec<CellId> = Vec::new();
-        let mut in_ball: FxHashSet<u32> = FxHashSet::default();
         {
             let cell = self.mesh.cell(seed);
             for k in 0..4 {
@@ -142,11 +158,11 @@ impl OpCtx<'_> {
                 return Err(OpError::Degenerate); // stale seed; caller retries
             }
         }
-        ball.push(seed);
-        in_ball.insert(seed.0);
+        s.ball.push(seed);
+        s.in_ball.insert(seed.0);
         let mut qi = 0;
-        while qi < ball.len() {
-            let c = ball[qi];
+        while qi < s.ball.len() {
+            let c = s.ball[qi];
             qi += 1;
             let vi = match self.mesh.cell(c).index_of(v) {
                 Some(vi) => vi,
@@ -158,7 +174,7 @@ impl OpCtx<'_> {
                 }
                 let n = self.mesh.cell(c).nei(i);
                 debug_assert!(!n.is_none(), "interior vertex with hull face");
-                if n.is_none() || in_ball.contains(&n.0) {
+                if n.is_none() || s.in_ball.contains(&n.0) {
                     continue;
                 }
                 let ncell = self.mesh.cell(n);
@@ -166,16 +182,15 @@ impl OpCtx<'_> {
                     self.lock_vertex(ncell.vert(k))?;
                 }
                 debug_assert!(ncell.is_alive() && ncell.has_vertex(v));
-                in_ball.insert(n.0);
-                ball.push(n);
+                s.in_ball.insert(n.0);
+                s.ball.push(n);
             }
         }
 
         // ---- link faces & link vertices ----
-        let mut link_faces: Vec<LinkFace> = Vec::with_capacity(ball.len());
-        let mut link_verts: Vec<VertexId> = Vec::new();
-        let mut seen_verts: FxHashSet<u32> = FxHashSet::default();
-        for &c in &ball {
+        s.link_faces.reserve(s.ball.len());
+        for ci in 0..s.ball.len() {
+            let c = s.ball[ci];
             let cell = self.mesh.cell(c);
             let vi = match cell.index_of(v) {
                 Some(vi) => vi,
@@ -191,91 +206,124 @@ impl OpCtx<'_> {
                     None => return Err(OpError::Kernel(KernelError::MissingBackPointer)),
                 }
             };
-            link_faces.push(LinkFace {
+            let lf = LinkFace {
                 verts: [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])],
                 outside,
                 out_face,
-            });
+            };
             for k in 0..4 {
-                let u = cell.vert(k);
-                if u != v && seen_verts.insert(u.0) {
-                    link_verts.push(u);
+                let u = self.mesh.cell(c).vert(k);
+                if u != v && s.seen_verts.insert(u.0) {
+                    s.link_verts.push(u);
                 }
             }
+            s.link_faces.push(lf);
         }
-        // insert in global timestamp order (ids are timestamps)
-        link_verts.sort_unstable();
+        // Insert in global id order. The ids double as the SoS keys below,
+        // and they MUST: the local retriangulation has to resolve exact
+        // degeneracies the same way the global id-keyed perturbation does,
+        // or the glued ball would not be Delaunay under the global SoS. For
+        // generic (non-degenerate) link sets the result is a pure function
+        // of the positions regardless of this order.
+        s.link_verts.sort_unstable();
 
         // ---- local Delaunay triangulation of the link ----
         let mut bb = Aabb::empty();
-        for &u in &link_verts {
+        for &u in &s.link_verts {
             bb.include(self.mesh.position(u));
         }
         let bb = bb.inflated(bb.diagonal().max(1e-6));
-        let mut dt = LocalDt::new(&bb);
-        let mut g2l: FxHashMap<u32, u32> = FxHashMap::default();
-        let mut l2g: Vec<VertexId> = Vec::with_capacity(link_verts.len() + AUX_COUNT as usize);
+        // The local triangulation is parked in the arena between removals;
+        // take it out so `s`'s other buffers stay independently borrowable,
+        // and put it back whatever happens.
+        let mut dt = match s.local_dt.take() {
+            Some(mut dt) => {
+                dt.reset(&bb);
+                dt
+            }
+            None => LocalDt::new(&bb),
+        };
+        let r = self.prepare_remove_with_dt(v, s, &mut dt);
+        self.pred_stats.merge(&dt.take_stats());
+        s.local_dt = Some(dt);
+        r
+    }
+
+    fn prepare_remove_with_dt(
+        &mut self,
+        v: VertexId,
+        s: &mut KernelScratch,
+        dt: &mut LocalDt,
+    ) -> Result<PreparedRemove, OpError> {
         for _ in 0..AUX_COUNT {
-            l2g.push(VertexId(NONE));
+            s.l2g.push(VertexId(NONE));
         }
-        for &u in &link_verts {
+        for li_expected in 0..s.link_verts.len() {
+            let u = s.link_verts[li_expected];
             let li = dt
                 .insert(self.mesh.pos3(u), u.0 as u64)
                 .map_err(|_| OpError::RemovalBlocked)?;
-            debug_assert_eq!(li as usize, l2g.len());
-            g2l.insert(u.0, li);
-            l2g.push(u);
+            debug_assert_eq!(li as usize, s.l2g.len());
+            s.g2l.insert(u.0, li);
+            s.l2g.push(u);
         }
 
         // ---- face map of the local triangulation ----
-        let face_key = |a: u32, b: u32, c: u32| -> (u32, u32, u32) {
-            let mut t = [a, b, c];
-            t.sort_unstable();
-            (t[0], t[1], t[2])
-        };
-        let mut face_map: FxHashMap<(u32, u32, u32), Vec<(u32, usize)>> = FxHashMap::default();
-        let alive_cells: Vec<u32> = dt.alive().collect();
-        for &lc in &alive_cells {
+        // Two inline slots per face: a face of a tet complex has at most two
+        // incident (cell, face-index) pairs, so the map never allocates
+        // per-entry storage.
+        for lc in dt.alive() {
             let cv = dt.cell_verts(lc);
             for (i, f) in TET_FACES.iter().enumerate() {
-                face_map
+                let e = s
+                    .face_map
                     .entry(face_key(cv[f[0]], cv[f[1]], cv[f[2]]))
-                    .or_default()
-                    .push((lc, i));
+                    .or_insert([(FACE_SLOT_NONE, 0), (FACE_SLOT_NONE, 0)]);
+                if e[0].0 == FACE_SLOT_NONE {
+                    e[0] = (lc, i as u32);
+                } else if e[1].0 == FACE_SLOT_NONE {
+                    e[1] = (lc, i as u32);
+                } else {
+                    return Err(OpError::RemovalBlocked);
+                }
             }
         }
 
         // ---- seeds: for each link face, the local tet on p's side ----
-        let mut walls: FxHashMap<(u32, u32, u32), usize> = FxHashMap::default(); // key -> link_faces idx
-        let mut region: FxHashSet<u32> = FxHashSet::default();
-        let mut stack: Vec<u32> = Vec::new();
-        for (fi, lf) in link_faces.iter().enumerate() {
+        for fi in 0..s.link_faces.len() {
+            let fverts = s.link_faces[fi].verts;
             let l = [
-                *g2l.get(&lf.verts[0].0).ok_or(OpError::RemovalBlocked)?,
-                *g2l.get(&lf.verts[1].0).ok_or(OpError::RemovalBlocked)?,
-                *g2l.get(&lf.verts[2].0).ok_or(OpError::RemovalBlocked)?,
+                *s.g2l.get(&fverts[0].0).ok_or(OpError::RemovalBlocked)?,
+                *s.g2l.get(&fverts[1].0).ok_or(OpError::RemovalBlocked)?,
+                *s.g2l.get(&fverts[2].0).ok_or(OpError::RemovalBlocked)?,
             ];
             let key = face_key(l[0], l[1], l[2]);
-            if walls.insert(key, fi).is_some() {
+            if s.walls.insert(key, fi).is_some() {
                 return Err(OpError::RemovalBlocked); // duplicate link face
             }
-            let cands = face_map.get(&key).ok_or(OpError::RemovalBlocked)?;
+            let cands = *s.face_map.get(&key).ok_or(OpError::RemovalBlocked)?;
             let fpos = [
-                self.mesh.pos3(lf.verts[0]),
-                self.mesh.pos3(lf.verts[1]),
-                self.mesh.pos3(lf.verts[2]),
+                self.mesh.pos3(fverts[0]),
+                self.mesh.pos3(fverts[1]),
+                self.mesh.pos3(fverts[2]),
             ];
             let mut found = false;
-            for &(lc, i) in cands {
-                let w = dt.cell_verts(lc)[i];
-                let s = orient3d(&fpos[0], &fpos[1], &fpos[2], &dt.point(w));
-                if s > 0.0 {
+            for &(lc, i) in cands.iter() {
+                if lc == FACE_SLOT_NONE {
+                    continue;
+                }
+                let w = dt.cell_verts(lc)[i as usize];
+                let wp = dt.point(w);
+                // under the *local* triangulation's own bounds: `wp` may be
+                // an aux corner outside the mesh box
+                let sgn = dt.orient3d_st(&fpos[0], &fpos[1], &fpos[2], &wp);
+                if sgn > 0.0 {
                     // inner side (same as p, since orient3d(face, p) > 0)
                     if !dt.is_finite(lc) {
                         return Err(OpError::RemovalBlocked);
                     }
-                    if region.insert(lc) {
-                        stack.push(lc);
+                    if s.region.insert(lc) {
+                        s.stack.push(lc);
                     }
                     found = true;
                     break;
@@ -287,12 +335,12 @@ impl OpCtx<'_> {
         }
 
         // ---- flood fill bounded by the walls ----
-        while let Some(lc) = stack.pop() {
+        while let Some(lc) = s.stack.pop() {
             let cv = dt.cell_verts(lc);
             let cn = dt.cell_neis(lc);
             for (i, f) in TET_FACES.iter().enumerate() {
                 let key = face_key(cv[f[0]], cv[f[1]], cv[f[2]]);
-                if walls.contains_key(&key) {
+                if s.walls.contains_key(&key) {
                     continue;
                 }
                 let n = cn[i];
@@ -302,16 +350,21 @@ impl OpCtx<'_> {
                 if !dt.is_finite(n) {
                     return Err(OpError::RemovalBlocked); // leaked to aux
                 }
-                if region.insert(n) {
-                    stack.push(n);
+                if s.region.insert(n) {
+                    s.stack.push(n);
                 }
             }
         }
 
         // ---- volume identity: region must fill exactly the ball ----
         let vol_of = |pts: [Point3; 4]| signed_volume(pts[0], pts[1], pts[2], pts[3]);
-        let ball_vol: f64 = ball.iter().map(|&c| vol_of(self.mesh.cell_points(c))).sum();
-        let region_vol: f64 = region
+        let ball_vol: f64 = s
+            .ball
+            .iter()
+            .map(|&c| vol_of(self.mesh.cell_points(c)))
+            .sum();
+        let region_vol: f64 = s
+            .region
             .iter()
             .map(|&lc| {
                 let cv = dt.cell_verts(lc);
@@ -328,57 +381,64 @@ impl OpCtx<'_> {
         }
 
         // ---- dry-run neighbor computation (fail before mutating) ----
-        let region_list: Vec<u32> = region.iter().copied().collect();
-        let mut l2new: FxHashMap<u32, usize> = FxHashMap::default();
-        for (ri, &lc) in region_list.iter().enumerate() {
-            l2new.insert(lc, ri);
+        s.region_list.extend(s.region.iter().copied());
+        for (ri, &lc) in s.region_list.iter().enumerate() {
+            s.l2new.insert(lc, ri);
         }
         // per region cell: (verts, neighbor spec) where neighbor spec is
         // either Region(index) or Link(link face index). The owner of every
         // wall is also resolved here so commit never fails a lookup.
-        let mut plans: Vec<([VertexId; 4], [Nb; 4])> = Vec::with_capacity(region_list.len());
-        let mut wall_owner: Vec<usize> = vec![usize::MAX; link_faces.len()];
-        for (ri, &lc) in region_list.iter().enumerate() {
+        s.plans.reserve(s.region_list.len());
+        s.wall_owner.resize(s.link_faces.len(), usize::MAX);
+        for ri in 0..s.region_list.len() {
+            let lc = s.region_list[ri];
             let cv = dt.cell_verts(lc);
             let cn = dt.cell_neis(lc);
             let verts = [
-                l2g[cv[0] as usize],
-                l2g[cv[1] as usize],
-                l2g[cv[2] as usize],
-                l2g[cv[3] as usize],
+                s.l2g[cv[0] as usize],
+                s.l2g[cv[1] as usize],
+                s.l2g[cv[2] as usize],
+                s.l2g[cv[3] as usize],
             ];
             let mut nbs: [Nb; 4] = [Nb::Region(usize::MAX); 4];
             for (i, f) in TET_FACES.iter().enumerate() {
                 let key = face_key(cv[f[0]], cv[f[1]], cv[f[2]]);
-                if let Some(&fi) = walls.get(&key) {
+                if let Some(&fi) = s.walls.get(&key) {
                     nbs[i] = Nb::Link(fi);
-                    wall_owner[fi] = ri;
-                } else if let Some(&rj) = l2new.get(&cn[i]) {
+                    s.wall_owner[fi] = ri;
+                } else if let Some(&rj) = s.l2new.get(&cn[i]) {
                     nbs[i] = Nb::Region(rj);
                 } else {
                     return Err(OpError::RemovalBlocked);
                 }
             }
-            plans.push((verts, nbs));
+            s.plans.push((verts, nbs));
         }
-        for (fi, lf) in link_faces.iter().enumerate() {
-            if !lf.outside.is_none() && wall_owner[fi] == usize::MAX {
+        for (fi, lf) in s.link_faces.iter().enumerate() {
+            if !lf.outside.is_none() && s.wall_owner[fi] == usize::MAX {
                 return Err(OpError::Kernel(KernelError::UnrealizedLinkFace));
             }
         }
 
         Ok(PreparedRemove {
             vertex: v,
-            ball,
-            link_faces,
-            plans,
-            wall_owner,
+            ball: std::mem::take(&mut s.ball),
+            link_faces: std::mem::take(&mut s.link_faces),
+            plans: std::mem::take(&mut s.plans),
+            wall_owner: std::mem::take(&mut s.wall_owner),
         })
     }
 
     /// Commit a prepared removal: activate the fill cells, rewire adjacency,
     /// kill the ball, mark the vertex dead. Infallible under the held locks.
     pub fn commit_remove(&mut self, prep: PreparedRemove) -> RemoveResult {
+        let mut s = std::mem::take(&mut self.scratch);
+        let res = self.commit_remove_inner(prep, &mut s);
+        self.scratch = s;
+        res
+    }
+
+    fn commit_remove_inner(&mut self, prep: PreparedRemove, s: &mut KernelScratch) -> RemoveResult {
         let PreparedRemove {
             vertex: v,
             ball,
@@ -386,10 +446,12 @@ impl OpCtx<'_> {
             plans,
             wall_owner,
         } = prep;
-        let new_ids: Vec<CellId> = plans
-            .iter()
-            .map(|_| self.mesh.cells.reserve(&mut self.free_cells))
-            .collect();
+        let mut new_ids = s.take_cells_buf();
+        new_ids.extend(
+            plans
+                .iter()
+                .map(|_| self.mesh.cells.reserve(&mut self.free_cells)),
+        );
         for (ri, (verts, nbs)) in plans.iter().enumerate() {
             let mut neis = [CellId(NONE); 4];
             for (i, nb) in nbs.iter().enumerate() {
@@ -409,7 +471,8 @@ impl OpCtx<'_> {
                 .cell(lf.outside)
                 .set_nei(lf.out_face, new_ids[wall_owner[fi]]);
         }
-        let mut killed = Vec::with_capacity(ball.len());
+        let mut killed = s.take_killed_buf();
+        killed.reserve(ball.len());
         for &c in &ball {
             let tag = self
                 .mesh
@@ -426,7 +489,13 @@ impl OpCtx<'_> {
             }
         }
         self.mesh.set_recent(new_ids[0]);
-        self.last_cell = new_ids[0];
+        // the removed vertex's position indexes the ball the new cells fill;
+        // the hint vertex must be a survivor, so take one from a new cell
+        let hint_v = self.mesh.cell(new_ids[0]).vert(0);
+        self.note_cell_at(new_ids[0], &self.mesh.pos3(v), hint_v);
+
+        // the planning buffers return to the arena for the next removal
+        s.put_remove_bufs(ball, link_faces, plans, wall_owner);
 
         RemoveResult {
             removed: v,
@@ -564,5 +633,48 @@ mod tests {
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
         assert!((m.total_volume() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_footprint_stabilizes_over_cycles() {
+        let m = unit_mesh();
+        let mut ctx = m.make_ctx(0);
+        let mut next = rand_seq(4242);
+        let cycle = |ctx: &mut crate::mesh::OpCtx, next: &mut dyn FnMut() -> f64| {
+            let mut vs = Vec::new();
+            for _ in 0..16 {
+                let p = [
+                    next() * 0.9 + 0.05,
+                    next() * 0.9 + 0.05,
+                    next() * 0.9 + 0.05,
+                ];
+                if let Ok(r) = ctx.insert(p, VertexKind::Circumcenter) {
+                    vs.push(r.vertex);
+                    ctx.recycle_insert(r);
+                }
+            }
+            for v in vs {
+                if let Ok(r) = ctx.remove(v) {
+                    ctx.recycle_remove(r);
+                }
+            }
+        };
+        for _ in 0..3 {
+            cycle(&mut ctx, &mut next);
+        }
+        let warm = ctx.scratch_footprint();
+        assert!(warm > 0);
+        for _ in 0..5 {
+            cycle(&mut ctx, &mut next);
+        }
+        // similar workload on warm buffers: the high-water mark may still
+        // creep a little but must not keep growing proportionally
+        let after = ctx.scratch_footprint();
+        assert!(
+            after <= warm * 3,
+            "scratch footprint kept growing: {warm} -> {after}"
+        );
+        let st = ctx.take_scratch_stats();
+        assert!(st.reuses > st.allocs, "warm phase must be reuse-dominated");
     }
 }

@@ -1,0 +1,239 @@
+//! Per-worker scratch arenas for the kernel hot path.
+//!
+//! Every insert/remove operation needs a handful of transient buffers (the
+//! cavity list, the BFS state map, boundary face rings, the removal ball and
+//! its link structures). Allocating them per operation puts the allocator on
+//! the hot path; [`KernelScratch`] owns one long-lived copy of each, cleared
+//! and reused across operations by the owning [`crate::OpCtx`].
+//!
+//! Ownership protocol: the prepare/commit wrappers `mem::take` the whole
+//! scratch out of the context, hand the inner phase a `&mut KernelScratch`,
+//! and reinstall it afterwards — so a panic mid-operation leaves the context
+//! with a fresh `Default` scratch that is trivially safe to reuse (capacity
+//! is lost, correctness is not). Buffers that escape into a
+//! [`crate::PreparedInsert`] / [`crate::PreparedRemove`] or into an operation
+//! result travel *with* their owner and come back via `put_*` /
+//! [`crate::OpCtx::recycle_insert`] at commit time, closing the reuse cycle.
+
+use crate::ids::{CellId, VertexId};
+use crate::insert::BFace;
+use crate::local::LocalDt;
+use crate::remove::{LinkFace, Nb};
+use crate::{fxhash::FxHashMap, fxhash::FxHashSet};
+
+/// Upper bound on pooled result buffers kept per context (an operation plus
+/// the engine's in-flight results never hold more than a couple at once).
+const SPARE_CAP: usize = 8;
+
+/// Sentinel for an unused slot of a two-slot face-map entry.
+pub(crate) const FACE_SLOT_NONE: u32 = u32::MAX;
+
+/// Buffer-recycling effectiveness counters (drained into `pi2m-obs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// A buffer was handed out with warm (already grown) capacity.
+    pub reuses: u64,
+    /// A buffer had to start cold (first use, or capacity lost to a panic).
+    pub allocs: u64,
+}
+
+impl ScratchStats {
+    /// Drain: return the current counts and reset to zero.
+    pub fn take(&mut self) -> ScratchStats {
+        std::mem::take(self)
+    }
+}
+
+/// The per-worker arena. One per [`crate::OpCtx`]; never shared.
+#[derive(Default)]
+pub struct KernelScratch {
+    // ---- insertion ----
+    /// Cavity cells (escapes into `PreparedInsert`, returns at commit).
+    pub(crate) cavity: Vec<CellId>,
+    /// Cavity boundary faces (escapes into `PreparedInsert`).
+    pub(crate) bfaces: Vec<BFace>,
+    /// BFS state: cell id → in-cavity?
+    pub(crate) state: FxHashMap<u32, bool>,
+    /// Coplanar-repair work list.
+    pub(crate) forced: Vec<CellId>,
+    /// Orphan-guard vertex set.
+    pub(crate) on_boundary: FxHashSet<u32>,
+    /// New-cell neighbor table (commit phase).
+    pub(crate) neis: Vec<[CellId; 4]>,
+    /// Cavity boundary edge matcher (commit phase).
+    pub(crate) edge_map: FxHashMap<u64, (usize, usize)>,
+
+    // ---- removal ----
+    /// Ball cells (escapes into `PreparedRemove`).
+    pub(crate) ball: Vec<CellId>,
+    /// Link faces (escapes into `PreparedRemove`).
+    pub(crate) link_faces: Vec<LinkFace>,
+    /// Fill-cell plans (escapes into `PreparedRemove`).
+    pub(crate) plans: Vec<([VertexId; 4], [Nb; 4])>,
+    /// Link-face → fill-cell owner map (escapes into `PreparedRemove`).
+    pub(crate) wall_owner: Vec<usize>,
+    pub(crate) in_ball: FxHashSet<u32>,
+    pub(crate) link_verts: Vec<VertexId>,
+    pub(crate) seen_verts: FxHashSet<u32>,
+    pub(crate) g2l: FxHashMap<u32, u32>,
+    pub(crate) l2g: Vec<VertexId>,
+    /// Local-triangulation face incidence: each face of a tet complex has at
+    /// most two incident (cell, face-index) pairs, stored inline so clearing
+    /// the map never drops per-entry heap blocks.
+    pub(crate) face_map: FxHashMap<(u32, u32, u32), [(u32, u32); 2]>,
+    pub(crate) walls: FxHashMap<(u32, u32, u32), usize>,
+    pub(crate) region: FxHashSet<u32>,
+    pub(crate) stack: Vec<u32>,
+    pub(crate) region_list: Vec<u32>,
+    pub(crate) l2new: FxHashMap<u32, usize>,
+    /// Reusable local Delaunay triangulation for ball re-triangulation.
+    pub(crate) local_dt: Option<LocalDt>,
+
+    // ---- pooled result buffers ----
+    spare_cells: Vec<Vec<CellId>>,
+    spare_killed: Vec<Vec<(CellId, u64)>>,
+
+    pub(crate) stats: ScratchStats,
+}
+
+impl KernelScratch {
+    #[inline]
+    fn note(&mut self, warm: bool) {
+        if warm {
+            self.stats.reuses += 1;
+        } else {
+            self.stats.allocs += 1;
+        }
+    }
+
+    /// Reset the insertion-prepare buffers and account for their warmth.
+    pub(crate) fn begin_insert(&mut self) {
+        self.note(self.cavity.capacity() > 0);
+        self.note(self.state.capacity() > 0);
+        self.cavity.clear();
+        self.bfaces.clear();
+        self.state.clear();
+        self.forced.clear();
+    }
+
+    /// Reset the removal-prepare buffers and account for their warmth.
+    pub(crate) fn begin_remove(&mut self) {
+        self.note(self.ball.capacity() > 0);
+        self.note(self.face_map.capacity() > 0);
+        self.ball.clear();
+        self.link_faces.clear();
+        self.plans.clear();
+        self.wall_owner.clear();
+        self.in_ball.clear();
+        self.link_verts.clear();
+        self.seen_verts.clear();
+        self.g2l.clear();
+        self.l2g.clear();
+        self.face_map.clear();
+        self.walls.clear();
+        self.region.clear();
+        self.stack.clear();
+        self.region_list.clear();
+        self.l2new.clear();
+    }
+
+    /// A pooled `Vec<CellId>` for a result's `created` list.
+    pub(crate) fn take_cells_buf(&mut self) -> Vec<CellId> {
+        match self.spare_cells.pop() {
+            Some(v) => {
+                self.stats.reuses += 1;
+                v
+            }
+            None => {
+                self.stats.allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a `created`-style buffer to the pool.
+    pub(crate) fn put_cells_buf(&mut self, mut v: Vec<CellId>) {
+        if self.spare_cells.len() < SPARE_CAP && v.capacity() > 0 {
+            v.clear();
+            self.spare_cells.push(v);
+        }
+    }
+
+    /// A pooled `Vec<(CellId, u64)>` for a result's `killed` list.
+    pub(crate) fn take_killed_buf(&mut self) -> Vec<(CellId, u64)> {
+        match self.spare_killed.pop() {
+            Some(v) => {
+                self.stats.reuses += 1;
+                v
+            }
+            None => {
+                self.stats.allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a `killed`-style buffer to the pool.
+    pub(crate) fn put_killed_buf(&mut self, mut v: Vec<(CellId, u64)>) {
+        if self.spare_killed.len() < SPARE_CAP && v.capacity() > 0 {
+            v.clear();
+            self.spare_killed.push(v);
+        }
+    }
+
+    /// Return the cavity/boundary buffers after a committed insertion.
+    pub(crate) fn put_insert_bufs(&mut self, mut cavity: Vec<CellId>, mut bfaces: Vec<BFace>) {
+        cavity.clear();
+        bfaces.clear();
+        self.cavity = cavity;
+        self.bfaces = bfaces;
+    }
+
+    /// Return the ball/link buffers after a committed removal.
+    pub(crate) fn put_remove_bufs(
+        &mut self,
+        mut ball: Vec<CellId>,
+        mut link_faces: Vec<LinkFace>,
+        mut plans: Vec<([VertexId; 4], [Nb; 4])>,
+        mut wall_owner: Vec<usize>,
+    ) {
+        ball.clear();
+        link_faces.clear();
+        plans.clear();
+        wall_owner.clear();
+        self.ball = ball;
+        self.link_faces = link_faces;
+        self.plans = plans;
+        self.wall_owner = wall_owner;
+    }
+
+    /// Total reserved element capacity across the arena — the high-water
+    /// footprint the reuse unit tests assert stabilizes.
+    pub fn footprint(&self) -> usize {
+        self.cavity.capacity()
+            + self.bfaces.capacity()
+            + self.state.capacity()
+            + self.forced.capacity()
+            + self.on_boundary.capacity()
+            + self.neis.capacity()
+            + self.edge_map.capacity()
+            + self.ball.capacity()
+            + self.link_faces.capacity()
+            + self.plans.capacity()
+            + self.wall_owner.capacity()
+            + self.in_ball.capacity()
+            + self.link_verts.capacity()
+            + self.seen_verts.capacity()
+            + self.g2l.capacity()
+            + self.l2g.capacity()
+            + self.face_map.capacity()
+            + self.walls.capacity()
+            + self.region.capacity()
+            + self.stack.capacity()
+            + self.region_list.capacity()
+            + self.l2new.capacity()
+            + self.local_dt.as_ref().map_or(0, |dt| dt.footprint())
+            + self.spare_cells.iter().map(Vec::capacity).sum::<usize>()
+            + self.spare_killed.iter().map(Vec::capacity).sum::<usize>()
+    }
+}

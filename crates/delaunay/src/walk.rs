@@ -8,9 +8,9 @@
 //! final cell under vertex locks.
 
 use crate::ids::{CellId, VertexId, NONE};
-use crate::mesh::{KernelError, OpCtx, OpError};
+use crate::mesh::{KernelError, OpCtx, OpError, RECENT_RING};
 use pi2m_faults::{sites, Injected};
-use pi2m_geometry::{orient3d, TET_FACES};
+use pi2m_geometry::TET_FACES;
 
 /// Max steps before the walk restarts from a fresh cell.
 const MAX_STEPS: usize = 100_000;
@@ -43,7 +43,11 @@ impl OpCtx<'_> {
         }
         self.walk_stats.locates += 1;
         let mut restarts = 0usize;
-        let mut cur = self.walk_start()?;
+        let mut cur = self.walk_start(&p)?;
+        // Remembering walk: the cell we just came from. Its shared face
+        // cannot separate `cur` from `p` (we crossed it because `p` lies on
+        // `cur`'s side), so the test is skipped. Reset on every restart.
+        let mut prev = CellId(NONE);
         'outer: loop {
             if restarts > MAX_RESTARTS {
                 return Err(OpError::Degenerate);
@@ -55,6 +59,7 @@ impl OpCtx<'_> {
                 if steps > MAX_STEPS {
                     restarts += 1;
                     cur = self.restart_cell()?;
+                    prev = CellId(NONE);
                     continue 'outer;
                 }
                 let snap = match self.snap(cur) {
@@ -62,6 +67,7 @@ impl OpCtx<'_> {
                     None => {
                         restarts += 1;
                         cur = self.restart_cell()?;
+                        prev = CellId(NONE);
                         continue 'outer;
                     }
                 };
@@ -75,16 +81,20 @@ impl OpCtx<'_> {
                 let mut inside = true;
                 for k in 0..4 {
                     let i = (k + rot) % 4;
+                    let n = snap.neis[i];
+                    if !prev.is_none() && n == prev {
+                        continue;
+                    }
                     let f = TET_FACES[i];
-                    let s = orient3d(&pos[f[0]], &pos[f[1]], &pos[f[2]], &p);
+                    let s = self.orient3d_st(&pos[f[0]], &pos[f[1]], &pos[f[2]], &p);
                     if s < 0.0 {
-                        let n = snap.neis[i];
                         if n.is_none() {
                             // Genuine hull exit: the box hull is static, so a
                             // consistent snapshot with an outward-separating
                             // hull face means p is outside the box.
                             return Err(OpError::OutsideDomain);
                         }
+                        prev = cur;
                         cur = n;
                         inside = false;
                         break;
@@ -96,13 +106,14 @@ impl OpCtx<'_> {
                 // Candidate found: lock and validate.
                 match self.validate_candidate(cur, snap.gen, &p) {
                     Ok(true) => {
-                        self.last_cell = cur;
+                        self.note_cell_at(cur, &p, snap.verts[0]);
                         return Ok(cur);
                     }
                     Ok(false) => {
                         // state changed under us; retry from scratch
                         restarts += 1;
                         cur = self.restart_cell()?;
+                        prev = CellId(NONE);
                         continue 'outer;
                     }
                     Err(e) => return Err(e),
@@ -137,7 +148,7 @@ impl OpCtx<'_> {
             self.mesh.pos3(cell.vert(3)),
         ];
         for f in TET_FACES {
-            if orient3d(&pos[f[0]], &pos[f[1]], &pos[f[2]], p) < 0.0 {
+            if self.orient3d_st(&pos[f[0]], &pos[f[1]], &pos[f[2]], p) < 0.0 {
                 self.unlock_all();
                 return Ok(false);
             }
@@ -145,11 +156,35 @@ impl OpCtx<'_> {
         Ok(true)
     }
 
-    /// Starting cell for a walk: the thread's last cell if alive, else the
+    /// Starting cell for a walk: the shared hint grid's slot for `p` (the
+    /// best query-specific start — some worker recently touched a cell right
+    /// there), then the thread's last cell, then the per-thread ring of
+    /// recently touched cells (locality cache: the cells this worker just
+    /// created are the likeliest neighborhood of its next query), then the
     /// globally recent cell, else a random alive cell.
-    fn walk_start(&mut self) -> Result<CellId, OpError> {
+    fn walk_start(&mut self, p: &[f64; 3]) -> Result<CellId, OpError> {
+        for level in 0..self.mesh.grid_levels() {
+            let hv = self.mesh.grid_hint(level, p);
+            if hv.0 == NONE {
+                continue;
+            }
+            let vert = self.mesh.vertex(hv);
+            if !vert.is_alive() {
+                continue;
+            }
+            let c = vert.hint();
+            if self.snap(c).is_some() {
+                return Ok(c);
+            }
+        }
         if self.snap(self.last_cell).is_some() {
             return Ok(self.last_cell);
+        }
+        for i in 0..RECENT_RING {
+            let c = self.recent_ring[i];
+            if self.snap(c).is_some() {
+                return Ok(c);
+            }
         }
         let r = self.mesh.recent_cell();
         if self.snap(r).is_some() {

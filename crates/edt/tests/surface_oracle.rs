@@ -1,0 +1,137 @@
+//! Oracle cross-check of the surface feature transform on random
+//! multi-label images.
+//!
+//! The oracle reimplements the paper's definitions from scratch — a surface
+//! voxel is a foreground voxel with a 6-neighbor of a different label (or on
+//! the image border), and the feature of a voxel is its nearest surface
+//! voxel — as a brute-force O(n·m) scan, independent of both
+//! `LabeledImage::is_surface_voxel` and the separable lower-envelope passes.
+//! At spacing `[1, 1, 1]` every squared distance is a small integer, exactly
+//! representable in f64, so the transform is required to match the oracle
+//! *bit-for-bit*, at 1 thread and at 4.
+
+use pi2m_edt::surface_feature_transform;
+use pi2m_image::{LabeledImage, BACKGROUND};
+use proptest::prelude::*;
+
+/// Brute-force surface-voxel predicate, written directly from the paper's
+/// wording rather than calling the image crate's implementation.
+fn oracle_is_surface(labels: &[u8], dims: [usize; 3], i: usize, j: usize, k: usize) -> bool {
+    let at = |i: usize, j: usize, k: usize| labels[(k * dims[1] + j) * dims[0] + i];
+    let me = at(i, j, k);
+    if me == BACKGROUND {
+        return false;
+    }
+    let (i, j, k) = (i as isize, j as isize, k as isize);
+    for (di, dj, dk) in [
+        (-1, 0, 0),
+        (1, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -1),
+        (0, 0, 1),
+    ] {
+        let (ni, nj, nk) = (i + di, j + dj, k + dk);
+        if ni < 0
+            || nj < 0
+            || nk < 0
+            || ni >= dims[0] as isize
+            || nj >= dims[1] as isize
+            || nk >= dims[2] as isize
+        {
+            return true;
+        }
+        if at(ni as usize, nj as usize, nk as usize) != me {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn surface_transform_matches_brute_force_oracle(
+        seed in 1u64..100_000,
+        nx in 3usize..12,
+        ny in 3usize..12,
+        nz in 3usize..12,
+        n_labels in 1u8..4,
+        density in 0.05f64..0.9,
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let dims = [nx, ny, nz];
+        let mut img = LabeledImage::new(dims, [1.0, 1.0, 1.0]);
+        let mut labels = vec![BACKGROUND; nx * ny * nz];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if next() < density {
+                        let l = 1 + (next() * n_labels as f64) as u8;
+                        img.set(i, j, k, l.min(n_labels));
+                        labels[(k * ny + j) * nx + i] = l.min(n_labels);
+                    }
+                }
+            }
+        }
+
+        // O(n·m) oracle: enumerate surface voxels, then scan all of them per
+        // query voxel with exact integer arithmetic.
+        let mut sites = Vec::new();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if oracle_is_surface(&labels, dims, i, j, k) {
+                        sites.push([i as i64, j as i64, k as i64]);
+                    }
+                }
+            }
+        }
+
+        let ft1 = surface_feature_transform(&img, 1);
+        let ft4 = surface_feature_transform(&img, 4);
+
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let mut best = i64::MAX;
+                    for t in &sites {
+                        let (dx, dy, dz) =
+                            (i as i64 - t[0], j as i64 - t[1], k as i64 - t[2]);
+                        best = best.min(dx * dx + dy * dy + dz * dz);
+                    }
+                    let got = ft1.dist2(i, j, k);
+                    if sites.is_empty() {
+                        prop_assert_eq!(got, f64::INFINITY);
+                        prop_assert!(ft1.nearest_site(i, j, k).is_none());
+                    } else {
+                        // integer distances: the match must be exact
+                        prop_assert_eq!(got, best as f64,
+                            "({i},{j},{k}): transform {got} vs oracle {best}");
+                        // the reported feature is a surface voxel achieving it
+                        let [si, sj, sk] = ft1.nearest_site(i, j, k).unwrap();
+                        prop_assert!(
+                            oracle_is_surface(&labels, dims, si, sj, sk),
+                            "({i},{j},{k}): feature ({si},{sj},{sk}) is not a surface voxel"
+                        );
+                        let (dx, dy, dz) = (
+                            i as i64 - si as i64,
+                            j as i64 - sj as i64,
+                            k as i64 - sk as i64,
+                        );
+                        prop_assert_eq!((dx * dx + dy * dy + dz * dz) as f64, got);
+                    }
+                    // thread count must not change the distance field
+                    prop_assert_eq!(got, ft4.dist2(i, j, k));
+                }
+            }
+        }
+    }
+}

@@ -22,4 +22,7 @@ pub use tet::{
 
 /// Re-exported predicate entry points so downstream crates can depend on one
 /// geometry facade.
-pub use pi2m_predicates::{insphere, insphere_sign, insphere_sos, orient3d, orient3d_sign};
+pub use pi2m_predicates::{
+    insphere, insphere_sign, insphere_sos, insphere_sos_staged, insphere_staged, orient3d,
+    orient3d_sign, orient3d_sign_staged, orient3d_staged, FilterStats, SemiStaticBounds,
+};

@@ -96,6 +96,17 @@ counters! {
     // Delaunay kernel
     WALK_LOCATES         = ("walk_locates", "ops", "Point-location walks started (BRIO remembering walk)"),
     WALK_STEPS           = ("walk_steps", "cells", "Total cells visited by point-location walks"),
+    // staged geometric predicates (stage hit = cheapest stage that certified
+    // the sign; see DESIGN.md "Three-stage predicate pipeline")
+    PRED_ORIENT_SEMI_STATIC   = ("pred_orient_semi_static", "ops", "orient3d signs certified by the per-mesh semi-static filter"),
+    PRED_ORIENT_FILTERED      = ("pred_orient_filtered", "ops", "orient3d signs certified by the dynamic error-bound filter"),
+    PRED_ORIENT_EXACT         = ("pred_orient_exact", "ops", "orient3d signs resolved by exact expansion arithmetic"),
+    PRED_INSPHERE_SEMI_STATIC = ("pred_insphere_semi_static", "ops", "insphere signs certified by the per-mesh semi-static filter"),
+    PRED_INSPHERE_FILTERED    = ("pred_insphere_filtered", "ops", "insphere signs certified by the dynamic error-bound filter"),
+    PRED_INSPHERE_EXACT       = ("pred_insphere_exact", "ops", "insphere signs resolved by exact expansion arithmetic"),
+    // per-worker scratch arenas
+    SCRATCH_REUSES       = ("scratch_reuses", "buffers", "Kernel operations served by warm (reused) scratch buffers"),
+    SCRATCH_ALLOCS       = ("scratch_allocs", "buffers", "Kernel operations that had to grow cold scratch buffers"),
     // EDT / oracle
     EDT_VOXELS           = ("edt_voxels", "voxels", "Voxels swept by the Euclidean distance transform"),
     EDT_PASSES           = ("edt_passes", "passes", "Separable EDT axis passes executed"),

@@ -26,8 +26,13 @@ pub mod expansion;
 pub mod insphere;
 pub mod orient;
 pub mod primitives;
+pub mod staged;
 
 pub use expansion::Expansion;
 pub use insphere::{insphere, insphere_exact, insphere_fast, insphere_sign, insphere_sos};
 pub use orient::{orient3d, orient3d_exact, orient3d_fast, orient3d_sign, P3};
 pub use primitives::EPSILON;
+pub use staged::{
+    insphere_sign_staged, insphere_sos_staged, insphere_staged, orient3d_sign_staged,
+    orient3d_staged, FilterStats, SemiStaticBounds,
+};

@@ -439,6 +439,22 @@ fn worker(
                 ws.steps as f64 / ws.locates as f64,
             );
         }
+        let ps = ctx.take_pred_stats();
+        if ps.orient_total() > 0 {
+            rec.inc(metrics::PRED_ORIENT_SEMI_STATIC, ps.orient_semi_static);
+            rec.inc(metrics::PRED_ORIENT_FILTERED, ps.orient_filtered);
+            rec.inc(metrics::PRED_ORIENT_EXACT, ps.orient_exact);
+        }
+        if ps.insphere_total() > 0 {
+            rec.inc(metrics::PRED_INSPHERE_SEMI_STATIC, ps.insphere_semi_static);
+            rec.inc(metrics::PRED_INSPHERE_FILTERED, ps.insphere_filtered);
+            rec.inc(metrics::PRED_INSPHERE_EXACT, ps.insphere_exact);
+        }
+        let ss = ctx.take_scratch_stats();
+        if ss.reuses + ss.allocs > 0 {
+            rec.inc(metrics::SCRATCH_REUSES, ss.reuses);
+            rec.inc(metrics::SCRATCH_ALLOCS, ss.allocs);
+        }
 
         if env.cfg.max_operations > 0 {
             let done = env.ops_total.fetch_add(1, Ordering::Relaxed) + 1;
@@ -525,6 +541,7 @@ fn process_item(
                             env.sync.note_progress();
                             env.cm.on_success(tid);
                             handle_created(env, tid, stats, final_list, &rres.created);
+                            ctx.recycle_remove(rres);
                         }
                         Err(OpError::Conflict { owner, .. }) => {
                             stats.rollbacks += 1;
@@ -546,6 +563,7 @@ fn process_item(
                     }
                 }
             }
+            ctx.recycle_insert(res);
         }
         Err(OpError::Conflict { owner, .. }) => {
             stats.rollbacks += 1;

@@ -8,6 +8,10 @@
 //!             [--audit]
 //! pi2m phantom <name> <out.pim> [--scale S]    generate a phantom image
 //! pi2m info   <input.pim>                      print image metadata
+//! pi2m bench  [--quick] [--seed N] [--out BENCH_kernel.json]
+//!             [--check baseline.json] [--tolerance 0.25]
+//!             [--parent-commit HASH --parent-insertion OPS_PER_SEC]
+//!                                              kernel benchmark harness
 //! ```
 //!
 //! Input images use the `.pim` format (see `pi2m::image::io`); `phantom:NAME`
@@ -33,7 +37,7 @@ struct Args {
 /// Boolean options that never take a value — without this list, a switch
 /// followed by another short option (`--metrics -o out.vtk`) would greedily
 /// swallow it as a value.
-const SWITCHES: &[&str] = &["stats", "no-removals", "metrics", "audit"];
+const SWITCHES: &[&str] = &["stats", "no-removals", "metrics", "audit", "quick"];
 
 fn parse_args(raw: &[String]) -> Args {
     let mut a = Args {
@@ -309,6 +313,108 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `pi2m bench`: run the fixed-seed kernel workloads (insertion, removal,
+/// refinement), print the throughput summary, optionally write
+/// `BENCH_kernel.json` and/or gate against a checked-in baseline.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use pi2m_bench::kernel::{check_against_baseline, run_kernel_bench, KernelBenchOpts};
+
+    let opts = KernelBenchOpts {
+        quick: args.switches.contains("quick"),
+        seed: args
+            .flags
+            .get("seed")
+            .map(|v| v.parse().map_err(|_| "bad --seed"))
+            .transpose()?
+            .unwrap_or(42),
+    };
+    let mode = if opts.quick { "quick" } else { "full" };
+    eprintln!("running kernel benchmark ({mode}, seed {})...", opts.seed);
+    let mut report = run_kernel_bench(opts);
+
+    // optional A/B record: an older kernel's measured insertion throughput
+    // on the identical workload (see README "Benchmarking")
+    if let Some(ops) = args.flags.get("parent-insertion") {
+        let insertion_ops_per_sec: f64 = ops.parse().map_err(|_| "bad --parent-insertion")?;
+        let commit = args
+            .flags
+            .get("parent-commit")
+            .cloned()
+            .ok_or("--parent-insertion requires --parent-commit")?;
+        report.parent = Some(pi2m_bench::kernel::ParentComparison {
+            commit,
+            insertion_ops_per_sec,
+        });
+    }
+
+    println!("workload     ops         seconds     ops/sec");
+    for (name, w) in [
+        ("insertion", report.insertion),
+        ("removal", report.removal),
+        ("refinement", report.refinement),
+    ] {
+        println!(
+            "{name:<12} {:>10}  {:>9.3}  {:>10.0}",
+            w.ops,
+            w.seconds,
+            w.ops_per_sec()
+        );
+    }
+    let p = &report.pred;
+    let ot = p.orient_total().max(1);
+    let it = p.insphere_total().max(1);
+    println!(
+        "predicates   orient: {:.1}% semi-static, {:.1}% filtered, {:.1}% exact ({} calls)",
+        100.0 * p.orient_semi_static as f64 / ot as f64,
+        100.0 * p.orient_filtered as f64 / ot as f64,
+        100.0 * p.orient_exact as f64 / ot as f64,
+        p.orient_total(),
+    );
+    println!(
+        "             insphere: {:.1}% semi-static, {:.1}% filtered, {:.1}% exact ({} calls)",
+        100.0 * p.insphere_semi_static as f64 / it as f64,
+        100.0 * p.insphere_filtered as f64 / it as f64,
+        100.0 * p.insphere_exact as f64 / it as f64,
+        p.insphere_total(),
+    );
+    println!(
+        "scratch      {} reuses, {} cold allocs, footprint {} elems",
+        report.scratch_reuses, report.scratch_allocs, report.scratch_footprint
+    );
+    if let Some(parent) = &report.parent {
+        println!(
+            "parent       {}: {:.0} insert ops/s -> x{:.2}",
+            parent.commit,
+            parent.insertion_ops_per_sec,
+            report.insertion.ops_per_sec() / parent.insertion_ops_per_sec
+        );
+    }
+
+    if let Some(out) = args.flags.get("out") {
+        std::fs::write(out, report.to_json_string() + "\n")
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+
+    if let Some(baseline_path) = args.flags.get("check") {
+        let tolerance: f64 = args
+            .flags
+            .get("tolerance")
+            .map(|v| v.parse().map_err(|_| "bad --tolerance"))
+            .transpose()?
+            .unwrap_or(0.25);
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+        let lines = check_against_baseline(&report, &baseline, tolerance)
+            .map_err(|e| format!("throughput regression: {e}"))?;
+        for l in lines {
+            println!("check        {l}");
+        }
+        println!("check        OK (tolerance {:.0}%)", tolerance * 100.0);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&raw);
@@ -316,7 +422,8 @@ fn main() -> ExitCode {
         Some("mesh") => cmd_mesh(&args),
         Some("phantom") => cmd_phantom(&args),
         Some("info") => cmd_info(&args),
-        _ => Err("usage: pi2m <mesh|phantom|info> ... (see --help in README)".into()),
+        Some("bench") => cmd_bench(&args),
+        _ => Err("usage: pi2m <mesh|phantom|info|bench> ... (see --help in README)".into()),
     };
     match r {
         Ok(()) => ExitCode::SUCCESS,

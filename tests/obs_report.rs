@@ -77,6 +77,24 @@ fn real_run_produces_schema_valid_report_and_trace() {
     assert_eq!(counter("ops_total"), out.stats.total_operations());
     assert_eq!(counter("ops_rollbacks"), out.stats.total_rollbacks());
 
+    // staged-predicate stage hits: every orient3d/insphere evaluation lands
+    // in exactly one stage, and a generic run must certify the vast majority
+    // in the semi-static stage
+    let orient_total = counter("pred_orient_semi_static")
+        + counter("pred_orient_filtered")
+        + counter("pred_orient_exact");
+    assert!(orient_total > 0, "no orient3d stage hits recorded");
+    let insphere_total = counter("pred_insphere_semi_static")
+        + counter("pred_insphere_filtered")
+        + counter("pred_insphere_exact");
+    assert!(insphere_total > 0, "no insphere stage hits recorded");
+    assert!(
+        counter("pred_orient_semi_static") + counter("pred_insphere_semi_static") > 0,
+        "semi-static filter never fired on a generic run"
+    );
+    // scratch arenas: after warm-up nearly every op reuses buffers
+    assert!(counter("scratch_reuses") > 0, "scratch arenas never reused");
+
     // each recorded histogram carries count/sum/buckets
     let hists = j.get("histograms").unwrap();
     let cavity = hists.get("cavity_cells").expect("cavity_cells histogram");
