@@ -25,6 +25,7 @@
 //!                  "insphere_filtered": 0, "insphere_exact": 0},
 //!   "scratch": {"reuses": 0, "allocs": 0, "allocs_avoided": 0,
 //!               "footprint_elems": 0},
+//!   "flight_overhead": {"on": {...}, "off": {...}, "overhead_frac": 0.01},
 //!   "parent_comparison": {"commit": "abc1234", "insertion_ops_per_sec": 0.0,
 //!                         "insertion_speedup": 0.0}
 //! }
@@ -87,6 +88,36 @@ impl WorkloadResult {
     }
 }
 
+/// The refinement workload measured with the concurrency flight recorder on
+/// and off (best of two runs each, to cut scheduler noise). The recorder is
+/// always-on in production, so its cost is budgeted and gated in CI.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightOverhead {
+    pub on: WorkloadResult,
+    pub off: WorkloadResult,
+}
+
+impl FlightOverhead {
+    /// Fraction of throughput lost to the recorder (negative = noise made
+    /// the recorded run faster).
+    pub fn overhead_frac(&self) -> f64 {
+        let (on, off) = (self.on.ops_per_sec(), self.off.ops_per_sec());
+        if off > 0.0 {
+            1.0 - on / off
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("on", self.on.to_json()),
+            ("off", self.off.to_json()),
+            ("overhead_frac", Json::num(self.overhead_frac())),
+        ])
+    }
+}
+
 /// A reference measurement of an older kernel on the identical insertion
 /// workload (recorded with `pi2m bench --parent-commit --parent-insertion`,
 /// measured via the same point stream on the same machine).
@@ -112,6 +143,8 @@ pub struct KernelBenchReport {
     pub scratch_allocs: u64,
     /// Arena capacity high-water mark at the end (elements, not bytes).
     pub scratch_footprint: usize,
+    /// Refinement throughput with the flight recorder on vs off.
+    pub flight: FlightOverhead,
 }
 
 impl KernelBenchReport {
@@ -156,6 +189,7 @@ impl KernelBenchReport {
                     ("footprint_elems", Json::int(self.scratch_footprint as u64)),
                 ]),
             ),
+            ("flight_overhead", self.flight.to_json()),
         ];
         if let Some(p) = &self.parent {
             let speedup = if p.insertion_ops_per_sec > 0.0 {
@@ -243,34 +277,75 @@ pub fn run_kernel_bench(opts: KernelBenchOpts) -> KernelBenchReport {
     let footprint = ctx.scratch_footprint();
 
     // ---- refinement: the full pipeline on a phantom, one thread ----
-    let img = pi2m_image::phantoms::sphere(sphere_res, 1.0);
+    // The recorder-on/off comparison runs as back-to-back (on, off) pairs
+    // after a discarded warmup and keeps the *median* pair by on/off ratio:
+    // pairing makes slow scheduler/frequency drift hit both sides of each
+    // ratio equally, and the median discards pairs a CPU hiccup skewed
+    // either way. The flight-on number is the headline `refinement`
+    // workload because the recorder is on in production.
     let delta = if opts.quick { 2.0 } else { 1.5 };
-    let t0 = Instant::now();
-    let out = Mesher::new(
-        img,
-        MesherConfig {
-            delta,
-            threads: 1,
-            topology: MachineTopology::flat(1),
-            ..Default::default()
-        },
-    )
-    .run();
-    let refinement = WorkloadResult {
-        ops: out.mesh.num_tets() as u64,
-        seconds: t0.elapsed().as_secs_f64(),
+    let run_refinement = |flight: bool| -> WorkloadResult {
+        let img = pi2m_image::phantoms::sphere(sphere_res, 1.0);
+        let t0 = Instant::now();
+        let out = Mesher::new(
+            img,
+            MesherConfig {
+                delta,
+                threads: 1,
+                topology: MachineTopology::flat(1),
+                flight,
+                ..Default::default()
+            },
+        )
+        .run();
+        WorkloadResult {
+            ops: out.mesh.num_tets() as u64,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
     };
+    let _warmup = run_refinement(true);
+    let mut pairs: Vec<(WorkloadResult, WorkloadResult)> = (0..7)
+        .map(|_| (run_refinement(true), run_refinement(false)))
+        .collect();
+    let ratio =
+        |p: &(WorkloadResult, WorkloadResult)| p.0.ops_per_sec() / p.1.ops_per_sec().max(1e-12);
+    pairs.sort_by(|p, q| ratio(p).total_cmp(&ratio(q)));
+    let (flight_on, flight_off) = pairs[pairs.len() / 2];
 
     KernelBenchReport {
         opts,
         insertion,
         removal,
-        refinement,
+        refinement: flight_on,
         parent: None,
         pred,
         scratch_reuses: ss.reuses,
         scratch_allocs: ss.allocs,
         scratch_footprint: footprint,
+        flight: FlightOverhead {
+            on: flight_on,
+            off: flight_off,
+        },
+    }
+}
+
+/// Gate the flight-recorder cost: the refinement workload with the recorder
+/// on must lose no more than `max_frac` of its recorder-off throughput.
+/// Returns the human-readable comparison line; `Err` carries the same line
+/// when the gate fails.
+pub fn check_flight_overhead(report: &KernelBenchReport, max_frac: f64) -> Result<String, String> {
+    let f = &report.flight;
+    let line = format!(
+        "flight overhead {:+.2}% (on {:.0} vs off {:.0} ops/s, gate {:.0}%)",
+        f.overhead_frac() * 100.0,
+        f.on.ops_per_sec(),
+        f.off.ops_per_sec(),
+        max_frac * 100.0
+    );
+    if f.overhead_frac() > max_frac {
+        Err(line)
+    } else {
+        Ok(line)
     }
 }
 
@@ -346,6 +421,16 @@ mod tests {
             scratch_reuses: 10,
             scratch_allocs: 2,
             scratch_footprint: 1234,
+            flight: FlightOverhead {
+                on: WorkloadResult {
+                    ops: 5000,
+                    seconds: 1.01,
+                },
+                off: WorkloadResult {
+                    ops: 5000,
+                    seconds: 1.0,
+                },
+            },
         }
     }
 
@@ -386,6 +471,26 @@ mod tests {
         assert_eq!(p.get("commit").unwrap().as_str(), Some("abc1234"));
         // 1000 ops / 0.5 s = 2000 ops/s now vs 1000 then: 2x
         assert_eq!(p.get("insertion_speedup").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn flight_overhead_round_trips_and_gates() {
+        let r = tiny_report();
+        // 5000/1.01 vs 5000/1.0: ~0.99% overhead
+        let frac = r.flight.overhead_frac();
+        assert!(frac > 0.0 && frac < 0.02, "frac {frac}");
+        let j = pi2m_obs::json::parse(&r.to_json_string()).unwrap();
+        let fo = j.get("flight_overhead").expect("flight_overhead block");
+        assert!(fo.get("on").unwrap().get("ops_per_sec").is_some());
+        assert!(fo.get("off").unwrap().get("ops_per_sec").is_some());
+        assert_eq!(fo.get("overhead_frac").unwrap().as_f64(), Some(frac));
+        // within a 5% gate
+        check_flight_overhead(&r, 0.05).unwrap();
+        // a 10% slowdown trips the same gate
+        let mut slow = tiny_report();
+        slow.flight.on.seconds = 1.12;
+        let err = check_flight_overhead(&slow, 0.05).unwrap_err();
+        assert!(err.contains("flight overhead"), "{err}");
     }
 
     #[test]

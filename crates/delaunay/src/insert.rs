@@ -23,6 +23,7 @@ use crate::mesh::{InsertResult, KernelError, OpCtx, OpError};
 use crate::scratch::KernelScratch;
 use pi2m_faults::{sites, Injected};
 use pi2m_geometry::TET_FACES;
+use pi2m_obs::flight::{cause as flight_cause, EventKind};
 
 /// Key standing in for the point being inserted: it will receive the largest
 /// vertex id allocated so far, so it is "newest" relative to every vertex it
@@ -90,6 +91,17 @@ impl OpCtx<'_> {
             }
         }
         let res = self.commit_insert(prep);
+        // Lock-acquisition batch summary for the flight recorder: one event
+        // per committed op instead of one per try-lock (overhead budget).
+        if let Some(f) = &self.flight {
+            f.emit(
+                EventKind::LockBatch,
+                flight_cause::OP_INSERT,
+                self.locked.len() as u32,
+                res.killed.len() as u32,
+                0,
+            );
+        }
         self.unlock_all();
         Ok(res)
     }

@@ -27,6 +27,7 @@ use crate::pool::{Cell, CellPool, CellSnap, Vertex, VertexPool};
 use crate::scratch::{KernelScratch, ScratchStats};
 use pi2m_faults::{sites, FaultPlan, Injected};
 use pi2m_geometry::{orient3d_sign, signed_volume, Aabb, Point3, TET_FACES};
+use pi2m_obs::flight::{EventKind, FlightHandle};
 use pi2m_predicates::{FilterStats, SemiStaticBounds};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -362,6 +363,7 @@ impl SharedMesh {
             pred_stats: FilterStats::default(),
             scratch: KernelScratch::default(),
             faults,
+            flight: None,
         }
     }
 
@@ -541,6 +543,10 @@ pub struct OpCtx<'m> {
     pub(crate) scratch: KernelScratch,
     /// Fault-injection plan (None = nothing armed; a single branch per site).
     pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Flight-recorder writer handle (None = recorder off; a single branch
+    /// per emission site). Emits lock-conflict and lock-batch events on the
+    /// kernel's own lock/insert/remove paths.
+    pub(crate) flight: Option<FlightHandle>,
 }
 
 impl OpCtx<'_> {
@@ -674,6 +680,13 @@ impl<'m> OpCtx<'m> {
         }
     }
 
+    /// Attach a flight-recorder writer handle: the kernel then emits
+    /// lock-conflict events (conflicting vertex + owner) and per-operation
+    /// lock-batch summaries into the worker's ring.
+    pub fn set_flight(&mut self, handle: FlightHandle) {
+        self.flight = Some(handle);
+    }
+
     /// Try to lock `v`; on failure report the owning thread (rollback path).
     #[inline]
     pub(crate) fn lock_vertex(&mut self, v: VertexId) -> Result<(), OpError> {
@@ -686,11 +699,25 @@ impl<'m> OpCtx<'m> {
                 Ok(())
             }
             Ok(false) => Ok(()),
-            Err(owner) => Err(OpError::Conflict {
-                owner,
-                vertex: v,
-                held: self.locked.len() as u32,
-            }),
+            Err(owner) => {
+                // Conflicts only — successful try-locks are O(ns) and far too
+                // frequent to record individually (the commit-time lock batch
+                // carries the acquisition count instead).
+                if let Some(f) = &self.flight {
+                    f.emit(
+                        EventKind::LockConflict,
+                        0,
+                        v.0,
+                        owner,
+                        self.locked.len() as u32,
+                    );
+                }
+                Err(OpError::Conflict {
+                    owner,
+                    vertex: v,
+                    held: self.locked.len() as u32,
+                })
+            }
         }
     }
 

@@ -25,6 +25,7 @@ use crate::mesh::{KernelError, OpCtx, OpError, RemoveResult};
 use crate::scratch::{KernelScratch, FACE_SLOT_NONE};
 use pi2m_faults::{sites, Injected};
 use pi2m_geometry::{signed_volume, Aabb, Point3, TET_FACES};
+use pi2m_obs::flight::{cause as flight_cause, EventKind};
 
 /// Neighbor specification of a planned fill cell.
 #[derive(Clone, Copy)]
@@ -103,6 +104,16 @@ impl OpCtx<'_> {
             }
         }
         let res = self.commit_remove(prep);
+        // Lock-acquisition batch summary (see the insert wrapper).
+        if let Some(f) = &self.flight {
+            f.emit(
+                EventKind::LockBatch,
+                flight_cause::OP_REMOVE,
+                self.locked.len() as u32,
+                res.killed.len() as u32,
+                0,
+            );
+        }
         self.unlock_all();
         Ok(res)
     }

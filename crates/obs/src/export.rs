@@ -1,6 +1,7 @@
 //! Exporters: Prometheus text exposition, Chrome Trace Event JSON, and the
 //! Table-1 style overhead comparison table.
 
+use crate::flight::{EventKind, FlightEvent};
 use crate::json::Json;
 use crate::metrics::{bucket_upper_bound, ObsEvent};
 use crate::report::{OverheadBreakdown, RunReport, TraceSpan};
@@ -96,6 +97,21 @@ pub fn render_prometheus(report: &RunReport) -> String {
 /// All timestamps must share the run-origin time base; they are emitted in
 /// microseconds as the format requires.
 pub fn render_chrome_trace(phases: &[TraceSpan], events: &[(u32, ObsEvent)]) -> String {
+    render_chrome_trace_with_flight(phases, events, &[])
+}
+
+/// [`render_chrome_trace`], plus the flight-recorder timeline. Duration-
+/// bearing kinds (committed ops, rollbacks, CM parks, begging waits) render
+/// as complete (`"X"`) slices so rollback storms are visually dense;
+/// point-in-time kinds (lock conflicts, steals, donations, worker deaths)
+/// render as instant (`"i"`) markers. `OpBegin`/`CmPark`/`BegPark` and the
+/// lock batches are skipped — their information is carried by the paired
+/// end/summary events.
+pub fn render_chrome_trace_with_flight(
+    phases: &[TraceSpan],
+    events: &[(u32, ObsEvent)],
+    flight: &[FlightEvent],
+) -> String {
     let us = |s: f64| (s * 1e6).max(0.0);
     let mut trace_events: Vec<Json> = Vec::new();
 
@@ -111,6 +127,7 @@ pub fn render_chrome_trace(phases: &[TraceSpan], events: &[(u32, ObsEvent)]) -> 
     };
     trace_events.push(thread_meta(0, "pipeline"));
     let mut seen_tids: Vec<u32> = events.iter().map(|(t, _)| *t).collect();
+    seen_tids.extend(flight.iter().map(|e| e.tid as u32));
     seen_tids.sort_unstable();
     seen_tids.dedup();
     for &t in &seen_tids {
@@ -138,6 +155,72 @@ pub fn render_chrome_trace(phases: &[TraceSpan], events: &[(u32, ObsEvent)]) -> 
             ("ts", Json::num(us(e.at_s))),
             ("dur", Json::num(us(e.dur_s))),
         ]));
+    }
+
+    for e in flight {
+        let end_us = e.t_ns as f64 * 1e-3;
+        let dur_us = e.c as f64 * 1e-3;
+        let tid = Json::int(e.tid as u64 + 1);
+        match e.kind {
+            // duration-bearing: the event is stamped at the *end*; its `c`
+            // word is the duration in ns, so the slice starts at t - c.
+            EventKind::OpCommit
+            | EventKind::Rollback
+            | EventKind::CmUnpark
+            | EventKind::BegUnpark => {
+                let name = match e.kind {
+                    EventKind::OpCommit => "op",
+                    EventKind::Rollback => "rollback",
+                    EventKind::CmUnpark => "cm_park",
+                    _ => "beg_wait",
+                };
+                let mut obj = vec![
+                    ("name", Json::str(name)),
+                    ("cat", Json::str("flight")),
+                    ("ph", Json::str("X")),
+                    ("pid", Json::int(1)),
+                    ("tid", tid),
+                    ("ts", Json::num((end_us - dur_us).max(0.0))),
+                    ("dur", Json::num(dur_us)),
+                ];
+                if e.kind == EventKind::Rollback {
+                    obj.push((
+                        "args",
+                        Json::obj(vec![
+                            ("vertex", Json::int(e.a as u64)),
+                            ("owner", Json::int(e.rollback_owner() as u64)),
+                            ("region", Json::int(e.rollback_region() as u64)),
+                        ]),
+                    ));
+                } else if e.kind == EventKind::OpCommit {
+                    obj.push(("args", Json::obj(vec![("vertex", Json::int(e.a as u64))])));
+                }
+                trace_events.push(Json::obj(obj));
+            }
+            EventKind::LockConflict
+            | EventKind::Steal
+            | EventKind::Donate
+            | EventKind::WorkerDeath
+            | EventKind::HeirBequest => {
+                trace_events.push(Json::obj(vec![
+                    ("name", Json::str(e.kind.name())),
+                    ("cat", Json::str("flight")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("t")),
+                    ("pid", Json::int(1)),
+                    ("tid", tid),
+                    ("ts", Json::num(end_us)),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("a", Json::int(e.a as u64)),
+                            ("b", Json::int(e.b as u64)),
+                        ]),
+                    ),
+                ]));
+            }
+            EventKind::OpBegin | EventKind::CmPark | EventKind::BegPark | EventKind::LockBatch => {}
+        }
     }
 
     Json::obj(vec![
@@ -241,6 +324,62 @@ mod tests {
         assert_eq!(worker_ev.get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(worker_ev.get("dur").unwrap().as_f64(), Some(1e6));
         assert_eq!(worker_ev.get("tid").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn chrome_trace_renders_flight_kinds() {
+        let flight = [
+            FlightEvent {
+                t_ns: 2_000_000, // op ending at 2ms, 1ms long
+                kind: EventKind::Rollback,
+                cause: 0,
+                tid: 0,
+                a: 42,
+                b: crate::flight::pack_owner_region(1, 5),
+                c: 1_000_000,
+            },
+            FlightEvent {
+                t_ns: 3_000_000,
+                kind: EventKind::Steal,
+                cause: 0,
+                tid: 1,
+                a: 0,
+                b: 0,
+                c: 0,
+            },
+            FlightEvent {
+                t_ns: 100, // paired-begin kinds are skipped
+                kind: EventKind::CmPark,
+                cause: 0,
+                tid: 0,
+                a: 0,
+                b: 0,
+                c: 0,
+            },
+        ];
+        let s = render_chrome_trace_with_flight(&[], &[], &flight);
+        let j = json::parse(&s).unwrap();
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let rb = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("rollback"))
+            .expect("rollback slice");
+        assert_eq!(rb.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(rb.get("ts").unwrap().as_f64(), Some(1_000.0)); // 2ms - 1ms
+        assert_eq!(rb.get("dur").unwrap().as_f64(), Some(1_000.0));
+        let args = rb.get("args").unwrap();
+        assert_eq!(args.get("vertex").unwrap().as_f64(), Some(42.0));
+        assert_eq!(args.get("owner").unwrap().as_f64(), Some(1.0));
+        let steal = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("steal"))
+            .expect("steal marker");
+        assert_eq!(steal.get("ph").unwrap().as_str(), Some("i"));
+        assert!(!evs
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("cm_park")));
+        // worker tracks exist for both tids
+        assert!(s.contains("worker 0") && s.contains("worker 1"));
     }
 
     #[test]

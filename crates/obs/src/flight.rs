@@ -1,0 +1,692 @@
+//! The concurrency flight recorder: fixed-capacity per-worker SPSC event
+//! rings holding compact binary events for the speculative-op lifecycle
+//! (op begin/commit, rollback + conflicting vertex, lock conflicts, CM
+//! park/unpark, balancer beg/steal/donate, worker death / heir bequest).
+//!
+//! Design constraints (see DESIGN.md "Flight recorder & contention
+//! analysis"):
+//!
+//! * **Hot path**: the writer does four relaxed word stores plus one
+//!   release head bump — on x86-64 all five compile to plain `mov`s. There
+//!   are no RMW atomics, no branches on ring state, and no allocation.
+//! * **Overwrite-oldest**: the ring never blocks the writer; a lagging
+//!   reader loses the oldest events and accounts for them in its
+//!   `dropped` counter (computed from the monotonic head sequence).
+//! * **Torn-read detection**: each 32-byte slot carries a checksum word
+//!   over its payload. A reader that races an in-progress overwrite sees a
+//!   checksum mismatch and skips the slot (counted as `torn`); a reader
+//!   that observes a *complete* newer event in an old slot discards it via
+//!   the post-read head re-check, so sampled tallies never double-count.
+//!
+//! Event payload is 3×u64 (timestamp + two packed words); the fourth word
+//! is the checksum. Decoded form is [`FlightEvent`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default per-worker ring capacity (events). 16 Ki events × 32 B = 512 KiB
+/// per worker — enough for several seconds of a contended run.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 14;
+
+/// What happened, encoded in the event's kind byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A speculative operation attempt started (`a` = poor-cell id).
+    OpBegin = 1,
+    /// An operation committed (`a` = vertex id, `b` = region code,
+    /// `c` = operation duration in ns; `cause` 0 = insert, 1 = remove).
+    OpCommit = 2,
+    /// A rollback (`a` = conflicting vertex id, `b` = owner tid << 16 |
+    /// region code, `c` = rolled-back work in ns; `cause` is a
+    /// [`cause`] constant).
+    Rollback = 3,
+    /// A vertex try-lock failed inside the kernel (`a` = vertex id,
+    /// `b` = owning tid, `c` = locks already held).
+    LockConflict = 4,
+    /// Lock-acquisition batch summary of one committed kernel operation
+    /// (`a` = locks acquired, `b` = cavity cells; `cause` 0 = insert,
+    /// 1 = remove). Try-locks acquire in O(1), so per-acquire events would
+    /// blow the ≤2% overhead budget; the batch keeps the information.
+    LockBatch = 5,
+    /// The contention manager parked this thread.
+    CmPark = 6,
+    /// The contention manager released this thread (`c` = parked ns).
+    CmUnpark = 7,
+    /// The thread parked in a begging list.
+    BegPark = 8,
+    /// The thread left the begging list (`c` = parked ns; `cause`
+    /// 0 = got work, 1 = run finished).
+    BegUnpark = 9,
+    /// A begging thread received donated work.
+    Steal = 10,
+    /// This thread donated freshly created cells (`a` = beggar tid,
+    /// `b` = cells donated).
+    Donate = 11,
+    /// This worker died to an un-recovered panic.
+    WorkerDeath = 12,
+    /// The dying worker bequeathed its PEL (`a` = heir tid, `b` = items).
+    HeirBequest = 13,
+}
+
+impl EventKind {
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        use EventKind::*;
+        Some(match v {
+            1 => OpBegin,
+            2 => OpCommit,
+            3 => Rollback,
+            4 => LockConflict,
+            5 => LockBatch,
+            6 => CmPark,
+            7 => CmUnpark,
+            8 => BegPark,
+            9 => BegUnpark,
+            10 => Steal,
+            11 => Donate,
+            12 => WorkerDeath,
+            13 => HeirBequest,
+            _ => return None,
+        })
+    }
+
+    /// Short name used by the analyzers and the Chrome-trace exporter.
+    pub fn name(self) -> &'static str {
+        use EventKind::*;
+        match self {
+            OpBegin => "op_begin",
+            OpCommit => "op_commit",
+            Rollback => "rollback",
+            LockConflict => "lock_conflict",
+            LockBatch => "lock_batch",
+            CmPark => "cm_park",
+            CmUnpark => "cm_unpark",
+            BegPark => "beg_park",
+            BegUnpark => "beg_unpark",
+            Steal => "steal",
+            Donate => "donate",
+            WorkerDeath => "worker_death",
+            HeirBequest => "heir_bequest",
+        }
+    }
+}
+
+/// Rollback / cause-byte constants.
+pub mod cause {
+    /// Insert conflicted on a locked vertex.
+    pub const INSERT_CONFLICT: u8 = 0;
+    /// R6 removal conflicted on a locked vertex.
+    pub const REMOVE_CONFLICT: u8 = 1;
+    /// Fault injection denied the operation (synthetic self-conflict).
+    pub const INJECTED: u8 = 2;
+    /// Op kind for commit/lock-batch events.
+    pub const OP_INSERT: u8 = 0;
+    pub const OP_REMOVE: u8 = 1;
+    /// BegUnpark: woken with work vs. run finished.
+    pub const BEG_GOT_WORK: u8 = 0;
+    pub const BEG_FINISHED: u8 = 1;
+}
+
+/// One decoded flight-recorder event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the recorder origin.
+    pub t_ns: u64,
+    pub kind: EventKind,
+    pub cause: u8,
+    /// Worker thread id of the emitting ring.
+    pub tid: u16,
+    /// Kind-specific payload (see [`EventKind`] docs).
+    pub a: u32,
+    pub b: u32,
+    pub c: u32,
+}
+
+impl FlightEvent {
+    pub fn t_s(&self) -> f64 {
+        self.t_ns as f64 * 1e-9
+    }
+
+    /// For rollback events: the conflicting owner tid packed in `b`.
+    pub fn rollback_owner(&self) -> u16 {
+        (self.b >> 16) as u16
+    }
+
+    /// For rollback events: the spatial region code packed in `b`.
+    pub fn rollback_region(&self) -> u16 {
+        (self.b & 0xffff) as u16
+    }
+}
+
+/// Pack an owner tid and region code into a rollback event's `b` word.
+pub fn pack_owner_region(owner: u16, region: u16) -> u32 {
+    ((owner as u32) << 16) | region as u32
+}
+
+#[inline]
+fn encode(e: &FlightEvent) -> [u64; 3] {
+    let w0 = e.t_ns;
+    let w1 =
+        ((e.kind as u64) << 56) | ((e.cause as u64) << 48) | ((e.tid as u64) << 32) | e.a as u64;
+    let w2 = ((e.b as u64) << 32) | e.c as u64;
+    [w0, w1, w2]
+}
+
+#[inline]
+fn decode(w: [u64; 3]) -> Option<FlightEvent> {
+    let kind = EventKind::from_u8((w[1] >> 56) as u8)?;
+    Some(FlightEvent {
+        t_ns: w[0],
+        kind,
+        cause: (w[1] >> 48) as u8,
+        tid: (w[1] >> 32) as u16,
+        a: w[1] as u32,
+        b: (w[2] >> 32) as u32,
+        c: w[2] as u32,
+    })
+}
+
+/// splitmix64-style finisher over the three payload words. Word order is
+/// mixed in via rotations so swapped words don't cancel.
+#[inline]
+fn checksum(w: [u64; 3]) -> u64 {
+    let mut x = w[0] ^ w[1].rotate_left(17) ^ w[2].rotate_left(31) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One 32-byte slot: three payload words + the checksum word.
+type Slot = [AtomicU64; 4];
+
+/// A fixed-capacity single-producer event ring. The owning worker is the
+/// only writer; any number of readers may scan it concurrently (the live
+/// sampler and the end-of-run drain), validating slots by checksum.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    /// Monotonic count of events ever pushed (never wraps in practice:
+    /// 2⁶⁴ events at 10⁹ events/s is ~585 years).
+    head: AtomicU64,
+}
+
+/// Result of one incremental ring read.
+pub struct RingRead {
+    pub events: Vec<FlightEvent>,
+    /// Cursor to pass to the next read.
+    pub cursor: u64,
+    /// Events overwritten before this reader reached them.
+    pub dropped: u64,
+    /// Slots skipped because a concurrent overwrite tore them mid-read.
+    pub torn: u64,
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        EventRing {
+            slots: (0..cap)
+                .map(|_| {
+                    [
+                        AtomicU64::new(0),
+                        AtomicU64::new(0),
+                        AtomicU64::new(0),
+                        // zero payload must not validate: seed a bad checksum
+                        AtomicU64::new(1),
+                    ]
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Writer hot path: four relaxed stores + one release head bump.
+    /// Single-producer only — the owning worker thread.
+    #[inline]
+    pub fn push(&self, e: &FlightEvent) {
+        let seq = self.head.load(Ordering::Relaxed);
+        let w = encode(e);
+        let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+        slot[0].store(w[0], Ordering::Relaxed);
+        slot[1].store(w[1], Ordering::Relaxed);
+        slot[2].store(w[2], Ordering::Relaxed);
+        slot[3].store(checksum(w), Ordering::Relaxed);
+        // Release publishes the slot words to an acquiring reader; on x86
+        // this is still a plain store (the "one relaxed head bump").
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Read every event in `[cursor, head)` that is still trustworthy.
+    ///
+    /// Safe against a concurrently writing producer: slots overwritten
+    /// mid-read fail their checksum (`torn`); slots that were *completely*
+    /// overwritten with a newer event between our head snapshots are
+    /// discarded (`dropped`) so they are never attributed to an old
+    /// sequence number — the writer will present them again under their
+    /// real sequence on the next read, keeping sampled tallies monotonic
+    /// and duplicate-free.
+    pub fn read_from(&self, cursor: u64) -> RingRead {
+        let cap = self.slots.len() as u64;
+        let head = self.head.load(Ordering::Acquire);
+        let start = if head > cursor + cap {
+            head - cap
+        } else {
+            cursor
+        };
+        let mut dropped = start - cursor;
+        let mut torn = 0u64;
+        let mut raw: Vec<(u64, FlightEvent)> = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+            let w = [
+                slot[0].load(Ordering::Acquire),
+                slot[1].load(Ordering::Acquire),
+                slot[2].load(Ordering::Acquire),
+            ];
+            let sum = slot[3].load(Ordering::Acquire);
+            if sum != checksum(w) {
+                torn += 1;
+                continue;
+            }
+            match decode(w) {
+                Some(e) => raw.push((seq, e)),
+                None => torn += 1,
+            }
+        }
+        // Anything below this may have been overwritten while we were
+        // scanning: a valid checksum there could belong to a *newer* event.
+        let head2 = self.head.load(Ordering::Acquire);
+        let safe_min = head2.saturating_sub(cap);
+        let mut events = Vec::with_capacity(raw.len());
+        for (seq, e) in raw {
+            if seq >= safe_min {
+                events.push(e);
+            } else {
+                dropped += 1;
+            }
+        }
+        RingRead {
+            events,
+            cursor: head,
+            dropped,
+            torn,
+        }
+    }
+}
+
+/// The per-run flight recorder: one SPSC ring per worker plus the shared
+/// time origin. Shared by `Arc` between the engine, the kernel contexts,
+/// the live sampler, and the end-of-run drain — the rings outlive any
+/// individual worker, so a dying worker's events survive by construction.
+pub struct FlightRecorder {
+    rings: Vec<Arc<EventRing>>,
+    origin: Instant,
+}
+
+/// A merged, time-sorted drain of every ring.
+pub struct FlightLog {
+    pub events: Vec<FlightEvent>,
+    pub dropped: u64,
+    pub torn: u64,
+    /// Per-ring capacity, for the report.
+    pub ring_capacity: usize,
+}
+
+impl FlightRecorder {
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        FlightRecorder {
+            rings: (0..threads.max(1))
+                .map(|_| Arc::new(EventRing::new(capacity)))
+                .collect(),
+            origin: Instant::now(),
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.rings.len()
+    }
+
+    pub fn ring(&self, tid: usize) -> &Arc<EventRing> {
+        &self.rings[tid]
+    }
+
+    /// Nanoseconds since the recorder origin.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Convert an already-taken `Instant` to recorder time. Pure arithmetic
+    /// — lets hot paths that have a timestamp in hand emit without paying a
+    /// second clock read.
+    #[inline]
+    pub fn ns_at(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_nanos() as u64
+    }
+
+    /// A cheap per-worker writer handle (clones the ring `Arc`).
+    pub fn handle(&self, tid: usize) -> FlightHandle {
+        FlightHandle {
+            ring: Arc::clone(&self.rings[tid]),
+            origin: self.origin,
+            tid: tid as u16,
+        }
+    }
+
+    /// Emit on behalf of worker `tid`. Must only be called from the thread
+    /// that owns ring `tid` (the rings are single-producer).
+    #[inline]
+    pub fn emit(&self, tid: usize, kind: EventKind, cause: u8, a: u32, b: u32, c: u32) {
+        self.emit_at(tid, self.now_ns(), kind, cause, a, b, c);
+    }
+
+    /// [`emit`](Self::emit) with a caller-supplied recorder timestamp (from
+    /// [`now_ns`](Self::now_ns) or [`ns_at`](Self::ns_at)).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_at(
+        &self,
+        tid: usize,
+        t_ns: u64,
+        kind: EventKind,
+        cause: u8,
+        a: u32,
+        b: u32,
+        c: u32,
+    ) {
+        self.rings[tid].push(&FlightEvent {
+            t_ns,
+            kind,
+            cause,
+            tid: tid as u16,
+            a,
+            b,
+            c,
+        });
+    }
+
+    /// Full drain: merge every ring into one time-sorted log. Exact (no
+    /// torn slots) once the workers have joined; best-effort during a run.
+    pub fn drain(&self) -> FlightLog {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let mut torn = 0;
+        for ring in &self.rings {
+            let r = ring.read_from(0);
+            events.extend(r.events);
+            dropped += r.dropped;
+            torn += r.torn;
+        }
+        events.sort_by_key(|e| e.t_ns);
+        FlightLog {
+            events,
+            dropped,
+            torn,
+            ring_capacity: self.rings.first().map_or(0, |r| r.capacity()),
+        }
+    }
+}
+
+/// Per-worker writer handle held by kernel contexts and workers.
+#[derive(Clone)]
+pub struct FlightHandle {
+    ring: Arc<EventRing>,
+    origin: Instant,
+    tid: u16,
+}
+
+impl FlightHandle {
+    #[inline]
+    pub fn emit(&self, kind: EventKind, cause: u8, a: u32, b: u32, c: u32) {
+        self.ring.push(&FlightEvent {
+            t_ns: self.origin.elapsed().as_nanos() as u64,
+            kind,
+            cause,
+            tid: self.tid,
+            a,
+            b,
+            c,
+        });
+    }
+}
+
+/// Cumulative tallies maintained by the live sampler. All fields only ever
+/// grow, so heartbeat op counts are monotonically non-decreasing even when
+/// the rings wrap between samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SampleTallies {
+    pub commits: u64,
+    pub rollbacks: u64,
+    pub lock_conflicts: u64,
+    pub steals: u64,
+    pub donations: u64,
+    pub deaths: u64,
+    pub events: u64,
+    pub dropped: u64,
+    pub torn: u64,
+}
+
+impl SampleTallies {
+    /// Committed + rolled-back operation attempts.
+    pub fn ops(&self) -> u64 {
+        self.commits + self.rollbacks
+    }
+
+    pub fn rollback_ratio(&self) -> f64 {
+        let ops = self.ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / ops as f64
+        }
+    }
+}
+
+/// Incremental multi-ring reader used by the live tap: keeps one cursor
+/// per ring and accumulates [`SampleTallies`] across samples.
+pub struct FlightSampler {
+    cursors: Vec<u64>,
+    tallies: SampleTallies,
+}
+
+impl FlightSampler {
+    pub fn new(rec: &FlightRecorder) -> Self {
+        FlightSampler {
+            cursors: vec![0; rec.threads()],
+            tallies: SampleTallies::default(),
+        }
+    }
+
+    pub fn tallies(&self) -> &SampleTallies {
+        &self.tallies
+    }
+
+    /// Scan every ring from its cursor, fold the new events into the
+    /// cumulative tallies, and return them.
+    pub fn sample(&mut self, rec: &FlightRecorder) -> &SampleTallies {
+        for (tid, cursor) in self.cursors.iter_mut().enumerate() {
+            let r = rec.ring(tid).read_from(*cursor);
+            *cursor = r.cursor;
+            self.tallies.dropped += r.dropped;
+            self.tallies.torn += r.torn;
+            self.tallies.events += r.events.len() as u64;
+            for e in &r.events {
+                match e.kind {
+                    EventKind::OpCommit => self.tallies.commits += 1,
+                    EventKind::Rollback => self.tallies.rollbacks += 1,
+                    EventKind::LockConflict => self.tallies.lock_conflicts += 1,
+                    EventKind::Steal => self.tallies.steals += 1,
+                    EventKind::Donate => self.tallies.donations += 1,
+                    EventKind::WorkerDeath => self.tallies.deaths += 1,
+                    _ => {}
+                }
+            }
+        }
+        &self.tallies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, kind: EventKind, a: u32) -> FlightEvent {
+        FlightEvent {
+            t_ns,
+            kind,
+            cause: 0,
+            tid: 3,
+            a,
+            b: 7,
+            c: 11,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let e = FlightEvent {
+            t_ns: 123_456_789_000,
+            kind: EventKind::Rollback,
+            cause: cause::REMOVE_CONFLICT,
+            tid: 65_535,
+            a: u32::MAX,
+            b: pack_owner_region(12, 0xabc),
+            c: 42,
+        };
+        let d = decode(encode(&e)).unwrap();
+        assert_eq!(d, e);
+        assert_eq!(d.rollback_owner(), 12);
+        assert_eq!(d.rollback_region(), 0xabc);
+    }
+
+    #[test]
+    fn bad_kind_does_not_decode() {
+        let mut w = encode(&ev(1, EventKind::OpBegin, 2));
+        w[1] = (w[1] & !(0xffu64 << 56)) | (200u64 << 56);
+        assert!(decode(w).is_none());
+    }
+
+    #[test]
+    fn checksum_detects_any_single_word_corruption() {
+        let w = encode(&ev(55, EventKind::OpCommit, 9));
+        let good = checksum(w);
+        for i in 0..3 {
+            let mut bad = w;
+            bad[i] ^= 1 << 7;
+            assert_ne!(checksum(bad), good, "word {i} corruption undetected");
+        }
+    }
+
+    #[test]
+    fn ring_reads_back_in_order() {
+        let ring = EventRing::new(16);
+        for i in 0..10 {
+            ring.push(&ev(i, EventKind::OpBegin, i as u32));
+        }
+        let r = ring.read_from(0);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.torn, 0);
+        assert_eq!(r.cursor, 10);
+        assert_eq!(r.events.len(), 10);
+        for (i, e) in r.events.iter().enumerate() {
+            assert_eq!(e.a, i as u32);
+        }
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_accounts_for_them() {
+        let ring = EventRing::new(8); // power of two, stays 8
+        assert_eq!(ring.capacity(), 8);
+        for i in 0..20 {
+            ring.push(&ev(i, EventKind::OpBegin, i as u32));
+        }
+        let r = ring.read_from(0);
+        // 20 pushed into 8 slots: the 12 oldest are gone
+        assert_eq!(r.dropped, 12);
+        assert_eq!(r.events.len(), 8);
+        assert_eq!(r.cursor, 20);
+        // survivors are the newest 8, still in order
+        let got: Vec<u32> = r.events.iter().map(|e| e.a).collect();
+        assert_eq!(got, (12..20).collect::<Vec<u32>>());
+        // incremental follow-up read from the returned cursor sees nothing
+        let r2 = ring.read_from(r.cursor);
+        assert_eq!(r2.events.len(), 0);
+        assert_eq!(r2.dropped, 0);
+    }
+
+    #[test]
+    fn incremental_cursor_never_double_counts() {
+        let ring = EventRing::new(8);
+        let mut cursor = 0;
+        let mut seen = 0u64;
+        let mut dropped = 0u64;
+        for round in 0..5u64 {
+            for i in 0..6 {
+                ring.push(&ev(round * 6 + i, EventKind::OpCommit, 0));
+            }
+            let r = ring.read_from(cursor);
+            cursor = r.cursor;
+            seen += r.events.len() as u64;
+            dropped += r.dropped;
+        }
+        assert_eq!(seen + dropped, 30);
+        assert_eq!(dropped, 0, "reader kept up; nothing may drop");
+    }
+
+    #[test]
+    fn recorder_merges_rings_time_sorted() {
+        let rec = FlightRecorder::new(3, 64);
+        rec.emit(2, EventKind::OpBegin, 0, 1, 0, 0);
+        rec.emit(0, EventKind::OpCommit, 0, 2, 0, 0);
+        rec.emit(1, EventKind::Rollback, 0, 3, 0, 0);
+        let log = rec.drain();
+        assert_eq!(log.events.len(), 3);
+        assert!(log.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(log.dropped, 0);
+        let tids: Vec<u16> = log.events.iter().map(|e| e.tid).collect();
+        assert!(tids.contains(&0) && tids.contains(&1) && tids.contains(&2));
+    }
+
+    #[test]
+    fn sampler_tallies_are_cumulative_and_monotonic() {
+        let rec = FlightRecorder::new(1, 8);
+        let mut sampler = FlightSampler::new(&rec);
+        let mut last_ops = 0;
+        for _ in 0..4 {
+            for _ in 0..5 {
+                rec.emit(0, EventKind::OpCommit, 0, 0, 0, 0);
+            }
+            rec.emit(0, EventKind::Rollback, 0, 0, 0, 0);
+            let t = sampler.sample(&rec);
+            assert!(t.ops() >= last_ops, "op count went backwards");
+            last_ops = t.ops();
+        }
+        let t = *sampler.tallies();
+        // 24 events through an 8-slot ring: everything read or dropped
+        assert_eq!(t.events + t.dropped, 24);
+        assert!(t.rollback_ratio() > 0.0 && t.rollback_ratio() < 1.0);
+    }
+
+    #[test]
+    fn handle_emits_into_owned_ring() {
+        let rec = FlightRecorder::new(2, 16);
+        let h = rec.handle(1);
+        h.emit(EventKind::LockConflict, 0, 99, 4, 1);
+        let log = rec.drain();
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].tid, 1);
+        assert_eq!(log.events[0].a, 99);
+        assert_eq!(log.events[0].kind, EventKind::LockConflict);
+    }
+}

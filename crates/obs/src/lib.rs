@@ -7,11 +7,14 @@
 //! path**, mirroring the `ThreadStats` ownership model of `pi2m-refine`
 //! (exclusive per-worker ownership, drained and merged at thread join).
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`metrics`] — the static metric catalog ([`metrics::catalog`]), counter
 //!   and histogram ids, [`ThreadRecorder`] (hot path) and
 //!   [`MetricsSnapshot`] (merged at join).
+//! * [`flight`] + [`analyze`] — the concurrency flight recorder: fixed
+//!   capacity per-worker SPSC event rings for the speculative-op lifecycle,
+//!   the live-tap sampler, and the offline contention analyzer.
 //! * [`span`] — RAII wall-clock phase timing ([`Phases`], [`SpanGuard`]).
 //! * [`report`] + [`export`] — the self-describing [`RunReport`] and its
 //!   exporters: structured JSON, Prometheus text exposition, and Chrome
@@ -28,13 +31,21 @@
 //! assert_eq!(snap.counter(metrics::OPS_INSERTIONS), 1);
 //! ```
 
+pub mod analyze;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
 
-pub use export::{render_chrome_trace, render_overhead_table, render_prometheus};
+pub use analyze::{analyze, AnalyzeOpts, ContentionReport};
+pub use export::{
+    render_chrome_trace, render_chrome_trace_with_flight, render_overhead_table, render_prometheus,
+};
+pub use flight::{
+    EventKind, EventRing, FlightEvent, FlightHandle, FlightLog, FlightRecorder, FlightSampler,
+};
 pub use metrics::{CounterId, HistId, MetricDef, MetricKind, MetricsSnapshot, ThreadRecorder};
 pub use report::{OverheadBreakdown, PhaseReport, RunReport, TraceSpan};
 pub use span::{Phases, SpanGuard};

@@ -2,6 +2,7 @@
 //! timings, overhead accounting, and the full metric snapshot of one
 //! pipeline run, serializable to JSON (see [`RunReport::to_json`]).
 
+use crate::analyze::ContentionReport;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
@@ -63,10 +64,15 @@ pub struct RunReport {
     pub elements: u64,
     /// The merged metric snapshot.
     pub metrics: MetricsSnapshot,
+    /// Flight-recorder contention analysis (schema v2; `None` when the
+    /// recorder was disabled — the key is then absent from the JSON).
+    pub contention: Option<ContentionReport>,
 }
 
 impl RunReport {
-    pub const SCHEMA_VERSION: u32 = 1;
+    /// Schema history: v1 = counters/histograms/overheads; v2 adds the
+    /// optional `contention` section (all v1 fields unchanged).
+    pub const SCHEMA_VERSION: u32 = 2;
 
     pub fn new(tool: &str) -> Self {
         RunReport {
@@ -138,7 +144,7 @@ impl RunReport {
                 ("buckets", Json::Arr(nonzero)),
             ])
         };
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema_version", Json::int(self.schema_version as u64)),
             ("tool", Json::str(&self.tool)),
             ("version", Json::str(&self.version)),
@@ -202,7 +208,11 @@ impl RunReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(c) = &self.contention {
+            fields.push(("contention", c.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Pretty JSON text, the on-disk `--report` format.
@@ -293,5 +303,37 @@ mod tests {
         let h = j.get("histograms").unwrap().get("cavity_cells").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(r.elements_per_second(), 500.0);
+        // schema v2: contention key absent while the recorder is off
+        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(2.0));
+        assert!(j.get("contention").is_none());
+    }
+
+    #[test]
+    fn contention_section_appears_when_set() {
+        use crate::analyze::{analyze, AnalyzeOpts};
+        use crate::flight::{EventKind, FlightEvent};
+
+        let mut r = RunReport::new("test");
+        let events = [FlightEvent {
+            t_ns: 1_000,
+            kind: EventKind::Rollback,
+            cause: 0,
+            tid: 0,
+            a: 7,
+            b: 0,
+            c: 500,
+        }];
+        r.contention = Some(analyze(
+            &events,
+            AnalyzeOpts {
+                threads: 2,
+                wall_s: 0.5,
+                ..Default::default()
+            },
+        ));
+        let j = crate::json::parse(&r.to_json_string()).unwrap();
+        let c = j.get("contention").expect("contention section");
+        assert_eq!(c.get("rollbacks").unwrap().as_f64(), Some(1.0));
+        assert!(c.get("speedup_self_report").is_some());
     }
 }

@@ -1,0 +1,158 @@
+//! Flight-recorder stress tests: many writers hammering small rings while a
+//! concurrent reader drains them incrementally. The SPSC discipline is
+//! per-ring (one writer each); the single reader races every writer, so any
+//! slot it observes may be mid-overwrite — the per-event checksum must
+//! reject exactly those, and every event that *passes* must be internally
+//! consistent (no torn payloads) with monotonically non-decreasing tallies.
+
+use pi2m_obs::flight::{EventKind, FlightRecorder, FlightSampler};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const WRITERS: usize = 8;
+const PER_WRITER: u32 = 120_000;
+/// Small rings so the writers lap the reader constantly.
+const RING_CAP: usize = 1 << 10;
+
+/// Payload invariant every pushed event satisfies; a torn slot that slipped
+/// past the checksum would violate it with overwhelming probability.
+fn expected_b(tid: u16, a: u32) -> u32 {
+    a.wrapping_mul(0x9e37_79b1) ^ (tid as u32) ^ 0x5bd1_e995
+}
+
+#[test]
+fn eight_writers_one_reader_no_torn_events() {
+    let rec = Arc::new(FlightRecorder::new(WRITERS, RING_CAP));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (seen, dropped, torn) = std::thread::scope(|s| {
+        let mut writers = Vec::new();
+        for tid in 0..WRITERS {
+            let rec = Arc::clone(&rec);
+            writers.push(s.spawn(move || {
+                let h = rec.handle(tid);
+                for a in 0..PER_WRITER {
+                    h.emit(EventKind::OpCommit, 0, a, expected_b(tid as u16, a), !a);
+                }
+            }));
+        }
+
+        let rec2 = Arc::clone(&rec);
+        let stop2 = Arc::clone(&stop);
+        let reader = s.spawn(move || {
+            let mut cursors = [0u64; WRITERS];
+            let (mut seen, mut dropped, mut torn) = (0u64, 0u64, 0u64);
+            loop {
+                let finished = stop2.load(Ordering::Acquire);
+                for (t, cur) in cursors.iter_mut().enumerate() {
+                    let rr = rec2.ring(t).read_from(*cur);
+                    *cur = rr.cursor;
+                    dropped += rr.dropped;
+                    torn += rr.torn;
+                    for e in &rr.events {
+                        assert_eq!(e.kind, EventKind::OpCommit, "garbage kind surfaced");
+                        assert_eq!(e.tid as usize, t, "event crossed rings");
+                        assert_eq!(
+                            e.b,
+                            expected_b(t as u16, e.a),
+                            "torn payload passed the checksum (a={})",
+                            e.a
+                        );
+                        assert_eq!(e.c, !e.a, "torn payload passed the checksum");
+                        seen += 1;
+                    }
+                }
+                if finished {
+                    break;
+                }
+            }
+            (seen, dropped, torn)
+        });
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        reader.join().unwrap()
+    });
+
+    let total = WRITERS as u64 * PER_WRITER as u64;
+    assert!(seen > 0, "reader observed nothing");
+    assert!(
+        seen + dropped + torn >= total,
+        "events unaccounted for: seen {seen} + dropped {dropped} + torn {torn} < {total}"
+    );
+    assert!(
+        seen + dropped + torn <= total + (WRITERS * RING_CAP) as u64,
+        "over-accounted: seen {seen} + dropped {dropped} + torn {torn}"
+    );
+    // the rings are tiny and the writers fast: wraps must have happened
+    assert!(dropped > 0, "test did not exercise overwrite-on-wrap");
+}
+
+#[test]
+fn sampler_tallies_are_monotonic_under_contention() {
+    let rec = Arc::new(FlightRecorder::new(WRITERS, RING_CAP));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let mut writers = Vec::new();
+        for tid in 0..WRITERS {
+            let rec = Arc::clone(&rec);
+            writers.push(s.spawn(move || {
+                let h = rec.handle(tid);
+                for a in 0..PER_WRITER {
+                    // alternate kinds so both tallies advance
+                    let kind = if a % 3 == 0 {
+                        EventKind::Rollback
+                    } else {
+                        EventKind::OpCommit
+                    };
+                    h.emit(kind, 0, a, expected_b(tid as u16, a), !a);
+                }
+            }));
+        }
+
+        let rec2 = Arc::clone(&rec);
+        let stop2 = Arc::clone(&stop);
+        let reader = s.spawn(move || {
+            let mut sampler = FlightSampler::new(&rec2);
+            let (mut ops, mut commits, mut rollbacks) = (0u64, 0u64, 0u64);
+            let mut rounds = 0u64;
+            loop {
+                let finished = stop2.load(Ordering::Acquire);
+                sampler.sample(&rec2);
+                let t = sampler.tallies();
+                assert!(t.ops() >= ops, "ops went backwards: {} < {ops}", t.ops());
+                assert!(t.commits >= commits, "commits went backwards");
+                assert!(t.rollbacks >= rollbacks, "rollbacks went backwards");
+                ops = t.ops();
+                commits = t.commits;
+                rollbacks = t.rollbacks;
+                rounds += 1;
+                if finished {
+                    break;
+                }
+            }
+            (ops, rounds)
+        });
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let (ops, rounds) = reader.join().unwrap();
+        assert!(rounds > 1, "reader never raced the writers");
+        assert!(ops > 0, "sampler saw nothing");
+        // the final sample ran after all writers joined: accounting closes
+        let t = {
+            let mut s2 = FlightSampler::new(&rec);
+            s2.sample(&rec);
+            *s2.tallies()
+        };
+        assert!(
+            t.commits + t.rollbacks + t.dropped >= WRITERS as u64 * PER_WRITER as u64,
+            "quiescent accounting must cover every push"
+        );
+    });
+}

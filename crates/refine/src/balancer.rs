@@ -12,6 +12,7 @@ use crate::sync::EngineSync;
 use crate::topology::MachineTopology;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
+use pi2m_obs::flight::{cause as flight_cause, EventKind};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -77,6 +78,7 @@ fn beg_wait(
     bal: &dyn LoadBalancer,
 ) -> (BegOutcome, f64) {
     let t0 = Instant::now();
+    sync.flight_emit(tid, EventKind::BegPark, 0, 0, 0, 0);
     sync.enter_begging();
     let outcome = loop {
         if sync.is_done() {
@@ -103,8 +105,14 @@ fn beg_wait(
         std::thread::yield_now();
     };
     sync.exit_begging();
-    let _ = tid;
-    (outcome, t0.elapsed().as_secs_f64())
+    let waited = t0.elapsed().as_secs_f64();
+    let cause = match outcome {
+        BegOutcome::GotWork => flight_cause::BEG_GOT_WORK,
+        BegOutcome::Finished => flight_cause::BEG_FINISHED,
+    };
+    let wait_ns = (waited * 1e9).min(u32::MAX as f64) as u32;
+    sync.flight_emit(tid, EventKind::BegUnpark, cause, 0, 0, wait_ns);
+    (outcome, waited)
 }
 
 // --------------------------------------------------------------------------

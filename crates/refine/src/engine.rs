@@ -21,8 +21,12 @@ use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use pi2m_delaunay::{CellId, OpCtx, OpError, SharedMesh, VertexKind};
 use pi2m_faults::{sites, FaultPlan};
-use pi2m_geometry::circumcenter;
+use pi2m_geometry::{circumcenter, Aabb};
 use pi2m_image::LabeledImage;
+use pi2m_obs::flight::{
+    cause as flight_cause, EventKind, FlightEvent, FlightRecorder, FlightSampler,
+    DEFAULT_RING_CAPACITY,
+};
 use pi2m_obs::metrics::{self, MetricsSnapshot, ThreadRecorder};
 use pi2m_obs::{Phases, TraceSpan};
 use pi2m_oracle::{IsosurfaceOracle, SizeFn};
@@ -30,7 +34,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a PI2M run.
 #[derive(Clone)]
@@ -67,6 +71,14 @@ pub struct MesherConfig {
     /// production). Threaded into every kernel context and consulted at the
     /// engine's own named sites.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Always-on concurrency flight recorder (per-worker SPSC event rings).
+    /// Can also be killed at runtime with `PI2M_FLIGHT=0`.
+    pub flight: bool,
+    /// Per-worker ring capacity in events (rounded up to a power of two).
+    pub flight_capacity: usize,
+    /// Live telemetry tap: emit one JSONL heartbeat line to stderr every
+    /// this-many seconds while refinement runs. `PI2M_LIVE` also enables it.
+    pub live: Option<f64>,
 }
 
 impl Default for MesherConfig {
@@ -86,6 +98,9 @@ impl Default for MesherConfig {
             trace: false,
             max_operations: 0,
             faults: None,
+            flight: true,
+            flight_capacity: DEFAULT_RING_CAPACITY,
+            live: None,
         }
     }
 }
@@ -104,6 +119,11 @@ pub struct MeshOutput {
     /// Pipeline phase spans (`edt`, `volume_refinement`, `extract`), in
     /// seconds since the run origin.
     pub phases: Vec<TraceSpan>,
+    /// Flight-recorder events (time-sorted, shifted into the run-origin time
+    /// base). Empty when the recorder was disabled.
+    pub flight: Vec<FlightEvent>,
+    /// Events lost to ring overwrites (rings keep the newest window).
+    pub flight_dropped: u64,
 }
 
 /// The parallel Image-to-Mesh converter.
@@ -128,6 +148,56 @@ struct Env<'a> {
     /// the per-operation isolation boundary. Heir selection for a dead
     /// worker's PEL skips flagged threads.
     dead_flags: &'a [CachePadded<AtomicBool>],
+    /// Spatial region codes for rollback attribution.
+    regions: &'a RegionMap,
+}
+
+/// Maps world points onto a coarse 16×16×16 grid over the image domain; the
+/// 12-bit cell code rides in flight-event payloads so the contention analyzer
+/// can attribute rollbacks to spatial hot spots.
+pub(crate) struct RegionMap {
+    min: [f64; 3],
+    inv: [f64; 3],
+}
+
+impl RegionMap {
+    const CELLS: usize = 16;
+
+    pub(crate) fn new(domain: &Aabb) -> Self {
+        let min = [domain.min.x, domain.min.y, domain.min.z];
+        let ext = [
+            domain.max.x - domain.min.x,
+            domain.max.y - domain.min.y,
+            domain.max.z - domain.min.z,
+        ];
+        let inv = ext.map(|e| if e > 0.0 { Self::CELLS as f64 / e } else { 0.0 });
+        RegionMap { min, inv }
+    }
+
+    pub(crate) fn code(&self, p: [f64; 3]) -> u16 {
+        let cell = |axis: usize| -> u16 {
+            let c = (p[axis] - self.min[axis]) * self.inv[axis];
+            (c as i64).clamp(0, Self::CELLS as i64 - 1) as u16
+        };
+        cell(0) | cell(1) << 4 | cell(2) << 8
+    }
+}
+
+/// `PI2M_LIVE=1` (or `=true`) enables the live tap at 1 Hz; any positive
+/// number is an interval in seconds; anything else disables it.
+fn live_interval_from_env() -> Option<f64> {
+    let v = std::env::var("PI2M_LIVE").ok()?;
+    let v = v.trim();
+    if v.eq_ignore_ascii_case("true") {
+        return Some(1.0);
+    }
+    v.parse::<f64>().ok().filter(|s| *s > 0.0)
+}
+
+/// Duration → saturated u32 nanoseconds for a flight-event payload word.
+#[inline]
+fn dur_ns_u32(d: Duration) -> u32 {
+    d.as_nanos().min(u32::MAX as u128) as u32
 }
 
 impl Mesher {
@@ -204,11 +274,22 @@ impl Mesher {
             grid,
         );
 
-        let sync = EngineSync::new(cfg.threads);
+        let mut sync = EngineSync::new(cfg.threads);
         // Offset between the refinement clock (EngineSync, which timestamps
         // overhead traces and worker events) and the run origin, so all
         // exported timelines share one time base.
         let sync_origin = phases.now();
+        let flight_enabled = cfg.flight && std::env::var("PI2M_FLIGHT").map_or(true, |v| v != "0");
+        // The recorder's event clock starts at its creation; remember where
+        // that is on the run clock so drained events can be re-based.
+        let flight_origin = phases.now();
+        let flight_rec =
+            flight_enabled.then(|| Arc::new(FlightRecorder::new(cfg.threads, cfg.flight_capacity)));
+        if let Some(rec) = &flight_rec {
+            sync.set_flight(Arc::clone(rec));
+        }
+        let regions = RegionMap::new(&domain);
+        let live_interval = cfg.live.or_else(live_interval_from_env);
         let cm = make_cm(cfg.cm, cfg.threads);
         let bal = make_balancer(cfg.balancer, cfg.topology, cfg.threads);
         let pels: Vec<Pel> = (0..cfg.threads)
@@ -245,6 +326,7 @@ impl Mesher {
             cfg: &cfg,
             ops_total: &ops_total,
             dead_flags: &dead_flags,
+            regions: &regions,
         };
 
         let t_refine = Instant::now();
@@ -255,6 +337,12 @@ impl Mesher {
         {
             let _g = phases.span("volume_refinement");
             std::thread::scope(|s| {
+                // Live telemetry tap: a sampler thread drains the rings
+                // incrementally and prints one JSONL heartbeat per interval.
+                if let (Some(interval), Some(rec)) = (live_interval, flight_rec.as_ref()) {
+                    let sync = &sync;
+                    s.spawn(move || live_tap(rec, sync, interval));
+                }
                 let mut handles = Vec::new();
                 for tid in 0..cfg.threads {
                     let env = &env;
@@ -286,6 +374,20 @@ impl Mesher {
             });
         }
         let wall_time = t_refine.elapsed().as_secs_f64();
+
+        // Drain the flight rings into one time-sorted log, re-based onto the
+        // run origin so it lines up with phase spans and worker events.
+        let (flight_events, flight_dropped) = match &flight_rec {
+            Some(rec) => {
+                let mut log = rec.drain();
+                let shift = (flight_origin * 1e9) as u64;
+                for e in &mut log.events {
+                    e.t_ns += shift;
+                }
+                (log.events, log.dropped + log.torn)
+            }
+            None => (Vec::new(), 0),
+        };
 
         let final_mesh = phases.time("extract", || {
             FinalMesh::extract(&mesh, &oracle, Some(&final_list))
@@ -326,8 +428,61 @@ impl Mesher {
             oracle,
             metrics: snap,
             phases: phases.spans().to_vec(),
+            flight: flight_events,
+            flight_dropped,
         }
     }
+}
+
+/// The live-telemetry sampler loop: once per interval (and once at the end),
+/// drain the rings incrementally and print a JSONL heartbeat to stderr. The
+/// sampler never touches worker state — it only reads the SPSC rings (which
+/// tolerate a single concurrent reader via per-event checksums) and the
+/// engine-wide atomic gauges.
+fn live_tap(rec: &Arc<FlightRecorder>, sync: &EngineSync, interval: f64) {
+    let mut sampler = FlightSampler::new(rec);
+    let t0 = Instant::now();
+    let mut prev_ops = 0u64;
+    let mut prev_t = 0.0f64;
+    loop {
+        let done = sleep_until_done(sync, interval);
+        sampler.sample(rec);
+        let ta = sampler.tallies();
+        let t = t0.elapsed().as_secs_f64();
+        let ops = ta.ops();
+        let rate = (ops - prev_ops) as f64 / (t - prev_t).max(1e-9);
+        eprintln!(
+            "{{\"t_s\":{t:.3},\"ops\":{ops},\"commits\":{},\"rollbacks\":{},\
+             \"rollback_ratio\":{:.4},\"ops_per_sec\":{rate:.1},\"cm_blocked\":{},\
+             \"begging\":{},\"dead\":{},\"queue_depth\":{},\"ring_dropped\":{}}}",
+            ta.commits,
+            ta.rollbacks,
+            ta.rollback_ratio(),
+            sync.cm_blocked(),
+            sync.begging(),
+            sync.dead(),
+            sync.total_poor().max(0),
+            ta.dropped,
+        );
+        prev_ops = ops;
+        prev_t = t;
+        if done {
+            break;
+        }
+    }
+}
+
+/// Sleep for `interval` seconds in short slices so the tap exits promptly at
+/// termination. Returns whether the run is done.
+fn sleep_until_done(sync: &EngineSync, interval: f64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs_f64(interval.max(0.01));
+    while Instant::now() < deadline {
+        if sync.is_done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    sync.is_done()
 }
 
 /// Mirror the engine's own `ThreadStats` counters into the shared metric
@@ -367,6 +522,11 @@ fn worker(
     let mut ctx = env
         .mesh
         .make_ctx_with_faults(tid as u32, env.cfg.faults.clone());
+    // Hand the kernel this worker's ring so lock-path events (conflicts,
+    // commit-time lock batches) land on the same per-thread timeline.
+    if let Some(rec) = env.sync.flight() {
+        ctx.set_flight(rec.handle(tid));
+    }
     let t_spawn = env.sync.now();
 
     loop {
@@ -402,6 +562,14 @@ fn worker(
                 BegOutcome::Finished => break,
                 BegOutcome::GotWork => {
                     stats.donations_received += 1;
+                    env.sync.flight_emit(
+                        tid,
+                        EventKind::Steal,
+                        0,
+                        0,
+                        0,
+                        (waited * 1e9).min(u32::MAX as f64) as u32,
+                    );
                     continue;
                 }
             }
@@ -492,6 +660,14 @@ fn process_item(
         match f.fire(sites::ENGINE_OP, tid as u32) {
             Some(pi2m_faults::Injected::Deny) => {
                 stats.rollbacks += 1;
+                env.sync.flight_emit(
+                    tid,
+                    EventKind::Rollback,
+                    flight_cause::INJECTED,
+                    cid,
+                    pi2m_obs::flight::pack_owner_region(tid as u16, 0),
+                    0,
+                );
                 env.pels[tid].lock().push_back((cid, gen));
                 env.counters[tid].fetch_add(1, Ordering::AcqRel);
                 env.sync.poor_added(1);
@@ -515,14 +691,35 @@ fn process_item(
         return; // satisfied (or stale) — drop
     };
 
+    let region = env.regions.code(action.point);
     let t0 = Instant::now();
+    env.sync.flight_emit_at(
+        tid,
+        t0,
+        EventKind::OpBegin,
+        flight_cause::OP_INSERT,
+        cid,
+        0,
+        0,
+    );
     match ctx.insert(action.point, action.kind) {
         Ok(res) => {
+            let t_end = Instant::now();
+            let op_dur = t_end - t0;
             stats.operations += 1;
             stats.insertions += 1;
             stats.cells_created += res.created.len() as u64;
             stats.cells_killed += res.killed.len() as u64;
             rec.observe(metrics::CAVITY_CELLS, res.killed.len() as f64);
+            env.sync.flight_emit_at(
+                tid,
+                t_end,
+                EventKind::OpCommit,
+                flight_cause::OP_INSERT,
+                res.vertex.0,
+                region as u32,
+                dur_ns_u32(op_dur),
+            );
             env.sync.note_progress();
             env.cm.on_success(tid);
             env.rules.grid.insert(res.vertex, action.point);
@@ -532,20 +729,50 @@ fn process_item(
             if action.kind == VertexKind::Isosurface && env.cfg.enable_removals {
                 for victim in env.rules.r6_victims(env.mesh, action.point) {
                     let t1 = Instant::now();
+                    env.sync.flight_emit_at(
+                        tid,
+                        t1,
+                        EventKind::OpBegin,
+                        flight_cause::OP_REMOVE,
+                        victim.0,
+                        0,
+                        0,
+                    );
                     match ctx.remove(victim) {
                         Ok(rres) => {
+                            let t_end = Instant::now();
+                            let op_dur = t_end - t1;
                             stats.operations += 1;
                             stats.removals += 1;
                             stats.cells_created += rres.created.len() as u64;
                             stats.cells_killed += rres.killed.len() as u64;
+                            env.sync.flight_emit_at(
+                                tid,
+                                t_end,
+                                EventKind::OpCommit,
+                                flight_cause::OP_REMOVE,
+                                victim.0,
+                                region as u32,
+                                dur_ns_u32(op_dur),
+                            );
                             env.sync.note_progress();
                             env.cm.on_success(tid);
                             handle_created(env, tid, stats, final_list, &rres.created);
                             ctx.recycle_remove(rres);
                         }
-                        Err(OpError::Conflict { owner, .. }) => {
+                        Err(OpError::Conflict { owner, vertex, .. }) => {
                             stats.rollbacks += 1;
-                            let rolled = t1.elapsed().as_secs_f64();
+                            let t_end = Instant::now();
+                            let rolled = (t_end - t1).as_secs_f64();
+                            env.sync.flight_emit_at(
+                                tid,
+                                t_end,
+                                EventKind::Rollback,
+                                flight_cause::REMOVE_CONFLICT,
+                                vertex.0,
+                                pi2m_obs::flight::pack_owner_region(owner as u16, region),
+                                dur_ns_u32(t_end - t1),
+                            );
                             let at = env.cfg.trace.then(|| env.sync.now());
                             stats.add_overhead(OverheadKind::Rollback, rolled, at);
                             rec.observe(metrics::ROLLBACK_SECONDS, rolled);
@@ -565,9 +792,19 @@ fn process_item(
             }
             ctx.recycle_insert(res);
         }
-        Err(OpError::Conflict { owner, .. }) => {
+        Err(OpError::Conflict { owner, vertex, .. }) => {
             stats.rollbacks += 1;
-            let rolled = t0.elapsed().as_secs_f64();
+            let t_end = Instant::now();
+            let rolled = (t_end - t0).as_secs_f64();
+            env.sync.flight_emit_at(
+                tid,
+                t_end,
+                EventKind::Rollback,
+                flight_cause::INSERT_CONFLICT,
+                vertex.0,
+                pi2m_obs::flight::pack_owner_region(owner as u16, region),
+                dur_ns_u32(t_end - t0),
+            );
             let at = env.cfg.trace.then(|| env.sync.now());
             stats.add_overhead(OverheadKind::Rollback, rolled, at);
             rec.observe(metrics::ROLLBACK_SECONDS, rolled);
@@ -608,6 +845,11 @@ fn worker_death_cleanup(env: &Env<'_>, tid: usize, rec: &mut ThreadRecorder) {
     env.dead_flags[tid].store(true, Ordering::Release);
     env.sync.worker_died();
     rec.inc(metrics::WORKER_DEATHS, 1);
+    // This still runs on the dying thread itself, so the SPSC discipline
+    // holds — the ring (and everything recorded before the panic) survives
+    // because the recorder is owned by the engine, not the worker closure.
+    env.sync
+        .flight_emit(tid, EventKind::WorkerDeath, 0, 0, 0, 0);
 
     // Bequeath the dead worker's PEL to the nearest surviving thread so no
     // queued element is silently lost.
@@ -631,6 +873,8 @@ fn worker_death_cleanup(env: &Env<'_>, tid: usize, rec: &mut ThreadRecorder) {
                 }
                 env.counters[h].fetch_add(n, Ordering::AcqRel);
                 env.bal.wake(h);
+                env.sync
+                    .flight_emit(tid, EventKind::HeirBequest, 0, h as u32, n as u32, 0);
             }
             None => {
                 // no survivors: the work is lost, but so is the run — keep
@@ -689,6 +933,8 @@ fn handle_created(
             env.counters[b].fetch_add(n, Ordering::AcqRel);
             env.sync.poor_added(n);
             env.bal.wake(b);
+            env.sync
+                .flight_emit(tid, EventKind::Donate, 0, b as u32, n as u32, 0);
             stats.donations_made += 1;
             if env.cfg.topology.blade_of(tid) != env.cfg.topology.blade_of(b) {
                 stats.inter_blade_donations += 1;
@@ -823,6 +1069,54 @@ mod tests {
                 "missing phase {phase}"
             );
         }
+    }
+
+    #[test]
+    fn flight_records_op_lifecycle() {
+        let out = small_run(2, CmKind::Local, BalancerKind::Rws);
+        assert!(!out.flight.is_empty(), "recorder on by default");
+        // drained log is time-sorted
+        assert!(out.flight.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        let commits = out
+            .flight
+            .iter()
+            .filter(|e| e.kind == EventKind::OpCommit)
+            .count() as u64;
+        let total = out.stats.total_operations();
+        assert!(commits > 0, "no commits recorded");
+        assert!(commits <= total, "more commits than operations");
+        // without ring wrap, one commit per completed operation
+        if out.flight_dropped == 0 {
+            assert_eq!(commits, total, "commits {commits} vs operations {total}");
+        }
+    }
+
+    #[test]
+    fn flight_off_records_nothing() {
+        let img = phantoms::sphere(16, 1.0);
+        let cfg = MesherConfig {
+            delta: 2.0,
+            threads: 2,
+            flight: false,
+            ..Default::default()
+        };
+        let out = Mesher::new(img, cfg).run();
+        assert!(out.flight.is_empty());
+        assert_eq!(out.flight_dropped, 0);
+    }
+
+    #[test]
+    fn region_map_codes_are_stable() {
+        let domain = Aabb {
+            min: [0.0, 0.0, 0.0].into(),
+            max: [16.0, 16.0, 16.0].into(),
+        };
+        let rm = RegionMap::new(&domain);
+        assert_eq!(rm.code([0.0, 0.0, 0.0]), 0);
+        assert_eq!(rm.code([15.99, 0.0, 0.0]), 15);
+        assert_eq!(rm.code([0.0, 15.99, 15.99]), (15 << 4) | (15 << 8));
+        // out-of-domain points clamp instead of wrapping
+        assert_eq!(rm.code([-5.0, 99.0, 8.0]), (15 << 4) | (8 << 8));
     }
 
     #[test]

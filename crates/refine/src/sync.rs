@@ -2,13 +2,19 @@
 //! the livelock watchdog clock, and global progress accounting shared by the
 //! contention managers and load balancers.
 
+use pi2m_obs::flight::{EventKind, FlightRecorder};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Counters shared by all workers, their contention manager, and their load
 /// balancer.
 pub struct EngineSync {
     pub threads: usize,
+    /// Flight recorder, when enabled. Carried here so the contention managers
+    /// and balancers can emit park/unpark events without changing their trait
+    /// signatures.
+    flight: Option<Arc<FlightRecorder>>,
     done: AtomicBool,
     livelock: AtomicBool,
     /// Threads parked in a begging list.
@@ -28,6 +34,7 @@ impl EngineSync {
     pub fn new(threads: usize) -> Self {
         EngineSync {
             threads,
+            flight: None,
             done: AtomicBool::new(false),
             livelock: AtomicBool::new(false),
             begging: AtomicUsize::new(0),
@@ -42,6 +49,43 @@ impl EngineSync {
     #[inline]
     pub fn now(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
+    }
+
+    /// Attach the flight recorder (before workers start).
+    pub fn set_flight(&mut self, rec: Arc<FlightRecorder>) {
+        self.flight = Some(rec);
+    }
+
+    #[inline]
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// Emit a flight event on `tid`'s ring; no-op when the recorder is off.
+    #[inline]
+    pub fn flight_emit(&self, tid: usize, kind: EventKind, cause: u8, a: u32, b: u32, c: u32) {
+        if let Some(rec) = &self.flight {
+            rec.emit(tid, kind, cause, a, b, c);
+        }
+    }
+
+    /// [`flight_emit`](Self::flight_emit) stamped with an `Instant` the hot
+    /// path already took — avoids a second clock read per event.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn flight_emit_at(
+        &self,
+        tid: usize,
+        at: Instant,
+        kind: EventKind,
+        cause: u8,
+        a: u32,
+        b: u32,
+        c: u32,
+    ) {
+        if let Some(rec) = &self.flight {
+            rec.emit_at(tid, rec.ns_at(at), kind, cause, a, b, c);
+        }
     }
 
     #[inline]

@@ -93,6 +93,55 @@ fn single_worker_death_is_survivable() {
     assert!(report.clean(), "{}", report.summary());
 }
 
+/// Regression: a dying worker's observability must survive it. The per-op
+/// recovery counters are merged at join (they live outside the panic
+/// boundary) and the flight ring is owned by the engine, so the death event
+/// recorded *on the dying thread* must appear in the drained log along with
+/// everything the worker recorded before the panic.
+#[test]
+fn dead_workers_counters_and_flight_ring_survive() {
+    use pi2m_obs::flight::EventKind;
+    use pi2m_obs::metrics;
+
+    let seed = seed_from_env();
+    let plan = FaultPlan::parse(
+        seed,
+        &format!("site={},kind=panic,nth=30,count=1", sites::ENGINE_WORKER),
+    )
+    .unwrap();
+    let out = Mesher::new(phantoms::sphere(16, 1.0), cfg_with(4, plan))
+        .try_run()
+        .expect("1 death out of 4 workers is below the quorum threshold");
+
+    assert_eq!(out.stats.workers_died, 1);
+    // The death counter was recorded through the dying worker's own
+    // ThreadRecorder (in the cleanup path) and still reached the merged
+    // snapshot.
+    assert_eq!(out.metrics.counter(metrics::WORKER_DEATHS), 1);
+    // The dying thread's ring was drained, not dropped: its terminal
+    // WorkerDeath event (emitted during cleanup, on the dying thread) is in
+    // the global timeline.
+    let deaths: Vec<_> = out
+        .flight
+        .iter()
+        .filter(|e| e.kind == EventKind::WorkerDeath)
+        .collect();
+    assert_eq!(deaths.len(), 1, "exactly one death event");
+    let dead_tid = deaths[0].tid;
+    // Any work it bequeathed names a surviving heir.
+    for e in out
+        .flight
+        .iter()
+        .filter(|e| e.kind == EventKind::HeirBequest)
+    {
+        assert_eq!(e.tid, dead_tid, "bequest must come from the dead worker");
+        assert_ne!(e.a as u16, dead_tid as u16, "heir must be a survivor");
+    }
+    // The run still audits clean on top of all that.
+    let report = audit_mesh(&out.shared, seed);
+    assert!(report.clean(), "{}", report.summary());
+}
+
 /// When a majority of workers die the run cannot meaningfully continue;
 /// `try_run` must escalate to a typed error instead of returning a
 /// partially-refined mesh as if nothing happened.

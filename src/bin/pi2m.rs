@@ -5,11 +5,13 @@
 //!             [--cm aggressive|random|global|local] [--balancer rws|hws]
 //!             [--no-removals] [--size S] [--off out.off] [--stats]
 //!             [--report run.json] [--trace-out trace.json] [--metrics]
-//!             [--audit]
+//!             [--audit] [--live[=INTERVAL]] [--contention-out c.json]
+//!             [--no-flight] [--force]
 //! pi2m phantom <name> <out.pim> [--scale S]    generate a phantom image
 //! pi2m info   <input.pim>                      print image metadata
 //! pi2m bench  [--quick] [--seed N] [--out BENCH_kernel.json]
 //!             [--check baseline.json] [--tolerance 0.25]
+//!             [--flight-gate FRAC]
 //!             [--parent-commit HASH --parent-insertion OPS_PER_SEC]
 //!                                              kernel benchmark harness
 //! ```
@@ -21,7 +23,10 @@
 use pi2m::image::{io as img_io, phantoms, LabeledImage};
 use pi2m::meshio;
 use pi2m::obs::metrics::ObsEvent;
-use pi2m::obs::{render_chrome_trace, render_prometheus, OverheadBreakdown, RunReport};
+use pi2m::obs::{
+    analyze, render_chrome_trace_with_flight, render_prometheus, AnalyzeOpts, OverheadBreakdown,
+    RunReport,
+};
 use pi2m::quality;
 use pi2m::refine::{BalancerKind, CmKind, Mesher, MesherConfig, OverheadKind};
 use std::io::BufWriter;
@@ -36,8 +41,18 @@ struct Args {
 
 /// Boolean options that never take a value — without this list, a switch
 /// followed by another short option (`--metrics -o out.vtk`) would greedily
-/// swallow it as a value.
-const SWITCHES: &[&str] = &["stats", "no-removals", "metrics", "audit", "quick"];
+/// swallow it as a value. (`--live` doubles as a switch: an interval rides
+/// in `--live=INTERVAL` form only.)
+const SWITCHES: &[&str] = &[
+    "stats",
+    "no-removals",
+    "metrics",
+    "audit",
+    "quick",
+    "live",
+    "no-flight",
+    "force",
+];
 
 fn parse_args(raw: &[String]) -> Args {
     let mut a = Args {
@@ -48,6 +63,10 @@ fn parse_args(raw: &[String]) -> Args {
     let mut it = raw.iter().peekable();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if let Some((k, v)) = name.split_once('=') {
+                a.flags.insert(k.to_string(), v.to_string());
+                continue;
+            }
             match it.peek() {
                 Some(v) if !v.starts_with("--") && !SWITCHES.contains(&name) => {
                     a.flags.insert(name.to_string(), it.next().unwrap().clone());
@@ -65,6 +84,34 @@ fn parse_args(raw: &[String]) -> Args {
         }
     }
     a
+}
+
+/// Parse `"1s"`, `"500ms"`, or a plain number of seconds.
+fn parse_duration(v: &str) -> Option<f64> {
+    let v = v.trim();
+    let (num, mult) = if let Some(n) = v.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (v, 1.0)
+    };
+    num.trim()
+        .parse::<f64>()
+        .ok()
+        .map(|x| x * mult)
+        .filter(|s| *s > 0.0)
+}
+
+/// Write an output artifact, refusing to clobber an existing file unless the
+/// user passed `--force`.
+fn write_new(path: &str, contents: &str, force: bool) -> Result<(), String> {
+    if !force && std::path::Path::new(path).exists() {
+        return Err(format!(
+            "{path} already exists; pass --force to overwrite it"
+        ));
+    }
+    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_input(spec: &str) -> Result<LabeledImage, String> {
@@ -120,6 +167,14 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         .transpose()?;
 
     let enable_removals = !args.switches.contains("no-removals");
+    let force = args.switches.contains("force");
+    let live = if let Some(v) = args.flags.get("live") {
+        Some(parse_duration(v).ok_or_else(|| format!("bad --live interval '{v}'"))?)
+    } else if args.switches.contains("live") {
+        Some(1.0)
+    } else {
+        None
+    };
     // Deterministic fault injection (testing): armed only when the
     // PI2M_FAULT_PLAN / PI2M_FAULT_SEED environment variables are set.
     let faults = pi2m::faults::FaultPlan::from_env()
@@ -139,6 +194,8 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         topology: pi2m::refine::MachineTopology::flat(threads),
         // per-episode overhead events are needed for the Chrome trace
         trace: args.flags.contains_key("trace-out"),
+        flight: !args.switches.contains("no-flight"),
+        live,
         ..Default::default()
     };
     eprintln!("meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}");
@@ -187,6 +244,21 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
     }
 
     // --- observability exports -------------------------------------------
+    // Contention analysis from the flight-recorder log (empty when the
+    // recorder was off: the report section is then all zeros).
+    let contention = analyze(
+        &out.flight,
+        AnalyzeOpts {
+            threads,
+            wall_s: out.stats.wall_time,
+            dropped: out.flight_dropped,
+            ..Default::default()
+        },
+    );
+    if let Some(path) = args.flags.get("contention-out") {
+        write_new(path, &(contention.to_json().dump_pretty() + "\n"), force)?;
+        eprintln!("wrote {path}");
+    }
     if args.flags.contains_key("report")
         || args.flags.contains_key("trace-out")
         || args.switches.contains("metrics")
@@ -211,9 +283,10 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         report.wall_s = dt;
         report.elements = out.mesh.num_tets() as u64;
         report.metrics = out.metrics.clone();
+        report.contention = Some(contention.clone());
 
         if let Some(path) = args.flags.get("report") {
-            std::fs::write(path, report.to_json_string()).map_err(|e| format!("{path}: {e}"))?;
+            write_new(path, &report.to_json_string(), force)?;
             eprintln!("wrote {path}");
         }
         if let Some(path) = args.flags.get("trace-out") {
@@ -237,8 +310,11 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
                     },
                 ));
             }
-            std::fs::write(path, render_chrome_trace(&out.phases, &events))
-                .map_err(|e| format!("{path}: {e}"))?;
+            write_new(
+                path,
+                &render_chrome_trace_with_flight(&out.phases, &events, &out.flight),
+                force,
+            )?;
             eprintln!("wrote {path}");
         }
         if args.switches.contains("metrics") {
@@ -317,7 +393,9 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 /// refinement), print the throughput summary, optionally write
 /// `BENCH_kernel.json` and/or gate against a checked-in baseline.
 fn cmd_bench(args: &Args) -> Result<(), String> {
-    use pi2m_bench::kernel::{check_against_baseline, run_kernel_bench, KernelBenchOpts};
+    use pi2m_bench::kernel::{
+        check_against_baseline, check_flight_overhead, run_kernel_bench, KernelBenchOpts,
+    };
 
     let opts = KernelBenchOpts {
         quick: args.switches.contains("quick"),
@@ -381,6 +459,12 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         "scratch      {} reuses, {} cold allocs, footprint {} elems",
         report.scratch_reuses, report.scratch_allocs, report.scratch_footprint
     );
+    println!(
+        "flight       recorder on {:.0} vs off {:.0} ops/s ({:+.2}% overhead)",
+        report.flight.on.ops_per_sec(),
+        report.flight.off.ops_per_sec(),
+        report.flight.overhead_frac() * 100.0
+    );
     if let Some(parent) = &report.parent {
         println!(
             "parent       {}: {:.0} insert ops/s -> x{:.2}",
@@ -412,6 +496,13 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         }
         println!("check        OK (tolerance {:.0}%)", tolerance * 100.0);
     }
+
+    if let Some(gate) = args.flags.get("flight-gate") {
+        let max_frac: f64 = gate.parse().map_err(|_| "bad --flight-gate")?;
+        let line = check_flight_overhead(&report, max_frac)
+            .map_err(|l| format!("flight recorder too expensive: {l}"))?;
+        println!("check        {line}");
+    }
     Ok(())
 }
 
@@ -431,5 +522,70 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_equals_form_and_switches() {
+        let a = parse_args(&argv(&[
+            "mesh",
+            "phantom:sphere",
+            "--live=500ms",
+            "--delta=1.5",
+            "--force",
+            "--metrics",
+            "-o",
+            "out.vtk",
+        ]));
+        assert_eq!(a.positional, vec!["mesh", "phantom:sphere"]);
+        assert_eq!(a.flags.get("live").map(String::as_str), Some("500ms"));
+        assert_eq!(a.flags.get("delta").map(String::as_str), Some("1.5"));
+        assert_eq!(a.flags.get("o").map(String::as_str), Some("out.vtk"));
+        assert!(a.switches.contains("force"));
+        assert!(a.switches.contains("metrics"));
+    }
+
+    #[test]
+    fn live_switch_without_value() {
+        let a = parse_args(&argv(&["mesh", "x.pim", "--live", "--stats"]));
+        assert!(a.switches.contains("live"));
+        assert!(!a.flags.contains_key("live"));
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration("1s"), Some(1.0));
+        assert_eq!(parse_duration("500ms"), Some(0.5));
+        assert_eq!(parse_duration("2"), Some(2.0));
+        assert_eq!(parse_duration("0.25"), Some(0.25));
+        assert_eq!(parse_duration("0"), None);
+        assert_eq!(parse_duration("-1s"), None);
+        assert_eq!(parse_duration("junk"), None);
+    }
+
+    #[test]
+    fn write_new_refuses_clobber_without_force() {
+        let dir = std::env::temp_dir().join("pi2m-write-new-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        write_new(path, "first", false).unwrap();
+        let err = write_new(path, "second", false).unwrap_err();
+        assert!(err.contains("--force"), "unexpected error: {err}");
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "first");
+
+        write_new(path, "second", true).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "second");
+        let _ = std::fs::remove_file(path);
     }
 }
