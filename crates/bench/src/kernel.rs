@@ -26,6 +26,7 @@
 //!   "scratch": {"reuses": 0, "allocs": 0, "allocs_avoided": 0,
 //!               "footprint_elems": 0},
 //!   "flight_overhead": {"on": {...}, "off": {...}, "overhead_frac": 0.01},
+//!   "session": {"warm": {...}, "cold": {...}, "setup_saving_frac": 0.05},
 //!   "parent_comparison": {"commit": "abc1234", "insertion_ops_per_sec": 0.0,
 //!                         "insertion_speedup": 0.0}
 //! }
@@ -40,7 +41,7 @@
 use pi2m_delaunay::{SharedMesh, VertexKind};
 use pi2m_geometry::{Aabb, FilterStats, Point3};
 use pi2m_obs::json::Json;
-use pi2m_refine::{MachineTopology, Mesher, MesherConfig};
+use pi2m_refine::{MachineTopology, Mesher, MesherConfig, MeshingSession};
 use std::time::Instant;
 
 /// Options for one benchmark run.
@@ -118,6 +119,37 @@ impl FlightOverhead {
     }
 }
 
+/// Full pipeline runs over one warm [`MeshingSession`] vs fresh cold
+/// [`Mesher`] runs on the identical input. `ops` counts *runs*, so
+/// `ops_per_sec()` is runs/second; the gap is pure per-run setup cost
+/// (thread spawning, arena/grid/ring allocation) that the session amortizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionComparison {
+    pub warm: WorkloadResult,
+    pub cold: WorkloadResult,
+}
+
+impl SessionComparison {
+    /// Fraction of a cold run's wall time saved by reusing a warm session
+    /// (negative = noise made the cold runs faster).
+    pub fn setup_saving_frac(&self) -> f64 {
+        let (warm, cold) = (self.warm.ops_per_sec(), self.cold.ops_per_sec());
+        if warm > 0.0 {
+            1.0 - cold / warm
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("warm", self.warm.to_json()),
+            ("cold", self.cold.to_json()),
+            ("setup_saving_frac", Json::num(self.setup_saving_frac())),
+        ])
+    }
+}
+
 /// A reference measurement of an older kernel on the identical insertion
 /// workload (recorded with `pi2m bench --parent-commit --parent-insertion`,
 /// measured via the same point stream on the same machine).
@@ -145,6 +177,8 @@ pub struct KernelBenchReport {
     pub scratch_footprint: usize,
     /// Refinement throughput with the flight recorder on vs off.
     pub flight: FlightOverhead,
+    /// Whole-pipeline runs over one warm session vs fresh cold meshers.
+    pub session: SessionComparison,
 }
 
 impl KernelBenchReport {
@@ -190,6 +224,7 @@ impl KernelBenchReport {
                 ]),
             ),
             ("flight_overhead", self.flight.to_json()),
+            ("session", self.session.to_json()),
         ];
         if let Some(p) = &self.parent {
             let speedup = if p.insertion_ops_per_sec > 0.0 {
@@ -312,6 +347,52 @@ pub fn run_kernel_bench(opts: KernelBenchOpts) -> KernelBenchReport {
     pairs.sort_by(|p, q| ratio(p).total_cmp(&ratio(q)));
     let (flight_on, flight_off) = pairs[pairs.len() / 2];
 
+    // ---- session: warm MeshingSession vs cold Mesher, identical input ----
+    // Small input + several threads so per-run setup (thread spawn, arena /
+    // grid / flight-ring allocation) is a visible slice of the wall time.
+    // Runs are interleaved warm,cold,warm,cold,... so machine drift hits
+    // both sides equally.
+    let (session_runs, session_res, session_threads) =
+        if opts.quick { (4, 12, 2) } else { (8, 16, 4) };
+    let session_cfg = || MesherConfig {
+        delta: 2.0,
+        threads: session_threads,
+        topology: MachineTopology::flat(session_threads),
+        ..Default::default()
+    };
+    let mut session = MeshingSession::new(session_threads);
+    // prime the pool so the first timed warm run is actually warm
+    let _ = session
+        .mesh(
+            pi2m_image::phantoms::sphere(session_res, 1.0),
+            session_cfg(),
+        )
+        .expect("session warmup run failed");
+    let (mut warm_s, mut cold_s) = (0.0f64, 0.0f64);
+    for _ in 0..session_runs {
+        let img = pi2m_image::phantoms::sphere(session_res, 1.0);
+        let t0 = Instant::now();
+        let _ = session
+            .mesh(img, session_cfg())
+            .expect("warm session run failed");
+        warm_s += t0.elapsed().as_secs_f64();
+
+        let img = pi2m_image::phantoms::sphere(session_res, 1.0);
+        let t0 = Instant::now();
+        let _ = Mesher::new(img, session_cfg()).run();
+        cold_s += t0.elapsed().as_secs_f64();
+    }
+    let session = SessionComparison {
+        warm: WorkloadResult {
+            ops: session_runs,
+            seconds: warm_s,
+        },
+        cold: WorkloadResult {
+            ops: session_runs,
+            seconds: cold_s,
+        },
+    };
+
     KernelBenchReport {
         opts,
         insertion,
@@ -326,6 +407,7 @@ pub fn run_kernel_bench(opts: KernelBenchOpts) -> KernelBenchReport {
             on: flight_on,
             off: flight_off,
         },
+        session,
     }
 }
 
@@ -431,6 +513,16 @@ mod tests {
                     seconds: 1.0,
                 },
             },
+            session: SessionComparison {
+                warm: WorkloadResult {
+                    ops: 8,
+                    seconds: 1.9,
+                },
+                cold: WorkloadResult {
+                    ops: 8,
+                    seconds: 2.0,
+                },
+            },
         }
     }
 
@@ -491,6 +583,22 @@ mod tests {
         slow.flight.on.seconds = 1.12;
         let err = check_flight_overhead(&slow, 0.05).unwrap_err();
         assert!(err.contains("flight overhead"), "{err}");
+    }
+
+    #[test]
+    fn session_comparison_round_trips() {
+        let r = tiny_report();
+        // 8 runs / 1.9 s warm vs 8 / 2.0 s cold: 5% of a cold run saved
+        let frac = r.session.setup_saving_frac();
+        assert!((frac - 0.05).abs() < 1e-9, "frac {frac}");
+        let j = pi2m_obs::json::parse(&r.to_json_string()).unwrap();
+        let s = j.get("session").expect("session block");
+        assert!(s.get("warm").unwrap().get("ops_per_sec").is_some());
+        assert!(s.get("cold").unwrap().get("ops_per_sec").is_some());
+        assert_eq!(s.get("setup_saving_frac").unwrap().as_f64(), Some(frac));
+        // the baseline gate only reads the three kernel workloads, so a
+        // baseline written before the session block existed still checks
+        check_against_baseline(&r, "{\"workloads\": {\"insertion\": {\"ops_per_sec\": 2000.0}, \"removal\": {\"ops_per_sec\": 400.0}, \"refinement\": {\"ops_per_sec\": 5000.0}}}", 0.25).unwrap();
     }
 
     #[test]

@@ -575,6 +575,22 @@ impl OpCtx<'_> {
         self.scratch.footprint()
     }
 
+    /// Replace this context's scratch arena with a warm one (e.g. retained
+    /// by a persistent worker across meshing runs, so run N+1 starts with
+    /// run N's buffer capacities instead of reallocating). The fresh default
+    /// arena it replaces is returned only to be dropped — contexts start
+    /// with an empty one.
+    pub fn install_scratch(&mut self, warm: KernelScratch) {
+        self.scratch = warm;
+    }
+
+    /// Take the scratch arena out of this context (leaving an empty default
+    /// behind), so its warmed buffer capacities survive the context itself —
+    /// the handoff that lets a worker pool reuse arenas across runs.
+    pub fn take_scratch(&mut self) -> KernelScratch {
+        std::mem::take(&mut self.scratch)
+    }
+
     /// Return a result's buffers to the scratch pools so the next operation
     /// reuses their capacity instead of reallocating.
     pub fn recycle_insert(&mut self, res: InsertResult) {

@@ -21,5 +21,6 @@ mod transform;
 
 pub use transform::{
     feature_transform, feature_transform_obs, surface_feature_transform,
-    surface_feature_transform_obs, FeatureTransform, NO_SITE,
+    surface_feature_transform_obs, try_feature_transform_obs, try_surface_feature_transform_obs,
+    FeatureTransform, NO_SITE,
 };

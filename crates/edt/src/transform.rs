@@ -2,6 +2,7 @@
 
 use pi2m_geometry::Point3;
 use pi2m_image::LabeledImage;
+use pi2m_obs::cancel::{CancelToken, Cancelled};
 use pi2m_obs::metrics::{self, ThreadRecorder};
 use std::cell::UnsafeCell;
 use std::time::Instant;
@@ -118,19 +119,37 @@ impl<'a, T> LineOutput<'a, T> {
 }
 
 /// Run `f(line_index)` for all `0..lines` across `threads` workers.
-fn parallel_lines(lines: usize, threads: usize, f: impl Fn(usize) + Sync) {
+///
+/// When `cancel` is provided, workers stop claiming new line chunks as soon
+/// as the token trips; the caller is responsible for checking the token
+/// afterwards and discarding the partially written pass output.
+fn parallel_lines(
+    lines: usize,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+    f: impl Fn(usize) + Sync,
+) {
+    let cancelled = || cancel.is_some_and(|c| c.is_cancelled());
     let threads = threads.clamp(1, lines.max(1));
+    let chunk = (lines / (threads * 8)).max(1);
     if threads == 1 {
-        for l in 0..lines {
-            f(l);
+        for start in (0..lines).step_by(chunk) {
+            if cancelled() {
+                return;
+            }
+            for l in start..(start + chunk).min(lines) {
+                f(l);
+            }
         }
         return;
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let chunk = (lines / (threads * 8)).max(1);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
+                if cancelled() {
+                    break;
+                }
                 let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
                 if start >= lines {
                     break;
@@ -236,8 +255,25 @@ pub fn feature_transform_obs(
     origin: Point3,
     is_site: impl Fn(usize, usize, usize) -> bool + Sync,
     threads: usize,
-    mut rec: Option<&mut ThreadRecorder>,
+    rec: Option<&mut ThreadRecorder>,
 ) -> FeatureTransform {
+    try_feature_transform_obs(dims, spacing, origin, is_site, threads, rec, None)
+        .expect("infallible without a cancel token")
+}
+
+/// [`feature_transform_obs`] with cooperative cancellation: the token is
+/// polled between line chunks inside each pass and between passes; a tripped
+/// token aborts the sweep and returns `Err(Cancelled)` (any partial pass
+/// output is discarded with the transform).
+pub fn try_feature_transform_obs(
+    dims: [usize; 3],
+    spacing: [f64; 3],
+    origin: Point3,
+    is_site: impl Fn(usize, usize, usize) -> bool + Sync,
+    threads: usize,
+    mut rec: Option<&mut ThreadRecorder>,
+    cancel: Option<&CancelToken>,
+) -> Result<FeatureTransform, Cancelled> {
     let [nx, ny, nz] = dims;
     let n = nx * ny * nz;
     let mut dist2 = vec![f64::INFINITY; n];
@@ -259,7 +295,7 @@ pub fn feature_transform_obs(
     {
         let df = LineOutput::new(&mut dist2);
         let sf = LineOutput::new(&mut feat);
-        parallel_lines(ny * nz, threads, |line| {
+        parallel_lines(ny * nz, threads, cancel, |line| {
             let j = line % ny;
             let k = line / ny;
             let mut f0 = vec![f64::INFINITY; nx];
@@ -284,6 +320,9 @@ pub fn feature_transform_obs(
         });
     }
 
+    if let Some(c) = cancel {
+        c.check()?;
+    }
     pass_done(&mut rec, t_pass);
 
     // ---- pass Y: sweep along j ----
@@ -293,7 +332,7 @@ pub fn feature_transform_obs(
         let src_s = feat.clone();
         let df = LineOutput::new(&mut dist2);
         let sf = LineOutput::new(&mut feat);
-        parallel_lines(nx * nz, threads, |line| {
+        parallel_lines(nx * nz, threads, cancel, |line| {
             let i = line % nx;
             let k = line / nx;
             let mut f0 = vec![0.0; ny];
@@ -316,6 +355,9 @@ pub fn feature_transform_obs(
         });
     }
 
+    if let Some(c) = cancel {
+        c.check()?;
+    }
     pass_done(&mut rec, t_pass);
 
     // ---- pass Z: sweep along k ----
@@ -325,7 +367,7 @@ pub fn feature_transform_obs(
         let src_s = feat.clone();
         let df = LineOutput::new(&mut dist2);
         let sf = LineOutput::new(&mut feat);
-        parallel_lines(nx * ny, threads, |line| {
+        parallel_lines(nx * ny, threads, cancel, |line| {
             let i = line % nx;
             let j = line / nx;
             let mut f0 = vec![0.0; nz];
@@ -348,15 +390,18 @@ pub fn feature_transform_obs(
         });
     }
 
+    if let Some(c) = cancel {
+        c.check()?;
+    }
     pass_done(&mut rec, t_pass);
 
-    FeatureTransform {
+    Ok(FeatureTransform {
         dims,
         spacing,
         origin,
         feat,
         dist2,
-    }
+    })
 }
 
 /// Feature transform whose sites are the image's *surface voxels* — exactly
@@ -380,6 +425,25 @@ pub fn surface_feature_transform_obs(
         |i, j, k| img.is_surface_voxel(i, j, k),
         threads,
         rec,
+    )
+}
+
+/// [`surface_feature_transform_obs`] with cooperative cancellation (see
+/// [`try_feature_transform_obs`]).
+pub fn try_surface_feature_transform_obs(
+    img: &LabeledImage,
+    threads: usize,
+    rec: Option<&mut ThreadRecorder>,
+    cancel: Option<&CancelToken>,
+) -> Result<FeatureTransform, Cancelled> {
+    try_feature_transform_obs(
+        img.dims(),
+        img.spacing(),
+        img.origin(),
+        |i, j, k| img.is_surface_voxel(i, j, k),
+        threads,
+        rec,
+        cancel,
     )
 }
 

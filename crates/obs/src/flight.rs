@@ -29,6 +29,12 @@ use std::time::Instant;
 /// per worker — enough for several seconds of a contended run.
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 14;
 
+/// Version of the on-ring event layout (slot encoding, [`EventKind`] byte
+/// values, and [`cause`] constants). Bumped whenever any of those change, so
+/// archived flight logs and `--report` JSON can be matched to the binary
+/// layout that produced them (`pi2m --version` prints it).
+pub const LAYOUT_VERSION: u32 = 1;
+
 /// What happened, encoded in the event's kind byte.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
@@ -419,11 +425,25 @@ impl FlightRecorder {
     /// Full drain: merge every ring into one time-sorted log. Exact (no
     /// torn slots) once the workers have joined; best-effort during a run.
     pub fn drain(&self) -> FlightLog {
+        let mut cursors = vec![0u64; self.rings.len()];
+        self.drain_from(&mut cursors)
+    }
+
+    /// Incremental drain for a recorder whose rings are *reused across runs*
+    /// (a warm `MeshingSession` pool): read each ring from its saved cursor,
+    /// advancing the cursors past what was read, so each run's drain sees
+    /// only that run's events and its `dropped` accounting stays per-run.
+    ///
+    /// `cursors` must have one entry per ring; pass all-zeros (or
+    /// [`drain`](Self::drain)) for a fresh recorder.
+    pub fn drain_from(&self, cursors: &mut [u64]) -> FlightLog {
+        assert_eq!(cursors.len(), self.rings.len(), "one cursor per ring");
         let mut events = Vec::new();
         let mut dropped = 0;
         let mut torn = 0;
-        for ring in &self.rings {
-            let r = ring.read_from(0);
+        for (ring, cursor) in self.rings.iter().zip(cursors.iter_mut()) {
+            let r = ring.read_from(*cursor);
+            *cursor = r.cursor;
             events.extend(r.events);
             dropped += r.dropped;
             torn += r.torn;
@@ -435,6 +455,13 @@ impl FlightRecorder {
             torn,
             ring_capacity: self.rings.first().map_or(0, |r| r.capacity()),
         }
+    }
+
+    /// Current head cursor of every ring — the position from which a
+    /// [`drain_from`](Self::drain_from) would see only events emitted after
+    /// this call.
+    pub fn head_cursors(&self) -> Vec<u64> {
+        self.rings.iter().map(|r| r.pushed()).collect()
     }
 }
 
@@ -504,6 +531,17 @@ impl FlightSampler {
     pub fn new(rec: &FlightRecorder) -> Self {
         FlightSampler {
             cursors: vec![0; rec.threads()],
+            tallies: SampleTallies::default(),
+        }
+    }
+
+    /// A sampler that starts at the rings' *current* heads, ignoring events
+    /// already present — for tapping a recorder whose rings are reused
+    /// across runs (a warm session pool), where cursor 0 would replay the
+    /// previous runs' events into the tallies.
+    pub fn starting_at_head(rec: &FlightRecorder) -> Self {
+        FlightSampler {
+            cursors: rec.head_cursors(),
             tallies: SampleTallies::default(),
         }
     }

@@ -12,7 +12,7 @@
 //! * [`metrics`] — the static metric catalog ([`metrics::catalog`]), counter
 //!   and histogram ids, [`ThreadRecorder`] (hot path) and
 //!   [`MetricsSnapshot`] (merged at join).
-//! * [`flight`] + [`analyze`] — the concurrency flight recorder: fixed
+//! * [`flight`] + [`mod@analyze`] — the concurrency flight recorder: fixed
 //!   capacity per-worker SPSC event rings for the speculative-op lifecycle,
 //!   the live-tap sampler, and the offline contention analyzer.
 //! * [`span`] — RAII wall-clock phase timing ([`Phases`], [`SpanGuard`]).
@@ -32,6 +32,7 @@
 //! ```
 
 pub mod analyze;
+pub mod cancel;
 pub mod export;
 pub mod flight;
 pub mod json;
@@ -40,6 +41,7 @@ pub mod report;
 pub mod span;
 
 pub use analyze::{analyze, AnalyzeOpts, ContentionReport};
+pub use cancel::{CancelToken, Cancelled};
 pub use export::{
     render_chrome_trace, render_chrome_trace_with_flight, render_overhead_table, render_prometheus,
 };

@@ -1,6 +1,6 @@
 //! Static metric catalog, thread-local recorders, and merged snapshots.
 //!
-//! The catalog ([`CATALOG`], [`COUNTERS`], [`HISTOGRAMS`]) is a `const`
+//! The catalog ([`COUNTERS`], [`HISTOGRAMS`]) is a `const`
 //! registry: every metric the pipeline can emit is declared here with a
 //! stable name, unit, and help string, and addressed by a typed index
 //! ([`CounterId`] / [`HistId`]). Recorders are sized by the catalog at

@@ -39,6 +39,19 @@ impl IsosurfaceOracle {
         IsosurfaceOracle { img, ft, step }
     }
 
+    /// Assemble an oracle from an image and a surface feature transform that
+    /// was already computed (the staged pipeline runs the EDT as its own
+    /// stage). `ft` must be the surface feature transform of `img`.
+    pub fn from_parts(img: LabeledImage, ft: FeatureTransform) -> Self {
+        assert_eq!(
+            ft.dims(),
+            img.dims(),
+            "feature transform dims must match the image"
+        );
+        let step = img.min_spacing() * 0.25;
+        IsosurfaceOracle { img, ft, step }
+    }
+
     /// The underlying image.
     #[inline]
     pub fn image(&self) -> &LabeledImage {

@@ -7,7 +7,7 @@
 //! the equivalent, built from scratch:
 //!
 //! * [`orient3d`] — side-of-plane test,
-//! * [`insphere`] — in-circumsphere test,
+//! * [`insphere()`] — in-circumsphere test,
 //!
 //! each implemented as a *filtered* fast floating-point evaluation with a
 //! proven forward error bound (Shewchuk's stage-A bounds), escalating to

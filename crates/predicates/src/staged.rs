@@ -1,6 +1,6 @@
 //! Staged predicate pipeline: semi-static filter → dynamic filter → exact.
 //!
-//! The plain [`crate::orient3d`] / [`crate::insphere`] entry points already
+//! The plain [`crate::orient3d`] / [`crate::insphere()`] entry points already
 //! run a two-stage pipeline (Shewchuk's stage-A *dynamic* filter, then exact
 //! expansion arithmetic). The dynamic filter is sign-safe for arbitrary
 //! inputs, but it pays for that generality on every call: the error bound is
@@ -27,7 +27,7 @@
 //!   `Σ (|x·y| + |x'·y'|)·|z|` is `≤ 6·m³·u⁸`. Stage A certifies the sign
 //!   whenever `|det| > O3D_ERRBOUND_A · permanent`, so
 //!   `B_orient = O3D_ERRBOUND_A · 6·m³ · u^k` (k chosen generously, see
-//!   [`MARGIN_POW`]) upper-bounds the dynamic threshold for *every* in-box
+//!   `MARGIN_POW`) upper-bounds the dynamic threshold for *every* in-box
 //!   input, and `|det| > B_orient` is a sufficient certificate.
 //! * **insphere**: translated coordinates `≤ m·u`, two-products `≤ m²·u³`,
 //!   each three-term bracket `≤ 6·m³·u⁸`, each lift `≤ 3·m²·u⁵`, so the
@@ -225,7 +225,7 @@ pub fn orient3d_sign_staged(
 }
 
 /// Staged robust insphere: semi-static filter → dynamic filter → exact.
-/// Sign-identical to [`crate::insphere`] for in-box inputs.
+/// Sign-identical to [`crate::insphere()`] for in-box inputs.
 pub fn insphere_staged(
     b: &SemiStaticBounds,
     st: &mut FilterStats,

@@ -18,6 +18,11 @@ pub enum RefineError {
     Livelock,
     /// A kernel invariant broke outside any recoverable operation scope.
     Kernel(KernelError),
+    /// The run's [`CancelToken`](pi2m_obs::cancel::CancelToken) tripped (an
+    /// explicit cancel or an expired deadline). Cooperative: workers stop at
+    /// the next operation boundary, so no locks or partial operations leak,
+    /// and the session pool stays reusable.
+    Cancelled,
 }
 
 impl std::fmt::Display for RefineError {
@@ -28,6 +33,7 @@ impl std::fmt::Display for RefineError {
             }
             RefineError::Livelock => write!(f, "livelock watchdog fired: no progress"),
             RefineError::Kernel(e) => write!(f, "kernel invariant broken: {e}"),
+            RefineError::Cancelled => write!(f, "run cancelled (token tripped or deadline passed)"),
         }
     }
 }

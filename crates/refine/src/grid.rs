@@ -48,6 +48,18 @@ impl PointGrid {
         (h as usize) & (BUCKETS - 1)
     }
 
+    /// Reset the grid for a new run at cell size `cell`, clearing every
+    /// shard while *keeping* the shard vectors' allocations — a warm
+    /// session's pool recycles one grid across runs instead of reallocating
+    /// its 32 Ki buckets each time.
+    pub fn reset(&mut self, cell: f64) {
+        assert!(cell > 0.0 && cell.is_finite());
+        self.cell = cell;
+        for shard in &mut self.shards {
+            shard.get_mut().clear();
+        }
+    }
+
     /// Register a vertex at position `p`.
     pub fn insert(&self, v: VertexId, p: [f64; 3]) {
         let b = self.bucket(self.cell_of(p));

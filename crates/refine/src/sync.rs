@@ -17,6 +17,7 @@ pub struct EngineSync {
     flight: Option<Arc<FlightRecorder>>,
     done: AtomicBool,
     livelock: AtomicBool,
+    cancelled: AtomicBool,
     /// Threads parked in a begging list.
     begging: AtomicUsize,
     /// Threads parked by the contention manager.
@@ -37,6 +38,7 @@ impl EngineSync {
             flight: None,
             done: AtomicBool::new(false),
             livelock: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             begging: AtomicUsize::new(0),
             cm_blocked: AtomicUsize::new(0),
             dead: AtomicUsize::new(0),
@@ -105,6 +107,20 @@ impl EngineSync {
     /// Watchdog trip: declare a livelock and stop the run.
     pub fn declare_livelock(&self) {
         self.livelock.store(true, Ordering::Release);
+        self.set_done();
+    }
+
+    #[inline]
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Cooperative-cancellation trip: the first worker that observes a
+    /// tripped [`CancelToken`](pi2m_obs::cancel::CancelToken) records the
+    /// fact and stops the run (distinguishing a cancelled run from one that
+    /// merely raced its deadline at the finish line).
+    pub fn declare_cancelled(&self) {
+        self.cancelled.store(true, Ordering::Release);
         self.set_done();
     }
 

@@ -13,7 +13,7 @@ use pi2m::baseline::plc::PlcBaselineConfig;
 use pi2m::baseline::{isosurface::IsosurfaceBaselineConfig, IsosurfaceBaseline, PlcBaseline};
 use pi2m::image::phantoms;
 use pi2m::meshio;
-use pi2m::refine::{FinalMesh, Mesher, MesherConfig};
+use pi2m::refine::{FinalMesh, MesherConfig, MeshingSession};
 use std::fs::File;
 use std::io::BufWriter;
 use std::sync::Arc;
@@ -47,6 +47,9 @@ fn main() -> std::io::Result<()> {
     std::fs::create_dir_all(out_dir)?;
     let delta = 2.0;
 
+    // Both atlases mesh over one warm session (the batch workflow the CLI's
+    // `pi2m batch` exposes); the baselines below stay one-shot by design.
+    let mut session = MeshingSession::new(4);
     for (name, img) in [
         ("knee", phantoms::knee(scale)),
         ("head_neck", phantoms::head_neck(scale)),
@@ -54,15 +57,16 @@ fn main() -> std::io::Result<()> {
         println!("=== {name} atlas (scale {scale}) ===");
 
         // PI2M (Figure 7)
-        let pi2m_out = Mesher::new(
-            img.clone(),
-            MesherConfig {
-                delta,
-                threads: 4,
-                ..Default::default()
-            },
-        )
-        .run();
+        let pi2m_out = session
+            .mesh(
+                img.clone(),
+                MesherConfig {
+                    delta,
+                    threads: 4,
+                    ..Default::default()
+                },
+            )
+            .expect("PI2M run failed");
         tissue_table("PI2M", &pi2m_out.mesh);
         export(out_dir, &format!("{name}_pi2m"), &pi2m_out.mesh)?;
 

@@ -1,8 +1,10 @@
-//! Quickstart: mesh a sphere phantom and export the result.
+//! Quickstart: mesh a sphere phantom over a warm [`MeshingSession`] and
+//! export the result, with per-stage progress reporting.
 //!
 //! Also reproduces the spirit of paper Figure 1 (the virtual box being
 //! "carved" towards the final mesh) by exporting snapshots at increasing
-//! operation budgets.
+//! operation budgets — all over the same session, so only the first run pays
+//! pool setup.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -11,13 +13,18 @@
 use pi2m::image::phantoms;
 use pi2m::meshio;
 use pi2m::quality;
-use pi2m::refine::{Mesher, MesherConfig};
+use pi2m::refine::{MesherConfig, MeshingSession, RunOptions, StageStatus};
 use std::fs::File;
 use std::io::BufWriter;
+use std::sync::Arc;
 
 fn main() -> std::io::Result<()> {
     let out_dir = std::path::Path::new("target/quickstart");
     std::fs::create_dir_all(out_dir)?;
+
+    // One session for everything below: the worker pool, kernel arenas, and
+    // proximity grid stay warm across all four runs.
+    let mut session = MeshingSession::new(4);
 
     // Figure 1: snapshots of the carving at growing operation budgets.
     for (stage, max_ops) in [(1usize, 40u64), (2, 400), (3, 0)] {
@@ -28,7 +35,7 @@ fn main() -> std::io::Result<()> {
             max_operations: max_ops,
             ..Default::default()
         };
-        let out = Mesher::new(img, cfg).run();
+        let out = session.mesh(img, cfg).expect("carving run failed");
         let path = out_dir.join(format!("carving_stage{stage}.vtk"));
         meshio::write_vtk(&out.mesh, &mut BufWriter::new(File::create(&path)?))?;
         println!(
@@ -39,18 +46,29 @@ fn main() -> std::io::Result<()> {
         );
     }
 
-    // The real run, with quality and fidelity reporting.
+    // The real run, with live pipeline-stage progress plus quality and
+    // fidelity reporting.
     let img = phantoms::sphere(32, 1.0);
+    let opts = RunOptions {
+        cancel: None,
+        on_stage: Some(Arc::new(|e| {
+            if e.status == StageStatus::Finished {
+                println!("  [{:>6.3}s] {} done", e.elapsed_s, e.stage);
+            }
+        })),
+    };
     let t0 = std::time::Instant::now();
-    let out = Mesher::new(
-        img,
-        MesherConfig {
-            delta: 1.5,
-            threads: 4,
-            ..Default::default()
-        },
-    )
-    .run();
+    let out = session
+        .mesh_with(
+            img,
+            MesherConfig {
+                delta: 1.5,
+                threads: 4,
+                ..Default::default()
+            },
+            &opts,
+        )
+        .expect("final run failed");
     let elapsed = t0.elapsed().as_secs_f64();
 
     let q = quality::mesh_quality(&out.mesh);

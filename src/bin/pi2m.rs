@@ -7,6 +7,10 @@
 //!             [--report run.json] [--trace-out trace.json] [--metrics]
 //!             [--audit] [--live[=INTERVAL]] [--contention-out c.json]
 //!             [--no-flight] [--force]
+//! pi2m batch  <inputs...> [--outdir DIR] [--keep-going] [mesh options]
+//!             mesh several inputs sequentially over ONE warm session
+//!             (threads, kernel arenas, flight rings, and the proximity
+//!             grid are reused run-to-run)
 //! pi2m phantom <name> <out.pim> [--scale S]    generate a phantom image
 //! pi2m info   <input.pim>                      print image metadata
 //! pi2m bench  [--quick] [--seed N] [--out BENCH_kernel.json]
@@ -14,12 +18,14 @@
 //!             [--flight-gate FRAC]
 //!             [--parent-commit HASH --parent-insertion OPS_PER_SEC]
 //!                                              kernel benchmark harness
+//! pi2m --version                               crate + schema versions
 //! ```
 //!
 //! Input images use the `.pim` format (see `pi2m::image::io`); `phantom:NAME`
 //! meshes a built-in phantom directly (sphere, nested, torus, abdominal,
 //! knee, head-neck).
 
+use pi2m::cli::{parse_args, parse_duration, write_new, Args};
 use pi2m::image::{io as img_io, phantoms, LabeledImage};
 use pi2m::meshio;
 use pi2m::obs::metrics::ObsEvent;
@@ -28,91 +34,11 @@ use pi2m::obs::{
     RunReport,
 };
 use pi2m::quality;
-use pi2m::refine::{BalancerKind, CmKind, Mesher, MesherConfig, OverheadKind};
+use pi2m::refine::{BalancerKind, CmKind, MeshOutput, MesherConfig, MeshingSession, OverheadKind};
 use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::Arc;
-
-struct Args {
-    positional: Vec<String>,
-    flags: std::collections::HashMap<String, String>,
-    switches: std::collections::HashSet<String>,
-}
-
-/// Boolean options that never take a value — without this list, a switch
-/// followed by another short option (`--metrics -o out.vtk`) would greedily
-/// swallow it as a value. (`--live` doubles as a switch: an interval rides
-/// in `--live=INTERVAL` form only.)
-const SWITCHES: &[&str] = &[
-    "stats",
-    "no-removals",
-    "metrics",
-    "audit",
-    "quick",
-    "live",
-    "no-flight",
-    "force",
-];
-
-fn parse_args(raw: &[String]) -> Args {
-    let mut a = Args {
-        positional: Vec::new(),
-        flags: Default::default(),
-        switches: Default::default(),
-    };
-    let mut it = raw.iter().peekable();
-    while let Some(arg) = it.next() {
-        if let Some(name) = arg.strip_prefix("--") {
-            if let Some((k, v)) = name.split_once('=') {
-                a.flags.insert(k.to_string(), v.to_string());
-                continue;
-            }
-            match it.peek() {
-                Some(v) if !v.starts_with("--") && !SWITCHES.contains(&name) => {
-                    a.flags.insert(name.to_string(), it.next().unwrap().clone());
-                }
-                _ => {
-                    a.switches.insert(name.to_string());
-                }
-            }
-        } else if let Some(name) = arg.strip_prefix("-") {
-            if let Some(v) = it.next() {
-                a.flags.insert(name.to_string(), v.clone());
-            }
-        } else {
-            a.positional.push(arg.clone());
-        }
-    }
-    a
-}
-
-/// Parse `"1s"`, `"500ms"`, or a plain number of seconds.
-fn parse_duration(v: &str) -> Option<f64> {
-    let v = v.trim();
-    let (num, mult) = if let Some(n) = v.strip_suffix("ms") {
-        (n, 1e-3)
-    } else if let Some(n) = v.strip_suffix('s') {
-        (n, 1.0)
-    } else {
-        (v, 1.0)
-    };
-    num.trim()
-        .parse::<f64>()
-        .ok()
-        .map(|x| x * mult)
-        .filter(|s| *s > 0.0)
-}
-
-/// Write an output artifact, refusing to clobber an existing file unless the
-/// user passed `--force`.
-fn write_new(path: &str, contents: &str, force: bool) -> Result<(), String> {
-    if !force && std::path::Path::new(path).exists() {
-        return Err(format!(
-            "{path} already exists; pass --force to overwrite it"
-        ));
-    }
-    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
-}
+use std::time::Instant;
 
 fn load_input(spec: &str) -> Result<LabeledImage, String> {
     if let Some(name) = spec.strip_prefix("phantom:") {
@@ -122,19 +48,29 @@ fn load_input(spec: &str) -> Result<LabeledImage, String> {
     }
 }
 
-fn cmd_mesh(args: &Args) -> Result<(), String> {
-    let input = args
-        .positional
-        .get(1)
-        .ok_or("usage: pi2m mesh <input.pim|phantom:NAME> [options]")?;
-    let img = load_input(input)?;
+/// Mesh options shared by `pi2m mesh` and `pi2m batch`, parsed once. `delta`
+/// stays optional here because its default depends on each input image's
+/// voxel spacing.
+struct MeshOpts {
+    delta: Option<f64>,
+    threads: usize,
+    cm: CmKind,
+    balancer: BalancerKind,
+    size_fn: Option<Arc<dyn pi2m::oracle::SizeFn>>,
+    enable_removals: bool,
+    force: bool,
+    live: Option<f64>,
+    trace: bool,
+    flight: bool,
+    faults: Option<Arc<pi2m::faults::FaultPlan>>,
+}
 
-    let delta: f64 = args
+fn parse_mesh_opts(args: &Args) -> Result<MeshOpts, String> {
+    let delta = args
         .flags
         .get("delta")
         .map(|v| v.parse().map_err(|_| "bad --delta"))
-        .transpose()?
-        .unwrap_or(2.0 * img.min_spacing());
+        .transpose()?;
     let threads: usize = args
         .flags
         .get("threads")
@@ -165,9 +101,6 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
             Ok(Arc::new(pi2m::oracle::UniformSize(s)) as Arc<dyn pi2m::oracle::SizeFn>)
         })
         .transpose()?;
-
-    let enable_removals = !args.switches.contains("no-removals");
-    let force = args.switches.contains("force");
     let live = if let Some(v) = args.flags.get("live") {
         Some(parse_duration(v).ok_or_else(|| format!("bad --live interval '{v}'"))?)
     } else if args.switches.contains("live") {
@@ -183,24 +116,61 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
     if let Some(f) = &faults {
         eprintln!("fault injection armed: {}", f.describe());
     }
-    let cfg = MesherConfig {
+    Ok(MeshOpts {
         delta,
         threads,
         cm,
         balancer,
         size_fn,
-        enable_removals,
-        faults,
-        topology: pi2m::refine::MachineTopology::flat(threads),
+        enable_removals: !args.switches.contains("no-removals"),
+        force: args.switches.contains("force"),
+        live,
         // per-episode overhead events are needed for the Chrome trace
         trace: args.flags.contains_key("trace-out"),
         flight: !args.switches.contains("no-flight"),
-        live,
+        faults,
+    })
+}
+
+fn config_for(o: &MeshOpts, img: &LabeledImage) -> MesherConfig {
+    MesherConfig {
+        delta: o.delta.unwrap_or(2.0 * img.min_spacing()),
+        threads: o.threads,
+        cm: o.cm,
+        balancer: o.balancer,
+        size_fn: o.size_fn.clone(),
+        enable_removals: o.enable_removals,
+        faults: o.faults.clone(),
+        topology: pi2m::refine::MachineTopology::flat(o.threads),
+        trace: o.trace,
+        flight: o.flight,
+        live: o.live,
         ..Default::default()
-    };
+    }
+}
+
+fn write_vtk(out: &MeshOutput, path: &str) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    meshio::write_vtk(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn cmd_mesh(args: &Args) -> Result<(), String> {
+    let input = args
+        .positional
+        .get(1)
+        .ok_or("usage: pi2m mesh <input.pim|phantom:NAME> [options]")?;
+    let img = load_input(input)?;
+    let o = parse_mesh_opts(args)?;
+    let cfg = config_for(&o, &img);
+    let (delta, threads, cm, balancer, force) = (cfg.delta, o.threads, o.cm, o.balancer, o.force);
+    let enable_removals = o.enable_removals;
+
     eprintln!("meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}");
-    let t0 = std::time::Instant::now();
-    let out = Mesher::new(img, cfg).run();
+    let mut session = MeshingSession::new(threads);
+    let t0 = Instant::now();
+    let out = session.mesh(img, cfg).map_err(|e| e.to_string())?;
     let dt = t0.elapsed().as_secs_f64();
     eprintln!(
         "{} tets / {} points in {:.2}s ({:.0} elements/s), {} rollbacks, {} removals",
@@ -327,13 +297,94 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         .get("o")
         .cloned()
         .unwrap_or_else(|| "mesh.vtk".into());
-    let f = std::fs::File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
-    meshio::write_vtk(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
-    eprintln!("wrote {out_path}");
+    write_vtk(&out, &out_path)?;
     if let Some(off) = args.flags.get("off") {
         let f = std::fs::File::create(off).map_err(|e| format!("{off}: {e}"))?;
         meshio::write_off(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
         eprintln!("wrote {off}");
+    }
+    Ok(())
+}
+
+/// The output filename for one batch input: `phantom:torus` → `torus.vtk`,
+/// `scans/knee.pim` → `knee.vtk`.
+fn batch_output_name(input: &str) -> String {
+    let stem = match input.strip_prefix("phantom:") {
+        Some(name) => name.to_string(),
+        None => std::path::Path::new(input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "mesh".into()),
+    };
+    format!("{stem}.vtk")
+}
+
+/// `pi2m batch`: mesh every input sequentially over ONE warm
+/// [`MeshingSession`] — worker threads, kernel scratch arenas, flight rings,
+/// and the proximity grid are created once and reused run-to-run instead of
+/// being torn down after every image like repeated `pi2m mesh` calls.
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let inputs = &args.positional[1..];
+    if inputs.is_empty() {
+        return Err(
+            "usage: pi2m batch <inputs...> [--outdir DIR] [--keep-going] [mesh options]".into(),
+        );
+    }
+    let o = parse_mesh_opts(args)?;
+    let keep_going = args.switches.contains("keep-going");
+    let outdir = std::path::PathBuf::from(
+        args.flags
+            .get("outdir")
+            .cloned()
+            .unwrap_or_else(|| ".".into()),
+    );
+    std::fs::create_dir_all(&outdir).map_err(|e| format!("{}: {e}", outdir.display()))?;
+
+    let mut session = MeshingSession::new(o.threads);
+    let t_all = Instant::now();
+    let (mut done, mut failed, mut tets) = (0usize, 0usize, 0u64);
+    for (i, input) in inputs.iter().enumerate() {
+        let mut run = || -> Result<(), String> {
+            let path = outdir.join(batch_output_name(input));
+            let path = path.to_string_lossy().into_owned();
+            if !o.force && std::path::Path::new(&path).exists() {
+                return Err(format!(
+                    "{path} already exists; pass --force to overwrite it"
+                ));
+            }
+            let img = load_input(input)?;
+            let cfg = config_for(&o, &img);
+            let delta = cfg.delta;
+            let t0 = Instant::now();
+            let out = session.mesh(img, cfg).map_err(|e| e.to_string())?;
+            let dt = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "[{}/{}] {input}: δ={delta}, {} tets in {dt:.2}s ({:.0} elements/s)",
+                i + 1,
+                inputs.len(),
+                out.mesh.num_tets(),
+                out.mesh.num_tets() as f64 / dt,
+            );
+            tets += out.mesh.num_tets() as u64;
+            write_vtk(&out, &path)
+        };
+        match run() {
+            Ok(()) => done += 1,
+            Err(e) if keep_going => {
+                eprintln!("error: {input}: {e}");
+                failed += 1;
+            }
+            Err(e) => return Err(format!("{input}: {e}")),
+        }
+    }
+    eprintln!(
+        "batch: {done}/{} inputs, {tets} tets in {:.2}s over one warm session ({} threads)",
+        inputs.len(),
+        t_all.elapsed().as_secs_f64(),
+        session.threads(),
+    );
+    if failed > 0 {
+        return Err(format!("{failed} input(s) failed"));
     }
     Ok(())
 }
@@ -465,6 +516,12 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         report.flight.off.ops_per_sec(),
         report.flight.overhead_frac() * 100.0
     );
+    println!(
+        "session      warm {:.0} vs cold {:.0} runs/s (setup saving {:.1}%/run)",
+        report.session.warm.ops_per_sec(),
+        report.session.cold.ops_per_sec(),
+        report.session.setup_saving_frac() * 100.0
+    );
     if let Some(parent) = &report.parent {
         println!(
             "parent       {}: {:.0} insert ops/s -> x{:.2}",
@@ -506,15 +563,33 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `pi2m --version`: the crate version plus the versions of the two stable
+/// on-disk layouts tools may depend on — the run-report JSON schema and the
+/// flight-recorder event layout.
+fn print_version() {
+    println!("pi2m {}", env!("CARGO_PKG_VERSION"));
+    println!("report-schema {}", RunReport::SCHEMA_VERSION);
+    println!("flight-layout {}", pi2m::obs::flight::LAYOUT_VERSION);
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&raw);
+    if args.switches.contains("version") {
+        print_version();
+        return ExitCode::SUCCESS;
+    }
     let r = match args.positional.first().map(String::as_str) {
         Some("mesh") => cmd_mesh(&args),
+        Some("batch") => cmd_batch(&args),
         Some("phantom") => cmd_phantom(&args),
         Some("info") => cmd_info(&args),
         Some("bench") => cmd_bench(&args),
-        _ => Err("usage: pi2m <mesh|phantom|info|bench> ... (see --help in README)".into()),
+        Some("version") => {
+            print_version();
+            Ok(())
+        }
+        _ => Err("usage: pi2m <mesh|batch|phantom|info|bench|version> ... (see README)".into()),
     };
     match r {
         Ok(()) => ExitCode::SUCCESS,
@@ -529,63 +604,10 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn argv(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
-    }
-
     #[test]
-    fn parse_equals_form_and_switches() {
-        let a = parse_args(&argv(&[
-            "mesh",
-            "phantom:sphere",
-            "--live=500ms",
-            "--delta=1.5",
-            "--force",
-            "--metrics",
-            "-o",
-            "out.vtk",
-        ]));
-        assert_eq!(a.positional, vec!["mesh", "phantom:sphere"]);
-        assert_eq!(a.flags.get("live").map(String::as_str), Some("500ms"));
-        assert_eq!(a.flags.get("delta").map(String::as_str), Some("1.5"));
-        assert_eq!(a.flags.get("o").map(String::as_str), Some("out.vtk"));
-        assert!(a.switches.contains("force"));
-        assert!(a.switches.contains("metrics"));
-    }
-
-    #[test]
-    fn live_switch_without_value() {
-        let a = parse_args(&argv(&["mesh", "x.pim", "--live", "--stats"]));
-        assert!(a.switches.contains("live"));
-        assert!(!a.flags.contains_key("live"));
-    }
-
-    #[test]
-    fn duration_parsing() {
-        assert_eq!(parse_duration("1s"), Some(1.0));
-        assert_eq!(parse_duration("500ms"), Some(0.5));
-        assert_eq!(parse_duration("2"), Some(2.0));
-        assert_eq!(parse_duration("0.25"), Some(0.25));
-        assert_eq!(parse_duration("0"), None);
-        assert_eq!(parse_duration("-1s"), None);
-        assert_eq!(parse_duration("junk"), None);
-    }
-
-    #[test]
-    fn write_new_refuses_clobber_without_force() {
-        let dir = std::env::temp_dir().join("pi2m-write-new-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("report.json");
-        let path = path.to_str().unwrap();
-        let _ = std::fs::remove_file(path);
-
-        write_new(path, "first", false).unwrap();
-        let err = write_new(path, "second", false).unwrap_err();
-        assert!(err.contains("--force"), "unexpected error: {err}");
-        assert_eq!(std::fs::read_to_string(path).unwrap(), "first");
-
-        write_new(path, "second", true).unwrap();
-        assert_eq!(std::fs::read_to_string(path).unwrap(), "second");
-        let _ = std::fs::remove_file(path);
+    fn batch_output_names() {
+        assert_eq!(batch_output_name("phantom:torus"), "torus.vtk");
+        assert_eq!(batch_output_name("scans/knee.pim"), "knee.vtk");
+        assert_eq!(batch_output_name("plain"), "plain.vtk");
     }
 }

@@ -1,0 +1,166 @@
+//! Shared command-line plumbing for the `pi2m` binary (and any tool built on
+//! the facade crate): flag parsing, duration parsing, and the output clobber
+//! guard. Kept in the library so it is unit-tested like everything else.
+
+use std::collections::{HashMap, HashSet};
+
+/// A parsed command line: positionals in order, `--name value` /
+/// `--name=value` flags, and boolean switches.
+pub struct Args {
+    pub positional: Vec<String>,
+    pub flags: HashMap<String, String>,
+    pub switches: HashSet<String>,
+}
+
+/// Boolean options that never take a value — without this list, a switch
+/// followed by another short option (`--metrics -o out.vtk`) would greedily
+/// swallow it as a value. (`--live` doubles as a switch: an interval rides
+/// in `--live=INTERVAL` form only.)
+pub const SWITCHES: &[&str] = &[
+    "stats",
+    "no-removals",
+    "metrics",
+    "audit",
+    "quick",
+    "live",
+    "no-flight",
+    "force",
+    "keep-going",
+    "version",
+];
+
+/// Split a raw argument vector into [`Args`]. `--name=value` always binds;
+/// `--name value` binds unless `name` is a known switch; `-x value` always
+/// binds; everything else is positional.
+pub fn parse_args(raw: &[String]) -> Args {
+    let mut a = Args {
+        positional: Vec::new(),
+        flags: Default::default(),
+        switches: Default::default(),
+    };
+    let mut it = raw.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if let Some((k, v)) = name.split_once('=') {
+                a.flags.insert(k.to_string(), v.to_string());
+                continue;
+            }
+            match it.peek() {
+                Some(v) if !v.starts_with("--") && !SWITCHES.contains(&name) => {
+                    a.flags.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => {
+                    a.switches.insert(name.to_string());
+                }
+            }
+        } else if let Some(name) = arg.strip_prefix("-") {
+            if let Some(v) = it.next() {
+                a.flags.insert(name.to_string(), v.clone());
+            }
+        } else {
+            a.positional.push(arg.clone());
+        }
+    }
+    a
+}
+
+/// Parse `"1s"`, `"500ms"`, or a plain number of seconds. Rejects zero and
+/// negative durations.
+pub fn parse_duration(v: &str) -> Option<f64> {
+    let v = v.trim();
+    let (num, mult) = if let Some(n) = v.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (v, 1.0)
+    };
+    num.trim()
+        .parse::<f64>()
+        .ok()
+        .map(|x| x * mult)
+        .filter(|s| *s > 0.0)
+}
+
+/// Write an output artifact, refusing to clobber an existing file unless the
+/// user passed `--force`.
+pub fn write_new(path: &str, contents: &str, force: bool) -> Result<(), String> {
+    if !force && std::path::Path::new(path).exists() {
+        return Err(format!(
+            "{path} already exists; pass --force to overwrite it"
+        ));
+    }
+    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_equals_form_and_switches() {
+        let a = parse_args(&argv(&[
+            "mesh",
+            "phantom:sphere",
+            "--live=500ms",
+            "--delta=1.5",
+            "--force",
+            "--metrics",
+            "-o",
+            "out.vtk",
+        ]));
+        assert_eq!(a.positional, vec!["mesh", "phantom:sphere"]);
+        assert_eq!(a.flags.get("live").map(String::as_str), Some("500ms"));
+        assert_eq!(a.flags.get("delta").map(String::as_str), Some("1.5"));
+        assert_eq!(a.flags.get("o").map(String::as_str), Some("out.vtk"));
+        assert!(a.switches.contains("force"));
+        assert!(a.switches.contains("metrics"));
+    }
+
+    #[test]
+    fn live_switch_without_value() {
+        let a = parse_args(&argv(&["mesh", "x.pim", "--live", "--stats"]));
+        assert!(a.switches.contains("live"));
+        assert!(!a.flags.contains_key("live"));
+    }
+
+    #[test]
+    fn switch_does_not_swallow_following_positional() {
+        let a = parse_args(&argv(&["batch", "--keep-going", "a.pim", "b.pim"]));
+        assert!(a.switches.contains("keep-going"));
+        assert_eq!(a.positional, vec!["batch", "a.pim", "b.pim"]);
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration("1s"), Some(1.0));
+        assert_eq!(parse_duration("500ms"), Some(0.5));
+        assert_eq!(parse_duration("2"), Some(2.0));
+        assert_eq!(parse_duration("0.25"), Some(0.25));
+        assert_eq!(parse_duration("0"), None);
+        assert_eq!(parse_duration("-1s"), None);
+        assert_eq!(parse_duration("junk"), None);
+    }
+
+    #[test]
+    fn write_new_refuses_clobber_without_force() {
+        let dir = std::env::temp_dir().join("pi2m-write-new-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        write_new(path, "first", false).unwrap();
+        let err = write_new(path, "second", false).unwrap_err();
+        assert!(err.contains("--force"), "unexpected error: {err}");
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "first");
+
+        write_new(path, "second", true).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "second");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -27,20 +27,29 @@
 //!
 //! ## Quickstart
 //!
+//! A [`MeshingSession`](refine::MeshingSession) holds a warm worker pool;
+//! create it once and mesh any number of images over it:
+//!
 //! ```
 //! use pi2m::image::phantoms;
-//! use pi2m::refine::{Mesher, MesherConfig};
+//! use pi2m::refine::{MesherConfig, MeshingSession};
 //!
-//! // A small two-label sphere phantom (label 1 = tissue).
-//! let img = phantoms::sphere(32, 1.0);
 //! let cfg = MesherConfig {
 //!     delta: 4.0,
 //!     threads: 2,
 //!     ..MesherConfig::default()
 //! };
-//! let out = Mesher::new(img, cfg).run();
+//! let mut session = MeshingSession::new(cfg.threads);
+//! // A small two-label sphere phantom (label 1 = tissue).
+//! let out = session.mesh(phantoms::sphere(32, 1.0), cfg.clone()).unwrap();
 //! assert!(out.mesh.num_tets() > 100);
+//! // ...the next mesh() reuses the pool's threads, arenas, and grid.
 //! ```
+//!
+//! One-shot callers can use [`Mesher::run`](refine::Mesher::run), a thin
+//! wrapper over a single-use session.
+pub mod cli;
+
 pub use pi2m_baseline as baseline;
 pub use pi2m_delaunay as delaunay;
 pub use pi2m_edt as edt;

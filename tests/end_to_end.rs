@@ -4,8 +4,11 @@
 
 use pi2m::image::phantoms;
 use pi2m::quality::{boundary_report, hausdorff_distance, mesh_quality};
-use pi2m::refine::{BalancerKind, CmKind, MachineTopology, Mesher, MesherConfig};
+use pi2m::refine::{BalancerKind, CmKind, MachineTopology, Mesher, MesherConfig, MeshingSession};
 
+// Deliberately keeps exercising the one-shot `Mesher` wrapper: it must stay a
+// faithful front for the staged pipeline (tests/session.rs covers the warm
+// `MeshingSession` path).
 fn run(img: pi2m::image::LabeledImage, delta: f64, threads: usize) -> pi2m::refine::MeshOutput {
     Mesher::new(
         img,
@@ -105,6 +108,10 @@ fn oversubscribed_parallel_run_is_consistent() {
 
 #[test]
 fn every_cm_and_balancer_combination_terminates() {
+    // All eight combinations run back-to-back over ONE warm session: the
+    // contention manager and balancer are per-run state, so swapping them
+    // between runs on a reused pool must be safe.
+    let mut session = MeshingSession::new(3);
     for cm in [
         CmKind::Aggressive,
         CmKind::Random,
@@ -112,18 +119,19 @@ fn every_cm_and_balancer_combination_terminates() {
         CmKind::Local,
     ] {
         for bal in [BalancerKind::Rws, BalancerKind::Hws] {
-            let out = Mesher::new(
-                phantoms::sphere(14, 1.0),
-                MesherConfig {
-                    delta: 2.5,
-                    threads: 3,
-                    cm,
-                    balancer: bal,
-                    topology: MachineTopology::flat(3),
-                    ..Default::default()
-                },
-            )
-            .run();
+            let out = session
+                .mesh(
+                    phantoms::sphere(14, 1.0),
+                    MesherConfig {
+                        delta: 2.5,
+                        threads: 3,
+                        cm,
+                        balancer: bal,
+                        topology: MachineTopology::flat(3),
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("({cm:?},{bal:?}) failed: {e}"));
             assert!(
                 out.mesh.num_tets() > 0,
                 "({cm:?},{bal:?}) produced empty mesh"

@@ -1,0 +1,200 @@
+//! Integration tests for the persistent [`MeshingSession`]: warm-pool reuse
+//! must be behaviorally invisible (identical meshes where the schedule is
+//! deterministic, structurally sound meshes where it is not), stage progress
+//! must be reported in order, and cancellation must be typed, prompt, and
+//! non-destructive to the session.
+
+use pi2m::image::phantoms;
+use pi2m::refine::{
+    audit_mesh, CancelToken, MachineTopology, MeshOutput, Mesher, MesherConfig, MeshingSession,
+    RefineError, RunOptions, Stage, StageStatus,
+};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn cfg(delta: f64, threads: usize) -> MesherConfig {
+    MesherConfig {
+        delta,
+        threads,
+        topology: MachineTopology::flat(threads),
+        ..Default::default()
+    }
+}
+
+/// The mesh's vertex set as sorted bit-exact coordinates.
+fn vertex_set(out: &MeshOutput) -> Vec<[u64; 3]> {
+    let mut v: Vec<[u64; 3]> = out
+        .mesh
+        .points
+        .iter()
+        .map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn audit(out: &MeshOutput, what: &str) {
+    let report = audit_mesh(&out.shared, 42);
+    assert!(report.clean(), "{what} failed audit:\n{}", report.summary());
+}
+
+#[test]
+fn warm_session_matches_cold_runs_single_thread() {
+    // Single-threaded refinement is deterministic, so a warm pool (reused
+    // arenas, grid, flight rings) must produce the *identical* vertex set as
+    // a fresh cold Mesher — twice in a row.
+    let cold = Mesher::new(phantoms::sphere(20, 1.0), cfg(2.0, 1)).run();
+    audit(&cold, "cold run");
+    let cold_verts = vertex_set(&cold);
+
+    let mut session = MeshingSession::new(1);
+    for i in 0..2 {
+        let warm = session
+            .mesh(phantoms::sphere(20, 1.0), cfg(2.0, 1))
+            .unwrap();
+        audit(&warm, "warm run");
+        assert_eq!(
+            vertex_set(&warm),
+            cold_verts,
+            "warm run {i} diverged from the cold run"
+        );
+        assert_eq!(warm.mesh.num_tets(), cold.mesh.num_tets());
+    }
+}
+
+#[test]
+fn warm_session_is_sound_at_eight_threads() {
+    // Speculative 8-thread schedules are not reproducible, so warm-vs-cold
+    // identity is impossible by design; what must hold is that every run off
+    // the warm pool is a valid Delaunay mesh of the same object. (δ well
+    // below the feature scale: at coarse δ the schedule flips borderline
+    // classifications and element counts are legitimately bimodal.)
+    let cold = Mesher::new(phantoms::sphere(18, 1.0), cfg(1.2, 8)).run();
+    let mut session = MeshingSession::new(8);
+    for i in 0..2 {
+        let warm = session
+            .mesh(phantoms::sphere(18, 1.0), cfg(1.2, 8))
+            .unwrap();
+        audit(&warm, "8-thread warm run");
+        warm.shared.check_adjacency().unwrap();
+        warm.shared.check_delaunay_sos().unwrap();
+        assert!(!warm.stats.livelock);
+        let (a, b) = (warm.mesh.num_tets() as f64, cold.mesh.num_tets() as f64);
+        assert!(
+            (a - b).abs() / b < 0.5,
+            "warm run {i}: {a} tets vs cold {b}"
+        );
+    }
+}
+
+#[test]
+fn session_reuses_pool_across_different_images() {
+    // Different dimensions, labels, and deltas over one pool: the parked
+    // grid/rings must reset cleanly between incompatible runs.
+    let mut session = MeshingSession::new(2);
+    let a = session
+        .mesh(phantoms::sphere(16, 1.0), cfg(2.0, 2))
+        .unwrap();
+    let b = session
+        .mesh(phantoms::nested_spheres(20, 1.0), cfg(1.5, 2))
+        .unwrap();
+    let c = session.mesh(phantoms::torus(24, 1.0), cfg(1.2, 2)).unwrap();
+    for (out, what) in [(&a, "sphere"), (&b, "nested"), (&c, "torus")] {
+        audit(out, what);
+        assert!(out.mesh.num_tets() > 50, "{what}: {}", out.mesh.num_tets());
+    }
+    assert_eq!(session.threads(), 2);
+}
+
+#[test]
+fn stage_callbacks_fire_in_order() {
+    let events: Arc<Mutex<Vec<(Stage, StageStatus, f64)>>> = Arc::default();
+    let sink = Arc::clone(&events);
+    let opts = RunOptions {
+        cancel: None,
+        on_stage: Some(Arc::new(move |e| {
+            sink.lock().unwrap().push((e.stage, e.status, e.elapsed_s));
+        })),
+    };
+    let mut session = MeshingSession::new(1);
+    session
+        .mesh_with(phantoms::sphere(14, 1.0), cfg(2.5, 1), &opts)
+        .unwrap();
+
+    let events = events.lock().unwrap();
+    // one Started + one Finished per stage, interleaved in pipeline order
+    let expect: Vec<(Stage, StageStatus)> = Stage::ALL
+        .iter()
+        .flat_map(|&s| [(s, StageStatus::Started), (s, StageStatus::Finished)])
+        .collect();
+    let got: Vec<(Stage, StageStatus)> = events.iter().map(|&(s, st, _)| (s, st)).collect();
+    assert_eq!(got, expect);
+    // timestamps never run backwards
+    assert!(
+        events.windows(2).all(|w| w[0].2 <= w[1].2),
+        "stage timestamps regressed: {events:?}"
+    );
+}
+
+#[test]
+fn cancel_mid_volume_refine_is_typed_prompt_and_recoverable() {
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let opts = RunOptions {
+        cancel: Some(token),
+        // Trip the token the moment volume refinement starts: the workers
+        // observe it at their first loop boundary.
+        on_stage: Some(Arc::new(move |e| {
+            if e.stage == Stage::VolumeRefine && e.status == StageStatus::Started {
+                trip.cancel();
+            }
+        })),
+    };
+    let mut session = MeshingSession::new(4);
+    let t0 = Instant::now();
+    let err = match session.mesh_with(phantoms::sphere(24, 1.0), cfg(1.2, 4), &opts) {
+        Err(e) => e,
+        Ok(out) => panic!(
+            "expected Cancelled, got a mesh of {} tets",
+            out.mesh.num_tets()
+        ),
+    };
+    assert!(
+        matches!(err, RefineError::Cancelled),
+        "expected Cancelled, got {err:?}"
+    );
+    // Cooperative, not sloppy: workers bail at a loop boundary, well inside
+    // any human timeout (generous bound for loaded CI machines).
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "cancellation took {:?}",
+        t0.elapsed()
+    );
+
+    // The session survives: no leaked locks, grid/rings parked, next run ok.
+    let out = session
+        .mesh(phantoms::sphere(16, 1.0), cfg(2.0, 4))
+        .unwrap();
+    audit(&out, "post-cancel run");
+    assert!(out.mesh.num_tets() > 50);
+    assert!(!out.stats.livelock);
+}
+
+#[test]
+fn pre_expired_deadline_cancels_before_refinement() {
+    let opts = RunOptions {
+        cancel: Some(CancelToken::with_deadline(Duration::ZERO)),
+        on_stage: None,
+    };
+    let mut session = MeshingSession::new(2);
+    let err = match session.mesh_with(phantoms::sphere(24, 1.0), cfg(1.5, 2), &opts) {
+        Err(e) => e,
+        Ok(_) => panic!("expected Cancelled"),
+    };
+    assert!(matches!(err, RefineError::Cancelled));
+    // and again: the session is not poisoned by an early-stage cancel
+    let out = session
+        .mesh(phantoms::sphere(14, 1.0), cfg(2.5, 2))
+        .unwrap();
+    assert!(out.mesh.num_tets() > 0);
+}
