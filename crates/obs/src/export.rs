@@ -1,10 +1,12 @@
 //! Exporters: Prometheus text exposition, Chrome Trace Event JSON, and the
 //! Table-1 style overhead comparison table.
 
+use crate::attribution::Category;
 use crate::flight::{EventKind, FlightEvent};
 use crate::json::Json;
 use crate::metrics::{bucket_upper_bound, ObsEvent};
 use crate::report::{OverheadBreakdown, RunReport, TraceSpan};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Prometheus text exposition (0.0.4 format) of a run report: counters,
@@ -107,6 +109,14 @@ pub fn render_chrome_trace(phases: &[TraceSpan], events: &[(u32, ObsEvent)]) -> 
 /// render as instant (`"i"`) markers. `OpBegin`/`CmPark`/`BegPark` and the
 /// lock batches are skipped — their information is carried by the paired
 /// end/summary events.
+///
+/// Each worker additionally gets a synthetic counter track
+/// (`"ph":"C"`, name `attribution w<tid>`): at every duration-bearing
+/// event, the cumulative seconds per attribution category
+/// ([`crate::attribution::Category`]) are re-emitted, so
+/// Perfetto draws the committed/rolled-back/parked/steal-donate areas
+/// growing over the run — the time-resolved view of the run report's
+/// `time_attribution` section.
 pub fn render_chrome_trace_with_flight(
     phases: &[TraceSpan],
     events: &[(u32, ObsEvent)],
@@ -157,10 +167,45 @@ pub fn render_chrome_trace_with_flight(
         ]));
     }
 
+    // Cumulative attribution seconds per worker, re-emitted as a counter
+    // sample whenever a duration-bearing event lands on that worker.
+    let mut attr_cum: HashMap<u16, [f64; 5]> = HashMap::new();
+    let attr_slot = |kind: EventKind| -> Option<usize> {
+        match kind {
+            EventKind::OpCommit => Some(0),
+            EventKind::Rollback => Some(1),
+            EventKind::CmUnpark => Some(2),
+            EventKind::BegUnpark => Some(3),
+            EventKind::Donate => Some(4),
+            _ => None,
+        }
+    };
     for e in flight {
         let end_us = e.t_ns as f64 * 1e-3;
         let dur_us = e.c as f64 * 1e-3;
         let tid = Json::int(e.tid as u64 + 1);
+        if let Some(slot) = attr_slot(e.kind) {
+            let cum = attr_cum.entry(e.tid).or_default();
+            cum[slot] += e.c as f64 * 1e-9;
+            trace_events.push(Json::obj(vec![
+                ("name", Json::str(format!("attribution w{}", e.tid))),
+                ("cat", Json::str("attribution")),
+                ("ph", Json::str("C")),
+                ("pid", Json::int(1)),
+                ("tid", tid.clone()),
+                ("ts", Json::num(end_us)),
+                (
+                    "args",
+                    Json::Obj(
+                        Category::ALL[..5]
+                            .iter()
+                            .zip(cum.iter())
+                            .map(|(c, &v)| (c.key().to_string(), Json::num(v)))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
         match e.kind {
             // duration-bearing: the event is stamped at the *end*; its `c`
             // word is the duration in ns, so the slice starts at t - c.
@@ -380,6 +425,49 @@ mod tests {
             .any(|e| e.get("name").and_then(Json::as_str) == Some("cm_park")));
         // worker tracks exist for both tids
         assert!(s.contains("worker 0") && s.contains("worker 1"));
+    }
+
+    #[test]
+    fn chrome_trace_emits_attribution_counter_tracks() {
+        let op = |t_ms: u64, tid: u16, kind: EventKind, dur_ms: u32| FlightEvent {
+            t_ns: t_ms * 1_000_000,
+            kind,
+            cause: 0,
+            tid,
+            a: 0,
+            b: 0,
+            c: dur_ms * 1_000_000,
+        };
+        let flight = [
+            op(2, 0, EventKind::OpCommit, 1),
+            op(5, 0, EventKind::OpCommit, 2),
+            op(6, 0, EventKind::Rollback, 1),
+            op(4, 1, EventKind::BegUnpark, 3),
+            // instant kinds do not produce counter samples
+            op(7, 1, EventKind::Steal, 0),
+        ];
+        let s = render_chrome_trace_with_flight(&[], &[], &flight);
+        let j = json::parse(&s).unwrap();
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        // one sample per duration-bearing event
+        assert_eq!(counters.len(), 4);
+        let w0: Vec<&Json> = counters
+            .iter()
+            .copied()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("attribution w0"))
+            .collect();
+        assert_eq!(w0.len(), 3);
+        // the committed track accumulates: 1ms, then 3ms
+        let arg = |e: &Json, key: &str| e.get("args").unwrap().get(key).unwrap().as_f64().unwrap();
+        assert!((arg(w0[0], "committed") - 0.001).abs() < 1e-12);
+        assert!((arg(w0[1], "committed") - 0.003).abs() < 1e-12);
+        // the rollback sample keeps the committed cumulative and adds waste
+        assert!((arg(w0[2], "committed") - 0.003).abs() < 1e-12);
+        assert!((arg(w0[2], "rolled_back") - 0.001).abs() < 1e-12);
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub enum EventKind {
     /// A begging thread received donated work.
     Steal = 10,
     /// This thread donated freshly created cells (`a` = beggar tid,
-    /// `b` = cells donated).
+    /// `b` = cells donated, `c` = handoff cost in ns: beggar-PEL lock,
+    /// push, wake — the donor-side overhead time attribution charges).
     Donate = 11,
     /// This worker died to an un-recovered panic.
     WorkerDeath = 12,

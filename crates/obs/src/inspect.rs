@@ -1,0 +1,503 @@
+//! Offline inspection of saved observability artifacts: load a `--report`
+//! run report or a `--contention-out` contention dump back from disk, render
+//! a human-readable attribution / hot-spot summary, and diff two runs to
+//! attribute a throughput regression to a specific waste category.
+//!
+//! Drives `pi2m analyze` (see the CLI); kept in the library so the loader
+//! and renderers are unit-tested and reusable (e.g. by a future live
+//! telemetry endpoint).
+//!
+//! The loader is deliberately lenient: every field is optional and missing
+//! ones read as zero/empty, so older artifacts (schema v1/v2 reports without
+//! a `time_attribution` section) still load and render — their attribution
+//! table simply says it was not recorded.
+
+use crate::attribution::{Category, TimeAttribution};
+use crate::json::{parse, Json};
+use std::fmt::Write as _;
+
+/// What kind of artifact a JSON file turned out to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A `--report` run report (`RunReport::to_json`).
+    RunReport,
+    /// A standalone `--contention-out` dump (`ContentionReport::to_json`).
+    Contention,
+}
+
+impl ArtifactKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::RunReport => "run report",
+            ArtifactKind::Contention => "contention dump",
+        }
+    }
+}
+
+/// The loaded, shape-normalized view of one artifact: the fields the
+/// renderer and differ need, regardless of which artifact kind carried them.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    pub kind: ArtifactKind,
+    /// `schema_version` of a run report (`None` for contention dumps).
+    pub schema_version: Option<u64>,
+    /// Producing tool of a run report (`None` for contention dumps).
+    pub tool: Option<String>,
+    /// Free-form config pairs of a run report, insertion order preserved.
+    pub config: Vec<(String, String)>,
+    pub threads: u64,
+    pub wall_s: f64,
+    pub elements: u64,
+    pub commits: u64,
+    pub rollbacks: u64,
+    /// Aggregated per-phase seconds of a run report.
+    pub phases: Vec<(String, f64)>,
+    /// Top contended `(vertex id, conflicts)`, most-contended first.
+    pub hot_vertices: Vec<(u64, u64)>,
+    /// Top contended `(region code, conflicts)`, most-contended first.
+    pub hot_regions: Vec<(u64, u64)>,
+    /// The wall-time decomposition, when the artifact recorded one.
+    pub attribution: Option<TimeAttribution>,
+}
+
+impl Artifact {
+    pub fn rollback_ratio(&self) -> f64 {
+        let ops = self.commits + self.rollbacks;
+        if ops == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / ops as f64
+        }
+    }
+
+    /// Elements per second for run reports; committed ops per second for
+    /// contention dumps (which do not know the final element count).
+    pub fn throughput(&self) -> f64 {
+        let ops = if self.kind == ArtifactKind::RunReport {
+            self.elements
+        } else {
+            self.commits
+        };
+        if self.wall_s > 0.0 {
+            ops as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn get_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64
+}
+
+fn get_f64(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn hot_pairs(j: Option<&Json>, id_key: &str) -> Vec<(u64, u64)> {
+    j.and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .map(|e| (get_u64(e, id_key), get_u64(e, "conflicts")))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Parse one artifact from its JSON text, autodetecting the kind: run
+/// reports carry `schema_version` + `tool`, contention dumps carry
+/// `hot_vertices` + `speedup_self_report` at the top level.
+pub fn load_artifact(text: &str) -> Result<Artifact, String> {
+    let j = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if j.get("schema_version").is_some() && j.get("tool").is_some() {
+        // a run report; its contention section (if any) holds the hot spots
+        let c = j.get("contention");
+        let attribution = j
+            .get("time_attribution")
+            .or_else(|| c.and_then(|c| c.get("time_attribution")))
+            .and_then(TimeAttribution::from_json);
+        Ok(Artifact {
+            kind: ArtifactKind::RunReport,
+            schema_version: Some(get_u64(&j, "schema_version")),
+            tool: j.get("tool").and_then(Json::as_str).map(String::from),
+            config: match j.get("config") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.as_str().unwrap_or("?").to_string()))
+                    .collect(),
+                _ => Vec::new(),
+            },
+            threads: get_u64(&j, "threads"),
+            wall_s: get_f64(&j, "wall_s"),
+            elements: get_u64(&j, "elements"),
+            commits: c.map(|c| get_u64(c, "commits")).unwrap_or(0),
+            rollbacks: j
+                .get("overheads")
+                .map(|o| get_u64(o, "rollbacks"))
+                .unwrap_or(0),
+            phases: match j.get("phases") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.as_f64().unwrap_or(0.0)))
+                    .collect(),
+                _ => Vec::new(),
+            },
+            hot_vertices: hot_pairs(c.and_then(|c| c.get("hot_vertices")), "vertex"),
+            hot_regions: hot_pairs(c.and_then(|c| c.get("hot_regions")), "region"),
+            attribution,
+        })
+    } else if j.get("hot_vertices").is_some() && j.get("speedup_self_report").is_some() {
+        // wall time rides in the speedup self-report; the worker count is
+        // the length of the per-worker timeline array
+        let threads = j
+            .get("workers")
+            .and_then(Json::as_arr)
+            .map(|w| w.len() as u64)
+            .unwrap_or(0);
+        let wall_s = j
+            .get("speedup_self_report")
+            .map(|s| get_f64(s, "wall_s"))
+            .unwrap_or(0.0);
+        Ok(Artifact {
+            kind: ArtifactKind::Contention,
+            schema_version: None,
+            tool: None,
+            config: Vec::new(),
+            threads,
+            wall_s,
+            elements: 0,
+            commits: get_u64(&j, "commits"),
+            rollbacks: get_u64(&j, "rollbacks"),
+            phases: Vec::new(),
+            hot_vertices: hot_pairs(j.get("hot_vertices"), "vertex"),
+            hot_regions: hot_pairs(j.get("hot_regions"), "region"),
+            attribution: j
+                .get("time_attribution")
+                .and_then(TimeAttribution::from_json),
+        })
+    } else {
+        Err(
+            "unrecognized artifact: neither a run report (schema_version + tool) \
+             nor a contention dump (hot_vertices + speedup_self_report)"
+                .into(),
+        )
+    }
+}
+
+fn render_attribution(out: &mut String, a: &TimeAttribution) {
+    let _ = writeln!(
+        out,
+        "time attribution ({} worker{}, wall {:.3}s):",
+        a.per_worker.len(),
+        if a.per_worker.len() == 1 { "" } else { "s" },
+        a.wall_s
+    );
+    let _ = writeln!(out, "  {:<13} {:>10} {:>9}", "category", "seconds", "share");
+    for cat in Category::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<13} {:>9.3}s {:>8.1}%",
+            cat.key(),
+            a.total(cat),
+            a.fraction(cat) * 100.0
+        );
+    }
+    if let Some((cat, secs)) = a.dominant_waste() {
+        let _ = writeln!(
+            out,
+            "  dominant waste: {} ({secs:.3} worker-seconds, {:.1}% of worker time)",
+            cat.key(),
+            a.fraction(cat) * 100.0
+        );
+    }
+}
+
+/// Render the human-readable summary `pi2m analyze <artifact>` prints.
+pub fn render_summary(art: &Artifact) -> String {
+    let mut out = String::new();
+    match (&art.tool, art.schema_version) {
+        (Some(tool), Some(v)) => {
+            let _ = writeln!(out, "artifact: {} ({tool}, schema v{v})", art.kind.name());
+        }
+        _ => {
+            let _ = writeln!(out, "artifact: {}", art.kind.name());
+        }
+    }
+    if !art.config.is_empty() {
+        let cfg: Vec<String> = art.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "config  : {}", cfg.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "run     : {} threads, {:.3}s wall, {} rollbacks (ratio {:.4})",
+        art.threads,
+        art.wall_s,
+        art.rollbacks,
+        art.rollback_ratio()
+    );
+    if art.elements > 0 {
+        let _ = writeln!(
+            out,
+            "output  : {} elements ({:.0} elements/s)",
+            art.elements,
+            art.throughput()
+        );
+    }
+    if !art.phases.is_empty() {
+        let phases: Vec<String> = art
+            .phases
+            .iter()
+            .map(|(name, s)| format!("{name} {s:.3}s"))
+            .collect();
+        let _ = writeln!(out, "phases  : {}", phases.join(", "));
+    }
+    match &art.attribution {
+        Some(a) => render_attribution(&mut out, a),
+        None => {
+            let _ = writeln!(
+                out,
+                "time attribution: not recorded (pre-v3 artifact or flight recorder off)"
+            );
+        }
+    }
+    if !art.hot_vertices.is_empty() {
+        let hv: Vec<String> = art
+            .hot_vertices
+            .iter()
+            .take(5)
+            .map(|(v, n)| format!("v{v} x{n}"))
+            .collect();
+        let _ = writeln!(out, "hot vertices: {}", hv.join(", "));
+    }
+    if !art.hot_regions.is_empty() {
+        let hr: Vec<String> = art
+            .hot_regions
+            .iter()
+            .take(5)
+            .map(|(r, n)| format!("r{r} x{n}"))
+            .collect();
+        let _ = writeln!(out, "hot regions : {}", hr.join(", "));
+    }
+    out
+}
+
+/// Diff two runs (`base` → `new`) and attribute the change. The verdict
+/// names the waste category whose summed worker-seconds grew the most —
+/// the first place to look when `new` is slower than `base`.
+pub fn render_diff(base: &Artifact, new: &Artifact) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "diff: base {} -> new {}",
+        base.kind.name(),
+        new.kind.name()
+    );
+    let pct = |b: f64, n: f64| -> String {
+        if b > 0.0 {
+            format!("{:+.1}%", (n / b - 1.0) * 100.0)
+        } else {
+            "n/a".into()
+        }
+    };
+    let _ = writeln!(
+        out,
+        "  wall        {:>9.3}s -> {:>9.3}s  ({})",
+        base.wall_s,
+        new.wall_s,
+        pct(base.wall_s, new.wall_s)
+    );
+    let _ = writeln!(
+        out,
+        "  throughput  {:>9.0}/s -> {:>9.0}/s ({})",
+        base.throughput(),
+        new.throughput(),
+        pct(base.throughput(), new.throughput())
+    );
+    let _ = writeln!(
+        out,
+        "  rollbacks   {:>10} -> {:>10}  (ratio {:.4} -> {:.4})",
+        base.rollbacks,
+        new.rollbacks,
+        base.rollback_ratio(),
+        new.rollback_ratio()
+    );
+    match (&base.attribution, &new.attribution) {
+        (Some(b), Some(n)) => {
+            let _ = writeln!(
+                out,
+                "  {:<13} {:>10} {:>10} {:>9} {:>14}",
+                "category", "base", "new", "delta", "share shift"
+            );
+            let mut worst: Option<(Category, f64)> = None;
+            for cat in Category::ALL {
+                let (bs, ns) = (b.total(cat), n.total(cat));
+                let shift = (n.fraction(cat) - b.fraction(cat)) * 100.0;
+                let _ = writeln!(
+                    out,
+                    "  {:<13} {:>9.3}s {:>9.3}s {:>+8.3}s {:>+12.1}pp",
+                    cat.key(),
+                    bs,
+                    ns,
+                    ns - bs,
+                    shift
+                );
+                if cat.is_waste() && worst.as_ref().is_none_or(|(_, w)| ns - bs > *w) {
+                    worst = Some((cat, ns - bs));
+                }
+            }
+            match worst {
+                Some((cat, grew)) if grew > 0.0 => {
+                    let _ = writeln!(
+                        out,
+                        "  verdict: waste grew most in '{}' (+{grew:.3} worker-seconds)",
+                        cat.key()
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "  verdict: no waste category grew");
+                }
+            }
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "  (attribution diff unavailable: one or both artifacts lack it)"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze, AnalyzeOpts};
+    use crate::flight::{EventKind, FlightEvent};
+    use crate::report::RunReport;
+
+    fn ev(t_ms: u64, tid: u16, kind: EventKind, a: u32, c: u32) -> FlightEvent {
+        FlightEvent {
+            t_ns: t_ms * 1_000_000,
+            kind,
+            cause: 0,
+            tid,
+            a,
+            b: 0,
+            c,
+        }
+    }
+
+    fn sample_report(rollback_ns: u32) -> String {
+        let ms = 1_000_000u32;
+        let events = vec![
+            ev(1, 0, EventKind::OpCommit, 0, 10 * ms),
+            ev(2, 1, EventKind::Rollback, 7, rollback_ns),
+            ev(3, 1, EventKind::CmUnpark, 0, 2 * ms),
+        ];
+        let contention = analyze(
+            &events,
+            AnalyzeOpts {
+                threads: 2,
+                wall_s: 0.02,
+                ..Default::default()
+            },
+        );
+        let mut r = RunReport::new("pi2m");
+        r.config("input", "phantom:sphere").config("delta", 2.0);
+        r.threads = 2;
+        r.wall_s = 0.02;
+        r.elements = 500;
+        r.overheads.rollbacks = 1;
+        r.attribution = Some(contention.attribution.clone());
+        r.contention = Some(contention);
+        r.to_json_string()
+    }
+
+    #[test]
+    fn loads_run_report_with_attribution() {
+        let art = load_artifact(&sample_report(1_000_000)).unwrap();
+        assert_eq!(art.kind, ArtifactKind::RunReport);
+        assert_eq!(art.schema_version, Some(RunReport::SCHEMA_VERSION as u64));
+        assert_eq!(art.tool.as_deref(), Some("pi2m"));
+        assert_eq!(art.threads, 2);
+        assert_eq!(art.elements, 500);
+        assert_eq!(art.rollbacks, 1);
+        assert_eq!(art.hot_vertices, vec![(7, 1)]);
+        let a = art.attribution.expect("attribution");
+        assert_eq!(a.per_worker.len(), 2);
+        assert!((a.per_worker[1].rolled_back_s - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loads_standalone_contention_dump() {
+        let ms = 1_000_000u32;
+        let events = vec![
+            ev(1, 0, EventKind::OpCommit, 0, ms),
+            ev(2, 0, EventKind::Rollback, 3, ms),
+        ];
+        let dump = analyze(
+            &events,
+            AnalyzeOpts {
+                threads: 1,
+                wall_s: 0.01,
+                ..Default::default()
+            },
+        )
+        .to_json()
+        .dump_pretty();
+        let art = load_artifact(&dump).unwrap();
+        assert_eq!(art.kind, ArtifactKind::Contention);
+        assert_eq!(art.commits, 1);
+        assert_eq!(art.rollbacks, 1);
+        assert!(art.attribution.is_some());
+        // ops/sec for contention dumps
+        assert!((art.throughput() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_unrecognized_json() {
+        assert!(load_artifact("not json at all").is_err());
+        let err = load_artifact("{\"foo\": 1}").unwrap_err();
+        assert!(err.contains("unrecognized"), "{err}");
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let art = load_artifact(&sample_report(1_000_000)).unwrap();
+        let s = render_summary(&art);
+        assert!(s.contains("run report"), "{s}");
+        assert!(s.contains("input=phantom:sphere"), "{s}");
+        assert!(s.contains("500 elements"), "{s}");
+        assert!(s.contains("time attribution"), "{s}");
+        assert!(s.contains("committed"), "{s}");
+        assert!(s.contains("idle"), "{s}");
+        assert!(s.contains("hot vertices: v7 x1"), "{s}");
+    }
+
+    #[test]
+    fn summary_degrades_without_attribution() {
+        // strip the attribution sections to simulate a pre-v3 report
+        let mut r = RunReport::new("pi2m");
+        r.threads = 1;
+        r.wall_s = 1.0;
+        let art = load_artifact(&r.to_json_string()).unwrap();
+        assert!(art.attribution.is_none());
+        let s = render_summary(&art);
+        assert!(s.contains("not recorded"), "{s}");
+    }
+
+    #[test]
+    fn diff_attributes_regression_to_grown_waste_category() {
+        let base = load_artifact(&sample_report(1_000_000)).unwrap();
+        // the "regressed" run rolled back 12ms instead of 1ms
+        let new = load_artifact(&sample_report(12_000_000)).unwrap();
+        let d = render_diff(&base, &new);
+        assert!(
+            d.contains("verdict: waste grew most in 'rolled_back'"),
+            "{d}"
+        );
+        // identical runs: nothing grew
+        let d = render_diff(&base, &base);
+        assert!(d.contains("no waste category grew"), "{d}");
+    }
+}

@@ -32,15 +32,18 @@
 //! ```
 
 pub mod analyze;
+pub mod attribution;
 pub mod cancel;
 pub mod export;
 pub mod flight;
+pub mod inspect;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
 
 pub use analyze::{analyze, AnalyzeOpts, ContentionReport};
+pub use attribution::{attribute, Category, TimeAttribution, WorkerAttribution};
 pub use cancel::{CancelToken, Cancelled};
 pub use export::{
     render_chrome_trace, render_chrome_trace_with_flight, render_overhead_table, render_prometheus,
@@ -48,6 +51,7 @@ pub use export::{
 pub use flight::{
     EventKind, EventRing, FlightEvent, FlightHandle, FlightLog, FlightRecorder, FlightSampler,
 };
+pub use inspect::{load_artifact, render_diff, render_summary, Artifact, ArtifactKind};
 pub use metrics::{CounterId, HistId, MetricDef, MetricKind, MetricsSnapshot, ThreadRecorder};
 pub use report::{OverheadBreakdown, PhaseReport, RunReport, TraceSpan};
 pub use span::{Phases, SpanGuard};

@@ -3,6 +3,7 @@
 //! pipeline run, serializable to JSON (see [`RunReport::to_json`]).
 
 use crate::analyze::ContentionReport;
+use crate::attribution::TimeAttribution;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
@@ -67,12 +68,17 @@ pub struct RunReport {
     /// Flight-recorder contention analysis (schema v2; `None` when the
     /// recorder was disabled — the key is then absent from the JSON).
     pub contention: Option<ContentionReport>,
+    /// Per-worker wall-time attribution (schema v3; `None` when the flight
+    /// recorder was disabled — the key is then absent from the JSON).
+    pub attribution: Option<TimeAttribution>,
 }
 
 impl RunReport {
     /// Schema history: v1 = counters/histograms/overheads; v2 adds the
-    /// optional `contention` section (all v1 fields unchanged).
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// optional `contention` section (all v1 fields unchanged); v3 adds the
+    /// optional top-level `time_attribution` section and embeds the same
+    /// decomposition inside `contention` (all v2 fields unchanged).
+    pub const SCHEMA_VERSION: u32 = 3;
 
     pub fn new(tool: &str) -> Self {
         RunReport {
@@ -212,6 +218,9 @@ impl RunReport {
         if let Some(c) = &self.contention {
             fields.push(("contention", c.to_json()));
         }
+        if let Some(a) = &self.attribution {
+            fields.push(("time_attribution", a.to_json()));
+        }
         Json::obj(fields)
     }
 
@@ -303,9 +312,10 @@ mod tests {
         let h = j.get("histograms").unwrap().get("cavity_cells").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(r.elements_per_second(), 500.0);
-        // schema v2: contention key absent while the recorder is off
-        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(2.0));
+        // schema v3: flight-derived sections absent while the recorder is off
+        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(3.0));
         assert!(j.get("contention").is_none());
+        assert!(j.get("time_attribution").is_none());
     }
 
     #[test]
@@ -323,17 +333,22 @@ mod tests {
             b: 0,
             c: 500,
         }];
-        r.contention = Some(analyze(
+        let contention = analyze(
             &events,
             AnalyzeOpts {
                 threads: 2,
                 wall_s: 0.5,
                 ..Default::default()
             },
-        ));
+        );
+        r.attribution = Some(contention.attribution.clone());
+        r.contention = Some(contention);
         let j = crate::json::parse(&r.to_json_string()).unwrap();
         let c = j.get("contention").expect("contention section");
         assert_eq!(c.get("rollbacks").unwrap().as_f64(), Some(1.0));
         assert!(c.get("speedup_self_report").is_some());
+        // schema v3: the attribution also surfaces at the top level
+        let a = j.get("time_attribution").expect("time_attribution section");
+        assert_eq!(a.get("workers").unwrap().as_arr().unwrap().len(), 2);
     }
 }

@@ -27,7 +27,7 @@ mod stage;
 mod worker;
 
 pub use config::{MeshOutput, MesherConfig};
-pub use session::{MeshingSession, RunOptions};
+pub use session::{CancelTelemetry, MeshingSession, RunOptions};
 pub use stage::{Stage, StageCallback, StageEvent, StageStatus};
 
 use crate::error::RefineError;

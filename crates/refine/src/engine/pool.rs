@@ -16,6 +16,7 @@
 //!   saved cursors ([`FlightRecorder::drain_from`]) so each run sees only its
 //!   own events and its drop accounting stays per-run.
 
+use super::session::CancelTelemetry;
 use super::worker::{worker, worker_death_cleanup, RunState};
 use crate::grid::PointGrid;
 use crate::stats::ThreadStats;
@@ -53,6 +54,9 @@ pub(crate) struct WorkerPool {
     threads: Vec<PoolThread>,
     grid: Option<Arc<PointGrid>>,
     flight: Option<FlightSlot>,
+    /// Telemetry salvaged from the last cancelled run (the typed
+    /// `RefineError::Cancelled` cannot carry it — the error derives `Eq`).
+    cancel_telemetry: Option<CancelTelemetry>,
 }
 
 struct FlightSlot {
@@ -68,6 +72,7 @@ impl WorkerPool {
             threads: Vec::new(),
             grid: None,
             flight: None,
+            cancel_telemetry: None,
         };
         pool.ensure_threads(threads.max(1));
         pool
@@ -150,6 +155,16 @@ impl WorkerPool {
             Arc::new(FlightRecorder::new(threads, capacity)),
             vec![0; threads.max(1)],
         )
+    }
+
+    /// Stash the telemetry of a cancelled run for the caller to collect.
+    pub(crate) fn stash_cancel_telemetry(&mut self, t: CancelTelemetry) {
+        self.cancel_telemetry = Some(t);
+    }
+
+    /// Take (and clear) the last cancelled run's telemetry.
+    pub(crate) fn take_cancel_telemetry(&mut self) -> Option<CancelTelemetry> {
+        self.cancel_telemetry.take()
     }
 
     /// Park the recorder with the cursors advanced past this run's events.

@@ -51,6 +51,28 @@ pub struct RunOptions {
     pub on_stage: Option<StageCallback>,
 }
 
+/// Telemetry salvaged from a cancelled run: the drained flight events (in
+/// the run time base), the merged metric snapshot, and the phase spans
+/// recorded up to the cancellation point. A run that is killed by a deadline
+/// is exactly the run whose observability artifacts matter most — this is
+/// what lets the CLI still write `--report` / `--contention-out` after
+/// [`RefineError::Cancelled`].
+#[derive(Clone, Debug)]
+pub struct CancelTelemetry {
+    /// Flight events drained at cancellation, re-based onto the run clock.
+    pub flight: Vec<pi2m_obs::FlightEvent>,
+    /// Events lost to ring overwrites during this run.
+    pub flight_dropped: u64,
+    /// Metrics merged from the pipeline thread and every worker.
+    pub metrics: MetricsSnapshot,
+    /// Phase spans recorded up to the cancellation point.
+    pub phases: Vec<pi2m_obs::TraceSpan>,
+    /// Wall time of the (truncated) refinement section, seconds.
+    pub wall_s: f64,
+    /// Worker thread count of the cancelled run.
+    pub threads: usize,
+}
+
 /// A persistent meshing session: create once, mesh many images.
 ///
 /// ```no_run
@@ -80,6 +102,12 @@ impl MeshingSession {
     /// Number of pooled worker threads currently alive.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Take the telemetry salvaged from the last cancelled run, if any.
+    /// Cleared by the take and overwritten by the next cancelled run.
+    pub fn take_cancel_telemetry(&mut self) -> Option<CancelTelemetry> {
+        self.pool.take_cancel_telemetry()
     }
 
     /// Mesh one image over the warm pool. Global failures (cancellation, a
@@ -289,14 +317,44 @@ pub(crate) fn run_pipeline(
         mesh, rules, sync, ..
     } = unwrap_state(state);
 
-    // A cancelled run cleans up and returns the typed error: advance the
-    // flight cursors past this run's events (so the next run on these rings
-    // doesn't replay them) and park the warm resources — the pool must come
-    // back reusable.
+    // A cancelled run cleans up and returns the typed error, but its
+    // telemetry is salvaged first: the drain advances the flight cursors
+    // past this run's events (so the next run on these rings doesn't replay
+    // them) AND keeps them — re-based onto the run clock and stashed in the
+    // pool with the merged metrics — so the caller can still produce
+    // complete `--report` / `--contention-out` artifacts for the run it had
+    // to kill. The warm resources are parked; the pool comes back reusable.
     if sync.was_cancelled() {
-        if let Some(rec) = &flight_rec {
-            let _ = rec.drain_from(&mut flight_cursors);
+        let (flight_events, flight_dropped) = match &flight_rec {
+            Some(rec) => {
+                let mut log = rec.drain_from(&mut flight_cursors);
+                for e in &mut log.events {
+                    // recorder clock → run clock
+                    e.t_ns = (e.t_ns as i128 - flight_base).max(0) as u64;
+                }
+                (log.events, log.dropped + log.torn)
+            }
+            None => (Vec::new(), 0),
+        };
+        let mut snap = MetricsSnapshot::new();
+        pipeline_rec.merge_into(cfg.threads as u32, &mut snap);
+        for (tid, rec) in recorders.iter_mut().enumerate() {
+            for e in &mut rec.events {
+                e.at_s += sync_origin;
+            }
+            rec.merge_into(tid as u32, &mut snap);
         }
+        for st in &per_thread {
+            bridge_thread_stats(st, &mut snap);
+        }
+        pool.stash_cancel_telemetry(CancelTelemetry {
+            flight: flight_events,
+            flight_dropped,
+            metrics: snap,
+            phases: phases.spans().to_vec(),
+            wall_s: wall_time,
+            threads: cfg.threads,
+        });
         if let Some(rec) = flight_rec {
             pool.park_flight(rec, flight_cursors, cfg.flight_capacity);
         }

@@ -399,6 +399,7 @@ pub(crate) fn handle_created(
     let n = created.len() as i64;
     match target {
         Some(b) => {
+            let t_donate = Instant::now();
             {
                 let mut pel = env.pels[b].lock();
                 for &nc in created {
@@ -408,8 +409,11 @@ pub(crate) fn handle_created(
             env.counters[b].fetch_add(n, Ordering::AcqRel);
             env.sync.poor_added(n);
             env.bal.wake(b);
+            // `c` carries the measured handoff cost (beggar-PEL lock, push,
+            // wake) so time attribution can charge the donor for it.
+            let handoff_ns = t_donate.elapsed().as_nanos().min(u32::MAX as u128) as u32;
             env.sync
-                .flight_emit(tid, EventKind::Donate, 0, b as u32, n as u32, 0);
+                .flight_emit(tid, EventKind::Donate, 0, b as u32, n as u32, handoff_ns);
             stats.donations_made += 1;
             if env.cfg.topology.blade_of(tid) != env.cfg.topology.blade_of(b) {
                 stats.inter_blade_donations += 1;

@@ -53,8 +53,8 @@ pub mod topology;
 pub use balancer::{BalancerKind, LoadBalancer, DONATE_THRESHOLD};
 pub use cm::{CmKind, ContentionManager, R_PLUS, S_PLUS};
 pub use engine::{
-    MeshOutput, Mesher, MesherConfig, MeshingSession, RunOptions, Stage, StageCallback, StageEvent,
-    StageStatus,
+    CancelTelemetry, MeshOutput, Mesher, MesherConfig, MeshingSession, RunOptions, Stage,
+    StageCallback, StageEvent, StageStatus,
 };
 pub use error::RefineError;
 pub use grid::PointGrid;

@@ -6,11 +6,15 @@
 //!             [--no-removals] [--size S] [--off out.off] [--stats]
 //!             [--report run.json] [--trace-out trace.json] [--metrics]
 //!             [--audit] [--live[=INTERVAL]] [--contention-out c.json]
-//!             [--no-flight] [--force]
-//! pi2m batch  <inputs...> [--outdir DIR] [--keep-going] [mesh options]
+//!             [--no-flight] [--force] [--deadline DUR]
+//!             (a run killed by --deadline still writes its --report /
+//!             --contention-out / --trace-out artifacts)
+//! pi2m batch  <inputs...> [--outdir DIR] [--keep-going] [--reports]
+//!             [mesh options]
 //!             mesh several inputs sequentially over ONE warm session
 //!             (threads, kernel arenas, flight rings, and the proximity
-//!             grid are reused run-to-run)
+//!             grid are reused run-to-run); --reports adds one
+//!             <stem>.report.json per job next to its mesh
 //! pi2m phantom <name> <out.pim> [--scale S]    generate a phantom image
 //! pi2m info   <input.pim>                      print image metadata
 //! pi2m bench  [--quick] [--seed N] [--out BENCH_kernel.json]
@@ -18,6 +22,12 @@
 //!             [--flight-gate FRAC]
 //!             [--parent-commit HASH --parent-insertion OPS_PER_SEC]
 //!                                              kernel benchmark harness
+//! pi2m bench --scaling [--quick] [--threads 1,2,4,8,16]
+//!             [--out BENCH_scaling.json] [--check ci/scaling_baseline.json]
+//!             [--tolerance 0.25]               strong-scaling record
+//! pi2m analyze <artifact.json> [new.json]      offline artifact inspection:
+//!             one file renders its attribution/hot-spot summary; two files
+//!             diff the runs and attribute the regression to a waste category
 //! pi2m --version                               crate + schema versions
 //! ```
 //!
@@ -34,7 +44,10 @@ use pi2m::obs::{
     RunReport,
 };
 use pi2m::quality;
-use pi2m::refine::{BalancerKind, CmKind, MeshOutput, MesherConfig, MeshingSession, OverheadKind};
+use pi2m::refine::{
+    BalancerKind, CancelTelemetry, CancelToken, CmKind, MeshOutput, MesherConfig, MeshingSession,
+    OverheadKind, RunOptions,
+};
 use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -165,12 +178,40 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
     let o = parse_mesh_opts(args)?;
     let cfg = config_for(&o, &img);
     let (delta, threads, cm, balancer, force) = (cfg.delta, o.threads, o.cm, o.balancer, o.force);
-    let enable_removals = o.enable_removals;
 
     eprintln!("meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}");
     let mut session = MeshingSession::new(threads);
+    let run_opts = RunOptions {
+        cancel: args
+            .flags
+            .get("deadline")
+            .map(|v| -> Result<_, String> {
+                let secs = parse_duration(v).ok_or_else(|| format!("bad --deadline '{v}'"))?;
+                Ok(CancelToken::with_deadline(
+                    std::time::Duration::from_secs_f64(secs),
+                ))
+            })
+            .transpose()?,
+        on_stage: None,
+    };
     let t0 = Instant::now();
-    let out = session.mesh(img, cfg).map_err(|e| e.to_string())?;
+    let out = match session.mesh_with(img, cfg, &run_opts) {
+        Ok(out) => out,
+        Err(pi2m::refine::RefineError::Cancelled) => {
+            // a killed run still reports: write the observability artifacts
+            // from the telemetry salvaged at the cancellation point
+            write_cancelled_artifacts(
+                args,
+                input,
+                &o,
+                delta,
+                threads,
+                session.take_cancel_telemetry(),
+            )?;
+            return Err("run cancelled (deadline); observability artifacts written".into());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let dt = t0.elapsed().as_secs_f64();
     eprintln!(
         "{} tets / {} points in {:.2}s ({:.0} elements/s), {} rollbacks, {} removals",
@@ -233,27 +274,7 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         || args.flags.contains_key("trace-out")
         || args.switches.contains("metrics")
     {
-        let mut report = RunReport::new("pi2m");
-        report
-            .config("input", input)
-            .config("delta", delta)
-            .config("threads", threads)
-            .config("cm", format!("{cm:?}"))
-            .config("balancer", format!("{balancer:?}"))
-            .config("enable_removals", enable_removals);
-        report.set_phases(&out.phases);
-        report.overheads = OverheadBreakdown {
-            contention_s: out.stats.contention_overhead(),
-            load_balance_s: out.stats.load_balance_overhead(),
-            rollback_s: out.stats.rollback_overhead(),
-            rollbacks: out.stats.total_rollbacks(),
-            livelock: out.stats.livelock,
-        };
-        report.threads = threads;
-        report.wall_s = dt;
-        report.elements = out.mesh.num_tets() as u64;
-        report.metrics = out.metrics.clone();
-        report.contention = Some(contention.clone());
+        let report = build_run_report(input, &o, delta, threads, &out, dt, &contention);
 
         if let Some(path) = args.flags.get("report") {
             write_new(path, &report.to_json_string(), force)?;
@@ -306,17 +327,125 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// The output filename for one batch input: `phantom:torus` → `torus.vtk`,
-/// `scans/knee.pim` → `knee.vtk`.
-fn batch_output_name(input: &str) -> String {
-    let stem = match input.strip_prefix("phantom:") {
+/// Assemble the schema-v3 run report for one finished run — shared by
+/// `pi2m mesh --report` and the per-job reports of `pi2m batch --reports`.
+fn build_run_report(
+    input: &str,
+    o: &MeshOpts,
+    delta: f64,
+    threads: usize,
+    out: &MeshOutput,
+    wall_s: f64,
+    contention: &pi2m::obs::ContentionReport,
+) -> RunReport {
+    let mut report = RunReport::new("pi2m");
+    report
+        .config("input", input)
+        .config("delta", delta)
+        .config("threads", threads)
+        .config("cm", format!("{:?}", o.cm))
+        .config("balancer", format!("{:?}", o.balancer))
+        .config("enable_removals", o.enable_removals);
+    report.set_phases(&out.phases);
+    report.overheads = OverheadBreakdown {
+        contention_s: out.stats.contention_overhead(),
+        load_balance_s: out.stats.load_balance_overhead(),
+        rollback_s: out.stats.rollback_overhead(),
+        rollbacks: out.stats.total_rollbacks(),
+        livelock: out.stats.livelock,
+    };
+    report.threads = threads;
+    report.wall_s = wall_s;
+    report.elements = out.mesh.num_tets() as u64;
+    report.metrics = out.metrics.clone();
+    report.attribution = Some(contention.attribution.clone());
+    report.contention = Some(contention.clone());
+    report
+}
+
+/// Honor `--contention-out` / `--report` / `--trace-out` for a run that was
+/// cancelled, using the telemetry the session salvaged at the cancellation
+/// point (`None` / empty when the run died before refinement started — the
+/// artifacts are then structurally complete but all-zero).
+fn write_cancelled_artifacts(
+    args: &Args,
+    input: &str,
+    o: &MeshOpts,
+    delta: f64,
+    threads: usize,
+    tel: Option<CancelTelemetry>,
+) -> Result<(), String> {
+    let tel = tel.unwrap_or_else(|| CancelTelemetry {
+        flight: Vec::new(),
+        flight_dropped: 0,
+        metrics: pi2m::obs::MetricsSnapshot::new(),
+        phases: Vec::new(),
+        wall_s: 0.0,
+        threads,
+    });
+    let contention = analyze(
+        &tel.flight,
+        AnalyzeOpts {
+            threads: tel.threads,
+            wall_s: tel.wall_s,
+            dropped: tel.flight_dropped,
+            ..Default::default()
+        },
+    );
+    if let Some(path) = args.flags.get("contention-out") {
+        write_new(path, &(contention.to_json().dump_pretty() + "\n"), o.force)?;
+        eprintln!("wrote {path} (cancelled run)");
+    }
+    if args.flags.contains_key("report") || args.flags.contains_key("trace-out") {
+        let mut report = RunReport::new("pi2m");
+        report
+            .config("input", input)
+            .config("delta", delta)
+            .config("threads", threads)
+            .config("cm", format!("{:?}", o.cm))
+            .config("balancer", format!("{:?}", o.balancer))
+            .config("cancelled", true);
+        report.set_phases(&tel.phases);
+        report.threads = tel.threads;
+        report.wall_s = tel.wall_s;
+        report.metrics = tel.metrics;
+        // the usual per-thread overhead stats died with the run; the flight
+        // log still knows how many operations were rolled back
+        report.overheads.rollbacks = contention.rollbacks;
+        report.attribution = Some(contention.attribution.clone());
+        report.contention = Some(contention);
+        if let Some(path) = args.flags.get("report") {
+            write_new(path, &report.to_json_string(), o.force)?;
+            eprintln!("wrote {path} (cancelled run)");
+        }
+        if let Some(path) = args.flags.get("trace-out") {
+            write_new(
+                path,
+                &render_chrome_trace_with_flight(&tel.phases, &report.metrics.events, &tel.flight),
+                o.force,
+            )?;
+            eprintln!("wrote {path} (cancelled run)");
+        }
+    }
+    Ok(())
+}
+
+/// The output stem for one batch input: `phantom:torus` → `torus`,
+/// `scans/knee.pim` → `knee`.
+fn batch_stem(input: &str) -> String {
+    match input.strip_prefix("phantom:") {
         Some(name) => name.to_string(),
         None => std::path::Path::new(input)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "mesh".into()),
-    };
-    format!("{stem}.vtk")
+    }
+}
+
+/// The output filename for one batch input: `phantom:torus` → `torus.vtk`,
+/// `scans/knee.pim` → `knee.vtk`.
+fn batch_output_name(input: &str) -> String {
+    format!("{}.vtk", batch_stem(input))
 }
 
 /// `pi2m batch`: mesh every input sequentially over ONE warm
@@ -327,11 +456,14 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     let inputs = &args.positional[1..];
     if inputs.is_empty() {
         return Err(
-            "usage: pi2m batch <inputs...> [--outdir DIR] [--keep-going] [mesh options]".into(),
+            "usage: pi2m batch <inputs...> [--outdir DIR] [--keep-going] [--reports] \
+             [mesh options]"
+                .into(),
         );
     }
     let o = parse_mesh_opts(args)?;
     let keep_going = args.switches.contains("keep-going");
+    let write_reports = args.switches.contains("reports");
     let outdir = std::path::PathBuf::from(
         args.flags
             .get("outdir")
@@ -352,6 +484,14 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
                     "{path} already exists; pass --force to overwrite it"
                 ));
             }
+            // fail the clobber check BEFORE meshing, not after the work
+            let rpath = outdir.join(format!("{}.report.json", batch_stem(input)));
+            let rpath = rpath.to_string_lossy().into_owned();
+            if write_reports && !o.force && std::path::Path::new(&rpath).exists() {
+                return Err(format!(
+                    "{rpath} already exists; pass --force to overwrite it"
+                ));
+            }
             let img = load_input(input)?;
             let cfg = config_for(&o, &img);
             let delta = cfg.delta;
@@ -366,7 +506,23 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
                 out.mesh.num_tets() as f64 / dt,
             );
             tets += out.mesh.num_tets() as u64;
-            write_vtk(&out, &path)
+            write_vtk(&out, &path)?;
+            if write_reports {
+                // one schema-v3 run report per job, next to its mesh
+                let contention = analyze(
+                    &out.flight,
+                    AnalyzeOpts {
+                        threads: o.threads,
+                        wall_s: out.stats.wall_time,
+                        dropped: out.flight_dropped,
+                        ..Default::default()
+                    },
+                );
+                let report = build_run_report(input, &o, delta, o.threads, &out, dt, &contention);
+                write_new(&rpath, &report.to_json_string(), o.force)?;
+                eprintln!("wrote {rpath}");
+            }
+            Ok(())
         };
         match run() {
             Ok(()) => done += 1,
@@ -447,6 +603,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     use pi2m_bench::kernel::{
         check_against_baseline, check_flight_overhead, run_kernel_bench, KernelBenchOpts,
     };
+
+    if args.switches.contains("scaling") {
+        return cmd_bench_scaling(args);
+    }
 
     let opts = KernelBenchOpts {
         quick: args.switches.contains("quick"),
@@ -563,6 +723,85 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `pi2m analyze`: offline inspection of saved observability artifacts.
+/// One file renders its attribution / hot-spot summary; two files diff the
+/// runs (base first) and attribute the regression to a waste category.
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    use pi2m::obs::{load_artifact, render_diff, render_summary};
+
+    let load = |path: &str| -> Result<pi2m::obs::Artifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        load_artifact(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    match (args.positional.get(1), args.positional.get(2)) {
+        (Some(one), None) => {
+            print!("{}", render_summary(&load(one)?));
+            Ok(())
+        }
+        (Some(base), Some(new)) => {
+            let (base, new) = (load(base)?, load(new)?);
+            print!("{}", render_diff(&base, &new));
+            Ok(())
+        }
+        _ => Err("usage: pi2m analyze <artifact.json> [new.json]  \
+                  (one file: summary; two files: diff base -> new)"
+            .into()),
+    }
+}
+
+/// `pi2m bench --scaling`: run the refinement workload up a thread ladder
+/// over one warm session, print the speedup/efficiency table with the
+/// wall-time attribution, optionally write `BENCH_scaling.json` and/or gate
+/// parallel efficiency against `ci/scaling_baseline.json`.
+fn cmd_bench_scaling(args: &Args) -> Result<(), String> {
+    use pi2m_bench::scaling::{
+        check_scaling_baseline, render_scaling_table, run_scaling_bench, ScalingBenchOpts,
+    };
+
+    let threads = args
+        .flags
+        .get("threads")
+        .map(|v| -> Result<Vec<usize>, String> {
+            v.split(',')
+                .map(|t| t.trim().parse().map_err(|_| format!("bad --threads '{v}'")))
+                .collect()
+        })
+        .transpose()?;
+    let opts = ScalingBenchOpts {
+        quick: args.switches.contains("quick"),
+        threads,
+        ..Default::default()
+    };
+    let mode = if opts.quick { "quick" } else { "full" };
+    eprintln!("running strong-scaling benchmark ({mode})...");
+    let report = run_scaling_bench(opts);
+    print!("{}", render_scaling_table(&report));
+
+    if let Some(out) = args.flags.get("out") {
+        std::fs::write(out, report.to_json_string() + "\n")
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+
+    if let Some(baseline_path) = args.flags.get("check") {
+        let tolerance: f64 = args
+            .flags
+            .get("tolerance")
+            .map(|v| v.parse().map_err(|_| "bad --tolerance"))
+            .transpose()?
+            .unwrap_or(0.25);
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+        let lines = check_scaling_baseline(&report, &baseline, tolerance)
+            .map_err(|e| format!("scaling regression: {e}"))?;
+        for l in lines {
+            println!("check        {l}");
+        }
+        println!("check        OK (tolerance {:.0}%)", tolerance * 100.0);
+    }
+    Ok(())
+}
+
 /// `pi2m --version`: the crate version plus the versions of the two stable
 /// on-disk layouts tools may depend on — the run-report JSON schema and the
 /// flight-recorder event layout.
@@ -585,11 +824,14 @@ fn main() -> ExitCode {
         Some("phantom") => cmd_phantom(&args),
         Some("info") => cmd_info(&args),
         Some("bench") => cmd_bench(&args),
+        Some("analyze") => cmd_analyze(&args),
         Some("version") => {
             print_version();
             Ok(())
         }
-        _ => Err("usage: pi2m <mesh|batch|phantom|info|bench|version> ... (see README)".into()),
+        _ => Err(
+            "usage: pi2m <mesh|batch|phantom|info|bench|analyze|version> ... (see README)".into(),
+        ),
     };
     match r {
         Ok(()) => ExitCode::SUCCESS,

@@ -22,6 +22,8 @@ pub const SWITCHES: &[&str] = &[
     "metrics",
     "audit",
     "quick",
+    "scaling",
+    "reports",
     "live",
     "no-flight",
     "force",

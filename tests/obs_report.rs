@@ -6,7 +6,7 @@
 use pi2m::image::phantoms;
 use pi2m::obs::json::{self, Json};
 use pi2m::obs::metrics::{self, ObsEvent};
-use pi2m::obs::{render_chrome_trace, OverheadBreakdown, RunReport};
+use pi2m::obs::{analyze, render_chrome_trace, AnalyzeOpts, OverheadBreakdown, RunReport};
 use pi2m::refine::{Mesher, MesherConfig, OverheadKind};
 
 const REPORT_KEYS: &[&str] = &[
@@ -23,6 +23,8 @@ const REPORT_KEYS: &[&str] = &[
     "elements_per_second",
     "counters",
     "histograms",
+    "time_attribution",
+    "contention",
 ];
 
 #[test]
@@ -52,6 +54,17 @@ fn real_run_produces_schema_valid_report_and_trace() {
     report.wall_s = out.stats.wall_time;
     report.elements = out.mesh.num_tets() as u64;
     report.metrics = out.metrics.clone();
+    let contention = analyze(
+        &out.flight,
+        AnalyzeOpts {
+            threads,
+            wall_s: out.stats.wall_time,
+            dropped: out.flight_dropped,
+            ..AnalyzeOpts::default()
+        },
+    );
+    report.attribution = Some(contention.attribution.clone());
+    report.contention = Some(contention);
 
     let j = json::parse(&report.to_json_string()).expect("report is valid JSON");
     for key in REPORT_KEYS {
@@ -102,6 +115,37 @@ fn real_run_produces_schema_valid_report_and_trace() {
         assert!(cavity.get(key).is_some(), "histogram missing {key}");
     }
     assert!(cavity.get("count").unwrap().as_f64().unwrap() > 0.0);
+
+    // --- schema v3: the wall-time attribution section ---------------------
+    let at = j.get("time_attribution").unwrap();
+    let workers = at.get("workers").unwrap().as_arr().unwrap();
+    assert_eq!(workers.len(), threads, "one attribution row per worker");
+    const CATEGORIES: &[&str] = &[
+        "committed",
+        "rolled_back",
+        "cm_park",
+        "beg_park",
+        "steal_donate",
+        "idle",
+    ];
+    let fractions = at.get("fractions").unwrap();
+    for cat in CATEGORIES {
+        let f = fractions.get(cat).and_then(Json::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&f), "fraction {cat} = {f}");
+    }
+    // each worker's six fractions account for its full wall clock
+    for w in workers {
+        let wf = w.get("fractions").unwrap();
+        let sum: f64 = CATEGORIES
+            .iter()
+            .map(|cat| wf.get(cat).and_then(Json::as_f64).unwrap())
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-6, "worker fractions sum to {sum}");
+    }
+    // the embedded contention section carries the same decomposition
+    let cont = j.get("contention").unwrap();
+    assert!(cont.get("time_attribution").is_some());
+    assert!(cont.get("speedup_self_report").is_some());
 
     // --- Chrome trace: the CLI's --trace-out composition ------------------
     let mut events: Vec<(u32, ObsEvent)> = out.metrics.events.clone();

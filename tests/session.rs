@@ -171,6 +171,18 @@ fn cancel_mid_volume_refine_is_typed_prompt_and_recoverable() {
         t0.elapsed()
     );
 
+    // A refinement-section cancel salvages the run's telemetry: the flight
+    // log, phase spans, and wall clock survive so the CLI can still write
+    // complete observability artifacts for the aborted run.
+    let tel = session
+        .take_cancel_telemetry()
+        .expect("cancelled refinement stashes telemetry");
+    assert_eq!(tel.threads, 4);
+    assert!(tel.wall_s >= 0.0);
+    assert!(!tel.phases.is_empty(), "phase spans salvaged");
+    // the salvage is take-once: a second take yields nothing
+    assert!(session.take_cancel_telemetry().is_none());
+
     // The session survives: no leaked locks, grid/rings parked, next run ok.
     let out = session
         .mesh(phantoms::sphere(16, 1.0), cfg(2.0, 4))
@@ -192,6 +204,8 @@ fn pre_expired_deadline_cancels_before_refinement() {
         Ok(_) => panic!("expected Cancelled"),
     };
     assert!(matches!(err, RefineError::Cancelled));
+    // a cancel before refinement has no worker telemetry to salvage
+    assert!(session.take_cancel_telemetry().is_none());
     // and again: the session is not poisoned by an early-stage cancel
     let out = session
         .mesh(phantoms::sphere(14, 1.0), cfg(2.5, 2))
