@@ -56,6 +56,17 @@ pub mod sites {
     pub const CM_ROLLBACK: &str = "refine.cm.rollback";
     /// Just before parking in the load balancer's begging list.
     pub const BALANCER_BEG: &str = "refine.balancer.beg";
+    /// Admission control of the meshing service's job queue (`pi2m serve`):
+    /// `fail` sheds the job as if the queue were full, `delay` stalls the
+    /// submitting connection.
+    pub const SERVE_ADMIT: &str = "serve.queue.admit";
+    /// Checkout of a warm session slot for a job attempt: `fail` poisons the
+    /// checkout (the service recycles the session and retries), `delay`
+    /// holds the slot busy.
+    pub const SERVE_CHECKOUT: &str = "serve.session.checkout";
+    /// Artifact flush after a successful mesh: `fail` makes the write report
+    /// an I/O error (transient from the service's point of view).
+    pub const SERVE_ARTIFACT: &str = "serve.artifact.write";
 }
 
 /// What a firing rule does.

@@ -118,6 +118,15 @@ counters! {
     RECOVERY_ROLLBACKS   = ("recovery_rollbacks", "ops", "Lock sets force-released while recovering from a panic"),
     KERNEL_ERRORS        = ("kernel_errors", "ops", "Operations abandoned on a typed kernel-invariant error"),
     FAULTS_INJECTED      = ("faults_injected", "events", "Faults fired by the deterministic injection plan"),
+    // meshing service (`pi2m serve`; incremented by the service layer)
+    SERVE_JOBS_SUBMITTED = ("serve_jobs_submitted", "jobs", "Jobs admitted to the service queue"),
+    SERVE_JOBS_SHED      = ("serve_jobs_shed", "jobs", "Jobs rejected at admission (queue full or draining)"),
+    SERVE_JOB_RETRIES    = ("serve_job_retries", "attempts", "Job attempts re-run after a transient failure"),
+    SERVE_JOBS_SUCCEEDED = ("serve_jobs_succeeded", "jobs", "Jobs completed with their artifact flushed"),
+    SERVE_JOBS_FAILED    = ("serve_jobs_failed", "jobs", "Jobs that reached a terminal typed failure"),
+    SERVE_JOBS_CANCELLED = ("serve_jobs_cancelled", "jobs", "Jobs cancelled by their per-job deadline"),
+    SERVE_SESSIONS_RECYCLED = ("serve_sessions_recycled", "sessions", "Warm sessions replaced after worker deaths or checkout faults"),
+    SERVE_DRAINS         = ("serve_drains", "events", "Graceful drains initiated (SIGTERM or POST /drain)"),
 }
 
 histograms! {
@@ -127,6 +136,7 @@ histograms! {
     LB_WAIT_SECONDS      = ("lb_wait_seconds", "seconds", "Begging-list wait per empty-PEL episode"),
     WALK_STEPS_PER_LOCATE = ("walk_steps_per_locate", "cells", "Cells visited per point-location walk"),
     EDT_PASS_SECONDS     = ("edt_pass_seconds", "seconds", "Wall time per separable EDT axis pass"),
+    SERVE_QUEUE_WAIT_SECONDS = ("serve_queue_wait_seconds", "seconds", "Time jobs spent queued before their first attempt"),
 }
 
 /// Combined catalog view (counters, then histograms).
@@ -335,6 +345,26 @@ impl MetricsSnapshot {
     /// the snapshot.
     pub fn add_counter(&mut self, id: CounterId, n: u64) {
         self.counters[id.0 as usize] += n;
+    }
+
+    /// Record one histogram sample directly into the snapshot (long-lived
+    /// aggregators like the meshing service have no per-thread recorder).
+    pub fn observe(&mut self, id: HistId, v: f64) {
+        self.hists[id.0 as usize].observe(v);
+    }
+
+    /// Fold another snapshot into this one: counters add, histograms merge,
+    /// events concatenate. Used by long-lived aggregators (e.g. `pi2m serve`
+    /// accumulating every job's run metrics into one service-lifetime view).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.threads_merged = self.threads_merged.max(other.threads_merged);
     }
 
     pub fn hist(&self, id: HistId) -> &Hist {

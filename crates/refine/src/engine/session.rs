@@ -87,6 +87,7 @@ pub struct CancelTelemetry {
 /// ```
 pub struct MeshingSession {
     pool: WorkerPool,
+    generation: u64,
 }
 
 impl MeshingSession {
@@ -96,12 +97,32 @@ impl MeshingSession {
     pub fn new(threads: usize) -> Self {
         MeshingSession {
             pool: WorkerPool::new(threads),
+            generation: 0,
         }
     }
 
     /// Number of pooled worker threads currently alive.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Replace the warm worker pool with a fresh one of the same width,
+    /// discarding every parked resource (threads, arenas, flight rings,
+    /// proximity grid). This is the quarantine path for a session that
+    /// served a poisoned run — e.g. one whose workers died or that returned
+    /// [`RefineError::WorkerQuorumLost`] — where a caller like `pi2m serve`
+    /// wants the next job to start from provably clean state. Blocks until
+    /// the old pool's threads have joined.
+    pub fn recycle(&mut self) {
+        let threads = self.pool.threads();
+        self.pool = WorkerPool::new(threads);
+        self.generation += 1;
+    }
+
+    /// How many times [`recycle`](Self::recycle) replaced the pool. A fresh
+    /// session is generation 0.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Take the telemetry salvaged from the last cancelled run, if any.

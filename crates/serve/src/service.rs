@@ -1,0 +1,733 @@
+//! The meshing service: N warm session slots draining a bounded job queue,
+//! with a typed failure model wrapped around every attempt.
+//!
+//! ## Failure model
+//!
+//! Every admitted job terminates in exactly one typed state:
+//!
+//! * **Succeeded** — the mesh ran, the artifact is flushed (written to a
+//!   temp file and renamed into place).
+//! * **Failed** — a *deterministic* error (unreadable input, a typed
+//!   kernel-invariant error) fails fast on the first attempt; *transient*
+//!   errors (worker-quorum loss, livelock, session-checkout faults,
+//!   artifact I/O) are retried with capped exponential backoff until the
+//!   retry budget is spent.
+//! * **Cancelled** — the per-job deadline passed (while queued, mid-attempt
+//!   via the engine's cooperative [`CancelToken`], or because a drain ran
+//!   out of grace).
+//!
+//! A transient failure that poisons the slot (worker deaths, livelock,
+//! checkout faults) **quarantines the session**: the slot recycles its
+//! [`MeshingSession`] — fresh pool threads, arenas, rings, grid — before
+//! the retry, so a poisoned run can never bleed state into the next
+//! attempt. A *successful* run that still lost workers (the PEL-bequest
+//! recovery path) is also followed by a recycle, acting as the worker-death
+//! watchdog. An independent watchdog thread force-cancels jobs that
+//! overstay their deadline by more than a grace period, so no job can hang
+//! the service even if a cooperative cancellation point is missed.
+
+use crate::job::{JobId, JobRecord, JobSpec, JobStatus};
+use crate::queue::{AdmitError, JobQueue};
+use parking_lot::Mutex;
+use pi2m_faults::{sites, FaultPlan};
+use pi2m_image::{io as img_io, phantoms, LabeledImage};
+use pi2m_obs::metrics::{self, MetricsSnapshot};
+use pi2m_obs::{render_prometheus, CancelToken, RunReport};
+use pi2m_refine::{MesherConfig, MeshingSession, RefineError, RunOptions};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service-wide configuration (fixed at start).
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Warm session slots executing jobs concurrently.
+    pub sessions: usize,
+    /// Worker threads per session (also the per-job thread cap).
+    pub threads: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Directory artifacts are flushed into.
+    pub spool: PathBuf,
+    /// Default per-job deadline when the spec does not set one (`None` =
+    /// unlimited).
+    pub default_deadline_s: Option<f64>,
+    /// Default retry budget for transient failures.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Seconds past a job's deadline before the watchdog force-cancels it.
+    pub deadline_grace_s: f64,
+    /// Watchdog sweep interval.
+    pub watchdog_interval_ms: u64,
+    /// Deterministic fault plan, consulted at the service sites
+    /// (`serve.queue.admit`, `serve.session.checkout`,
+    /// `serve.artifact.write`) and threaded into every job's engine config.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            sessions: 2,
+            threads: 2,
+            queue_capacity: 32,
+            spool: std::env::temp_dir().join("pi2m-spool"),
+            default_deadline_s: None,
+            max_retries: 2,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            deadline_grace_s: 5.0,
+            watchdog_interval_ms: 100,
+            faults: None,
+        }
+    }
+}
+
+/// Load a job input the same way the CLI does: `phantom:NAME` or a `.pim`
+/// path on the server's filesystem.
+pub fn load_input(spec: &str) -> Result<LabeledImage, String> {
+    if let Some(name) = spec.strip_prefix("phantom:") {
+        phantoms::by_name(name, 1.0).ok_or_else(|| format!("unknown phantom '{name}'"))
+    } else {
+        img_io::load(spec).map_err(|e| format!("cannot read {spec}: {e}"))
+    }
+}
+
+/// How an attempt failed, and what that means for the job.
+enum FailureClass {
+    /// Deadline passed; terminal, never retried.
+    Cancelled,
+    /// Same inputs would fail the same way; fail fast.
+    Deterministic,
+    /// Worth retrying; `poison` additionally quarantines the session.
+    Transient { poison: bool },
+}
+
+struct AttemptFailure {
+    class: FailureClass,
+    /// Stable error class for the job record (`cancelled`, `load`,
+    /// `kernel`, `worker_quorum_lost`, `livelock`, `checkout`, `io`).
+    kind: &'static str,
+    message: String,
+}
+
+impl AttemptFailure {
+    fn from_refine(e: &RefineError) -> AttemptFailure {
+        let (class, kind) = match e {
+            RefineError::Cancelled => (FailureClass::Cancelled, "cancelled"),
+            RefineError::WorkerQuorumLost { .. } => (
+                FailureClass::Transient { poison: true },
+                "worker_quorum_lost",
+            ),
+            RefineError::Livelock => (FailureClass::Transient { poison: true }, "livelock"),
+            RefineError::Kernel(_) => (FailureClass::Deterministic, "kernel"),
+        };
+        AttemptFailure {
+            class,
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// What a successful attempt hands back to the retry loop.
+struct AttemptSuccess {
+    tets: u64,
+    run_s: f64,
+    artifact: PathBuf,
+    /// Workers died (but quorum held) — recycle the session afterwards.
+    dirty: bool,
+}
+
+/// The running service. Fully interior-mutable: share behind an [`Arc`]
+/// between the HTTP front door, the signal handler, and tests.
+pub struct MeshService {
+    cfg: ServiceConfig,
+    queue: JobQueue,
+    jobs: Mutex<HashMap<JobId, JobRecord>>,
+    /// Cancel handles (and deadlines) of attempts currently executing.
+    running: Mutex<HashMap<JobId, (CancelToken, Option<Instant>)>>,
+    /// Service-lifetime metrics: the serve counters plus every finished
+    /// job's engine metrics merged in.
+    metrics: Mutex<MetricsSnapshot>,
+    /// EWMA of recent job run time, for `Retry-After` hints.
+    avg_run_s: Mutex<Option<f64>>,
+    next_id: AtomicU64,
+    busy_slots: AtomicUsize,
+    /// Set when a drain exhausted its grace: attempts and backoffs abort.
+    abort: AtomicBool,
+    watchdog_stop: AtomicBool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl MeshService {
+    /// Create the spool directory, spawn the session slots and the
+    /// watchdog, and start serving the queue.
+    pub fn start(cfg: ServiceConfig) -> Result<Arc<MeshService>, String> {
+        assert!(cfg.sessions >= 1, "need at least one session slot");
+        assert!(cfg.threads >= 1, "need at least one worker thread");
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be positive");
+        std::fs::create_dir_all(&cfg.spool)
+            .map_err(|e| format!("cannot create spool dir {}: {e}", cfg.spool.display()))?;
+        let svc = Arc::new(MeshService {
+            queue: JobQueue::new(cfg.queue_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            running: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(MetricsSnapshot::new()),
+            avg_run_s: Mutex::new(None),
+            next_id: AtomicU64::new(1),
+            busy_slots: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            watchdog_stop: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            cfg,
+        });
+        let mut handles = Vec::new();
+        for slot in 0..svc.cfg.sessions {
+            let s = Arc::clone(&svc);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pi2m-slot-{slot}"))
+                    .spawn(move || s.runner(slot))
+                    .map_err(|e| format!("cannot spawn slot thread: {e}"))?,
+            );
+        }
+        {
+            let s = Arc::clone(&svc);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("pi2m-watchdog".into())
+                    .spawn(move || s.watchdog())
+                    .map_err(|e| format!("cannot spawn watchdog thread: {e}"))?,
+            );
+        }
+        *svc.handles.lock() = handles;
+        Ok(svc)
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Slots currently executing (or backing off between attempts of) a job.
+    pub fn busy_slots(&self) -> usize {
+        self.busy_slots.load(Ordering::Relaxed)
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.queue.is_draining()
+    }
+
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The `Retry-After` hint stamped into shed responses: roughly how long
+    /// until a queue slot frees up, from the current depth and the measured
+    /// average job time.
+    pub fn retry_after_s(&self) -> u64 {
+        let avg = self.avg_run_s.lock().unwrap_or(1.0);
+        let per_slot = (self.queue.depth() as f64 + 1.0) * avg / self.cfg.sessions as f64;
+        (per_slot.ceil() as u64).clamp(1, 60)
+    }
+
+    /// Admit one job or shed it with a typed error. Shedding is counted but
+    /// leaves no record: the rejection is the whole story.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        let retry_after_s = self.retry_after_s();
+        // Seeded fault site: shed as if the queue were full (`fail`/`deny`),
+        // or stall the submitting connection (`delay`).
+        if let Some(f) = &self.cfg.faults {
+            if f.fire(sites::SERVE_ADMIT, 0).is_some() {
+                self.count(metrics::SERVE_JOBS_SHED, 1);
+                return Err(AdmitError::QueueFull {
+                    depth: self.queue.depth(),
+                    capacity: self.cfg.queue_capacity,
+                    retry_after_s,
+                });
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline_s = spec.deadline_s.or(self.cfg.default_deadline_s);
+        let deadline = deadline_s.map(|s| Instant::now() + Duration::from_secs_f64(s));
+        let prio = spec.priority;
+        // Insert the record BEFORE admission so a slot popping the id always
+        // finds it; roll back on shed.
+        self.jobs
+            .lock()
+            .insert(id, JobRecord::new(id, spec, deadline));
+        match self.queue.admit(id, prio, retry_after_s) {
+            Ok(()) => {
+                self.count(metrics::SERVE_JOBS_SUBMITTED, 1);
+                Ok(id)
+            }
+            Err(e) => {
+                self.jobs.lock().remove(&id);
+                self.count(metrics::SERVE_JOBS_SHED, 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshot one job record.
+    pub fn job(&self, id: JobId) -> Option<JobRecord> {
+        self.jobs.lock().get(&id).cloned()
+    }
+
+    /// Snapshot all job records, oldest first.
+    pub fn jobs(&self) -> Vec<JobRecord> {
+        let mut v: Vec<JobRecord> = self.jobs.lock().values().cloned().collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+
+    /// Stop admitting new jobs. Queued and running jobs keep going;
+    /// idempotent (only the first call counts a drain).
+    pub fn begin_drain(&self) {
+        if !self.queue.is_draining() {
+            self.count(metrics::SERVE_DRAINS, 1);
+        }
+        self.queue.begin_drain();
+    }
+
+    /// Graceful drain: stop admitting, let in-flight jobs finish (or hit
+    /// their own deadlines), then join every service thread. If the backlog
+    /// is not gone after `grace`, remaining attempts are force-cancelled
+    /// (they terminate `Cancelled`, typed). Returns `true` when everything
+    /// finished within the grace period.
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.begin_drain();
+        let deadline = Instant::now() + grace;
+        let clean = loop {
+            let idle = self.busy_slots() == 0 && self.queue_depth() == 0;
+            if idle {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                // Out of grace: abort backoffs and cancel running attempts.
+                self.abort.store(true, Ordering::SeqCst);
+                for (token, _) in self.running.lock().values() {
+                    token.cancel();
+                }
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        self.watchdog_stop.store(true, Ordering::SeqCst);
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        clean
+    }
+
+    /// Prometheus exposition of the service: the obs catalog (serve
+    /// counters plus every job's merged engine metrics) and the live
+    /// service gauges.
+    pub fn render_metrics(&self) -> String {
+        let mut report = RunReport::new("pi2m-serve");
+        report.threads = self.cfg.sessions * self.cfg.threads;
+        report.wall_s = self.uptime_s();
+        report.metrics = self.metrics.lock().clone();
+        let mut out = render_prometheus(&report);
+        let mut gauge = |name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP pi2m_{name} {help}");
+            let _ = writeln!(out, "# TYPE pi2m_{name} gauge");
+            let _ = writeln!(out, "pi2m_{name} {v}");
+        };
+        gauge(
+            "serve_queue_depth",
+            "Jobs waiting in the admission queue",
+            self.queue_depth() as f64,
+        );
+        gauge(
+            "serve_queue_capacity",
+            "Bounded queue capacity",
+            self.cfg.queue_capacity as f64,
+        );
+        gauge(
+            "serve_slots_busy",
+            "Session slots executing a job",
+            self.busy_slots() as f64,
+        );
+        gauge(
+            "serve_sessions",
+            "Warm session slots",
+            self.cfg.sessions as f64,
+        );
+        gauge(
+            "serve_draining",
+            "1 once a drain was requested",
+            if self.is_draining() { 1.0 } else { 0.0 },
+        );
+        gauge(
+            "serve_uptime_seconds",
+            "Seconds since the service started",
+            self.uptime_s(),
+        );
+        out
+    }
+
+    /// Read one service counter (tests and the drain summary).
+    pub fn counter(&self, id: metrics::CounterId) -> u64 {
+        self.metrics.lock().counter(id)
+    }
+
+    fn count(&self, id: metrics::CounterId, n: u64) {
+        self.metrics.lock().add_counter(id, n);
+    }
+
+    // ---- slot side ------------------------------------------------------
+
+    fn runner(self: Arc<Self>, slot: usize) {
+        let mut session = MeshingSession::new(self.cfg.threads);
+        while let Some(id) = self.queue.pop() {
+            self.busy_slots.fetch_add(1, Ordering::SeqCst);
+            // Crash isolation of last resort: a panic escaping the attempt
+            // (e.g. an injected `kind=panic` at a service fault site) must
+            // not kill the slot — the job fails typed, the session is
+            // quarantined, and the runner keeps draining the queue.
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_job(&mut session, slot, id)
+            }));
+            if attempt.is_err() {
+                self.running.lock().remove(&id);
+                self.recycle(&mut session, slot, "panic escaped the attempt");
+                self.finish_failed(
+                    id,
+                    JobStatus::Failed,
+                    &AttemptFailure {
+                        class: FailureClass::Deterministic,
+                        kind: "panic",
+                        message: "attempt panicked; session slot quarantined".into(),
+                    },
+                );
+            }
+            self.busy_slots.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Execute one job to a typed terminal state, retrying transient
+    /// failures with capped exponential backoff.
+    fn run_job(&self, session: &mut MeshingSession, slot: usize, id: JobId) {
+        let Some((spec, deadline, wait_s)) = ({
+            let mut jobs = self.jobs.lock();
+            jobs.get_mut(&id).map(|r| {
+                r.status = JobStatus::Running;
+                let wait = r.submitted.elapsed().as_secs_f64();
+                r.queue_wait_s = Some(wait);
+                (r.spec.clone(), r.deadline, wait)
+            })
+        }) else {
+            return; // record vanished (never happens in practice)
+        };
+        self.metrics
+            .lock()
+            .observe(metrics::SERVE_QUEUE_WAIT_SECONDS, wait_s);
+        let max_retries = spec.max_retries.unwrap_or(self.cfg.max_retries);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if let Some(r) = self.jobs.lock().get_mut(&id) {
+                r.attempts = attempt;
+                r.session_generation = Some(session.generation());
+            }
+            match self.attempt(session, slot, id, &spec, deadline) {
+                Ok(done) => {
+                    if done.dirty {
+                        // Worker-death watchdog: the run finished (PEL
+                        // bequest kept it sound) but the slot is suspect.
+                        self.recycle(session, slot, "workers died during a successful run");
+                    }
+                    let mut avg = self.avg_run_s.lock();
+                    *avg = Some(match *avg {
+                        Some(a) => 0.8 * a + 0.2 * done.run_s,
+                        None => done.run_s,
+                    });
+                    drop(avg);
+                    if let Some(r) = self.jobs.lock().get_mut(&id) {
+                        r.status = JobStatus::Succeeded;
+                        r.run_s = Some(done.run_s);
+                        r.tets = Some(done.tets);
+                        r.artifact = Some(done.artifact);
+                    }
+                    self.count(metrics::SERVE_JOBS_SUCCEEDED, 1);
+                    return;
+                }
+                Err(fail) => {
+                    if let FailureClass::Transient { poison: true } = fail.class {
+                        self.recycle(session, slot, fail.kind);
+                    }
+                    match fail.class {
+                        FailureClass::Cancelled => {
+                            self.finish_failed(id, JobStatus::Cancelled, &fail);
+                            return;
+                        }
+                        FailureClass::Deterministic => {
+                            self.finish_failed(id, JobStatus::Failed, &fail);
+                            return;
+                        }
+                        FailureClass::Transient { .. } => {
+                            if attempt > max_retries {
+                                let fail = AttemptFailure {
+                                    message: format!(
+                                        "{} (retry budget of {max_retries} spent over {attempt} attempts)",
+                                        fail.message
+                                    ),
+                                    ..fail
+                                };
+                                self.finish_failed(id, JobStatus::Failed, &fail);
+                                return;
+                            }
+                            self.count(metrics::SERVE_JOB_RETRIES, 1);
+                            if !self.backoff(attempt, deadline) {
+                                let fail = AttemptFailure {
+                                    class: FailureClass::Cancelled,
+                                    kind: "cancelled",
+                                    message: format!(
+                                        "deadline passed while backing off after: {}",
+                                        fail.message
+                                    ),
+                                };
+                                self.finish_failed(id, JobStatus::Cancelled, &fail);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_failed(&self, id: JobId, status: JobStatus, fail: &AttemptFailure) {
+        if let Some(r) = self.jobs.lock().get_mut(&id) {
+            if r.status.is_terminal() {
+                return; // already terminal; never overwrite (or double-count)
+            }
+            r.status = status;
+            r.error_kind = Some(fail.kind.to_string());
+            r.error = Some(fail.message.clone());
+        }
+        self.count(
+            match status {
+                JobStatus::Cancelled => metrics::SERVE_JOBS_CANCELLED,
+                _ => metrics::SERVE_JOBS_FAILED,
+            },
+            1,
+        );
+    }
+
+    fn recycle(&self, session: &mut MeshingSession, slot: usize, why: &str) {
+        eprintln!(
+            "serve: slot {slot}: quarantining session (generation {} -> {}): {why}",
+            session.generation(),
+            session.generation() + 1
+        );
+        session.recycle();
+        self.count(metrics::SERVE_SESSIONS_RECYCLED, 1);
+    }
+
+    /// One attempt: checkout, load, mesh under the job's deadline token,
+    /// flush the artifact.
+    fn attempt(
+        &self,
+        session: &mut MeshingSession,
+        slot: usize,
+        id: JobId,
+        spec: &JobSpec,
+        deadline: Option<Instant>,
+    ) -> Result<AttemptSuccess, AttemptFailure> {
+        if self.abort.load(Ordering::SeqCst) {
+            return Err(AttemptFailure {
+                class: FailureClass::Cancelled,
+                kind: "cancelled",
+                message: "drain grace period expired before the attempt started".into(),
+            });
+        }
+        // Seeded fault site: a poisoned checkout is transient and
+        // quarantines the slot, exactly like a real poisoned session.
+        if let Some(f) = &self.cfg.faults {
+            if f.fire(sites::SERVE_CHECKOUT, slot as u32).is_some() {
+                return Err(AttemptFailure {
+                    class: FailureClass::Transient { poison: true },
+                    kind: "checkout",
+                    message: "injected session-checkout fault".into(),
+                });
+            }
+        }
+        let remaining = match deadline {
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return Err(AttemptFailure {
+                        class: FailureClass::Cancelled,
+                        kind: "cancelled",
+                        message: "deadline passed before the attempt started".into(),
+                    });
+                }
+                Some(d - now)
+            }
+            None => None,
+        };
+        let img = load_input(&spec.input).map_err(|e| AttemptFailure {
+            class: FailureClass::Deterministic,
+            kind: "load",
+            message: e,
+        })?;
+        let threads = spec
+            .threads
+            .unwrap_or(self.cfg.threads)
+            .clamp(1, self.cfg.threads);
+        let cfg = MesherConfig {
+            delta: spec.delta.unwrap_or(2.0 * img.min_spacing()),
+            threads,
+            faults: self.cfg.faults.clone(),
+            ..Default::default()
+        };
+        let token = match remaining {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        self.running.lock().insert(id, (token.clone(), deadline));
+        let t0 = Instant::now();
+        let result = session.mesh_with(
+            img,
+            cfg,
+            &RunOptions {
+                cancel: Some(token),
+                on_stage: None,
+            },
+        );
+        self.running.lock().remove(&id);
+        let out = result.map_err(|e| AttemptFailure::from_refine(&e))?;
+        let run_s = t0.elapsed().as_secs_f64();
+        let dirty = out.stats.workers_died > 0;
+        // Fold the job's engine metrics into the service-lifetime view
+        // (events are per-run timelines — dropped to keep memory bounded).
+        {
+            let mut m = self.metrics.lock();
+            m.merge(&out.metrics);
+            m.events.clear();
+        }
+        let artifact = self
+            .flush_artifact(id, &out)
+            .map_err(|message| AttemptFailure {
+                class: FailureClass::Transient { poison: false },
+                kind: "io",
+                message,
+            })?;
+        Ok(AttemptSuccess {
+            tets: out.mesh.num_tets() as u64,
+            run_s,
+            artifact,
+            dirty,
+        })
+    }
+
+    /// Flush the mesh artifact: write to a temp file, rename into place.
+    /// The rename makes a fetched artifact always complete, and the temp
+    /// write is the `serve.artifact.write` fault site.
+    fn flush_artifact(&self, id: JobId, out: &pi2m_refine::MeshOutput) -> Result<PathBuf, String> {
+        if let Some(f) = &self.cfg.faults {
+            if f.fire(sites::SERVE_ARTIFACT, 0).is_some() {
+                return Err("injected artifact-write fault".into());
+            }
+        }
+        let path = self
+            .cfg
+            .spool
+            .join(format!("{}.vtk", crate::job::job_name(id)));
+        let tmp = self
+            .cfg
+            .spool
+            .join(format!(".{}.vtk.tmp", crate::job::job_name(id)));
+        let write = || -> std::io::Result<()> {
+            let f = std::fs::File::create(&tmp)?;
+            let mut w = std::io::BufWriter::new(f);
+            pi2m_meshio::write_vtk(&out.mesh, &mut w)?;
+            w.flush()?;
+            std::fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("artifact write failed: {e}")
+        })?;
+        Ok(path)
+    }
+
+    /// Sleep out a retry backoff (capped exponential), aborting early on
+    /// the job deadline or a drain running out of grace. Returns `false`
+    /// when the job must stop retrying.
+    fn backoff(&self, attempt: u32, deadline: Option<Instant>) -> bool {
+        let exp = self
+            .cfg
+            .backoff_base_ms
+            .saturating_mul(1u64 << (attempt - 1).min(16));
+        let until = Instant::now() + Duration::from_millis(exp.min(self.cfg.backoff_cap_ms));
+        while Instant::now() < until {
+            if self.abort.load(Ordering::SeqCst) {
+                return false;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return false;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    // ---- watchdog -------------------------------------------------------
+
+    /// Deadline enforcement of last resort: if a running attempt overstays
+    /// its deadline by more than the grace period (a missed cooperative
+    /// cancellation point), cancel its token so the engine unwinds at the
+    /// next boundary and the job terminates `Cancelled` instead of hanging.
+    fn watchdog(self: Arc<Self>) {
+        let interval = Duration::from_millis(self.cfg.watchdog_interval_ms.max(10));
+        let grace = Duration::from_secs_f64(self.cfg.deadline_grace_s.max(0.0));
+        while !self.watchdog_stop.load(Ordering::SeqCst) {
+            std::thread::sleep(interval);
+            let now = Instant::now();
+            for (token, deadline) in self.running.lock().values() {
+                if let Some(d) = deadline {
+                    if now >= *d + grace {
+                        token.cancel();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MeshService {
+    fn drop(&mut self) {
+        // Safety net for callers that never drained: stop the threads so
+        // the process can exit. (Drain is the intended path.)
+        self.queue.begin_drain();
+        self.abort.store(true, Ordering::SeqCst);
+        self.watchdog_stop.store(true, Ordering::SeqCst);
+        for (token, _) in self.running.lock().values() {
+            token.cancel();
+        }
+        for h in std::mem::take(&mut *self.handles.lock()) {
+            let _ = h.join();
+        }
+    }
+}

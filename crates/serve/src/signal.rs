@@ -1,0 +1,64 @@
+//! Minimal SIGTERM/SIGINT hook without a libc crate dependency.
+//!
+//! `std` already links libc on unix, so we declare `signal(2)` ourselves
+//! and install a handler that does the only async-signal-safe thing worth
+//! doing: flip a static [`AtomicBool`] the daemon's accept loop polls.
+//! On non-unix targets [`install`] is a no-op and [`requested`] stays
+//! `false` (use Ctrl-C / process kill there).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Has a termination signal arrived since [`install`]?
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Test hook (and non-unix escape hatch): request shutdown in-process.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        /// `signal(2)`; std links libc on every unix target we build.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGTERM and SIGINT to the shutdown flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Install the SIGTERM/SIGINT handler (no-op off unix).
+pub fn install() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn request_sets_flag() {
+        super::request();
+        assert!(super::requested());
+    }
+}

@@ -28,14 +28,23 @@
 //! pi2m analyze <artifact.json> [new.json]      offline artifact inspection:
 //!             one file renders its attribution/hot-spot summary; two files
 //!             diff the runs and attribute the regression to a waste category
+//! pi2m serve  [--addr HOST:PORT] [--sessions N] [--threads N]
+//!             [--queue-cap N] [--spool DIR] [--default-deadline DUR]
+//!             [--max-retries N] [--drain-grace DUR]
+//!             long-running meshing service: submit jobs over HTTP
+//!             (POST /jobs), poll (GET /jobs/job-N), fetch artifacts,
+//!             scrape /metrics; SIGTERM drains gracefully
 //! pi2m --version                               crate + schema versions
 //! ```
 //!
 //! Input images use the `.pim` format (see `pi2m::image::io`); `phantom:NAME`
 //! meshes a built-in phantom directly (sphere, nested, torus, abdominal,
 //! knee, head-neck).
+//!
+//! Failures exit with a typed code (see [`pi2m::cli::CliError`]): 1 generic,
+//! 3 cancelled (deadline), 4 I/O, 5 integrity, 6 worker loss.
 
-use pi2m::cli::{parse_args, parse_duration, write_new, Args};
+use pi2m::cli::{parse_args, parse_duration, write_new, Args, CliError};
 use pi2m::image::{io as img_io, phantoms, LabeledImage};
 use pi2m::meshio;
 use pi2m::obs::metrics::ObsEvent;
@@ -115,7 +124,7 @@ fn parse_mesh_opts(args: &Args) -> Result<MeshOpts, String> {
         })
         .transpose()?;
     let live = if let Some(v) = args.flags.get("live") {
-        Some(parse_duration(v).ok_or_else(|| format!("bad --live interval '{v}'"))?)
+        Some(parse_duration(v).map_err(|e| format!("bad --live interval: {e}"))?)
     } else if args.switches.contains("live") {
         Some(1.0)
     } else {
@@ -169,12 +178,12 @@ fn write_vtk(out: &MeshOutput, path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mesh(args: &Args) -> Result<(), String> {
+fn cmd_mesh(args: &Args) -> Result<(), CliError> {
     let input = args
         .positional
         .get(1)
         .ok_or("usage: pi2m mesh <input.pim|phantom:NAME> [options]")?;
-    let img = load_input(input)?;
+    let img = load_input(input).map_err(CliError::Io)?;
     let o = parse_mesh_opts(args)?;
     let cfg = config_for(&o, &img);
     let (delta, threads, cm, balancer, force) = (cfg.delta, o.threads, o.cm, o.balancer, o.force);
@@ -186,7 +195,7 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
             .flags
             .get("deadline")
             .map(|v| -> Result<_, String> {
-                let secs = parse_duration(v).ok_or_else(|| format!("bad --deadline '{v}'"))?;
+                let secs = parse_duration(v).map_err(|e| format!("bad --deadline: {e}"))?;
                 Ok(CancelToken::with_deadline(
                     std::time::Duration::from_secs_f64(secs),
                 ))
@@ -208,9 +217,11 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
                 threads,
                 session.take_cancel_telemetry(),
             )?;
-            return Err("run cancelled (deadline); observability artifacts written".into());
+            return Err(CliError::Cancelled(
+                "run cancelled (deadline); observability artifacts written".into(),
+            ));
         }
-        Err(e) => return Err(e.to_string()),
+        Err(e) => return Err(CliError::from_refine(&e)),
     };
     let dt = t0.elapsed().as_secs_f64();
     eprintln!(
@@ -236,10 +247,10 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         let report = pi2m::refine::audit_mesh(&out.shared, 42);
         eprintln!("{}", report.summary().trim_end());
         if !report.clean() {
-            return Err(format!(
+            return Err(CliError::Integrity(format!(
                 "mesh integrity audit failed with {} violation(s)",
                 report.violations.len()
-            ));
+            )));
         }
     }
 
@@ -267,7 +278,8 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         },
     );
     if let Some(path) = args.flags.get("contention-out") {
-        write_new(path, &(contention.to_json().dump_pretty() + "\n"), force)?;
+        write_new(path, &(contention.to_json().dump_pretty() + "\n"), force)
+            .map_err(CliError::Io)?;
         eprintln!("wrote {path}");
     }
     if args.flags.contains_key("report")
@@ -277,7 +289,7 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         let report = build_run_report(input, &o, delta, threads, &out, dt, &contention);
 
         if let Some(path) = args.flags.get("report") {
-            write_new(path, &report.to_json_string(), force)?;
+            write_new(path, &report.to_json_string(), force).map_err(CliError::Io)?;
             eprintln!("wrote {path}");
         }
         if let Some(path) = args.flags.get("trace-out") {
@@ -305,7 +317,8 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
                 path,
                 &render_chrome_trace_with_flight(&out.phases, &events, &out.flight),
                 force,
-            )?;
+            )
+            .map_err(CliError::Io)?;
             eprintln!("wrote {path}");
         }
         if args.switches.contains("metrics") {
@@ -318,10 +331,11 @@ fn cmd_mesh(args: &Args) -> Result<(), String> {
         .get("o")
         .cloned()
         .unwrap_or_else(|| "mesh.vtk".into());
-    write_vtk(&out, &out_path)?;
+    write_vtk(&out, &out_path).map_err(CliError::Io)?;
     if let Some(off) = args.flags.get("off") {
-        let f = std::fs::File::create(off).map_err(|e| format!("{off}: {e}"))?;
-        meshio::write_off(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
+        let f = std::fs::File::create(off).map_err(|e| CliError::Io(format!("{off}: {e}")))?;
+        meshio::write_off(&out.mesh, &mut BufWriter::new(f))
+            .map_err(|e| CliError::Io(e.to_string()))?;
         eprintln!("wrote {off}");
     }
     Ok(())
@@ -452,7 +466,7 @@ fn batch_output_name(input: &str) -> String {
 /// [`MeshingSession`] — worker threads, kernel scratch arenas, flight rings,
 /// and the proximity grid are created once and reused run-to-run instead of
 /// being torn down after every image like repeated `pi2m mesh` calls.
-fn cmd_batch(args: &Args) -> Result<(), String> {
+fn cmd_batch(args: &Args) -> Result<(), CliError> {
     let inputs = &args.positional[1..];
     if inputs.is_empty() {
         return Err(
@@ -470,33 +484,37 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             .cloned()
             .unwrap_or_else(|| ".".into()),
     );
-    std::fs::create_dir_all(&outdir).map_err(|e| format!("{}: {e}", outdir.display()))?;
+    std::fs::create_dir_all(&outdir)
+        .map_err(|e| CliError::Io(format!("{}: {e}", outdir.display())))?;
 
     let mut session = MeshingSession::new(o.threads);
     let t_all = Instant::now();
-    let (mut done, mut failed, mut tets) = (0usize, 0usize, 0u64);
+    let (mut done, mut tets) = (0usize, 0u64);
+    let mut failures: Vec<(String, CliError)> = Vec::new();
     for (i, input) in inputs.iter().enumerate() {
-        let mut run = || -> Result<(), String> {
+        let mut run = || -> Result<(), CliError> {
             let path = outdir.join(batch_output_name(input));
             let path = path.to_string_lossy().into_owned();
             if !o.force && std::path::Path::new(&path).exists() {
-                return Err(format!(
+                return Err(CliError::Io(format!(
                     "{path} already exists; pass --force to overwrite it"
-                ));
+                )));
             }
             // fail the clobber check BEFORE meshing, not after the work
             let rpath = outdir.join(format!("{}.report.json", batch_stem(input)));
             let rpath = rpath.to_string_lossy().into_owned();
             if write_reports && !o.force && std::path::Path::new(&rpath).exists() {
-                return Err(format!(
+                return Err(CliError::Io(format!(
                     "{rpath} already exists; pass --force to overwrite it"
-                ));
+                )));
             }
-            let img = load_input(input)?;
+            let img = load_input(input).map_err(CliError::Io)?;
             let cfg = config_for(&o, &img);
             let delta = cfg.delta;
             let t0 = Instant::now();
-            let out = session.mesh(img, cfg).map_err(|e| e.to_string())?;
+            let out = session
+                .mesh(img, cfg)
+                .map_err(|e| CliError::from_refine(&e))?;
             let dt = t0.elapsed().as_secs_f64();
             eprintln!(
                 "[{}/{}] {input}: δ={delta}, {} tets in {dt:.2}s ({:.0} elements/s)",
@@ -506,7 +524,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
                 out.mesh.num_tets() as f64 / dt,
             );
             tets += out.mesh.num_tets() as u64;
-            write_vtk(&out, &path)?;
+            write_vtk(&out, &path).map_err(CliError::Io)?;
             if write_reports {
                 // one schema-v3 run report per job, next to its mesh
                 let contention = analyze(
@@ -519,7 +537,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
                     },
                 );
                 let report = build_run_report(input, &o, delta, o.threads, &out, dt, &contention);
-                write_new(&rpath, &report.to_json_string(), o.force)?;
+                write_new(&rpath, &report.to_json_string(), o.force).map_err(CliError::Io)?;
                 eprintln!("wrote {rpath}");
             }
             Ok(())
@@ -528,9 +546,17 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             Ok(()) => done += 1,
             Err(e) if keep_going => {
                 eprintln!("error: {input}: {e}");
-                failed += 1;
+                failures.push((input.clone(), e));
             }
-            Err(e) => return Err(format!("{input}: {e}")),
+            Err(e) => {
+                return Err(match e {
+                    CliError::Generic(m) => CliError::Generic(format!("{input}: {m}")),
+                    CliError::Cancelled(m) => CliError::Cancelled(format!("{input}: {m}")),
+                    CliError::Io(m) => CliError::Io(format!("{input}: {m}")),
+                    CliError::Integrity(m) => CliError::Integrity(format!("{input}: {m}")),
+                    CliError::WorkerLoss(m) => CliError::WorkerLoss(format!("{input}: {m}")),
+                })
+            }
         }
     }
     eprintln!(
@@ -539,10 +565,137 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         t_all.elapsed().as_secs_f64(),
         session.threads(),
     );
-    if failed > 0 {
-        return Err(format!("{failed} input(s) failed"));
+    if !failures.is_empty() {
+        // --keep-going already printed each error inline as it happened;
+        // repeat them as one summary block so a long run ends with the
+        // complete casualty list in one place.
+        eprintln!(
+            "batch: {} of {} input(s) failed:",
+            failures.len(),
+            inputs.len()
+        );
+        for (input, e) in &failures {
+            eprintln!("  {input}: [{}] {e}", e.kind());
+        }
+        // exit with the class of the first failure so scripts can branch
+        let (_, first) = failures.swap_remove(0);
+        return Err(first);
     }
     Ok(())
+}
+
+/// `pi2m serve`: the long-running meshing service (see `crates/serve`).
+/// Binds the HTTP front door, spawns the warm session slots, then blocks
+/// until SIGTERM/SIGINT (or `POST /drain`) starts a graceful drain: stop
+/// admitting, finish or deadline-cancel in-flight jobs, flush artifacts,
+/// exit 0 on a clean drain.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    use pi2m::serve::{self, HttpServer, MeshService, ServiceConfig};
+
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        args.flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("bad --{name} '{v}'")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let addr = args
+        .flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7473".into());
+    let sessions = parse_usize("sessions", 2)?.max(1);
+    let threads = parse_usize("threads", 2)?.max(1);
+    let queue_capacity = parse_usize("queue-cap", 16)?.max(1);
+    let max_retries = parse_usize("max-retries", 2)? as u32;
+    let spool = std::path::PathBuf::from(
+        args.flags
+            .get("spool")
+            .cloned()
+            .unwrap_or_else(|| "pi2m-spool".into()),
+    );
+    let default_deadline_s = args
+        .flags
+        .get("default-deadline")
+        .map(|v| parse_duration(v).map_err(|e| format!("bad --default-deadline: {e}")))
+        .transpose()?;
+    let drain_grace = args
+        .flags
+        .get("drain-grace")
+        .map(|v| parse_duration(v).map_err(|e| format!("bad --drain-grace: {e}")))
+        .transpose()?
+        .unwrap_or(30.0);
+    let faults = pi2m::faults::FaultPlan::from_env()
+        .map_err(|e| format!("bad fault plan: {e}"))?
+        .map(Arc::new);
+    if let Some(f) = &faults {
+        eprintln!("fault injection armed: {}", f.describe());
+    }
+
+    let svc = MeshService::start(ServiceConfig {
+        sessions,
+        threads,
+        queue_capacity,
+        spool: spool.clone(),
+        default_deadline_s,
+        max_retries,
+        faults,
+        ..Default::default()
+    })?;
+    serve::signal::install();
+    let server =
+        HttpServer::bind(&addr).map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    // stdout on purpose: wrappers parse this line for the resolved port
+    println!("pi2m serve: listening on {local}");
+    eprintln!(
+        "serve: {sessions} session(s) x {threads} thread(s), queue capacity \
+         {queue_capacity}, spool {}, retries {max_retries}, deadline {}",
+        spool.display(),
+        default_deadline_s.map_or("none".into(), |d| format!("{d}s")),
+    );
+
+    // The accept loop runs on its own thread so the HTTP API stays up
+    // DURING the drain: late submits get the typed 503, pollers see their
+    // jobs reach terminal states, artifacts stay fetchable.
+    let http_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let server_thread = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&http_stop);
+        std::thread::Builder::new()
+            .name("pi2m-http".into())
+            .spawn(move || server.serve(svc, || stop.load(std::sync::atomic::Ordering::SeqCst)))
+            .map_err(|e| format!("cannot spawn http thread: {e}"))?
+    };
+    while !serve::signal::requested() && !svc.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!(
+        "serve: drain requested ({} queued, {} running); grace {drain_grace}s",
+        svc.queue_depth(),
+        svc.busy_slots()
+    );
+    let clean = svc.drain(std::time::Duration::from_secs_f64(drain_grace));
+    http_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = server_thread.join();
+    eprintln!(
+        "serve: drained: {} succeeded, {} failed, {} cancelled, {} shed, {} retries, {} recycles",
+        svc.counter(pi2m::obs::metrics::SERVE_JOBS_SUCCEEDED),
+        svc.counter(pi2m::obs::metrics::SERVE_JOBS_FAILED),
+        svc.counter(pi2m::obs::metrics::SERVE_JOBS_CANCELLED),
+        svc.counter(pi2m::obs::metrics::SERVE_JOBS_SHED),
+        svc.counter(pi2m::obs::metrics::SERVE_JOB_RETRIES),
+        svc.counter(pi2m::obs::metrics::SERVE_SESSIONS_RECYCLED),
+    );
+    if clean {
+        Ok(())
+    } else {
+        Err(CliError::Cancelled(format!(
+            "drain grace of {drain_grace}s expired; remaining jobs were force-cancelled"
+        )))
+    }
 }
 
 fn cmd_phantom(args: &Args) -> Result<(), String> {
@@ -818,26 +971,29 @@ fn main() -> ExitCode {
         print_version();
         return ExitCode::SUCCESS;
     }
-    let r = match args.positional.first().map(String::as_str) {
+    let r: Result<(), CliError> = match args.positional.first().map(String::as_str) {
         Some("mesh") => cmd_mesh(&args),
         Some("batch") => cmd_batch(&args),
-        Some("phantom") => cmd_phantom(&args),
-        Some("info") => cmd_info(&args),
-        Some("bench") => cmd_bench(&args),
-        Some("analyze") => cmd_analyze(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("phantom") => cmd_phantom(&args).map_err(CliError::from),
+        Some("info") => cmd_info(&args).map_err(CliError::from),
+        Some("bench") => cmd_bench(&args).map_err(CliError::from),
+        Some("analyze") => cmd_analyze(&args).map_err(CliError::from),
         Some("version") => {
             print_version();
             Ok(())
         }
         _ => Err(
-            "usage: pi2m <mesh|batch|phantom|info|bench|analyze|version> ... (see README)".into(),
+            "usage: pi2m <mesh|batch|serve|phantom|info|bench|analyze|version> ... (see README)"
+                .into(),
         ),
     };
     match r {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // typed: scripts branch on the exit code, humans on the prefix
+            eprintln!("error[{}]: {e}", e.kind());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -24,6 +24,7 @@
 //! | [`baseline`] | sequential "CGAL-like" and "TetGen-like" comparison meshers |
 //! | [`quality`] | mesh statistics, Hausdorff fidelity measurement |
 //! | [`meshio`] | VTK / OFF / node-ele exporters |
+//! | [`serve`] | fault-tolerant meshing service (`pi2m serve`): job queue, admission control, HTTP front door |
 //!
 //! ## Quickstart
 //!
@@ -62,4 +63,5 @@ pub use pi2m_oracle as oracle;
 pub use pi2m_predicates as predicates;
 pub use pi2m_quality as quality;
 pub use pi2m_refine as refine;
+pub use pi2m_serve as serve;
 pub use pi2m_sim as sim;

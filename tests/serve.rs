@@ -1,0 +1,453 @@
+//! End-to-end drills for the meshing service's failure model: admission
+//! shedding under burst, worker-death retry with session quarantine,
+//! deterministic fail-fast, deadline cancellation, graceful drain, and a
+//! SIGTERM drill against the spawned `pi2m serve` binary.
+//!
+//! Everything fault-driven uses the seeded [`FaultPlan`] machinery so the
+//! drills are deterministic, not race-dependent.
+
+use pi2m::faults::FaultPlan;
+use pi2m::obs::json;
+use pi2m::obs::metrics as m;
+use pi2m::serve::{AdmitError, JobSpec, JobStatus, MeshService, Priority, ServiceConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn spool(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pi2m-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(input: &str) -> JobSpec {
+    JobSpec {
+        input: input.into(),
+        delta: Some(4.0),
+        threads: None,
+        priority: Priority::Normal,
+        deadline_s: None,
+        max_retries: None,
+    }
+}
+
+/// Poll until the job is terminal (every admitted job must terminate — the
+/// service's core guarantee — so a long timeout here is a real failure).
+fn wait_terminal(svc: &MeshService, id: u64, timeout: Duration) -> pi2m::serve::JobRecord {
+    let t0 = Instant::now();
+    loop {
+        let r = svc.job(id).expect("job record");
+        if r.status.is_terminal() {
+            return r;
+        }
+        assert!(
+            t0.elapsed() < timeout,
+            "job-{id} stuck {:?} after {timeout:?}",
+            r.status
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn burst_beyond_capacity_sheds_typed() {
+    // One slot, held at checkout for 400ms by a seeded delay fault, so the
+    // burst below races nothing: the queue fills to its capacity of 2 and
+    // every further submission sheds.
+    let faults = FaultPlan::parse(
+        7,
+        "site=serve.session.checkout,kind=delay,delay_ms=400,count=1",
+    )
+    .unwrap();
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 1,
+        threads: 2,
+        queue_capacity: 2,
+        spool: spool("burst"),
+        faults: Some(Arc::new(faults)),
+        ..Default::default()
+    })
+    .unwrap();
+
+    let first = svc.submit(spec("phantom:sphere")).unwrap();
+    // let the slot pop job 1 and enter the 400ms checkout delay
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admitted = vec![first];
+    let mut shed = 0;
+    for _ in 0..5 {
+        match svc.submit(spec("phantom:sphere")) {
+            Ok(id) => admitted.push(id),
+            Err(AdmitError::QueueFull {
+                depth,
+                capacity,
+                retry_after_s,
+            }) => {
+                assert_eq!((depth, capacity), (2, 2));
+                assert!(retry_after_s >= 1, "Retry-After hint must be actionable");
+                shed += 1;
+            }
+            Err(other) => panic!("expected QueueFull, got {other}"),
+        }
+    }
+    assert_eq!(admitted.len(), 3, "1 running + capacity 2");
+    assert_eq!(shed, 3);
+    assert_eq!(svc.counter(m::SERVE_JOBS_SHED), 3);
+
+    // shedding lost nothing that was admitted: all three jobs complete
+    for id in admitted {
+        let r = wait_terminal(&svc, id, Duration::from_secs(60));
+        assert_eq!(r.status, JobStatus::Succeeded, "job-{id}: {:?}", r.error);
+        assert!(r.artifact.as_ref().unwrap().exists());
+    }
+    assert!(svc.drain(Duration::from_secs(10)));
+}
+
+#[test]
+fn worker_death_mid_job_retries_on_fresh_session() {
+    // threads=1 and a one-shot panic at the worker site: the first attempt
+    // loses its only worker (quorum lost), the session is quarantined, and
+    // the retry on the fresh pool succeeds. Concurrent jobs on the other
+    // slot are untouched.
+    let faults = FaultPlan::parse(7, "site=refine.engine.worker,kind=panic,nth=1,count=1").unwrap();
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 2,
+        threads: 1,
+        queue_capacity: 8,
+        spool: spool("death"),
+        faults: Some(Arc::new(faults)),
+        ..Default::default()
+    })
+    .unwrap();
+
+    let poisoned = svc.submit(spec("phantom:sphere")).unwrap();
+    // The one-shot fault kills the first worker to reach the site; wait for
+    // the resulting quarantine before submitting the bystander so the drill
+    // is deterministic about WHICH job was poisoned. The bystander then
+    // runs concurrently with the poisoned job's retry.
+    let t0 = Instant::now();
+    while svc.counter(m::SERVE_SESSIONS_RECYCLED) == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "worker-death fault never fired"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let bystander = svc.submit(spec("phantom:sphere")).unwrap();
+
+    let r = wait_terminal(&svc, poisoned, Duration::from_secs(60));
+    assert_eq!(
+        r.status,
+        JobStatus::Succeeded,
+        "retry should recover: {:?}",
+        r.error
+    );
+    assert_eq!(r.attempts, 2, "one failed attempt + one retry");
+    assert_eq!(
+        r.session_generation,
+        Some(1),
+        "final attempt must run on the recycled session"
+    );
+    let b = wait_terminal(&svc, bystander, Duration::from_secs(60));
+    assert_eq!(b.status, JobStatus::Succeeded);
+
+    assert_eq!(svc.counter(m::SERVE_JOB_RETRIES), 1);
+    assert!(svc.counter(m::SERVE_SESSIONS_RECYCLED) >= 1);
+    assert!(svc.drain(Duration::from_secs(10)));
+}
+
+#[test]
+fn deterministic_failure_fails_fast_without_retry() {
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 1,
+        threads: 1,
+        queue_capacity: 4,
+        spool: spool("det"),
+        ..Default::default()
+    })
+    .unwrap();
+    let id = svc.submit(spec("phantom:no-such-phantom")).unwrap();
+    let r = wait_terminal(&svc, id, Duration::from_secs(30));
+    assert_eq!(r.status, JobStatus::Failed);
+    assert_eq!(r.error_kind.as_deref(), Some("load"));
+    assert_eq!(r.attempts, 1, "deterministic errors must not burn retries");
+    assert_eq!(svc.counter(m::SERVE_JOB_RETRIES), 0);
+    assert_eq!(svc.counter(m::SERVE_JOBS_FAILED), 1);
+    assert!(svc.drain(Duration::from_secs(10)));
+}
+
+#[test]
+fn deadline_cancels_job_stuck_behind_slow_queue() {
+    // The slot is held for 500ms; a job with a 100ms deadline behind it
+    // must terminate Cancelled (deadline measured from submission).
+    let faults = FaultPlan::parse(
+        7,
+        "site=serve.session.checkout,kind=delay,delay_ms=500,count=1",
+    )
+    .unwrap();
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 1,
+        threads: 1,
+        queue_capacity: 4,
+        spool: spool("deadline"),
+        faults: Some(Arc::new(faults)),
+        ..Default::default()
+    })
+    .unwrap();
+    let blocker = svc.submit(spec("phantom:sphere")).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut doomed = spec("phantom:sphere");
+    doomed.deadline_s = Some(0.1);
+    let doomed = svc.submit(doomed).unwrap();
+
+    let r = wait_terminal(&svc, doomed, Duration::from_secs(30));
+    assert_eq!(r.status, JobStatus::Cancelled, "{:?}", r.error);
+    assert_eq!(r.error_kind.as_deref(), Some("cancelled"));
+    let b = wait_terminal(&svc, blocker, Duration::from_secs(60));
+    assert_eq!(b.status, JobStatus::Succeeded);
+    assert_eq!(svc.counter(m::SERVE_JOBS_CANCELLED), 1);
+    assert!(svc.drain(Duration::from_secs(10)));
+}
+
+#[test]
+fn drain_finishes_inflight_and_rejects_late_submits() {
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 1,
+        threads: 2,
+        queue_capacity: 8,
+        spool: spool("drain"),
+        ..Default::default()
+    })
+    .unwrap();
+    let a = svc.submit(spec("phantom:sphere")).unwrap();
+    let b = svc.submit(spec("phantom:sphere")).unwrap();
+    svc.begin_drain();
+    match svc.submit(spec("phantom:sphere")) {
+        Err(AdmitError::Draining) => {}
+        other => panic!("late submit must be rejected as Draining, got {other:?}"),
+    }
+    assert!(
+        svc.drain(Duration::from_secs(60)),
+        "backlog must drain clean"
+    );
+    for id in [a, b] {
+        let r = svc.job(id).unwrap();
+        assert_eq!(
+            r.status,
+            JobStatus::Succeeded,
+            "in-flight job-{id} must finish"
+        );
+        assert!(r.artifact.as_ref().unwrap().exists(), "artifact flushed");
+    }
+    assert_eq!(svc.counter(m::SERVE_DRAINS), 1);
+    assert_eq!(svc.counter(m::SERVE_JOBS_SHED), 1);
+}
+
+// ---- the spawned-binary drill ------------------------------------------
+
+/// Minimal blocking HTTP/1.1 client against the daemon (std only).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: pi2m\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw}"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn sigterm_drains_spawned_daemon_cleanly() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let spool_dir = spool("sigterm");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pi2m"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "1",
+            "--threads",
+            "2",
+            "--queue-cap",
+            "8",
+            "--drain-grace",
+            "60",
+            "--spool",
+            spool_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pi2m serve");
+    // the daemon prints "pi2m serve: listening on HOST:PORT" on stdout
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in listen line")
+        .to_string();
+    assert!(line.contains("listening on"), "unexpected banner: {line}");
+
+    let result = std::panic::catch_unwind(|| {
+        let (code, body) = http(&addr, "GET", "/healthz", "");
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        // submit two jobs, then SIGTERM while they are in flight
+        let (code, body) = http(
+            &addr,
+            "POST",
+            "/jobs",
+            r#"{"input":"phantom:sphere","delta":4.0}"#,
+        );
+        assert_eq!(code, 202, "{body}");
+        let (code, _) = http(
+            &addr,
+            "POST",
+            "/jobs",
+            r#"{"input":"phantom:sphere","delta":4.0,"priority":"high"}"#,
+        );
+        assert_eq!(code, 202);
+
+        let pid = child.id().to_string();
+        let status = Command::new("kill").args(["-TERM", &pid]).status().unwrap();
+        assert!(status.success(), "kill -TERM failed");
+
+        // While draining, the API stays up: readiness flips 503 and late
+        // submits are rejected typed. (The drain may finish fast; only
+        // assert on responses we actually get before the socket closes.)
+        std::thread::sleep(Duration::from_millis(100));
+        if let Ok(mut s) = std::net::TcpStream::connect(&addr) {
+            use std::io::{Read, Write};
+            let _ = write!(
+                s,
+                "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 21\r\n\r\n{{\"input\":\"phantom:x\"}}"
+            );
+            let mut raw = String::new();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            if s.read_to_string(&mut raw).is_ok() && !raw.is_empty() {
+                assert!(
+                    raw.contains("503"),
+                    "late submit during drain must be 503, got: {raw}"
+                );
+            }
+        }
+    });
+
+    let status = child.wait().expect("daemon exit status");
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+    assert!(status.success(), "clean drain must exit 0, got {status:?}");
+    // in-flight jobs finished and flushed their artifacts before exit
+    let artifacts: Vec<_> = std::fs::read_dir(&spool_dir)
+        .expect("spool dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "vtk"))
+        .collect();
+    assert_eq!(artifacts.len(), 2, "both in-flight jobs must flush");
+    let _ = std::fs::remove_dir_all(&spool_dir);
+}
+
+#[test]
+fn http_api_round_trips_jobs_and_metrics() {
+    use pi2m::serve::HttpServer;
+
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 1,
+        threads: 2,
+        queue_capacity: 4,
+        spool: spool("http"),
+        ..Default::default()
+    })
+    .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let handle = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            server.serve(svc, || stop.load(std::sync::atomic::Ordering::SeqCst))
+        })
+    };
+
+    let (code, body) = http(
+        &addr,
+        "POST",
+        "/jobs",
+        r#"{"input":"phantom:sphere","delta":4.0}"#,
+    );
+    assert_eq!(code, 202, "{body}");
+    let v = json::parse(&body).unwrap();
+    let name = v.get("id").unwrap().as_str().unwrap().to_string();
+
+    // poll over HTTP until terminal
+    let t0 = Instant::now();
+    let record = loop {
+        let (code, body) = http(&addr, "GET", &format!("/jobs/{name}"), "");
+        assert_eq!(code, 200, "{body}");
+        let v = json::parse(&body).unwrap();
+        let status = v.get("status").unwrap().as_str().unwrap().to_string();
+        if ["succeeded", "failed", "cancelled"].contains(&status.as_str()) {
+            break v;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(60), "job stuck {status}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(record.get("status").unwrap().as_str(), Some("succeeded"));
+
+    let (code, vtk) = http(&addr, "GET", &format!("/jobs/{name}/artifact"), "");
+    assert_eq!(code, 200);
+    assert!(vtk.starts_with("# vtk"), "artifact is a VTK file");
+
+    let (code, metrics) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    for needle in [
+        "pi2m_serve_jobs_submitted 1",
+        "pi2m_serve_jobs_succeeded 1",
+        "pi2m_serve_queue_depth 0",
+        "pi2m_serve_queue_wait_seconds",
+    ] {
+        assert!(metrics.contains(needle), "metrics missing '{needle}'");
+    }
+
+    // bad requests are typed, not 500s
+    let (code, body) = http(&addr, "POST", "/jobs", r#"{"input":"x","bogus":1}"#);
+    assert_eq!(code, 400);
+    assert!(body.contains("bad_spec"));
+    let (code, _) = http(&addr, "GET", "/jobs/job-999", "");
+    assert_eq!(code, 404);
+
+    // drain over HTTP: readyz flips, late submits shed typed
+    let (code, _) = http(&addr, "POST", "/drain", "");
+    assert_eq!(code, 202);
+    let (code, _) = http(&addr, "GET", "/readyz", "");
+    assert_eq!(code, 503);
+    let (code, body) = http(&addr, "POST", "/jobs", r#"{"input":"phantom:sphere"}"#);
+    assert_eq!(code, 503);
+    assert!(body.contains("draining"), "{body}");
+
+    assert!(svc.drain(Duration::from_secs(30)));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().unwrap();
+}
