@@ -37,7 +37,7 @@
 
 use pi2m_obs::attribution::TimeAttribution;
 use pi2m_obs::json::Json;
-use pi2m_refine::{MachineTopology, MesherConfig, MeshingSession};
+use pi2m_refine::{mesh_sharded, MachineTopology, MesherConfig, MeshingSession, ShardSpec};
 
 /// Options for one scaling-bench run.
 #[derive(Clone, Debug)]
@@ -117,6 +117,27 @@ impl ScalingPoint {
     }
 }
 
+/// The sharded rung: the same workload meshed as a 2x1x1 chunk
+/// decomposition with seam stitching at the widest thread count, so the
+/// shard overhead (chunk meshing + stitch vs one monolithic run) is tracked
+/// in the scaling baseline alongside the thread ladder. Recorded, not gated:
+/// overhead is a property of the workload size, and the tiny CI workloads
+/// legitimately pay proportionally more stitch.
+#[derive(Clone, Debug)]
+pub struct ShardRung {
+    pub grid: [usize; 3],
+    pub halo: usize,
+    pub lanes: usize,
+    /// Whole sharded-run wall time, seconds.
+    pub wall_s: f64,
+    /// Summed per-chunk meshing wall time, seconds.
+    pub chunk_wall_s: f64,
+    /// Seam-stitch pass wall time, seconds.
+    pub stitch_wall_s: f64,
+    /// Final stitched-mesh elements.
+    pub elements: u64,
+}
+
 /// The full report of one `pi2m bench --scaling` run.
 #[derive(Clone, Debug)]
 pub struct ScalingReport {
@@ -129,6 +150,8 @@ pub struct ScalingReport {
     pub res: usize,
     pub delta: f64,
     pub points: Vec<ScalingPoint>,
+    /// The sharded rung, when the bench ran one (see [`ShardRung`]).
+    pub shard: Option<ShardRung>,
 }
 
 impl ScalingReport {
@@ -161,7 +184,7 @@ impl ScalingReport {
     }
 
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema_version", Json::int(1)),
             ("tool", Json::str("pi2m-bench-scaling")),
             ("quick", Json::Bool(self.quick)),
@@ -196,7 +219,25 @@ impl ScalingReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(s) = &self.shard {
+            fields.push((
+                "shard",
+                Json::obj(vec![
+                    (
+                        "grid",
+                        Json::str(format!("{}x{}x{}", s.grid[0], s.grid[1], s.grid[2])),
+                    ),
+                    ("halo", Json::int(s.halo as u64)),
+                    ("lanes", Json::int(s.lanes as u64)),
+                    ("wall_s", Json::num(s.wall_s)),
+                    ("chunk_wall_s", Json::num(s.chunk_wall_s)),
+                    ("stitch_wall_s", Json::num(s.stitch_wall_s)),
+                    ("elements", Json::int(s.elements)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 
     pub fn to_json_string(&self) -> String {
@@ -254,6 +295,42 @@ pub fn run_scaling_bench(opts: ScalingBenchOpts) -> ScalingReport {
         points.push(best.expect("at least one run per rung"));
     }
 
+    // The sharded rung: same workload, 2x1x1 decomposition + stitch at the
+    // widest thread count. The halo is the δ-derived default clamped below
+    // the chunk core so tiny smoke workloads stay plannable.
+    let grid = [2usize, 1, 1];
+    let halo = pi2m_refine::shard::auto_halo(delta, 1.0).min((res / grid[0]).saturating_sub(1));
+    let t0 = std::time::Instant::now();
+    let run = mesh_sharded(
+        &mut session,
+        pi2m_image::phantoms::sphere(res, 1.0),
+        cfg_for(max_threads),
+        &Default::default(),
+        &ShardSpec {
+            grid,
+            halo: Some(halo),
+            lanes: None,
+        },
+    )
+    .expect("sharded scaling rung failed");
+    let phase_total = |name: &str| -> f64 {
+        run.out
+            .phases
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_s)
+            .sum()
+    };
+    let shard = Some(ShardRung {
+        grid,
+        halo: run.halo,
+        lanes: run.lanes,
+        wall_s: t0.elapsed().as_secs_f64(),
+        chunk_wall_s: phase_total("shard_chunk"),
+        stitch_wall_s: phase_total("shard_stitch"),
+        elements: run.out.mesh.num_tets() as u64,
+    });
+
     ScalingReport {
         quick: opts.quick,
         host_threads: std::thread::available_parallelism()
@@ -262,6 +339,7 @@ pub fn run_scaling_bench(opts: ScalingBenchOpts) -> ScalingReport {
         res,
         delta,
         points,
+        shard,
     }
 }
 
@@ -297,6 +375,23 @@ pub fn render_scaling_table(report: &ScalingReport) -> String {
             p.attribution
                 .fraction(pi2m_obs::attribution::Category::Idle)
                 * 100.0,
+        );
+    }
+    if let Some(s) = &report.shard {
+        let _ = writeln!(
+            out,
+            "sharded {}x{}x{} (halo {}, {} lane{}): {:.3}s wall \
+             ({:.3}s chunks + {:.3}s stitch), {} elements",
+            s.grid[0],
+            s.grid[1],
+            s.grid[2],
+            s.halo,
+            s.lanes,
+            if s.lanes == 1 { "" } else { "s" },
+            s.wall_s,
+            s.chunk_wall_s,
+            s.stitch_wall_s,
+            s.elements
         );
     }
     out
@@ -387,6 +482,15 @@ mod tests {
                 p(2, 10_000, 0.55, 40),   // speedup 1.82, efficiency 0.91
                 p(4, 10_000, 0.3125, 90), // speedup 3.2, efficiency 0.8
             ],
+            shard: Some(ShardRung {
+                grid: [2, 1, 1],
+                halo: 4,
+                lanes: 2,
+                wall_s: 0.9,
+                chunk_wall_s: 0.5,
+                stitch_wall_s: 0.35,
+                elements: 5_000,
+            }),
         }
     }
 
@@ -418,6 +522,14 @@ mod tests {
         // every rung carries its attribution with per-worker fractions
         let at = p4.get("time_attribution").expect("attribution");
         assert_eq!(at.get("workers").unwrap().as_arr().unwrap().len(), 4);
+        // the sharded rung is recorded alongside the ladder
+        let s = j.get("shard").expect("shard rung");
+        assert_eq!(s.get("grid").unwrap().as_str(), Some("2x1x1"));
+        assert_eq!(s.get("elements").unwrap().as_f64(), Some(5000.0));
+        // ...and a baseline predating the rung still gates (points only)
+        let mut old = tiny_report();
+        old.shard = None;
+        check_scaling_baseline(&tiny_report(), &old.to_json_string(), 0.25).unwrap();
     }
 
     #[test]
@@ -451,8 +563,9 @@ mod tests {
         let r = tiny_report();
         let t = render_scaling_table(&r);
         assert!(t.contains("threads"));
-        assert_eq!(t.lines().count(), 4);
+        assert_eq!(t.lines().count(), 5); // header + 3 rungs + shard line
         assert!(t.contains("0.800"));
+        assert!(t.contains("sharded 2x1x1"), "{t}");
     }
 
     #[test]
@@ -481,7 +594,13 @@ mod tests {
                 );
             }
         }
+        // the sharded rung ran on the same warm session and measured work
+        let s = rep.shard.as_ref().expect("shard rung");
+        assert_eq!(s.grid, [2, 1, 1]);
+        assert!(s.elements > 0);
+        assert!(s.wall_s > 0.0);
         let j = pi2m_obs::json::parse(&rep.to_json_string()).unwrap();
         assert_eq!(j.get("points").unwrap().as_arr().unwrap().len(), 2);
+        assert!(j.get("shard").is_some());
     }
 }

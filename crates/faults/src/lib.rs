@@ -67,6 +67,11 @@ pub mod sites {
     /// Artifact flush after a successful mesh: `fail` makes the write report
     /// an I/O error (transient from the service's point of view).
     pub const SERVE_ARTIFACT: &str = "serve.artifact.write";
+    /// Top of a worker's main loop during the seam-stitch pass of a sharded
+    /// run only (outside the per-op shield, like `ENGINE_WORKER`): a `panic`
+    /// here kills a stitch worker mid-seam, exercising the guarantee that a
+    /// sharded session survives a mid-stitch death.
+    pub const SHARD_STITCH: &str = "shard.stitch";
 }
 
 /// What a firing rule does.

@@ -257,6 +257,38 @@ impl LabeledImage {
         h.iter().skip(1).filter(|&&c| c > 0).count()
     }
 
+    /// Extract the voxel sub-box `lo..hi` (exclusive `hi`) as its own image.
+    ///
+    /// The crop keeps world alignment: its origin is shifted by
+    /// `lo * spacing`, so voxel `(i, j, k)` of the crop covers the same world
+    /// cell as voxel `lo + (i, j, k)` of the parent (bit-exactly when
+    /// `lo * spacing` is exact in f64, e.g. unit or power-of-two spacing;
+    /// within one ulp otherwise). This is the chunk view used by sharded
+    /// meshing: chunk-local isosurface geometry lines up with the parent's.
+    pub fn crop(&self, lo: [usize; 3], hi: [usize; 3]) -> LabeledImage {
+        assert!(
+            (0..3).all(|a| lo[a] < hi[a] && hi[a] <= self.dims[a]),
+            "bad crop window {lo:?}..{hi:?} for dims {:?}",
+            self.dims
+        );
+        let dims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+        let mut out = LabeledImage::new(dims, self.spacing);
+        out.origin = self.origin
+            + Point3::new(
+                lo[0] as f64 * self.spacing[0],
+                lo[1] as f64 * self.spacing[1],
+                lo[2] as f64 * self.spacing[2],
+            );
+        for k in 0..dims[2] {
+            for j in 0..dims[1] {
+                let src = self.linear_index(lo[0], lo[1] + j, lo[2] + k);
+                let dst = out.linear_index(0, j, k);
+                out.data[dst..dst + dims[0]].copy_from_slice(&self.data[src..src + dims[0]]);
+            }
+        }
+        out
+    }
+
     /// Total foreground volume in world units (mm³).
     pub fn foreground_volume(&self) -> f64 {
         let voxel_vol = self.spacing[0] * self.spacing[1] * self.spacing[2];
@@ -349,6 +381,36 @@ mod tests {
         assert_eq!(h[0], 64 - 3);
         assert_eq!(img.num_tissues(), 2);
         assert!((img.foreground_volume() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crop_keeps_labels_and_world_alignment() {
+        let img = tiny();
+        let c = img.crop([1, 1, 1], [3, 3, 2]);
+        assert_eq!(c.dims(), [2, 2, 1]);
+        assert_eq!(c.get(0, 0, 0), 1);
+        assert_eq!(c.get(1, 0, 0), 1);
+        assert_eq!(c.get(0, 1, 0), 2);
+        assert_eq!(c.get(1, 1, 0), BACKGROUND);
+        // chunk voxel (i,j,k) sits exactly where parent voxel lo+(i,j,k) does
+        assert_eq!(c.voxel_center(0, 0, 0), img.voxel_center(1, 1, 1));
+        assert_eq!(c.voxel_center(1, 1, 0), img.voxel_center(2, 2, 1));
+        // full-image crop is an identity
+        let full = img.crop([0, 0, 0], img.dims());
+        assert_eq!(full.data(), img.data());
+        assert_eq!(full.origin(), img.origin());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad crop window")]
+    fn crop_rejects_inverted_window() {
+        tiny().crop([2, 0, 0], [1, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad crop window")]
+    fn crop_rejects_out_of_bounds_window() {
+        tiny().crop([0, 0, 0], [5, 4, 4]);
     }
 
     #[test]

@@ -34,6 +34,22 @@ impl ArtifactKind {
     }
 }
 
+/// Lenient view of a run report's sharded-run section. Every field is
+/// optional on disk: a run cancelled mid-shard (or written by a newer tool)
+/// may carry the section header without per-chunk accounting, and the
+/// renderer must degrade to "not recorded" rather than erroring.
+#[derive(Clone, Debug, Default)]
+pub struct ShardInfo {
+    /// Chunk grid as `AxBxC`, or `"?"` when absent.
+    pub grid: String,
+    pub halo: u64,
+    pub lanes: u64,
+    pub seed_points: u64,
+    /// Per-chunk `(tets, wall_s)` in plan order; `None` when the report was
+    /// cut short before chunk accounting was written.
+    pub chunks: Option<Vec<(u64, f64)>>,
+}
+
 /// The loaded, shape-normalized view of one artifact: the fields the
 /// renderer and differ need, regardless of which artifact kind carried them.
 #[derive(Clone, Debug)]
@@ -58,6 +74,8 @@ pub struct Artifact {
     pub hot_regions: Vec<(u64, u64)>,
     /// The wall-time decomposition, when the artifact recorded one.
     pub attribution: Option<TimeAttribution>,
+    /// The sharded-run section (schema v4), when the artifact carries one.
+    pub shard: Option<ShardInfo>,
 }
 
 impl Artifact {
@@ -145,6 +163,21 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
             hot_vertices: hot_pairs(c.and_then(|c| c.get("hot_vertices")), "vertex"),
             hot_regions: hot_pairs(c.and_then(|c| c.get("hot_regions")), "region"),
             attribution,
+            shard: j.get("shard").map(|s| ShardInfo {
+                grid: s
+                    .get("grid")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                halo: get_u64(s, "halo"),
+                lanes: get_u64(s, "lanes"),
+                seed_points: get_u64(s, "seed_points"),
+                chunks: s.get("chunks").and_then(Json::as_arr).map(|arr| {
+                    arr.iter()
+                        .map(|c| (get_u64(c, "tets"), get_f64(c, "wall_s")))
+                        .collect()
+                }),
+            }),
         })
     } else if j.get("hot_vertices").is_some() && j.get("speedup_self_report").is_some() {
         // wall time rides in the speedup self-report; the worker count is
@@ -174,6 +207,7 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
             attribution: j
                 .get("time_attribution")
                 .and_then(TimeAttribution::from_json),
+            shard: None,
         })
     } else {
         Err(
@@ -250,6 +284,36 @@ pub fn render_summary(art: &Artifact) -> String {
             .map(|(name, s)| format!("{name} {s:.3}s"))
             .collect();
         let _ = writeln!(out, "phases  : {}", phases.join(", "));
+    }
+    if let Some(shard) = &art.shard {
+        let _ = writeln!(
+            out,
+            "sharded : grid {}, halo {}, {} lane{}, {} seed vertices",
+            shard.grid,
+            shard.halo,
+            shard.lanes,
+            if shard.lanes == 1 { "" } else { "s" },
+            shard.seed_points
+        );
+        match &shard.chunks {
+            Some(chunks) if !chunks.is_empty() => {
+                let tets: u64 = chunks.iter().map(|&(t, _)| t).sum();
+                let slowest = chunks.iter().map(|&(_, w)| w).fold(0.0f64, f64::max);
+                let _ = writeln!(
+                    out,
+                    "chunks  : {} meshed, {} pre-stitch tets, slowest {:.3}s",
+                    chunks.len(),
+                    tets,
+                    slowest
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "chunks  : not recorded (run cancelled before chunk accounting)"
+                );
+            }
+        }
     }
     match &art.attribution {
         Some(a) => render_attribution(&mut out, a),
@@ -484,6 +548,60 @@ mod tests {
         assert!(art.attribution.is_none());
         let s = render_summary(&art);
         assert!(s.contains("not recorded"), "{s}");
+    }
+
+    #[test]
+    fn shard_section_loads_and_renders() {
+        let mut r = RunReport::new("pi2m");
+        r.threads = 2;
+        r.wall_s = 1.0;
+        r.shard = Some(crate::report::ShardSection {
+            grid: "2x1x1".into(),
+            halo: 4,
+            lanes: 2,
+            seed_points: 100,
+            seed_duplicates: 1,
+            chunks: vec![
+                crate::report::ShardChunk {
+                    index: [0, 0, 0],
+                    tets: 80,
+                    vertices: 40,
+                    wall_s: 0.1,
+                },
+                crate::report::ShardChunk {
+                    index: [1, 0, 0],
+                    tets: 90,
+                    vertices: 45,
+                    wall_s: 0.2,
+                },
+            ],
+        });
+        let art = load_artifact(&r.to_json_string()).unwrap();
+        let shard = art.shard.as_ref().expect("shard info");
+        assert_eq!(shard.grid, "2x1x1");
+        assert_eq!(shard.chunks.as_deref(), Some(&[(80, 0.1), (90, 0.2)][..]));
+        let s = render_summary(&art);
+        assert!(s.contains("grid 2x1x1, halo 4, 2 lanes"), "{s}");
+        assert!(s.contains("2 meshed, 170 pre-stitch tets"), "{s}");
+    }
+
+    #[test]
+    fn truncated_shard_section_degrades_to_not_recorded() {
+        // a cancelled sharded run can flush the section header without the
+        // per-chunk accounting; analyze must render, not error
+        let text = r#"{
+            "schema_version": 4, "tool": "pi2m", "threads": 2, "wall_s": 0.5,
+            "shard": {"grid": "2x2x2", "halo": 3, "lanes": 4, "seed_points": 0}
+        }"#;
+        let art = load_artifact(text).unwrap();
+        let shard = art.shard.as_ref().expect("shard info");
+        assert!(shard.chunks.is_none());
+        let s = render_summary(&art);
+        assert!(s.contains("grid 2x2x2"), "{s}");
+        assert!(
+            s.contains("chunks  : not recorded (run cancelled before chunk accounting)"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use export::{
 pub use flight::{
     EventKind, EventRing, FlightEvent, FlightHandle, FlightLog, FlightRecorder, FlightSampler,
 };
-pub use inspect::{load_artifact, render_diff, render_summary, Artifact, ArtifactKind};
+pub use inspect::{load_artifact, render_diff, render_summary, Artifact, ArtifactKind, ShardInfo};
 pub use metrics::{CounterId, HistId, MetricDef, MetricKind, MetricsSnapshot, ThreadRecorder};
-pub use report::{OverheadBreakdown, PhaseReport, RunReport, TraceSpan};
+pub use report::{OverheadBreakdown, PhaseReport, RunReport, ShardChunk, ShardSection, TraceSpan};
 pub use span::{Phases, SpanGuard};

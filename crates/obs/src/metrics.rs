@@ -127,6 +127,11 @@ counters! {
     SERVE_JOBS_CANCELLED = ("serve_jobs_cancelled", "jobs", "Jobs cancelled by their per-job deadline"),
     SERVE_SESSIONS_RECYCLED = ("serve_sessions_recycled", "sessions", "Warm sessions replaced after worker deaths or checkout faults"),
     SERVE_DRAINS         = ("serve_drains", "events", "Graceful drains initiated (SIGTERM or POST /drain)"),
+    // sharded meshing (chunked domain decomposition + seam stitching)
+    SHARD_CHUNKS_MESHED  = ("shard_chunks_meshed", "chunks", "Image chunks meshed by the sharded runner"),
+    SHARD_SEED_VERTICES  = ("shard_seed_vertices", "vertices", "Chunk vertices carried into the stitch triangulation"),
+    SHARD_SEED_DUPLICATES = ("shard_seed_duplicates", "vertices", "Duplicate or out-of-box chunk vertices dropped at the stitch seed"),
+    SHARD_STITCH_INSERTIONS = ("shard_stitch_insertions", "ops", "Refinement insertions committed by the seam-stitch pass"),
 }
 
 histograms! {
@@ -137,6 +142,7 @@ histograms! {
     WALK_STEPS_PER_LOCATE = ("walk_steps_per_locate", "cells", "Cells visited per point-location walk"),
     EDT_PASS_SECONDS     = ("edt_pass_seconds", "seconds", "Wall time per separable EDT axis pass"),
     SERVE_QUEUE_WAIT_SECONDS = ("serve_queue_wait_seconds", "seconds", "Time jobs spent queued before their first attempt"),
+    SHARD_CHUNK_SECONDS  = ("shard_chunk_seconds", "seconds", "Wall time per meshed chunk of a sharded run"),
 }
 
 /// Combined catalog view (counters, then histograms).

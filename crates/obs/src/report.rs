@@ -40,6 +40,70 @@ impl OverheadBreakdown {
     }
 }
 
+/// Per-chunk record inside a [`ShardSection`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardChunk {
+    /// Position in the shard grid (`[ix, iy, iz]`).
+    pub index: [usize; 3],
+    /// Tetrahedra in the chunk's pre-stitch mesh.
+    pub tets: u64,
+    /// Vertices in the chunk's pre-stitch mesh.
+    pub vertices: u64,
+    /// Wall time of the chunk's pipeline run, seconds.
+    pub wall_s: f64,
+}
+
+/// The sharded-run section of a report (schema v4; `None` — key absent — for
+/// monolithic runs and for sharded runs cancelled before chunk accounting).
+#[derive(Clone, Debug, Default)]
+pub struct ShardSection {
+    /// Chunk grid as `AxBxC`, e.g. `"2x2x1"`.
+    pub grid: String,
+    /// Halo overlap in voxels.
+    pub halo: usize,
+    /// Concurrent chunk lanes used.
+    pub lanes: usize,
+    /// Vertices carried from the chunks into the stitch seed.
+    pub seed_points: u64,
+    /// Bit-exact duplicates dropped while gathering the seed.
+    pub seed_duplicates: u64,
+    /// Per-chunk records, in plan order.
+    pub chunks: Vec<ShardChunk>,
+}
+
+impl ShardSection {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("grid", Json::str(&self.grid)),
+            ("halo", Json::int(self.halo as u64)),
+            ("lanes", Json::int(self.lanes as u64)),
+            ("seed_points", Json::int(self.seed_points)),
+            ("seed_duplicates", Json::int(self.seed_duplicates)),
+            (
+                "chunks",
+                Json::Arr(
+                    self.chunks
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                (
+                                    "index",
+                                    Json::Arr(
+                                        c.index.iter().map(|&i| Json::int(i as u64)).collect(),
+                                    ),
+                                ),
+                                ("tets", Json::int(c.tets)),
+                                ("vertices", Json::int(c.vertices)),
+                                ("wall_s", Json::num(c.wall_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// A machine-readable account of one run.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -71,14 +135,19 @@ pub struct RunReport {
     /// Per-worker wall-time attribution (schema v3; `None` when the flight
     /// recorder was disabled — the key is then absent from the JSON).
     pub attribution: Option<TimeAttribution>,
+    /// Sharded-run accounting (schema v4; `None` — key absent — for
+    /// monolithic runs).
+    pub shard: Option<ShardSection>,
 }
 
 impl RunReport {
     /// Schema history: v1 = counters/histograms/overheads; v2 adds the
     /// optional `contention` section (all v1 fields unchanged); v3 adds the
     /// optional top-level `time_attribution` section and embeds the same
-    /// decomposition inside `contention` (all v2 fields unchanged).
-    pub const SCHEMA_VERSION: u32 = 3;
+    /// decomposition inside `contention` (all v2 fields unchanged); v4 adds
+    /// the optional `shard` section for sharded runs (all v3 fields
+    /// unchanged).
+    pub const SCHEMA_VERSION: u32 = 4;
 
     pub fn new(tool: &str) -> Self {
         RunReport {
@@ -221,6 +290,9 @@ impl RunReport {
         if let Some(a) = &self.attribution {
             fields.push(("time_attribution", a.to_json()));
         }
+        if let Some(s) = &self.shard {
+            fields.push(("shard", s.to_json()));
+        }
         Json::obj(fields)
     }
 
@@ -312,10 +384,45 @@ mod tests {
         let h = j.get("histograms").unwrap().get("cavity_cells").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(r.elements_per_second(), 500.0);
-        // schema v3: flight-derived sections absent while the recorder is off
-        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(3.0));
+        // optional sections absent while their producers are off: the
+        // flight-derived pair (v2/v3) and the sharded-run section (v4)
+        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(4.0));
         assert!(j.get("contention").is_none());
         assert!(j.get("time_attribution").is_none());
+        assert!(j.get("shard").is_none());
+    }
+
+    #[test]
+    fn shard_section_appears_when_set() {
+        let mut r = RunReport::new("test");
+        r.shard = Some(ShardSection {
+            grid: "2x1x1".to_string(),
+            halo: 4,
+            lanes: 2,
+            seed_points: 120,
+            seed_duplicates: 3,
+            chunks: vec![
+                ShardChunk {
+                    index: [0, 0, 0],
+                    tets: 80,
+                    vertices: 40,
+                    wall_s: 0.1,
+                },
+                ShardChunk {
+                    index: [1, 0, 0],
+                    tets: 90,
+                    vertices: 45,
+                    wall_s: 0.12,
+                },
+            ],
+        });
+        let j = crate::json::parse(&r.to_json_string()).unwrap();
+        let s = j.get("shard").expect("shard section");
+        assert_eq!(s.get("grid").unwrap().as_str(), Some("2x1x1"));
+        assert_eq!(s.get("halo").unwrap().as_f64(), Some(4.0));
+        let chunks = s.get("chunks").unwrap().as_arr().unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].get("tets").unwrap().as_f64(), Some(90.0));
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct MesherConfig {
     /// Live telemetry tap: emit one JSONL heartbeat line to stderr every
     /// this-many seconds while refinement runs. `PI2M_LIVE` also enables it.
     pub live: Option<f64>,
+    /// This run is the seam-stitch pass of a sharded run: the worker loop
+    /// additionally consults the `shard.stitch` fault site. Set by the shard
+    /// orchestrator only.
+    pub shard_stitch: bool,
 }
 
 impl Default for MesherConfig {
@@ -78,6 +82,7 @@ impl Default for MesherConfig {
             flight: true,
             flight_capacity: DEFAULT_RING_CAPACITY,
             live: None,
+            shard_stitch: false,
         }
     }
 }

@@ -87,7 +87,7 @@ impl Mesher {
 
     fn run_inner(self) -> MeshOutput {
         let mut pool = pool::WorkerPool::new(self.cfg.threads);
-        run_pipeline(&mut pool, self.img, self.cfg, &RunOptions::default())
+        run_pipeline(&mut pool, self.img, self.cfg, &RunOptions::default(), &[])
             .expect("a run without a cancel token cannot be cancelled")
     }
 }

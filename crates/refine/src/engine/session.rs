@@ -26,7 +26,7 @@ use crate::stats::{RefineStats, ThreadStats};
 use crate::sync::EngineSync;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
-use pi2m_delaunay::{CellId, SharedMesh};
+use pi2m_delaunay::{CellId, SharedMesh, VertexKind};
 use pi2m_edt::try_surface_feature_transform_obs;
 use pi2m_image::LabeledImage;
 use pi2m_obs::metrics::{self, MetricsSnapshot, ThreadRecorder};
@@ -149,7 +149,23 @@ impl MeshingSession {
         cfg: MesherConfig,
         opts: &RunOptions,
     ) -> Result<MeshOutput, RefineError> {
-        let out = run_pipeline(&mut self.pool, img, cfg, opts)?;
+        self.mesh_seeded(img, cfg, opts, &[])
+    }
+
+    /// [`mesh_with`](Self::mesh_with) over a pre-seeded triangulation: the
+    /// given points are inserted into the fresh virtual-box mesh before
+    /// refinement starts, so the workers only repair where the seeded mesh
+    /// violates R1–R6. This is the stitch pass of a sharded run: the seed is
+    /// the union of the chunk meshes' vertices, and the repair work
+    /// concentrates on the seam bands between chunks.
+    pub(crate) fn mesh_seeded(
+        &mut self,
+        img: LabeledImage,
+        cfg: MesherConfig,
+        opts: &RunOptions,
+        seed: &[([f64; 3], VertexKind)],
+    ) -> Result<MeshOutput, RefineError> {
+        let out = run_pipeline(&mut self.pool, img, cfg, opts, seed)?;
         let (died, threads) = (out.stats.workers_died, out.stats.threads());
         if died * 2 > threads {
             return Err(RefineError::WorkerQuorumLost { died, threads });
@@ -170,6 +186,7 @@ pub(crate) fn run_pipeline(
     img: LabeledImage,
     cfg: MesherConfig,
     opts: &RunOptions,
+    seed: &[([f64; 3], VertexKind)],
 ) -> Result<MeshOutput, RefineError> {
     let cancel = opts.cancel.clone().unwrap_or_default();
     let reporter = StageReporter::new(opts.on_stage.clone());
@@ -213,6 +230,14 @@ pub(crate) fn run_pipeline(
     // The virtual-box triangulation enclosing the object, the (recycled)
     // proximity grid, the refinement rules, and the initial PEL seed.
     reporter.started(Stage::SurfaceRecovery, t0.elapsed().as_secs_f64());
+    // Final-mesh candidates contributed by the seed pre-insertion. Worker
+    // operations record candidates as they create cells (`handle_created`),
+    // but a seeded region the workers never touch again would otherwise be
+    // invisible to extraction — so every post-seed cell with an inside
+    // circumcenter is listed here under the same lazy (cell, generation)
+    // discipline: entries killed by later refinement go stale and are
+    // filtered at extract time.
+    let mut seed_candidates: Vec<(CellId, u32)> = Vec::new();
     let (mesh, rules, grid_park, regions, pels, counters, dead_flags) = {
         let _g = phases.span(Stage::SurfaceRecovery.phase_name());
         let domain = oracle
@@ -233,6 +258,35 @@ pub(crate) fn run_pipeline(
             Arc::clone(&oracle),
             grid,
         );
+        // Pre-seed the triangulation (stitch pass of a sharded run): insert
+        // the union of the chunk vertices sequentially, registering each in
+        // the proximity grid exactly as a committed refinement insertion
+        // would. Duplicates (identical halo copies from adjacent chunks) and
+        // points outside the virtual box are dropped — the kernel's typed
+        // rejections are the backstop behind the caller's own dedup.
+        if !seed.is_empty() {
+            let mut ctx = mesh.make_ctx(0);
+            let (mut kept, mut dropped) = (0u64, 0u64);
+            for &(p, kind) in seed {
+                match ctx.insert(p, kind) {
+                    Ok(r) => {
+                        rules.grid.insert(r.vertex, p);
+                        kept += 1;
+                    }
+                    Err(_) => dropped += 1,
+                }
+            }
+            pipeline_rec.inc(metrics::SHARD_SEED_VERTICES, kept);
+            pipeline_rec.inc(metrics::SHARD_SEED_DUPLICATES, dropped);
+            for c in mesh.alive_cells() {
+                let p = mesh.cell_points(c);
+                if let Some(cc) = pi2m_geometry::circumcenter(p[0], p[1], p[2], p[3]) {
+                    if rules.oracle.is_inside(cc) {
+                        seed_candidates.push((c, mesh.cell(c).gen()));
+                    }
+                }
+            }
+        }
         let regions = RegionMap::new(&domain);
         let pels: Vec<Pel> = (0..cfg.threads)
             .map(|_| Mutex::new(VecDeque::new()))
@@ -330,8 +384,12 @@ pub(crate) fn run_pipeline(
     }
     reporter.finished(Stage::VolumeRefine, t0.elapsed().as_secs_f64());
     let wall_time = t_refine.elapsed().as_secs_f64();
-    // Candidates in tid order, matching the old scoped-thread join order.
-    let final_list: Vec<(CellId, u32)> = final_lists.into_iter().flatten().collect();
+    // Candidates in tid order, matching the old scoped-thread join order;
+    // seed-time candidates first (they predate every worker operation).
+    let final_list: Vec<(CellId, u32)> = seed_candidates
+        .into_iter()
+        .chain(final_lists.into_iter().flatten())
+        .collect();
 
     // All Arc holders (workers, tap) have finished and dropped theirs.
     let RunState {

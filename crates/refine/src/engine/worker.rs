@@ -144,6 +144,12 @@ pub(crate) fn worker(
         // isolation below and kills this worker (the death-cleanup path).
         if let Some(f) = &env.cfg.faults {
             let _ = f.fire(sites::ENGINE_WORKER, tid as u32);
+            // The stitch pass of a sharded run exposes its own worker-scope
+            // site so shard drills can kill a worker mid-seam without also
+            // firing in the surrounding (monolithic or chunk) runs.
+            if env.cfg.shard_stitch {
+                let _ = f.fire(sites::SHARD_STITCH, tid as u32);
+            }
         }
 
         let item = env.pels[tid].lock().pop_front();

@@ -46,6 +46,7 @@ pub mod grid;
 pub mod integrity;
 pub mod output;
 pub mod rules;
+pub mod shard;
 pub mod stats;
 pub mod sync;
 pub mod topology;
@@ -62,6 +63,10 @@ pub use integrity::{audit_mesh, AuditReport, Violation};
 pub use output::FinalMesh;
 pub use pi2m_obs::{CancelToken, Cancelled};
 pub use rules::{InsertAction, RuleConfig, Rules};
+pub use shard::{
+    mesh_sharded, parse_shard_grid, split_plan, ChunkRun, ChunkSpec, ShardError, ShardRun,
+    ShardSpec,
+};
 pub use stats::{OverheadKind, RefineStats, ThreadStats, TraceEvent};
 pub use sync::EngineSync;
 pub use topology::MachineTopology;

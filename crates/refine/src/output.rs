@@ -128,6 +128,24 @@ impl FinalMesh {
             .collect()
     }
 
+    /// Per-label volume sums (world units³), sorted by label. The unit of
+    /// comparison for differential tests: two meshes of the same image agree
+    /// when every tissue's volume matches within tolerance.
+    pub fn label_volumes(&self) -> Vec<(Label, f64)> {
+        let mut vols: HashMap<Label, f64> = HashMap::new();
+        for (t, &label) in self.tets.iter().zip(&self.labels) {
+            *vols.entry(label).or_insert(0.0) += pi2m_geometry::signed_volume(
+                self.points[t[0] as usize],
+                self.points[t[1] as usize],
+                self.points[t[2] as usize],
+                self.points[t[3] as usize],
+            );
+        }
+        let mut out: Vec<(Label, f64)> = vols.into_iter().collect();
+        out.sort_by_key(|&(l, _)| l);
+        out
+    }
+
     /// Total volume of the mesh (world units³).
     pub fn volume(&self) -> f64 {
         self.tets
@@ -189,6 +207,9 @@ mod tests {
         }
         // volume bounded by the sphere's volume (plus slop: tets can stick out)
         assert!(fm.volume() > 0.0);
+        // per-label volumes partition the total
+        let by_label: f64 = fm.label_volumes().iter().map(|&(_, v)| v).sum();
+        assert!((by_label - fm.volume()).abs() < 1e-9);
     }
 
     #[test]

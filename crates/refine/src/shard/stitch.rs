@@ -1,0 +1,134 @@
+//! Seam stitching: turning per-chunk meshes back into one seed point set.
+//!
+//! Each chunk is meshed over its halo-padded view, so its mesh is trustworthy
+//! only inside the core box it owns — the halo band exists to give the core
+//! full isosurface context, and the band itself is re-meshed by the chunk on
+//! the other side of the seam. The gather therefore keeps exactly the
+//! vertices each chunk *owns*: non-box vertices inside the chunk's half-open
+//! core world box. Ownership makes the union nearly duplicate-free by
+//! construction; bit-exact duplicates that remain (isosurface samples landing
+//! exactly on a seam plane from both sides) are dropped here, and the
+//! kernel's typed `Duplicate` rejection backstops anything subtler at seed
+//! insertion time.
+
+use super::split::ChunkSpec;
+use crate::output::FinalMesh;
+use pi2m_delaunay::VertexKind;
+use pi2m_image::LabeledImage;
+use std::collections::HashSet;
+
+/// The world-space core box of a chunk, as `[min, max)` per axis (inclusive
+/// `max` on axes where the core ends at the image edge — there is no
+/// neighboring owner past it).
+fn core_box(img: &LabeledImage, c: &ChunkSpec) -> ([f64; 3], [f64; 3], [bool; 3]) {
+    let o = img.origin();
+    let s = img.spacing();
+    let o = [o.x, o.y, o.z];
+    let mut lo = [0.0; 3];
+    let mut hi = [0.0; 3];
+    let mut closed_hi = [false; 3];
+    for a in 0..3 {
+        lo[a] = o[a] + c.core_lo[a] as f64 * s[a];
+        hi[a] = o[a] + c.core_hi[a] as f64 * s[a];
+        closed_hi[a] = c.core_hi[a] == img.dims()[a];
+    }
+    (lo, hi, closed_hi)
+}
+
+/// Gather the stitch seed: every chunk's owned vertices, deduplicated
+/// bit-exactly, in chunk order (deterministic given deterministic chunk
+/// meshes). Returns the seed and the number of duplicate vertices dropped.
+pub(crate) fn gather_seed_points(
+    img: &LabeledImage,
+    plan: &[ChunkSpec],
+    chunks: &[FinalMesh],
+) -> (Vec<([f64; 3], VertexKind)>, u64) {
+    debug_assert_eq!(plan.len(), chunks.len());
+    let mut seen: HashSet<[u64; 3]> = HashSet::new();
+    let mut seed = Vec::new();
+    let mut duplicates = 0u64;
+    for (spec, mesh) in plan.iter().zip(chunks) {
+        let (lo, hi, closed_hi) = core_box(img, spec);
+        for (p, &kind) in mesh.points.iter().zip(&mesh.point_kinds) {
+            if kind == VertexKind::BoxCorner {
+                continue; // scaffolding of the chunk's own virtual box
+            }
+            let q = [p.x, p.y, p.z];
+            let owned =
+                (0..3).all(|a| q[a] >= lo[a] && (q[a] < hi[a] || (closed_hi[a] && q[a] <= hi[a])));
+            if !owned {
+                continue; // halo-band vertex: its owner is the neighbor chunk
+            }
+            if seen.insert([q[0].to_bits(), q[1].to_bits(), q[2].to_bits()]) {
+                seed.push((q, kind));
+            } else {
+                duplicates += 1;
+            }
+        }
+    }
+    (seed, duplicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::split::split_plan;
+    use pi2m_geometry::Point3;
+
+    fn mesh_of(points: &[[f64; 3]], kind: VertexKind) -> FinalMesh {
+        FinalMesh {
+            points: points
+                .iter()
+                .map(|p| Point3::new(p[0], p[1], p[2]))
+                .collect(),
+            point_kinds: vec![kind; points.len()],
+            tets: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn gather_keeps_owned_drops_halo_and_dedups() {
+        let img = LabeledImage::new([8, 4, 4], [1.0; 3]);
+        let plan = split_plan([8, 4, 4], [2, 1, 1], 1).unwrap();
+        // chunk 0 owns x ∈ [0,4); chunk 1 owns x ∈ [4,8]
+        let a = mesh_of(
+            &[[1.0, 1.0, 1.0], [4.5, 1.0, 1.0], [4.0, 2.0, 2.0]],
+            VertexKind::Isosurface,
+        );
+        let b = mesh_of(
+            &[[4.0, 2.0, 2.0], [7.0, 1.0, 1.0], [3.5, 1.0, 1.0]],
+            VertexKind::Isosurface,
+        );
+        let (seed, dups) = gather_seed_points(&img, &plan, &[a, b]);
+        // a: keeps [1,..]; [4.5,..] and [4.0,..] are past its core. b: keeps
+        // [4.0,..] (its seam plane) and [7.0,..]; [3.5,..] is halo.
+        let xs: Vec<f64> = seed.iter().map(|(p, _)| p[0]).collect();
+        assert_eq!(xs, vec![1.0, 4.0, 7.0]);
+        assert_eq!(dups, 0);
+
+        // the same point owned once and duplicated bit-exactly dedups
+        let a2 = mesh_of(&[[2.0, 1.0, 1.0], [2.0, 1.0, 1.0]], VertexKind::Isosurface);
+        let b2 = mesh_of(&[], VertexKind::Isosurface);
+        let (seed, dups) = gather_seed_points(&img, &plan, &[a2, b2]);
+        assert_eq!(seed.len(), 1);
+        assert_eq!(dups, 1);
+    }
+
+    #[test]
+    fn gather_drops_box_corners_and_closes_image_edges() {
+        let img = LabeledImage::new([4, 4, 4], [1.0; 3]);
+        let plan = split_plan([4, 4, 4], [1, 1, 1], 0).unwrap();
+        let m = FinalMesh {
+            points: vec![Point3::new(4.0, 4.0, 4.0), Point3::new(-9.0, 0.0, 0.0)],
+            point_kinds: vec![VertexKind::Isosurface, VertexKind::BoxCorner],
+            tets: Vec::new(),
+            labels: Vec::new(),
+        };
+        let (seed, _) = gather_seed_points(&img, &plan, &[m]);
+        // the image-edge point is owned (closed upper face); the box corner
+        // is never carried over
+        assert_eq!(seed.len(), 1);
+        assert_eq!(seed[0].0, [4.0, 4.0, 4.0]);
+    }
+}

@@ -605,16 +605,40 @@ impl MeshService {
         };
         self.running.lock().insert(id, (token.clone(), deadline));
         let t0 = Instant::now();
-        let result = session.mesh_with(
-            img,
-            cfg,
-            &RunOptions {
-                cancel: Some(token),
-                on_stage: None,
-            },
-        );
+        let run_opts = RunOptions {
+            cancel: Some(token),
+            on_stage: None,
+        };
+        // Sharded jobs route through the chunk-and-stitch orchestrator on
+        // the same warm session; plan errors are deterministic (a retry
+        // cannot fix a degenerate grid), engine errors keep their class.
+        let result = match spec.shards {
+            Some(grid) => pi2m_refine::mesh_sharded(
+                session,
+                img,
+                cfg,
+                &run_opts,
+                &pi2m_refine::ShardSpec {
+                    grid,
+                    halo: spec.halo,
+                    lanes: None,
+                },
+            )
+            .map(|run| run.out)
+            .map_err(|e| match e {
+                pi2m_refine::ShardError::Run(e) => AttemptFailure::from_refine(&e),
+                other => AttemptFailure {
+                    class: FailureClass::Deterministic,
+                    kind: "shard",
+                    message: other.to_string(),
+                },
+            }),
+            None => session
+                .mesh_with(img, cfg, &run_opts)
+                .map_err(|e| AttemptFailure::from_refine(&e)),
+        };
         self.running.lock().remove(&id);
-        let out = result.map_err(|e| AttemptFailure::from_refine(&e))?;
+        let out = result?;
         let run_s = t0.elapsed().as_secs_f64();
         let dirty = out.stats.workers_died > 0;
         // Fold the job's engine metrics into the service-lifetime view

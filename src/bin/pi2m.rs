@@ -7,8 +7,11 @@
 //!             [--report run.json] [--trace-out trace.json] [--metrics]
 //!             [--audit] [--live[=INTERVAL]] [--contention-out c.json]
 //!             [--no-flight] [--force] [--deadline DUR]
+//!             [--shards AxBxC [--halo N]]
 //!             (a run killed by --deadline still writes its --report /
-//!             --contention-out / --trace-out artifacts)
+//!             --contention-out / --trace-out artifacts; --shards meshes
+//!             the image as a grid of overlapping chunks and stitches the
+//!             seams — see README "Sharded meshing")
 //! pi2m batch  <inputs...> [--outdir DIR] [--keep-going] [--reports]
 //!             [mesh options]
 //!             mesh several inputs sequentially over ONE warm session
@@ -203,25 +206,92 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
             .transpose()?,
         on_stage: None,
     };
+    let shard_spec = args
+        .flags
+        .get("shards")
+        .map(|v| -> Result<pi2m::refine::ShardSpec, String> {
+            let grid = pi2m::refine::parse_shard_grid(v).map_err(|e| e.to_string())?;
+            let halo = args
+                .flags
+                .get("halo")
+                .map(|h| h.parse().map_err(|_| "bad --halo".to_string()))
+                .transpose()?;
+            Ok(pi2m::refine::ShardSpec {
+                grid,
+                halo,
+                lanes: None,
+            })
+        })
+        .transpose()?;
+
     let t0 = Instant::now();
-    let out = match session.mesh_with(img, cfg, &run_opts) {
-        Ok(out) => out,
-        Err(pi2m::refine::RefineError::Cancelled) => {
-            // a killed run still reports: write the observability artifacts
-            // from the telemetry salvaged at the cancellation point
-            write_cancelled_artifacts(
-                args,
-                input,
-                &o,
-                delta,
-                threads,
-                session.take_cancel_telemetry(),
-            )?;
-            return Err(CliError::Cancelled(
-                "run cancelled (deadline); observability artifacts written".into(),
-            ));
+    let (out, shard) = if let Some(spec) = &shard_spec {
+        match pi2m::refine::mesh_sharded(&mut session, img, cfg, &run_opts, spec) {
+            Ok(run) => {
+                eprintln!(
+                    "sharded: {} chunks over {} lane(s), halo {} voxels, {} seed \
+                     vertices ({} duplicates dropped)",
+                    run.chunks.len(),
+                    run.lanes,
+                    run.halo,
+                    run.seed_points,
+                    run.seed_duplicates
+                );
+                let section = pi2m::obs::ShardSection {
+                    grid: format!("{}x{}x{}", run.grid[0], run.grid[1], run.grid[2]),
+                    halo: run.halo,
+                    lanes: run.lanes,
+                    seed_points: run.seed_points,
+                    seed_duplicates: run.seed_duplicates,
+                    chunks: run
+                        .chunks
+                        .iter()
+                        .map(|c| pi2m::obs::ShardChunk {
+                            index: c.index,
+                            tets: c.tets,
+                            vertices: c.vertices,
+                            wall_s: c.wall_s,
+                        })
+                        .collect(),
+                };
+                (run.out, Some(section))
+            }
+            Err(pi2m::refine::ShardError::Run(pi2m::refine::RefineError::Cancelled)) => {
+                write_cancelled_artifacts(
+                    args,
+                    input,
+                    &o,
+                    delta,
+                    threads,
+                    session.take_cancel_telemetry(),
+                )?;
+                return Err(CliError::Cancelled(
+                    "run cancelled (deadline); observability artifacts written".into(),
+                ));
+            }
+            Err(pi2m::refine::ShardError::Run(e)) => return Err(CliError::from_refine(&e)),
+            Err(e) => return Err(CliError::Generic(e.to_string())),
         }
-        Err(e) => return Err(CliError::from_refine(&e)),
+    } else {
+        match session.mesh_with(img, cfg, &run_opts) {
+            Ok(out) => (out, None),
+            Err(pi2m::refine::RefineError::Cancelled) => {
+                // a killed run still reports: write the observability artifacts
+                // from the telemetry salvaged at the cancellation point
+                write_cancelled_artifacts(
+                    args,
+                    input,
+                    &o,
+                    delta,
+                    threads,
+                    session.take_cancel_telemetry(),
+                )?;
+                return Err(CliError::Cancelled(
+                    "run cancelled (deadline); observability artifacts written".into(),
+                ));
+            }
+            Err(e) => return Err(CliError::from_refine(&e)),
+        }
     };
     let dt = t0.elapsed().as_secs_f64();
     eprintln!(
@@ -286,7 +356,11 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
         || args.flags.contains_key("trace-out")
         || args.switches.contains("metrics")
     {
-        let report = build_run_report(input, &o, delta, threads, &out, dt, &contention);
+        let mut report = build_run_report(input, &o, delta, threads, &out, dt, &contention);
+        if let Some(s) = &shard {
+            report.config("shards", &s.grid).config("halo", s.halo);
+            report.shard = Some(s.clone());
+        }
 
         if let Some(path) = args.flags.get("report") {
             write_new(path, &report.to_json_string(), force).map_err(CliError::Io)?;

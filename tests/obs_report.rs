@@ -192,3 +192,64 @@ fn real_run_produces_schema_valid_report_and_trace() {
     assert!(out.metrics.counter(metrics::OPS_INSERTIONS) > 0);
     assert_eq!(out.metrics.threads_merged as usize, threads + 1); // workers + pipeline
 }
+
+#[test]
+fn analyze_degrades_cancelled_sharded_report_to_not_recorded() {
+    use pi2m::obs::{load_artifact, render_summary, ShardChunk, ShardSection};
+
+    // A complete sharded-run report renders full per-chunk accounting.
+    let mut report = RunReport::new("obs_report_test");
+    report.config("shards", "2x2x1").config("halo", 3);
+    report.threads = 2;
+    report.wall_s = 1.0;
+    report.elements = 1234;
+    report.shard = Some(ShardSection {
+        grid: "2x2x1".to_string(),
+        halo: 3,
+        lanes: 2,
+        seed_points: 400,
+        seed_duplicates: 2,
+        chunks: vec![
+            ShardChunk {
+                index: [0, 0, 0],
+                tets: 100,
+                vertices: 60,
+                wall_s: 0.25,
+            },
+            ShardChunk {
+                index: [1, 0, 0],
+                tets: 120,
+                vertices: 70,
+                wall_s: 0.3,
+            },
+        ],
+    });
+    let art = load_artifact(&report.to_json_string()).expect("full report loads");
+    let summary = render_summary(&art);
+    assert!(summary.contains("sharded : grid 2x2x1"), "{summary}");
+    assert!(
+        summary.contains("chunks  : 2 meshed, 220 pre-stitch tets"),
+        "{summary}"
+    );
+
+    // A report written by a run cancelled mid-shard carries the shard header
+    // but no per-chunk accounting. `pi2m analyze` must degrade that section
+    // to "not recorded" — same spirit as the pre-v3 key degradation — not
+    // error on the missing keys.
+    let cancelled = r#"{
+        "schema_version": 4.0,
+        "tool": "pi2m",
+        "config": {"shards": "2x2x1", "halo": 3.0},
+        "threads": 2.0,
+        "wall_s": 0.4,
+        "elements": 0.0,
+        "shard": {"grid": "2x2x1", "halo": 3.0, "lanes": 2.0, "seed_points": 0.0}
+    }"#;
+    let art = load_artifact(cancelled).expect("cancelled report still loads");
+    let summary = render_summary(&art);
+    assert!(summary.contains("sharded : grid 2x2x1"), "{summary}");
+    assert!(
+        summary.contains("chunks  : not recorded (run cancelled before chunk accounting)"),
+        "{summary}"
+    );
+}

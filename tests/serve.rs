@@ -27,6 +27,8 @@ fn spec(input: &str) -> JobSpec {
         priority: Priority::Normal,
         deadline_s: None,
         max_retries: None,
+        shards: None,
+        halo: None,
     }
 }
 
@@ -450,4 +452,44 @@ fn http_api_round_trips_jobs_and_metrics() {
     assert!(svc.drain(Duration::from_secs(30)));
     stop.store(true, std::sync::atomic::Ordering::SeqCst);
     handle.join().unwrap();
+}
+
+#[test]
+fn sharded_job_runs_and_echoes_spec() {
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 1,
+        threads: 2,
+        queue_capacity: 4,
+        spool: spool("shard"),
+        ..Default::default()
+    })
+    .unwrap();
+    let id = svc
+        .submit(JobSpec {
+            shards: Some([2, 1, 1]),
+            halo: Some(3),
+            ..spec("phantom:sphere")
+        })
+        .unwrap();
+    let r = wait_terminal(&svc, id, Duration::from_secs(120));
+    assert_eq!(r.status, JobStatus::Succeeded, "{:?}", r.error);
+    assert!(r.tets.unwrap() > 50);
+    assert!(r.artifact.as_ref().unwrap().exists());
+    // the record echoes the sharding the job ran with
+    let j = r.to_json();
+    let spec_json = j.get("spec").unwrap();
+    assert_eq!(spec_json.get("shards").unwrap().as_str(), Some("2x1x1"));
+    assert_eq!(spec_json.get("halo").unwrap().as_f64(), Some(3.0));
+    // a degenerate grid fails deterministically (no retries burned)
+    let id = svc
+        .submit(JobSpec {
+            shards: Some([64, 64, 64]),
+            ..spec("phantom:sphere")
+        })
+        .unwrap();
+    let r = wait_terminal(&svc, id, Duration::from_secs(60));
+    assert_eq!(r.status, JobStatus::Failed);
+    assert_eq!(r.error_kind.as_deref(), Some("shard"));
+    assert_eq!(r.attempts, 1, "plan errors must not retry");
+    assert!(svc.drain(Duration::from_secs(10)));
 }
