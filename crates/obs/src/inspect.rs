@@ -23,6 +23,8 @@ pub enum ArtifactKind {
     RunReport,
     /// A standalone `--contention-out` dump (`ContentionReport::to_json`).
     Contention,
+    /// A per-job lifecycle trace saved from `GET /jobs/<id>/trace`.
+    JobTrace,
 }
 
 impl ArtifactKind {
@@ -30,7 +32,48 @@ impl ArtifactKind {
         match self {
             ArtifactKind::RunReport => "run report",
             ArtifactKind::Contention => "contention dump",
+            ArtifactKind::JobTrace => "job trace",
         }
+    }
+}
+
+/// Lenient view of a served job's lifecycle trace. Every field degrades:
+/// a trace fetched while the job is still queued has no checkout, stage,
+/// or terminal events yet, and the renderer must say "not recorded"
+/// rather than erroring.
+#[derive(Clone, Debug, Default)]
+pub struct TraceInfo {
+    /// Job id the service assigned (`"?"` when absent).
+    pub id: String,
+    pub schema_version: u64,
+    /// Events present in the artifact (after any server-side capping).
+    pub events: u64,
+    /// Events the service dropped past its per-job cap.
+    pub dropped: u64,
+    /// Seconds the job sat queued, when a `queue_wait` event was recorded.
+    pub queue_wait_s: Option<f64>,
+    /// Session checkouts (one per attempt), with their session generations.
+    pub checkouts: Vec<u64>,
+    /// Backoff pauses between retried attempts.
+    pub backoffs: u64,
+    /// One line per failed attempt: `kind (class, retried|gave up)`.
+    pub failures: Vec<String>,
+    /// Completed stages as `(name, seconds)` in completion order, paired
+    /// from `stage_started`/`stage_finished` events on the run clock.
+    pub stages: Vec<(String, f64)>,
+    /// Per-chunk spans of a sharded job.
+    pub shard_chunks: u64,
+    /// `(status, t_s)` of the terminal event, `None` while non-terminal.
+    pub terminal: Option<(String, f64)>,
+}
+
+impl TraceInfo {
+    /// The completed stage that consumed the most run time.
+    pub fn dominant_stage(&self) -> Option<(&str, f64)> {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, s)| (n.as_str(), *s))
     }
 }
 
@@ -76,6 +119,8 @@ pub struct Artifact {
     pub attribution: Option<TimeAttribution>,
     /// The sharded-run section (schema v4), when the artifact carries one.
     pub shard: Option<ShardInfo>,
+    /// The per-job lifecycle view, when the artifact is a job trace.
+    pub trace: Option<TraceInfo>,
 }
 
 impl Artifact {
@@ -122,11 +167,84 @@ fn hot_pairs(j: Option<&Json>, id_key: &str) -> Vec<(u64, u64)> {
         .unwrap_or_default()
 }
 
+fn get_str(j: &Json, key: &str) -> String {
+    j.get(key).and_then(Json::as_str).unwrap_or("?").to_string()
+}
+
+/// Fold the event stream of a `GET /jobs/<id>/trace` artifact into the
+/// summary the renderer needs. Unknown event kinds are skipped so newer
+/// services stay analyzable; stage durations pair `stage_started` /
+/// `stage_finished` by name on the run clock (`run_t_s`).
+fn load_trace(j: &Json) -> TraceInfo {
+    let mut t = TraceInfo {
+        id: get_str(j, "id"),
+        schema_version: get_u64(j, "trace_schema_version"),
+        dropped: get_u64(j, "events_dropped"),
+        ..Default::default()
+    };
+    let mut open: Vec<(String, f64)> = Vec::new();
+    for ev in j.get("events").and_then(Json::as_arr).into_iter().flatten() {
+        t.events += 1;
+        match ev.get("kind").and_then(Json::as_str).unwrap_or("") {
+            "queue_wait" => t.queue_wait_s = Some(get_f64(ev, "wait_s")),
+            "checkout" => t.checkouts.push(get_u64(ev, "session_generation")),
+            "backoff" => t.backoffs += 1,
+            "attempt_failed" => {
+                let retried = ev
+                    .get("will_retry")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                t.failures.push(format!(
+                    "{} ({}, {})",
+                    get_str(ev, "error_kind"),
+                    get_str(ev, "class"),
+                    if retried { "retried" } else { "gave up" }
+                ));
+            }
+            "stage_started" => open.push((get_str(ev, "stage"), get_f64(ev, "run_t_s"))),
+            "stage_finished" => {
+                let name = get_str(ev, "stage");
+                if let Some(i) = open.iter().rposition(|(n, _)| *n == name) {
+                    let (name, started) = open.remove(i);
+                    t.stages.push((name, get_f64(ev, "run_t_s") - started));
+                }
+            }
+            "shard_chunk" => t.shard_chunks += 1,
+            "terminal" => t.terminal = Some((get_str(ev, "status"), get_f64(ev, "t_s"))),
+            _ => {}
+        }
+    }
+    t
+}
+
 /// Parse one artifact from its JSON text, autodetecting the kind: run
 /// reports carry `schema_version` + `tool`, contention dumps carry
-/// `hot_vertices` + `speedup_self_report` at the top level.
+/// `hot_vertices` + `speedup_self_report`, and job traces carry
+/// `trace_schema_version` + `events` at the top level.
 pub fn load_artifact(text: &str) -> Result<Artifact, String> {
     let j = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if j.get("trace_schema_version").is_some() && j.get("events").is_some() {
+        // a served job's lifecycle trace (GET /jobs/<id>/trace)
+        let trace = load_trace(&j);
+        let wall_s = trace.terminal.as_ref().map(|&(_, t)| t).unwrap_or(0.0);
+        return Ok(Artifact {
+            kind: ArtifactKind::JobTrace,
+            schema_version: Some(trace.schema_version),
+            tool: None,
+            config: Vec::new(),
+            threads: 0,
+            wall_s,
+            elements: 0,
+            commits: 0,
+            rollbacks: 0,
+            phases: Vec::new(),
+            hot_vertices: Vec::new(),
+            hot_regions: Vec::new(),
+            attribution: None,
+            shard: None,
+            trace: Some(trace),
+        });
+    }
     if j.get("schema_version").is_some() && j.get("tool").is_some() {
         // a run report; its contention section (if any) holds the hot spots
         let c = j.get("contention");
@@ -178,6 +296,7 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
                         .collect()
                 }),
             }),
+            trace: None,
         })
     } else if j.get("hot_vertices").is_some() && j.get("speedup_self_report").is_some() {
         // wall time rides in the speedup self-report; the worker count is
@@ -208,11 +327,13 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
                 .get("time_attribution")
                 .and_then(TimeAttribution::from_json),
             shard: None,
+            trace: None,
         })
     } else {
         Err(
-            "unrecognized artifact: neither a run report (schema_version + tool) \
-             nor a contention dump (hot_vertices + speedup_self_report)"
+            "unrecognized artifact: not a run report (schema_version + tool), \
+             a contention dump (hot_vertices + speedup_self_report), or a job \
+             trace (trace_schema_version + events)"
                 .into(),
         )
     }
@@ -246,9 +367,95 @@ fn render_attribution(out: &mut String, a: &TimeAttribution) {
     }
 }
 
+/// Render a served job's lifecycle timeline: queue wait, per-attempt
+/// checkouts and failures, completed stage durations with the dominant
+/// phase, shard chunks, terminal state. Anything the trace did not record
+/// degrades to an explicit "not recorded" line.
+fn render_trace_summary(out: &mut String, t: &TraceInfo) {
+    let _ = writeln!(
+        out,
+        "artifact: job trace ({}, schema v{}, {} event{}{})",
+        t.id,
+        t.schema_version,
+        t.events,
+        if t.events == 1 { "" } else { "s" },
+        if t.dropped > 0 {
+            format!(", {} dropped", t.dropped)
+        } else {
+            String::new()
+        }
+    );
+    match t.queue_wait_s {
+        Some(w) => {
+            let _ = writeln!(out, "queue   : waited {w:.3}s");
+        }
+        None => {
+            let _ = writeln!(out, "queue   : wait not recorded (job never started?)");
+        }
+    }
+    if t.checkouts.is_empty() {
+        let _ = writeln!(out, "attempts: none recorded");
+    } else {
+        let gens: Vec<String> = t.checkouts.iter().map(|g| format!("gen {g}")).collect();
+        let _ = writeln!(
+            out,
+            "attempts: {} checkout{} ({}), {} backoff{}",
+            t.checkouts.len(),
+            if t.checkouts.len() == 1 { "" } else { "s" },
+            gens.join(", "),
+            t.backoffs,
+            if t.backoffs == 1 { "" } else { "s" }
+        );
+    }
+    for (i, f) in t.failures.iter().enumerate() {
+        let _ = writeln!(out, "  attempt {} failed: {f}", i + 1);
+    }
+    if t.stages.is_empty() {
+        let _ = writeln!(out, "stages  : not recorded");
+    } else {
+        let stages: Vec<String> = t
+            .stages
+            .iter()
+            .map(|(name, s)| format!("{name} {s:.3}s"))
+            .collect();
+        let _ = writeln!(out, "stages  : {}", stages.join(", "));
+        let total: f64 = t.stages.iter().map(|&(_, s)| s).sum();
+        if let Some((name, secs)) = t.dominant_stage() {
+            if total > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "dominant stage: {name} ({secs:.3}s, {:.1}% of staged time)",
+                    100.0 * secs / total
+                );
+            }
+        }
+    }
+    if t.shard_chunks > 0 {
+        let _ = writeln!(out, "shards  : {} chunk span{}", t.shard_chunks, {
+            if t.shard_chunks == 1 {
+                ""
+            } else {
+                "s"
+            }
+        });
+    }
+    match &t.terminal {
+        Some((status, at)) => {
+            let _ = writeln!(out, "terminal: {status} at {at:.3}s");
+        }
+        None => {
+            let _ = writeln!(out, "terminal: not recorded (job still in flight?)");
+        }
+    }
+}
+
 /// Render the human-readable summary `pi2m analyze <artifact>` prints.
 pub fn render_summary(art: &Artifact) -> String {
     let mut out = String::new();
+    if let Some(t) = &art.trace {
+        render_trace_summary(&mut out, t);
+        return out;
+    }
     match (&art.tool, art.schema_version) {
         (Some(tool), Some(v)) => {
             let _ = writeln!(out, "artifact: {} ({tool}, schema v{v})", art.kind.name());
@@ -602,6 +809,73 @@ mod tests {
             s.contains("chunks  : not recorded (run cancelled before chunk accounting)"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn loads_job_trace_and_renders_timeline() {
+        // the wire shape of GET /jobs/<id>/trace (serve's JobTrace::to_json)
+        let text = r#"{
+            "id": "job-3", "trace_schema_version": 1,
+            "events": [
+                {"t_s": 0.0, "kind": "admitted", "priority": "normal", "queue_depth": 0},
+                {"t_s": 0.01, "kind": "queue_wait", "wait_s": 0.01},
+                {"t_s": 0.01, "kind": "checkout", "attempt": 1, "slot": 0, "session_generation": 0},
+                {"t_s": 0.02, "kind": "stage_started", "stage": "edt", "run_t_s": 0.001},
+                {"t_s": 0.05, "kind": "stage_finished", "stage": "edt", "run_t_s": 0.031},
+                {"t_s": 0.06, "kind": "attempt_failed", "attempt": 1, "error_kind": "worker_loss",
+                 "class": "transient", "will_retry": true},
+                {"t_s": 0.06, "kind": "backoff", "attempt": 1, "backoff_s": 0.05},
+                {"t_s": 0.11, "kind": "checkout", "attempt": 2, "slot": 0, "session_generation": 1},
+                {"t_s": 0.12, "kind": "stage_started", "stage": "edt", "run_t_s": 0.001},
+                {"t_s": 0.14, "kind": "stage_finished", "stage": "edt", "run_t_s": 0.021},
+                {"t_s": 0.15, "kind": "stage_started", "stage": "volume_refinement", "run_t_s": 0.031},
+                {"t_s": 0.35, "kind": "stage_finished", "stage": "volume_refinement", "run_t_s": 0.231},
+                {"t_s": 0.36, "kind": "shard_chunk", "index": "0,0,0", "tets": 100, "wall_s": 0.1},
+                {"t_s": 0.36, "kind": "shard_chunk", "index": "1,0,0", "tets": 120, "wall_s": 0.12},
+                {"t_s": 0.4, "kind": "terminal", "status": "succeeded", "attempts": 2}
+            ]
+        }"#;
+        let art = load_artifact(text).unwrap();
+        assert_eq!(art.kind, ArtifactKind::JobTrace);
+        let t = art.trace.as_ref().expect("trace info");
+        assert_eq!(t.id, "job-3");
+        assert_eq!(t.events, 15);
+        assert_eq!(t.queue_wait_s, Some(0.01));
+        assert_eq!(t.checkouts, vec![0, 1]);
+        assert_eq!(t.backoffs, 1);
+        assert_eq!(t.failures, vec!["worker_loss (transient, retried)"]);
+        assert_eq!(t.stages.len(), 3);
+        assert_eq!(t.shard_chunks, 2);
+        assert_eq!(t.terminal.as_ref().unwrap().0, "succeeded");
+        assert_eq!(t.dominant_stage().unwrap().0, "volume_refinement");
+        let s = render_summary(&art);
+        assert!(s.contains("job trace (job-3, schema v1, 15 events)"), "{s}");
+        assert!(s.contains("queue   : waited 0.010s"), "{s}");
+        assert!(s.contains("2 checkouts (gen 0, gen 1), 1 backoff"), "{s}");
+        assert!(
+            s.contains("attempt 1 failed: worker_loss (transient, retried)"),
+            "{s}"
+        );
+        assert!(s.contains("dominant stage: volume_refinement"), "{s}");
+        assert!(s.contains("shards  : 2 chunk spans"), "{s}");
+        assert!(s.contains("terminal: succeeded at 0.400s"), "{s}");
+    }
+
+    #[test]
+    fn queued_only_trace_degrades_to_not_recorded() {
+        // fetched while the job still sits in the queue: nothing ran yet
+        let text = r#"{
+            "id": "job-9", "trace_schema_version": 1,
+            "events": [
+                {"t_s": 0.0, "kind": "admitted", "priority": "low", "queue_depth": 4}
+            ]
+        }"#;
+        let art = load_artifact(text).unwrap();
+        let s = render_summary(&art);
+        assert!(s.contains("wait not recorded"), "{s}");
+        assert!(s.contains("attempts: none recorded"), "{s}");
+        assert!(s.contains("stages  : not recorded"), "{s}");
+        assert!(s.contains("terminal: not recorded"), "{s}");
     }
 
     #[test]

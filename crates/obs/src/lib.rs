@@ -7,7 +7,7 @@
 //! path**, mirroring the `ThreadStats` ownership model of `pi2m-refine`
 //! (exclusive per-worker ownership, drained and merged at thread join).
 //!
-//! Four layers:
+//! Five layers:
 //!
 //! * [`metrics`] — the static metric catalog ([`metrics::catalog`]), counter
 //!   and histogram ids, [`ThreadRecorder`] (hot path) and
@@ -19,6 +19,9 @@
 //! * [`report`] + [`export`] — the self-describing [`RunReport`] and its
 //!   exporters: structured JSON, Prometheus text exposition, and Chrome
 //!   Trace Event JSON (loadable in `chrome://tracing` / Perfetto).
+//! * [`journal`] — leveled, rate-limited JSONL structured logging
+//!   ([`Journal`]) for control-plane events (admissions, retries, drains),
+//!   with a bounded in-memory ring of recent events.
 //!
 //! ```
 //! use pi2m_obs::metrics::{self, ThreadRecorder, MetricsSnapshot};
@@ -37,6 +40,7 @@ pub mod cancel;
 pub mod export;
 pub mod flight;
 pub mod inspect;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -52,6 +56,7 @@ pub use flight::{
     EventKind, EventRing, FlightEvent, FlightHandle, FlightLog, FlightRecorder, FlightSampler,
 };
 pub use inspect::{load_artifact, render_diff, render_summary, Artifact, ArtifactKind, ShardInfo};
+pub use journal::{Journal, Level};
 pub use metrics::{CounterId, HistId, MetricDef, MetricKind, MetricsSnapshot, ThreadRecorder};
 pub use report::{OverheadBreakdown, PhaseReport, RunReport, ShardChunk, ShardSection, TraceSpan};
 pub use span::{Phases, SpanGuard};

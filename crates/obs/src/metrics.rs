@@ -204,7 +204,7 @@ impl Default for Hist {
 
 impl Hist {
     #[inline]
-    fn observe(&mut self, v: f64) {
+    pub fn observe(&mut self, v: f64) {
         self.buckets[bucket_index(v)] += 1;
         self.count += 1;
         if v.is_finite() {

@@ -12,7 +12,9 @@
 //! |-------|-----------|
 //! | `POST /jobs` | submit a job spec; `202` with the job id, or `503` + `Retry-After` when shed |
 //! | `GET /jobs` | list all job records |
+//! | `GET /jobs?recent=N` | compact summaries of the N newest jobs |
 //! | `GET /jobs/job-N` | poll one job record |
+//! | `GET /jobs/job-N/trace` | the job's lifecycle trace; `?format=chrome` for Perfetto |
 //! | `GET /jobs/job-N/artifact` | fetch the flushed VTK artifact (`409` until terminal) |
 //! | `GET /healthz` | liveness: `200` while the process serves |
 //! | `GET /readyz` | readiness: `503` once draining |
@@ -156,20 +158,33 @@ impl Response {
     }
 }
 
+/// The value of one query parameter (`?recent=5&format=chrome`), if set.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
 /// Route one request against the service. Pure request → response; the
 /// socket handling lives in [`HttpServer::serve`].
 pub fn handle(svc: &MeshService, req: &Request) -> Response {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (path, query) = req.path.split_once('?').unwrap_or((req.path.as_str(), ""));
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => submit(svc, &req.body),
-        ("GET", ["jobs"]) => {
-            let jobs: Vec<Json> = svc.jobs().iter().map(|r| r.to_json()).collect();
-            Response::json(200, &Json::obj(vec![("jobs", Json::Arr(jobs))]))
-        }
+        ("GET", ["jobs"]) => match query_param(query, "recent") {
+            Some(n) => recent_jobs(svc, n),
+            None => {
+                let jobs: Vec<Json> = svc.jobs().iter().map(|r| r.to_json()).collect();
+                Response::json(200, &Json::obj(vec![("jobs", Json::Arr(jobs))]))
+            }
+        },
         ("GET", ["jobs", name]) => match parse_job_name(name).and_then(|id| svc.job(id)) {
             Some(record) => Response::json(200, &record.to_json()),
             None => Response::error(404, "unknown_job", &format!("no job '{name}'")),
         },
+        ("GET", ["jobs", name, "trace"]) => trace(svc, name, query),
         ("GET", ["jobs", name, "artifact"]) => artifact(svc, name),
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
         ("GET", ["readyz"]) => {
@@ -233,6 +248,45 @@ fn submit(svc: &MeshService, body: &[u8]) -> Response {
             503,
             "draining",
             "service is draining; not admitting new jobs",
+        ),
+    }
+}
+
+/// `GET /jobs?recent=N`: compact summaries of the N newest jobs, newest
+/// first — the triage view (status, latency split, attempts) without the
+/// full spec echoes.
+fn recent_jobs(svc: &MeshService, n: &str) -> Response {
+    let Ok(n) = n.parse::<usize>() else {
+        return Response::error(
+            400,
+            "bad_request",
+            &format!("recent: expected a count, got '{n}'"),
+        );
+    };
+    let mut jobs = svc.jobs();
+    jobs.reverse(); // jobs() is oldest-first
+    let summaries: Vec<Json> = jobs.iter().take(n).map(|r| r.summary_json()).collect();
+    Response::json(200, &Json::obj(vec![("jobs", Json::Arr(summaries))]))
+}
+
+/// `GET /jobs/<name>/trace`: the job's end-to-end lifecycle trace as JSON,
+/// or as Chrome Trace Event JSON with `?format=chrome`. Available at any
+/// point in the lifecycle — a queued job simply has fewer events.
+fn trace(svc: &MeshService, name: &str, query: &str) -> Response {
+    let Some(record) = parse_job_name(name).and_then(|id| svc.job(id)) else {
+        return Response::error(404, "unknown_job", &format!("no job '{name}'"));
+    };
+    match query_param(query, "format") {
+        None | Some("json") => Response::json(200, &record.trace.to_json(record.id)),
+        Some("chrome") => {
+            let mut resp = Response::text(200, &record.trace.to_chrome_trace());
+            resp.content_type = "application/json";
+            resp
+        }
+        Some(other) => Response::error(
+            400,
+            "bad_request",
+            &format!("format: expected json or chrome, got '{other}'"),
         ),
     }
 }
@@ -323,7 +377,10 @@ impl HttpServer {
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 Err(e) => {
-                    eprintln!("serve: accept error: {e}");
+                    // Rate-limited by the journal: a flapping socket cannot
+                    // flood stderr.
+                    svc.journal()
+                        .warn("serve.accept_error", &[("error", Json::str(e.to_string()))]);
                     std::thread::sleep(Duration::from_millis(50));
                 }
             }

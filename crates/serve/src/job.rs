@@ -8,6 +8,7 @@
 //! draining — are rejected synchronously with a typed
 //! [`AdmitError`](crate::queue::AdmitError) and never get a record.
 
+use crate::trace::JobTrace;
 use pi2m_obs::json::Json;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -257,6 +258,8 @@ pub struct JobRecord {
     /// Session generation that served the final attempt (diagnostics: a
     /// bumped generation means the job survived a quarantine).
     pub session_generation: Option<u64>,
+    /// The end-to-end lifecycle trace served at `GET /jobs/<id>/trace`.
+    pub trace: JobTrace,
 }
 
 impl JobRecord {
@@ -275,6 +278,7 @@ impl JobRecord {
             tets: None,
             artifact: None,
             session_generation: None,
+            trace: JobTrace::default(),
         }
     }
 
@@ -311,6 +315,30 @@ impl JobRecord {
         if let Some(g) = self.session_generation {
             fields.push(("session_generation", Json::int(g)));
         }
+        Json::obj(fields)
+    }
+
+    /// The compact form used by the `GET /jobs?recent=N` summary: enough
+    /// to triage (status, latency split, attempts, error kind) without the
+    /// full spec echo or the trace.
+    pub fn summary_json(&self) -> Json {
+        let mut fields = vec![
+            ("id", Json::str(job_name(self.id))),
+            ("status", Json::str(self.status.as_str())),
+            ("priority", Json::str(self.spec.priority.as_str())),
+            ("attempts", Json::int(self.attempts as u64)),
+            ("age_s", Json::num(self.submitted.elapsed().as_secs_f64())),
+        ];
+        if let Some(w) = self.queue_wait_s {
+            fields.push(("queue_wait_s", Json::num(w)));
+        }
+        if let Some(r) = self.run_s {
+            fields.push(("run_s", Json::num(r)));
+        }
+        if let Some(k) = &self.error_kind {
+            fields.push(("error_kind", Json::str(k.clone())));
+        }
+        fields.push(("trace_events", Json::int(self.trace.events().len() as u64)));
         Json::obj(fields)
     }
 }

@@ -24,6 +24,12 @@
 //!   admission, lets in-flight jobs finish or hit their deadlines, flushes
 //!   artifacts, then exits; `/readyz` flips to 503 the moment draining
 //!   starts, `/metrics` exposes the queue/shed/retry/drain counters.
+//! * **Per-job accountability** — every admitted job accumulates a typed
+//!   [`JobTrace`] (admit → queue wait → checkout → attempts/backoffs →
+//!   stage transitions → shard chunks → terminal), served at
+//!   `GET /jobs/<id>/trace`; control-plane events flow through a leveled,
+//!   rate-limited JSONL [`Journal`](pi2m_obs::Journal), and `/metrics`
+//!   carries per-class latency histograms.
 //!
 //! See `DESIGN.md` ("Service architecture & failure model") for the state
 //! machines and the drain sequence, and `tests/serve.rs` at the workspace
@@ -34,11 +40,13 @@ pub mod job;
 pub mod queue;
 pub mod service;
 pub mod signal;
+pub mod trace;
 
 pub use http::{HttpServer, Request, Response};
 pub use job::{JobId, JobRecord, JobSpec, JobStatus, Priority};
 pub use queue::{AdmitError, JobQueue};
 pub use service::{load_input, MeshService, ServiceConfig};
+pub use trace::{JobTrace, TraceEvent, TraceEventKind, TRACE_SCHEMA_VERSION};
 
 /// Parse a duration string into seconds: `"90"`, `"1.5s"`, `"250ms"`,
 /// `"2m"`. Rejects zero, negative, and non-finite values with a message

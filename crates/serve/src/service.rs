@@ -26,14 +26,19 @@
 //! overstay their deadline by more than a grace period, so no job can hang
 //! the service even if a cooperative cancellation point is missed.
 
-use crate::job::{JobId, JobRecord, JobSpec, JobStatus};
+use crate::job::{job_name, JobId, JobRecord, JobSpec, JobStatus, Priority};
 use crate::queue::{AdmitError, JobQueue};
+use crate::trace::TraceEventKind;
 use parking_lot::Mutex;
 use pi2m_faults::{sites, FaultPlan};
 use pi2m_image::{io as img_io, phantoms, LabeledImage};
-use pi2m_obs::metrics::{self, MetricsSnapshot};
+use pi2m_obs::journal::Journal;
+use pi2m_obs::json::Json;
+use pi2m_obs::metrics::{self, Hist, MetricsSnapshot};
 use pi2m_obs::{render_prometheus, CancelToken, RunReport};
-use pi2m_refine::{MesherConfig, MeshingSession, RefineError, RunOptions};
+use pi2m_refine::{
+    MesherConfig, MeshingSession, RefineError, RunOptions, StageCallback, StageEvent, StageStatus,
+};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -71,6 +76,10 @@ pub struct ServiceConfig {
     /// (`serve.queue.admit`, `serve.session.checkout`,
     /// `serve.artifact.write`) and threaded into every job's engine config.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Structured log for control-plane events (admissions, sheds, retries,
+    /// recycles, terminals). Defaults to a null journal so embedders and
+    /// tests stay silent.
+    pub journal: Arc<Journal>,
 }
 
 impl Default for ServiceConfig {
@@ -87,6 +96,7 @@ impl Default for ServiceConfig {
             deadline_grace_s: 5.0,
             watchdog_interval_ms: 100,
             faults: None,
+            journal: Journal::null(),
         }
     }
 }
@@ -109,6 +119,17 @@ enum FailureClass {
     Deterministic,
     /// Worth retrying; `poison` additionally quarantines the session.
     Transient { poison: bool },
+}
+
+impl FailureClass {
+    /// Stable classification label for traces and journal lines.
+    fn name(&self) -> &'static str {
+        match self {
+            FailureClass::Cancelled => "cancelled",
+            FailureClass::Deterministic => "deterministic",
+            FailureClass::Transient { .. } => "transient",
+        }
+    }
 }
 
 struct AttemptFailure {
@@ -147,6 +168,97 @@ struct AttemptSuccess {
     dirty: bool,
 }
 
+const LATENCY_CLASSES: [&str; 3] = ["high", "normal", "low"];
+const LATENCY_STATES: [&str; 3] = ["succeeded", "failed", "cancelled"];
+
+/// Per-priority-class, per-terminal-state latency histograms, observed once
+/// when a job goes terminal and rendered into `/metrics` as the labeled
+/// `pi2m_serve_queue_wait_seconds` / `pi2m_serve_run_seconds` families.
+struct LatencyPanel {
+    /// Indexed `[Priority::class()][terminal state]`.
+    queue_wait: [[Hist; 3]; 3],
+    run: [[Hist; 3]; 3],
+}
+
+impl LatencyPanel {
+    fn new() -> LatencyPanel {
+        LatencyPanel {
+            queue_wait: std::array::from_fn(|_| std::array::from_fn(|_| Hist::default())),
+            run: std::array::from_fn(|_| std::array::from_fn(|_| Hist::default())),
+        }
+    }
+
+    fn state_index(status: JobStatus) -> usize {
+        match status {
+            JobStatus::Succeeded => 0,
+            JobStatus::Cancelled => 2,
+            _ => 1,
+        }
+    }
+
+    fn observe(&mut self, priority: Priority, status: JobStatus, wait_s: f64, run_s: f64) {
+        let (c, s) = (priority.class(), LatencyPanel::state_index(status));
+        self.queue_wait[c][s].observe(wait_s);
+        self.run[c][s].observe(run_s);
+    }
+
+    fn render(&self, out: &mut String) {
+        LatencyPanel::render_family(
+            out,
+            "pi2m_serve_queue_wait_seconds",
+            "Seconds jobs spent queued before their first attempt, by priority class and terminal state (s)",
+            &self.queue_wait,
+        );
+        LatencyPanel::render_family(
+            out,
+            "pi2m_serve_run_seconds",
+            "Seconds jobs spent executing after leaving the queue, by priority class and terminal state (s)",
+            &self.run,
+        );
+    }
+
+    /// One labeled histogram family, following the exposition-format rules
+    /// `render_prometheus` uses: HELP/TYPE once, cumulative `le` buckets
+    /// with a closing `+Inf`, `_sum`/`_count` per label set; label sets
+    /// with no observations are skipped.
+    fn render_family(out: &mut String, name: &str, help: &str, grid: &[[Hist; 3]; 3]) {
+        if grid.iter().flatten().all(|h| h.count == 0) {
+            return;
+        }
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (c, row) in grid.iter().enumerate() {
+            for (s, h) in row.iter().enumerate() {
+                if h.count == 0 {
+                    continue;
+                }
+                let labels = format!(
+                    "class=\"{}\",state=\"{}\"",
+                    LATENCY_CLASSES[c], LATENCY_STATES[s]
+                );
+                let mut cum = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    let le = metrics::bucket_upper_bound(i);
+                    if le.is_infinite() {
+                        let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {cum}");
+                    } else {
+                        let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
+                    }
+                }
+                if h.buckets[h.buckets.len() - 1] == 0 {
+                    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {}", h.count);
+                }
+                let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum);
+                let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
+            }
+        }
+    }
+}
+
 /// The running service. Fully interior-mutable: share behind an [`Arc`]
 /// between the HTTP front door, the signal handler, and tests.
 pub struct MeshService {
@@ -160,6 +272,8 @@ pub struct MeshService {
     metrics: Mutex<MetricsSnapshot>,
     /// EWMA of recent job run time, for `Retry-After` hints.
     avg_run_s: Mutex<Option<f64>>,
+    /// Per-class latency histograms, observed at each job's terminal state.
+    latency: Mutex<LatencyPanel>,
     next_id: AtomicU64,
     busy_slots: AtomicUsize,
     /// Set when a drain exhausted its grace: attempts and backoffs abort.
@@ -184,6 +298,7 @@ impl MeshService {
             running: Mutex::new(HashMap::new()),
             metrics: Mutex::new(MetricsSnapshot::new()),
             avg_run_s: Mutex::new(None),
+            latency: Mutex::new(LatencyPanel::new()),
             next_id: AtomicU64::new(1),
             busy_slots: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
@@ -217,6 +332,11 @@ impl MeshService {
 
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
+    }
+
+    /// The service's structured log (the HTTP front door logs through it).
+    pub fn journal(&self) -> &Journal {
+        &self.cfg.journal
     }
 
     /// Jobs currently waiting in the queue.
@@ -255,6 +375,7 @@ impl MeshService {
         if let Some(f) = &self.cfg.faults {
             if f.fire(sites::SERVE_ADMIT, 0).is_some() {
                 self.count(metrics::SERVE_JOBS_SHED, 1);
+                self.journal_shed(spec.priority, "injected admission fault", retry_after_s);
                 return Err(AdmitError::QueueFull {
                     depth: self.queue.depth(),
                     capacity: self.cfg.queue_capacity,
@@ -266,22 +387,54 @@ impl MeshService {
         let deadline_s = spec.deadline_s.or(self.cfg.default_deadline_s);
         let deadline = deadline_s.map(|s| Instant::now() + Duration::from_secs_f64(s));
         let prio = spec.priority;
+        let depth = self.queue.depth();
         // Insert the record BEFORE admission so a slot popping the id always
         // finds it; roll back on shed.
-        self.jobs
-            .lock()
-            .insert(id, JobRecord::new(id, spec, deadline));
+        let mut rec = JobRecord::new(id, spec, deadline);
+        rec.trace.push(
+            0.0,
+            TraceEventKind::Admitted {
+                priority: prio,
+                queue_depth: depth,
+            },
+        );
+        self.jobs.lock().insert(id, rec);
         match self.queue.admit(id, prio, retry_after_s) {
             Ok(()) => {
                 self.count(metrics::SERVE_JOBS_SUBMITTED, 1);
+                self.cfg.journal.info(
+                    "job.admitted",
+                    &[
+                        ("job", Json::str(job_name(id))),
+                        ("priority", Json::str(prio.as_str())),
+                        ("depth", Json::int(depth as u64)),
+                    ],
+                );
                 Ok(id)
             }
             Err(e) => {
                 self.jobs.lock().remove(&id);
                 self.count(metrics::SERVE_JOBS_SHED, 1);
+                let reason = match e {
+                    AdmitError::QueueFull { .. } => "queue full",
+                    AdmitError::Draining => "draining",
+                };
+                self.journal_shed(prio, reason, retry_after_s);
                 Err(e)
             }
         }
+    }
+
+    fn journal_shed(&self, priority: Priority, reason: &str, retry_after_s: u64) {
+        self.cfg.journal.warn(
+            "job.shed",
+            &[
+                ("priority", Json::str(priority.as_str())),
+                ("reason", Json::str(reason)),
+                ("depth", Json::int(self.queue.depth() as u64)),
+                ("retry_after_s", Json::int(retry_after_s)),
+            ],
+        );
     }
 
     /// Snapshot one job record.
@@ -345,6 +498,7 @@ impl MeshService {
         report.wall_s = self.uptime_s();
         report.metrics = self.metrics.lock().clone();
         let mut out = render_prometheus(&report);
+        self.latency.lock().render(&mut out);
         let mut gauge = |name: &str, help: &str, v: f64| {
             let _ = writeln!(out, "# HELP pi2m_{name} {help}");
             let _ = writeln!(out, "# TYPE pi2m_{name} gauge");
@@ -403,7 +557,7 @@ impl MeshService {
             // not kill the slot — the job fails typed, the session is
             // quarantined, and the runner keeps draining the queue.
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.run_job(&mut session, slot, id)
+                Arc::clone(&self).run_job(&mut session, slot, id)
             }));
             if attempt.is_err() {
                 self.running.lock().remove(&id);
@@ -422,23 +576,67 @@ impl MeshService {
         }
     }
 
+    /// Append one lifecycle event to a job's trace, timestamped on the
+    /// record's submission clock.
+    fn trace(&self, id: JobId, kind: TraceEventKind) {
+        if let Some(r) = self.jobs.lock().get_mut(&id) {
+            let t = r.submitted.elapsed().as_secs_f64();
+            r.trace.push(t, kind);
+        }
+    }
+
+    /// Bridge one refine stage notification into the job's trace. Invoked
+    /// synchronously from the pipeline thread via the run's
+    /// [`StageCallback`]; `elapsed_s` is seconds since the *attempt's* run
+    /// origin and is preserved as `run_t_s` so stage durations survive
+    /// retries.
+    fn trace_stage(&self, id: JobId, ev: StageEvent) {
+        let stage = ev.stage.phase_name();
+        let kind = match ev.status {
+            StageStatus::Started => TraceEventKind::StageStarted {
+                stage,
+                run_t_s: ev.elapsed_s,
+            },
+            StageStatus::Finished => TraceEventKind::StageFinished {
+                stage,
+                run_t_s: ev.elapsed_s,
+            },
+        };
+        self.trace(id, kind);
+    }
+
     /// Execute one job to a typed terminal state, retrying transient
     /// failures with capped exponential backoff.
-    fn run_job(&self, session: &mut MeshingSession, slot: usize, id: JobId) {
+    fn run_job(self: Arc<Self>, session: &mut MeshingSession, slot: usize, id: JobId) {
         let Some((spec, deadline, wait_s)) = ({
             let mut jobs = self.jobs.lock();
             jobs.get_mut(&id).map(|r| {
                 r.status = JobStatus::Running;
                 let wait = r.submitted.elapsed().as_secs_f64();
                 r.queue_wait_s = Some(wait);
+                r.trace
+                    .push(wait, TraceEventKind::QueueWait { wait_s: wait });
                 (r.spec.clone(), r.deadline, wait)
             })
         }) else {
             return; // record vanished (never happens in practice)
         };
-        self.metrics
-            .lock()
-            .observe(metrics::SERVE_QUEUE_WAIT_SECONDS, wait_s);
+        self.cfg.journal.debug(
+            "job.start",
+            &[
+                ("job", Json::str(job_name(id))),
+                ("wait_s", Json::num(wait_s)),
+                ("slot", Json::int(slot as u64)),
+            ],
+        );
+        // Stage notifications outlive the borrow of `self` held by the
+        // attempt, so the callback captures a weak handle.
+        let weak = Arc::downgrade(&self);
+        let on_stage: StageCallback = Arc::new(move |ev| {
+            if let Some(svc) = weak.upgrade() {
+                svc.trace_stage(id, ev);
+            }
+        });
         let max_retries = spec.max_retries.unwrap_or(self.cfg.max_retries);
         let mut attempt = 0u32;
         loop {
@@ -446,8 +644,17 @@ impl MeshService {
             if let Some(r) = self.jobs.lock().get_mut(&id) {
                 r.attempts = attempt;
                 r.session_generation = Some(session.generation());
+                let t = r.submitted.elapsed().as_secs_f64();
+                r.trace.push(
+                    t,
+                    TraceEventKind::Checkout {
+                        attempt,
+                        slot,
+                        session_generation: session.generation(),
+                    },
+                );
             }
-            match self.attempt(session, slot, id, &spec, deadline) {
+            match self.attempt(session, slot, id, &spec, deadline, &on_stage) {
                 Ok(done) => {
                     if done.dirty {
                         // Worker-death watchdog: the run finished (PEL
@@ -465,11 +672,52 @@ impl MeshService {
                         r.run_s = Some(done.run_s);
                         r.tets = Some(done.tets);
                         r.artifact = Some(done.artifact);
+                        let t = r.submitted.elapsed().as_secs_f64();
+                        r.trace.push(
+                            t,
+                            TraceEventKind::Terminal {
+                                status: JobStatus::Succeeded,
+                                attempts: attempt,
+                            },
+                        );
                     }
                     self.count(metrics::SERVE_JOBS_SUCCEEDED, 1);
+                    self.observe_latency(id, JobStatus::Succeeded);
+                    self.cfg.journal.info(
+                        "job.terminal",
+                        &[
+                            ("job", Json::str(job_name(id))),
+                            ("status", Json::str("succeeded")),
+                            ("attempts", Json::int(attempt as u64)),
+                            ("run_s", Json::num(done.run_s)),
+                            ("tets", Json::int(done.tets)),
+                        ],
+                    );
                     return;
                 }
                 Err(fail) => {
+                    let will_retry = matches!(fail.class, FailureClass::Transient { .. })
+                        && attempt <= max_retries
+                        && !self.abort.load(Ordering::SeqCst);
+                    self.trace(
+                        id,
+                        TraceEventKind::AttemptFailed {
+                            attempt,
+                            kind: fail.kind,
+                            class: fail.class.name(),
+                            will_retry,
+                        },
+                    );
+                    self.cfg.journal.warn(
+                        "job.attempt_failed",
+                        &[
+                            ("job", Json::str(job_name(id))),
+                            ("attempt", Json::int(attempt as u64)),
+                            ("error_kind", Json::str(fail.kind)),
+                            ("class", Json::str(fail.class.name())),
+                            ("will_retry", Json::Bool(will_retry)),
+                        ],
+                    );
                     if let FailureClass::Transient { poison: true } = fail.class {
                         self.recycle(session, slot, fail.kind);
                     }
@@ -495,6 +743,8 @@ impl MeshService {
                                 return;
                             }
                             self.count(metrics::SERVE_JOB_RETRIES, 1);
+                            let backoff_s = self.backoff_duration(attempt).as_secs_f64();
+                            self.trace(id, TraceEventKind::Backoff { attempt, backoff_s });
                             if !self.backoff(attempt, deadline) {
                                 let fail = AttemptFailure {
                                     class: FailureClass::Cancelled,
@@ -514,15 +764,43 @@ impl MeshService {
         }
     }
 
+    /// Feed a terminal job's latency split into the per-class histograms.
+    /// The queue wait is known exactly; the run side is everything after it
+    /// (attempts, backoffs), so the two sum to the job's age at terminal.
+    fn observe_latency(&self, id: JobId, status: JobStatus) {
+        let Some((priority, wait_s, run_s)) = ({
+            let jobs = self.jobs.lock();
+            jobs.get(&id).map(|r| {
+                let age = r.submitted.elapsed().as_secs_f64();
+                let wait = r.queue_wait_s.unwrap_or(age);
+                (r.spec.priority, wait, (age - wait).max(0.0))
+            })
+        }) else {
+            return;
+        };
+        self.latency.lock().observe(priority, status, wait_s, run_s);
+    }
+
     fn finish_failed(&self, id: JobId, status: JobStatus, fail: &AttemptFailure) {
-        if let Some(r) = self.jobs.lock().get_mut(&id) {
+        let attempts = {
+            let mut jobs = self.jobs.lock();
+            let Some(r) = jobs.get_mut(&id) else { return };
             if r.status.is_terminal() {
                 return; // already terminal; never overwrite (or double-count)
             }
             r.status = status;
             r.error_kind = Some(fail.kind.to_string());
             r.error = Some(fail.message.clone());
-        }
+            let t = r.submitted.elapsed().as_secs_f64();
+            r.trace.push(
+                t,
+                TraceEventKind::Terminal {
+                    status,
+                    attempts: r.attempts,
+                },
+            );
+            r.attempts
+        };
         self.count(
             match status {
                 JobStatus::Cancelled => metrics::SERVE_JOBS_CANCELLED,
@@ -530,13 +808,28 @@ impl MeshService {
             },
             1,
         );
+        self.observe_latency(id, status);
+        self.cfg.journal.warn(
+            "job.terminal",
+            &[
+                ("job", Json::str(job_name(id))),
+                ("status", Json::str(status.as_str())),
+                ("attempts", Json::int(attempts as u64)),
+                ("error_kind", Json::str(fail.kind)),
+                ("error", Json::str(fail.message.clone())),
+            ],
+        );
     }
 
     fn recycle(&self, session: &mut MeshingSession, slot: usize, why: &str) {
-        eprintln!(
-            "serve: slot {slot}: quarantining session (generation {} -> {}): {why}",
-            session.generation(),
-            session.generation() + 1
+        self.cfg.journal.warn(
+            "serve.recycle",
+            &[
+                ("slot", Json::int(slot as u64)),
+                ("from_generation", Json::int(session.generation())),
+                ("to_generation", Json::int(session.generation() + 1)),
+                ("why", Json::str(why)),
+            ],
         );
         session.recycle();
         self.count(metrics::SERVE_SESSIONS_RECYCLED, 1);
@@ -551,6 +844,7 @@ impl MeshService {
         id: JobId,
         spec: &JobSpec,
         deadline: Option<Instant>,
+        on_stage: &StageCallback,
     ) -> Result<AttemptSuccess, AttemptFailure> {
         if self.abort.load(Ordering::SeqCst) {
             return Err(AttemptFailure {
@@ -607,7 +901,7 @@ impl MeshService {
         let t0 = Instant::now();
         let run_opts = RunOptions {
             cancel: Some(token),
-            on_stage: None,
+            on_stage: Some(on_stage.clone()),
         };
         // Sharded jobs route through the chunk-and-stitch orchestrator on
         // the same warm session; plan errors are deterministic (a retry
@@ -624,7 +918,20 @@ impl MeshService {
                     lanes: None,
                 },
             )
-            .map(|run| run.out)
+            .map(|run| {
+                // Chunk accounting becomes per-chunk spans on the trace.
+                for c in &run.chunks {
+                    self.trace(
+                        id,
+                        TraceEventKind::ShardChunk {
+                            index: c.index,
+                            tets: c.tets,
+                            wall_s: c.wall_s,
+                        },
+                    );
+                }
+                run.out
+            })
             .map_err(|e| match e {
                 pi2m_refine::ShardError::Run(e) => AttemptFailure::from_refine(&e),
                 other => AttemptFailure {
@@ -694,15 +1001,20 @@ impl MeshService {
         Ok(path)
     }
 
-    /// Sleep out a retry backoff (capped exponential), aborting early on
-    /// the job deadline or a drain running out of grace. Returns `false`
-    /// when the job must stop retrying.
-    fn backoff(&self, attempt: u32, deadline: Option<Instant>) -> bool {
+    /// The capped exponential backoff before retry `attempt + 1`.
+    fn backoff_duration(&self, attempt: u32) -> Duration {
         let exp = self
             .cfg
             .backoff_base_ms
             .saturating_mul(1u64 << (attempt - 1).min(16));
-        let until = Instant::now() + Duration::from_millis(exp.min(self.cfg.backoff_cap_ms));
+        Duration::from_millis(exp.min(self.cfg.backoff_cap_ms))
+    }
+
+    /// Sleep out a retry backoff (capped exponential), aborting early on
+    /// the job deadline or a drain running out of grace. Returns `false`
+    /// when the job must stop retrying.
+    fn backoff(&self, attempt: u32, deadline: Option<Instant>) -> bool {
+        let until = Instant::now() + self.backoff_duration(attempt);
         while Instant::now() < until {
             if self.abort.load(Ordering::SeqCst) {
                 return false;

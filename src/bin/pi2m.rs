@@ -33,12 +33,19 @@
 //!             diff the runs and attribute the regression to a waste category
 //! pi2m serve  [--addr HOST:PORT] [--sessions N] [--threads N]
 //!             [--queue-cap N] [--spool DIR] [--default-deadline DUR]
-//!             [--max-retries N] [--drain-grace DUR]
+//!             [--max-retries N] [--drain-grace DUR] [--log[=PATH]]
 //!             long-running meshing service: submit jobs over HTTP
-//!             (POST /jobs), poll (GET /jobs/job-N), fetch artifacts,
-//!             scrape /metrics; SIGTERM drains gracefully
+//!             (POST /jobs), poll (GET /jobs/job-N), fetch artifacts and
+//!             per-job traces (GET /jobs/job-N/trace), scrape /metrics;
+//!             SIGTERM drains gracefully
 //! pi2m --version                               crate + schema versions
 //! ```
+//!
+//! Every command logs through a structured journal. Interactive commands
+//! print human lines on stderr as before; `pi2m serve` emits JSONL.
+//! `--log` forces JSONL on stderr, `--log=PATH` appends JSONL to a file
+//! (`PI2M_LOG` is the env equivalent), and `PI2M_LOG_LEVEL`
+//! (debug|info|warn|error) sets the minimum level.
 //!
 //! Input images use the `.pim` format (see `pi2m::image::io`); `phantom:NAME`
 //! meshes a built-in phantom directly (sphere, nested, torus, abdominal,
@@ -50,6 +57,8 @@
 use pi2m::cli::{parse_args, parse_duration, write_new, Args, CliError};
 use pi2m::image::{io as img_io, phantoms, LabeledImage};
 use pi2m::meshio;
+use pi2m::obs::journal::{Journal, Level};
+use pi2m::obs::json::Json;
 use pi2m::obs::metrics::ObsEvent;
 use pi2m::obs::{
     analyze, render_chrome_trace_with_flight, render_prometheus, AnalyzeOpts, OverheadBreakdown,
@@ -73,6 +82,26 @@ fn load_input(spec: &str) -> Result<LabeledImage, String> {
     }
 }
 
+/// Build a command's journal from `--log[=PATH]`, `PI2M_LOG`, and
+/// `PI2M_LOG_LEVEL`. With none of them set, interactive commands keep
+/// their human stderr lines (`default_jsonl = false`); the serve daemon
+/// defaults to JSONL so its stderr is machine-parseable end to end.
+fn init_journal(args: &Args, default_jsonl: bool) -> Result<Arc<Journal>, String> {
+    let min = match std::env::var("PI2M_LOG_LEVEL") {
+        Ok(v) => Level::parse(&v)
+            .ok_or_else(|| format!("bad PI2M_LOG_LEVEL '{v}' (expected debug|info|warn|error)"))?,
+        Err(_) => Level::Info,
+    };
+    let spec: Option<String> = if let Some(path) = args.flags.get("log") {
+        Some(path.clone())
+    } else if args.switches.contains("log") {
+        Some(String::new()) // bare --log: JSONL on stderr
+    } else {
+        std::env::var("PI2M_LOG").ok()
+    };
+    Journal::from_spec(spec.as_deref(), min, default_jsonl)
+}
+
 /// Mesh options shared by `pi2m mesh` and `pi2m batch`, parsed once. `delta`
 /// stays optional here because its default depends on each input image's
 /// voxel spacing.
@@ -90,7 +119,7 @@ struct MeshOpts {
     faults: Option<Arc<pi2m::faults::FaultPlan>>,
 }
 
-fn parse_mesh_opts(args: &Args) -> Result<MeshOpts, String> {
+fn parse_mesh_opts(args: &Args, journal: &Journal) -> Result<MeshOpts, String> {
     let delta = args
         .flags
         .get("delta")
@@ -139,7 +168,16 @@ fn parse_mesh_opts(args: &Args) -> Result<MeshOpts, String> {
         .map_err(|e| format!("bad fault plan: {e}"))?
         .map(Arc::new);
     if let Some(f) = &faults {
-        eprintln!("fault injection armed: {}", f.describe());
+        journal.info(
+            "faults.armed",
+            &[
+                (
+                    "msg",
+                    Json::str(format!("fault injection armed: {}", f.describe())),
+                ),
+                ("plan", Json::str(f.describe())),
+            ],
+        );
     }
     Ok(MeshOpts {
         delta,
@@ -174,11 +212,22 @@ fn config_for(o: &MeshOpts, img: &LabeledImage) -> MesherConfig {
     }
 }
 
-fn write_vtk(out: &MeshOutput, path: &str) -> Result<(), String> {
+fn write_vtk(out: &MeshOutput, path: &str, journal: &Journal) -> Result<(), String> {
     let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
     meshio::write_vtk(&out.mesh, &mut BufWriter::new(f)).map_err(|e| e.to_string())?;
-    eprintln!("wrote {path}");
+    wrote(journal, path);
     Ok(())
+}
+
+/// The `wrote <path>` artifact confirmation, as a journal event.
+fn wrote(journal: &Journal, path: &str) {
+    journal.info(
+        "artifact.written",
+        &[
+            ("msg", Json::str(format!("wrote {path}"))),
+            ("path", Json::str(path)),
+        ],
+    );
 }
 
 fn cmd_mesh(args: &Args) -> Result<(), CliError> {
@@ -187,11 +236,25 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
         .get(1)
         .ok_or("usage: pi2m mesh <input.pim|phantom:NAME> [options]")?;
     let img = load_input(input).map_err(CliError::Io)?;
-    let o = parse_mesh_opts(args)?;
+    let journal = init_journal(args, false)?;
+    let o = parse_mesh_opts(args, &journal)?;
     let cfg = config_for(&o, &img);
     let (delta, threads, cm, balancer, force) = (cfg.delta, o.threads, o.cm, o.balancer, o.force);
 
-    eprintln!("meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}");
+    journal.info(
+        "mesh.start",
+        &[
+            (
+                "msg",
+                Json::str(format!(
+                    "meshing {input}: δ={delta}, {threads} threads, {cm:?}-CM, {balancer:?}"
+                )),
+            ),
+            ("input", Json::str(input)),
+            ("delta", Json::num(delta)),
+            ("threads", Json::int(threads as u64)),
+        ],
+    );
     let mut session = MeshingSession::new(threads);
     let run_opts = RunOptions {
         cancel: args
@@ -228,14 +291,25 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
     let (out, shard) = if let Some(spec) = &shard_spec {
         match pi2m::refine::mesh_sharded(&mut session, img, cfg, &run_opts, spec) {
             Ok(run) => {
-                eprintln!(
-                    "sharded: {} chunks over {} lane(s), halo {} voxels, {} seed \
-                     vertices ({} duplicates dropped)",
-                    run.chunks.len(),
-                    run.lanes,
-                    run.halo,
-                    run.seed_points,
-                    run.seed_duplicates
+                journal.info(
+                    "mesh.sharded",
+                    &[
+                        (
+                            "msg",
+                            Json::str(format!(
+                                "sharded: {} chunks over {} lane(s), halo {} voxels, {} seed \
+                                 vertices ({} duplicates dropped)",
+                                run.chunks.len(),
+                                run.lanes,
+                                run.halo,
+                                run.seed_points,
+                                run.seed_duplicates
+                            )),
+                        ),
+                        ("chunks", Json::int(run.chunks.len() as u64)),
+                        ("lanes", Json::int(run.lanes as u64)),
+                        ("halo", Json::int(run.halo as u64)),
+                    ],
                 );
                 let section = pi2m::obs::ShardSection {
                     grid: format!("{}x{}x{}", run.grid[0], run.grid[1], run.grid[2]),
@@ -264,6 +338,7 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
                     delta,
                     threads,
                     session.take_cancel_telemetry(),
+                    &journal,
                 )?;
                 return Err(CliError::Cancelled(
                     "run cancelled (deadline); observability artifacts written".into(),
@@ -285,6 +360,7 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
                     delta,
                     threads,
                     session.take_cancel_telemetry(),
+                    &journal,
                 )?;
                 return Err(CliError::Cancelled(
                     "run cancelled (deadline); observability artifacts written".into(),
@@ -294,28 +370,56 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
         }
     };
     let dt = t0.elapsed().as_secs_f64();
-    eprintln!(
-        "{} tets / {} points in {:.2}s ({:.0} elements/s), {} rollbacks, {} removals",
-        out.mesh.num_tets(),
-        out.mesh.num_points(),
-        dt,
-        out.mesh.num_tets() as f64 / dt,
-        out.stats.total_rollbacks(),
-        out.stats.total_removals()
+    journal.info(
+        "mesh.result",
+        &[
+            (
+                "msg",
+                Json::str(format!(
+                    "{} tets / {} points in {:.2}s ({:.0} elements/s), {} rollbacks, {} removals",
+                    out.mesh.num_tets(),
+                    out.mesh.num_points(),
+                    dt,
+                    out.mesh.num_tets() as f64 / dt,
+                    out.stats.total_rollbacks(),
+                    out.stats.total_removals()
+                )),
+            ),
+            ("tets", Json::int(out.mesh.num_tets() as u64)),
+            ("points", Json::int(out.mesh.num_points() as u64)),
+            ("wall_s", Json::num(dt)),
+        ],
     );
     if out.stats.total_panics() > 0 || out.stats.workers_died > 0 {
-        eprintln!(
-            "recovered: {} op panics, {} quarantined, {} recovery rollbacks, {} workers died",
-            out.stats.total_panics(),
-            out.stats.total_quarantined(),
-            out.stats.total_recovery_rollbacks(),
-            out.stats.workers_died
+        journal.warn(
+            "mesh.recovered",
+            &[
+                (
+                    "msg",
+                    Json::str(format!(
+                        "recovered: {} op panics, {} quarantined, {} recovery rollbacks, \
+                         {} workers died",
+                        out.stats.total_panics(),
+                        out.stats.total_quarantined(),
+                        out.stats.total_recovery_rollbacks(),
+                        out.stats.workers_died
+                    )),
+                ),
+                ("panics", Json::int(out.stats.total_panics())),
+                ("workers_died", Json::int(out.stats.workers_died as u64)),
+            ],
         );
     }
 
     if args.switches.contains("audit") {
         let report = pi2m::refine::audit_mesh(&out.shared, 42);
-        eprintln!("{}", report.summary().trim_end());
+        journal.info(
+            "mesh.audit",
+            &[
+                ("msg", Json::str(report.summary().trim_end())),
+                ("violations", Json::int(report.violations.len() as u64)),
+            ],
+        );
         if !report.clean() {
             return Err(CliError::Integrity(format!(
                 "mesh integrity audit failed with {} violation(s)",
@@ -329,9 +433,24 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
         let b = quality::boundary_report(&out.mesh);
         let tris = out.mesh.boundary_triangles();
         let hd = quality::hausdorff_distance(&out.mesh.points, &tris, &out.oracle, 7);
-        eprintln!(
-            "quality: max radius-edge {:.3}, dihedral ({:.1}°,{:.1}°), min boundary angle {:.1}°, Hausdorff {:.3}",
-            q.max_radius_edge, q.min_dihedral_deg, q.max_dihedral_deg, b.min_planar_angle_deg, hd
+        journal.info(
+            "mesh.quality",
+            &[
+                (
+                    "msg",
+                    Json::str(format!(
+                        "quality: max radius-edge {:.3}, dihedral ({:.1}°,{:.1}°), \
+                         min boundary angle {:.1}°, Hausdorff {:.3}",
+                        q.max_radius_edge,
+                        q.min_dihedral_deg,
+                        q.max_dihedral_deg,
+                        b.min_planar_angle_deg,
+                        hd
+                    )),
+                ),
+                ("max_radius_edge", Json::num(q.max_radius_edge)),
+                ("hausdorff", Json::num(hd)),
+            ],
         );
     }
 
@@ -350,7 +469,7 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
     if let Some(path) = args.flags.get("contention-out") {
         write_new(path, &(contention.to_json().dump_pretty() + "\n"), force)
             .map_err(CliError::Io)?;
-        eprintln!("wrote {path}");
+        wrote(&journal, path);
     }
     if args.flags.contains_key("report")
         || args.flags.contains_key("trace-out")
@@ -364,7 +483,7 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
 
         if let Some(path) = args.flags.get("report") {
             write_new(path, &report.to_json_string(), force).map_err(CliError::Io)?;
-            eprintln!("wrote {path}");
+            wrote(&journal, path);
         }
         if let Some(path) = args.flags.get("trace-out") {
             // worker lifetime events are already in the run time base;
@@ -393,7 +512,7 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
                 force,
             )
             .map_err(CliError::Io)?;
-            eprintln!("wrote {path}");
+            wrote(&journal, path);
         }
         if args.switches.contains("metrics") {
             print!("{}", render_prometheus(&report));
@@ -405,12 +524,12 @@ fn cmd_mesh(args: &Args) -> Result<(), CliError> {
         .get("o")
         .cloned()
         .unwrap_or_else(|| "mesh.vtk".into());
-    write_vtk(&out, &out_path).map_err(CliError::Io)?;
+    write_vtk(&out, &out_path, &journal).map_err(CliError::Io)?;
     if let Some(off) = args.flags.get("off") {
         let f = std::fs::File::create(off).map_err(|e| CliError::Io(format!("{off}: {e}")))?;
         meshio::write_off(&out.mesh, &mut BufWriter::new(f))
             .map_err(|e| CliError::Io(e.to_string()))?;
-        eprintln!("wrote {off}");
+        wrote(&journal, off);
     }
     Ok(())
 }
@@ -462,7 +581,18 @@ fn write_cancelled_artifacts(
     delta: f64,
     threads: usize,
     tel: Option<CancelTelemetry>,
+    journal: &Journal,
 ) -> Result<(), String> {
+    let wrote_cancelled = |path: &str| {
+        journal.info(
+            "artifact.written",
+            &[
+                ("msg", Json::str(format!("wrote {path} (cancelled run)"))),
+                ("path", Json::str(path)),
+                ("cancelled", Json::Bool(true)),
+            ],
+        );
+    };
     let tel = tel.unwrap_or_else(|| CancelTelemetry {
         flight: Vec::new(),
         flight_dropped: 0,
@@ -482,7 +612,7 @@ fn write_cancelled_artifacts(
     );
     if let Some(path) = args.flags.get("contention-out") {
         write_new(path, &(contention.to_json().dump_pretty() + "\n"), o.force)?;
-        eprintln!("wrote {path} (cancelled run)");
+        wrote_cancelled(path);
     }
     if args.flags.contains_key("report") || args.flags.contains_key("trace-out") {
         let mut report = RunReport::new("pi2m");
@@ -504,7 +634,7 @@ fn write_cancelled_artifacts(
         report.contention = Some(contention);
         if let Some(path) = args.flags.get("report") {
             write_new(path, &report.to_json_string(), o.force)?;
-            eprintln!("wrote {path} (cancelled run)");
+            wrote_cancelled(path);
         }
         if let Some(path) = args.flags.get("trace-out") {
             write_new(
@@ -512,7 +642,7 @@ fn write_cancelled_artifacts(
                 &render_chrome_trace_with_flight(&tel.phases, &report.metrics.events, &tel.flight),
                 o.force,
             )?;
-            eprintln!("wrote {path} (cancelled run)");
+            wrote_cancelled(path);
         }
     }
     Ok(())
@@ -549,7 +679,8 @@ fn cmd_batch(args: &Args) -> Result<(), CliError> {
                 .into(),
         );
     }
-    let o = parse_mesh_opts(args)?;
+    let journal = init_journal(args, false)?;
+    let o = parse_mesh_opts(args, &journal)?;
     let keep_going = args.switches.contains("keep-going");
     let write_reports = args.switches.contains("reports");
     let outdir = std::path::PathBuf::from(
@@ -590,15 +721,26 @@ fn cmd_batch(args: &Args) -> Result<(), CliError> {
                 .mesh(img, cfg)
                 .map_err(|e| CliError::from_refine(&e))?;
             let dt = t0.elapsed().as_secs_f64();
-            eprintln!(
-                "[{}/{}] {input}: δ={delta}, {} tets in {dt:.2}s ({:.0} elements/s)",
-                i + 1,
-                inputs.len(),
-                out.mesh.num_tets(),
-                out.mesh.num_tets() as f64 / dt,
+            journal.info(
+                "batch.job",
+                &[
+                    (
+                        "msg",
+                        Json::str(format!(
+                            "[{}/{}] {input}: δ={delta}, {} tets in {dt:.2}s ({:.0} elements/s)",
+                            i + 1,
+                            inputs.len(),
+                            out.mesh.num_tets(),
+                            out.mesh.num_tets() as f64 / dt,
+                        )),
+                    ),
+                    ("input", Json::str(input.as_str())),
+                    ("tets", Json::int(out.mesh.num_tets() as u64)),
+                    ("wall_s", Json::num(dt)),
+                ],
             );
             tets += out.mesh.num_tets() as u64;
-            write_vtk(&out, &path).map_err(CliError::Io)?;
+            write_vtk(&out, &path, &journal).map_err(CliError::Io)?;
             if write_reports {
                 // one schema-v3 run report per job, next to its mesh
                 let contention = analyze(
@@ -612,14 +754,22 @@ fn cmd_batch(args: &Args) -> Result<(), CliError> {
                 );
                 let report = build_run_report(input, &o, delta, o.threads, &out, dt, &contention);
                 write_new(&rpath, &report.to_json_string(), o.force).map_err(CliError::Io)?;
-                eprintln!("wrote {rpath}");
+                wrote(&journal, &rpath);
             }
             Ok(())
         };
         match run() {
             Ok(()) => done += 1,
             Err(e) if keep_going => {
-                eprintln!("error: {input}: {e}");
+                journal.error(
+                    "batch.job_failed",
+                    &[
+                        ("msg", Json::str(format!("error: {input}: {e}"))),
+                        ("input", Json::str(input.as_str())),
+                        ("kind", Json::str(e.kind())),
+                        ("error", Json::str(e.to_string())),
+                    ],
+                );
                 failures.push((input.clone(), e));
             }
             Err(e) => {
@@ -633,24 +783,44 @@ fn cmd_batch(args: &Args) -> Result<(), CliError> {
             }
         }
     }
-    eprintln!(
-        "batch: {done}/{} inputs, {tets} tets in {:.2}s over one warm session ({} threads)",
-        inputs.len(),
-        t_all.elapsed().as_secs_f64(),
-        session.threads(),
+    journal.info(
+        "batch.done",
+        &[
+            (
+                "msg",
+                Json::str(format!(
+                    "batch: {done}/{} inputs, {tets} tets in {:.2}s over one warm session \
+                     ({} threads)",
+                    inputs.len(),
+                    t_all.elapsed().as_secs_f64(),
+                    session.threads(),
+                )),
+            ),
+            ("done", Json::int(done as u64)),
+            ("inputs", Json::int(inputs.len() as u64)),
+            ("tets", Json::int(tets)),
+        ],
     );
     if !failures.is_empty() {
-        // --keep-going already printed each error inline as it happened;
+        // --keep-going already logged each error inline as it happened;
         // repeat them as one summary block so a long run ends with the
         // complete casualty list in one place.
-        eprintln!(
+        let mut block = format!(
             "batch: {} of {} input(s) failed:",
             failures.len(),
             inputs.len()
         );
         for (input, e) in &failures {
-            eprintln!("  {input}: [{}] {e}", e.kind());
+            block.push_str(&format!("\n  {input}: [{}] {e}", e.kind()));
         }
+        journal.error(
+            "batch.failures",
+            &[
+                ("msg", Json::str(block)),
+                ("failed", Json::int(failures.len() as u64)),
+                ("inputs", Json::int(inputs.len() as u64)),
+            ],
+        );
         // exit with the class of the first failure so scripts can branch
         let (_, first) = failures.swap_remove(0);
         return Err(first);
@@ -702,8 +872,19 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let faults = pi2m::faults::FaultPlan::from_env()
         .map_err(|e| format!("bad fault plan: {e}"))?
         .map(Arc::new);
+    // the daemon's stderr defaults to JSONL so every line is machine-parseable
+    let journal = init_journal(args, true)?;
     if let Some(f) = &faults {
-        eprintln!("fault injection armed: {}", f.describe());
+        journal.info(
+            "faults.armed",
+            &[
+                (
+                    "msg",
+                    Json::str(format!("fault injection armed: {}", f.describe())),
+                ),
+                ("plan", Json::str(f.describe())),
+            ],
+        );
     }
 
     let svc = MeshService::start(ServiceConfig {
@@ -714,6 +895,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         default_deadline_s,
         max_retries,
         faults,
+        journal: Arc::clone(&journal),
         ..Default::default()
     })?;
     serve::signal::install();
@@ -724,11 +906,24 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .map_err(|e| CliError::Io(e.to_string()))?;
     // stdout on purpose: wrappers parse this line for the resolved port
     println!("pi2m serve: listening on {local}");
-    eprintln!(
-        "serve: {sessions} session(s) x {threads} thread(s), queue capacity \
-         {queue_capacity}, spool {}, retries {max_retries}, deadline {}",
-        spool.display(),
-        default_deadline_s.map_or("none".into(), |d| format!("{d}s")),
+    journal.info(
+        "serve.config",
+        &[
+            (
+                "msg",
+                Json::str(format!(
+                    "serve: {sessions} session(s) x {threads} thread(s), queue capacity \
+                     {queue_capacity}, spool {}, retries {max_retries}, deadline {}",
+                    spool.display(),
+                    default_deadline_s.map_or("none".into(), |d| format!("{d}s")),
+                )),
+            ),
+            ("addr", Json::str(local.to_string())),
+            ("sessions", Json::int(sessions as u64)),
+            ("threads", Json::int(threads as u64)),
+            ("queue_capacity", Json::int(queue_capacity as u64)),
+            ("max_retries", Json::int(max_retries as u64)),
+        ],
     );
 
     // The accept loop runs on its own thread so the HTTP API stays up
@@ -746,22 +941,50 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     while !serve::signal::requested() && !svc.is_draining() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
-    eprintln!(
-        "serve: drain requested ({} queued, {} running); grace {drain_grace}s",
-        svc.queue_depth(),
-        svc.busy_slots()
+    journal.info(
+        "serve.drain",
+        &[
+            (
+                "msg",
+                Json::str(format!(
+                    "serve: drain requested ({} queued, {} running); grace {drain_grace}s",
+                    svc.queue_depth(),
+                    svc.busy_slots()
+                )),
+            ),
+            ("queued", Json::int(svc.queue_depth() as u64)),
+            ("running", Json::int(svc.busy_slots() as u64)),
+            ("grace_s", Json::num(drain_grace)),
+        ],
     );
     let clean = svc.drain(std::time::Duration::from_secs_f64(drain_grace));
     http_stop.store(true, std::sync::atomic::Ordering::SeqCst);
     let _ = server_thread.join();
-    eprintln!(
-        "serve: drained: {} succeeded, {} failed, {} cancelled, {} shed, {} retries, {} recycles",
+    let (succeeded, failed, cancelled, shed, retries, recycles) = (
         svc.counter(pi2m::obs::metrics::SERVE_JOBS_SUCCEEDED),
         svc.counter(pi2m::obs::metrics::SERVE_JOBS_FAILED),
         svc.counter(pi2m::obs::metrics::SERVE_JOBS_CANCELLED),
         svc.counter(pi2m::obs::metrics::SERVE_JOBS_SHED),
         svc.counter(pi2m::obs::metrics::SERVE_JOB_RETRIES),
         svc.counter(pi2m::obs::metrics::SERVE_SESSIONS_RECYCLED),
+    );
+    journal.info(
+        "serve.drained",
+        &[
+            (
+                "msg",
+                Json::str(format!(
+                    "serve: drained: {succeeded} succeeded, {failed} failed, \
+                     {cancelled} cancelled, {shed} shed, {retries} retries, {recycles} recycles"
+                )),
+            ),
+            ("succeeded", Json::int(succeeded)),
+            ("failed", Json::int(failed)),
+            ("cancelled", Json::int(cancelled)),
+            ("shed", Json::int(shed)),
+            ("retries", Json::int(retries)),
+            ("recycles", Json::int(recycles)),
+        ],
     );
     if clean {
         Ok(())
@@ -1036,6 +1259,8 @@ fn print_version() {
     println!("pi2m {}", env!("CARGO_PKG_VERSION"));
     println!("report-schema {}", RunReport::SCHEMA_VERSION);
     println!("flight-layout {}", pi2m::obs::flight::LAYOUT_VERSION);
+    println!("journal-schema {}", pi2m::obs::journal::SCHEMA_VERSION);
+    println!("job-trace-schema {}", pi2m::serve::TRACE_SCHEMA_VERSION);
 }
 
 fn main() -> ExitCode {

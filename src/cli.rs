@@ -14,8 +14,8 @@ pub struct Args {
 
 /// Boolean options that never take a value — without this list, a switch
 /// followed by another short option (`--metrics -o out.vtk`) would greedily
-/// swallow it as a value. (`--live` doubles as a switch: an interval rides
-/// in `--live=INTERVAL` form only.)
+/// swallow it as a value. (`--live` and `--log` double as switches: an
+/// interval/path rides in `--live=INTERVAL` / `--log=PATH` form only.)
 pub const SWITCHES: &[&str] = &[
     "stats",
     "no-removals",
@@ -25,6 +25,7 @@ pub const SWITCHES: &[&str] = &[
     "scaling",
     "reports",
     "live",
+    "log",
     "no-flight",
     "force",
     "keep-going",
@@ -228,6 +229,18 @@ mod tests {
         let a = parse_args(&argv(&["mesh", "x.pim", "--live", "--stats"]));
         assert!(a.switches.contains("live"));
         assert!(!a.flags.contains_key("live"));
+    }
+
+    #[test]
+    fn log_switch_doubles_like_live() {
+        let a = parse_args(&argv(&["serve", "--log", "--queue-cap", "8"]));
+        assert!(a.switches.contains("log"));
+        assert_eq!(a.flags.get("queue-cap").map(String::as_str), Some("8"));
+        let a = parse_args(&argv(&["serve", "--log=/tmp/pi2m.jsonl"]));
+        assert_eq!(
+            a.flags.get("log").map(String::as_str),
+            Some("/tmp/pi2m.jsonl")
+        );
     }
 
     #[test]

@@ -157,6 +157,87 @@ fn worker_death_mid_job_retries_on_fresh_session() {
 }
 
 #[test]
+fn retried_job_trace_records_both_attempts() {
+    use pi2m::serve::TraceEventKind;
+    // Same poisoned-worker setup as the drill above, but the assertion
+    // target is the job's end-to-end trace: both attempts must be visible,
+    // each with the session generation that served it.
+    let faults = FaultPlan::parse(7, "site=refine.engine.worker,kind=panic,nth=1,count=1").unwrap();
+    let svc = MeshService::start(ServiceConfig {
+        sessions: 1,
+        threads: 1,
+        queue_capacity: 4,
+        spool: spool("trace"),
+        faults: Some(Arc::new(faults)),
+        ..Default::default()
+    })
+    .unwrap();
+    let id = svc.submit(spec("phantom:sphere")).unwrap();
+    let r = wait_terminal(&svc, id, Duration::from_secs(60));
+    assert_eq!(r.status, JobStatus::Succeeded, "{:?}", r.error);
+    assert_eq!(r.attempts, 2);
+
+    let events = r.trace.events();
+    assert!(
+        matches!(events[0].kind, TraceEventKind::Admitted { .. }),
+        "trace must open with admission"
+    );
+    let mut last = 0.0;
+    for e in events {
+        assert!(e.t_s >= last, "timestamps must be non-decreasing");
+        last = e.t_s;
+    }
+    let gens: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::Checkout {
+                session_generation, ..
+            } => Some(session_generation),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        gens,
+        vec![0, 1],
+        "both attempts traced, retry on the recycled session"
+    );
+    let retried: Vec<bool> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::AttemptFailed { will_retry, .. } => Some(will_retry),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(retried, vec![true], "one transient failure, marked retried");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Backoff { .. })),
+        "the retry pause must be traced"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::QueueWait { .. })),
+        "queue wait must be traced"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::StageStarted { .. })),
+        "stage transitions must be traced"
+    );
+    match &events.last().unwrap().kind {
+        TraceEventKind::Terminal { status, attempts } => {
+            assert_eq!(*status, JobStatus::Succeeded);
+            assert_eq!(*attempts, 2);
+        }
+        other => panic!("trace must close with the terminal state, got {other:?}"),
+    }
+    assert!(svc.drain(Duration::from_secs(10)));
+}
+
+#[test]
 fn deterministic_failure_fails_fast_without_retry() {
     let svc = MeshService::start(ServiceConfig {
         sessions: 1,
@@ -429,9 +510,52 @@ fn http_api_round_trips_jobs_and_metrics() {
         "pi2m_serve_jobs_succeeded 1",
         "pi2m_serve_queue_depth 0",
         "pi2m_serve_queue_wait_seconds",
+        // per-class latency histograms, labeled by priority and outcome
+        "pi2m_serve_run_seconds",
+        "class=\"normal\",state=\"succeeded\"",
     ] {
         assert!(metrics.contains(needle), "metrics missing '{needle}'");
     }
+
+    // the per-job trace is served as JSON and as a Chrome trace
+    let (code, body) = http(&addr, "GET", &format!("/jobs/{name}/trace"), "");
+    assert_eq!(code, 200, "{body}");
+    let trace = json::parse(&body).unwrap();
+    assert_eq!(
+        trace.get("trace_schema_version").unwrap().as_f64(),
+        Some(1.0)
+    );
+    let events = trace.get("events").unwrap().as_arr().unwrap();
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(json::Json::as_str))
+        .collect();
+    assert_eq!(kinds.first(), Some(&"admitted"));
+    assert_eq!(kinds.last(), Some(&"terminal"));
+    for needle in ["queue_wait", "checkout", "stage_started", "stage_finished"] {
+        assert!(
+            kinds.contains(&needle),
+            "trace missing '{needle}': {kinds:?}"
+        );
+    }
+    let (code, chrome) = http(
+        &addr,
+        "GET",
+        &format!("/jobs/{name}/trace?format=chrome"),
+        "",
+    );
+    assert_eq!(code, 200);
+    let chrome = json::parse(&chrome).expect("chrome trace parses");
+    assert!(chrome.get("traceEvents").is_some());
+
+    // newest-first bounded job listing
+    let (code, body) = http(&addr, "GET", "/jobs?recent=1", "");
+    assert_eq!(code, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let jobs = v.get("jobs").unwrap().as_arr().unwrap();
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].get("id").unwrap().as_str(), Some(name.as_str()));
+    assert!(jobs[0].get("trace_events").unwrap().as_f64().unwrap() > 0.0);
 
     // bad requests are typed, not 500s
     let (code, body) = http(&addr, "POST", "/jobs", r#"{"input":"x","bogus":1}"#);
@@ -480,6 +604,14 @@ fn sharded_job_runs_and_echoes_spec() {
     let spec_json = j.get("spec").unwrap();
     assert_eq!(spec_json.get("shards").unwrap().as_str(), Some("2x1x1"));
     assert_eq!(spec_json.get("halo").unwrap().as_f64(), Some(3.0));
+    // and its trace carries one span per chunk of the 2x1x1 grid
+    let chunk_spans = r
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, pi2m::serve::TraceEventKind::ShardChunk { .. }))
+        .count();
+    assert_eq!(chunk_spans, 2, "one shard span per chunk");
     // a degenerate grid fails deterministically (no retries burned)
     let id = svc
         .submit(JobSpec {
