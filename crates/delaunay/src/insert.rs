@@ -20,10 +20,11 @@
 
 use crate::ids::{CellId, VertexId, VertexKind, NONE};
 use crate::mesh::{InsertResult, KernelError, OpCtx, OpError};
-use crate::scratch::KernelScratch;
+use crate::scratch::{KernelScratch, TestEntry};
 use pi2m_faults::{sites, Injected};
 use pi2m_geometry::TET_FACES;
 use pi2m_obs::flight::{cause as flight_cause, EventKind};
+use pi2m_predicates::{insphere_sos_batch, orient3d_batch_gather, BATCH_LANES};
 
 /// Key standing in for the point being inserted: it will receive the largest
 /// vertex id allocated so far, so it is "newest" relative to every vertex it
@@ -141,7 +142,25 @@ impl OpCtx<'_> {
     ) -> Result<PreparedInsert, OpError> {
         s.begin_insert();
         let c0 = self.locate(p)?;
+        if self.batch {
+            self.prepare_insert_batched(p, c0, s)?;
+        } else {
+            self.prepare_insert_scalar(p, c0, s)?;
+        }
+        Ok(PreparedInsert {
+            point: p,
+            kind,
+            cavity: std::mem::take(&mut s.cavity),
+            bfaces: std::mem::take(&mut s.bfaces),
+        })
+    }
 
+    fn prepare_insert_scalar(
+        &mut self,
+        p: [f64; 3],
+        c0: CellId,
+        s: &mut KernelScratch,
+    ) -> Result<(), OpError> {
         // exact-duplicate rejection
         {
             let cell = self.mesh.cell(c0);
@@ -157,52 +176,13 @@ impl OpCtx<'_> {
         s.cavity.push(c0);
         s.state.insert(c0.0, true);
         let mut qi = 0usize;
-        self.expand_cavity(&p, s, &mut qi)?;
+        self.expand_cavity_scalar(&p, s, &mut qi)?;
 
         // ---- boundary extraction with degeneracy repair ----
         loop {
             s.bfaces.clear();
             s.forced.clear();
-            for ci in 0..s.cavity.len() {
-                let c = s.cavity[ci];
-                let cell = self.mesh.cell(c);
-                for (i, &f) in TET_FACES.iter().enumerate() {
-                    let n = cell.nei(i);
-                    if !n.is_none() && s.state.get(&n.0) == Some(&true) {
-                        continue; // interior face
-                    }
-                    let fv = [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])];
-                    let fp = [
-                        self.mesh.pos3(fv[0]),
-                        self.mesh.pos3(fv[1]),
-                        self.mesh.pos3(fv[2]),
-                    ];
-                    let sgn = self.orient3d_st(&fp[0], &fp[1], &fp[2], &p);
-                    if sgn <= 0.0 {
-                        if n.is_none() {
-                            // coplanar with a hull face: cannot repair
-                            return Err(OpError::Degenerate);
-                        }
-                        s.forced.push(n);
-                    } else {
-                        let out_face = if n.is_none() {
-                            0
-                        } else {
-                            match self.mesh.cell(n).face_to(c) {
-                                Some(j) => j,
-                                None => {
-                                    return Err(OpError::Kernel(KernelError::MissingBackPointer))
-                                }
-                            }
-                        };
-                        s.bfaces.push(BFace {
-                            verts: fv,
-                            outside: n,
-                            out_face,
-                        });
-                    }
-                }
-            }
+            self.extract_boundary_scalar(&p, s)?;
             if s.forced.is_empty() {
                 break;
             }
@@ -215,7 +195,7 @@ impl OpCtx<'_> {
                 s.state.insert(n.0, true);
                 s.cavity.push(n);
             }
-            self.expand_cavity(&p, s, &mut qi)?;
+            self.expand_cavity_scalar(&p, s, &mut qi)?;
         }
         debug_assert!(s.bfaces.len() >= 4);
 
@@ -223,29 +203,119 @@ impl OpCtx<'_> {
         // retriangulating would leave it dangling inside a new cell (possible
         // only for exotic cospherical configurations where the perturbed
         // triangulation "hides" an old vertex). Skip such insertions.
-        {
-            s.on_boundary.clear();
-            for bf in &s.bfaces {
-                for u in bf.verts {
-                    s.on_boundary.insert(u.0);
-                }
+        s.on_boundary.clear();
+        for bf in &s.bfaces {
+            for u in bf.verts {
+                s.on_boundary.insert(u.0);
             }
-            for &c in &s.cavity {
-                let cell = self.mesh.cell(c);
-                for k in 0..4 {
-                    if !s.on_boundary.contains(&cell.vert(k).0) {
-                        return Err(OpError::Degenerate);
-                    }
+        }
+        for &c in &s.cavity {
+            let cell = self.mesh.cell(c);
+            for k in 0..4 {
+                if !s.on_boundary.contains(&cell.vert(k).0) {
+                    return Err(OpError::Degenerate);
                 }
             }
         }
+        Ok(())
+    }
 
-        Ok(PreparedInsert {
-            point: p,
-            kind,
-            cavity: std::mem::take(&mut s.cavity),
-            bfaces: std::mem::take(&mut s.bfaces),
-        })
+    /// Batched prepare: same discovery order, same predicates, same errors as
+    /// the scalar variant — but every tested cell's vertex quad, neighbor row
+    /// and coordinates are captured exactly once, under its vertex locks, into
+    /// the dense cavity arrays and the epoch-tagged [`TestTable`]. Boundary
+    /// extraction and the orphan guard then run entirely off those snapshots:
+    /// no second pass over the cell pool, no hash-map traffic.
+    fn prepare_insert_batched(
+        &mut self,
+        p: [f64; 3],
+        c0: CellId,
+        s: &mut KernelScratch,
+    ) -> Result<(), OpError> {
+        s.tests.begin();
+
+        // exact-duplicate rejection doubles as the seed cell's snapshot (its
+        // vertices were locked during `locate`'s candidate validation)
+        {
+            let cell = self.mesh.cell(c0);
+            let vs = cell.verts();
+            let pos = [
+                self.mesh.pos3(vs[0]),
+                self.mesh.pos3(vs[1]),
+                self.mesh.pos3(vs[2]),
+                self.mesh.pos3(vs[3]),
+            ];
+            for k in 0..4 {
+                if pos[k] == p {
+                    return Err(OpError::Duplicate(vs[k]));
+                }
+            }
+            let ns = cell.neis();
+            // the first wave will read these cells: get their lines moving
+            for n in ns {
+                self.mesh.cells.prefetch(n.0);
+            }
+            s.cavity.push(c0);
+            s.cav_verts.push(vs);
+            s.cav_neis.push(ns);
+            s.cav_pos.extend_from_slice(&pos);
+            s.tests.insert(
+                c0,
+                TestEntry {
+                    verdict: true,
+                    neis: ns,
+                },
+            );
+        }
+
+        let mut qi = 0usize;
+        self.expand_cavity_batched(&p, s, &mut qi)?;
+
+        // ---- boundary extraction with degeneracy repair ----
+        loop {
+            s.bfaces.clear();
+            s.forced.clear();
+            self.extract_boundary_batched(&p, s)?;
+            if s.forced.is_empty() {
+                break;
+            }
+            for fi in 0..s.forced.len() {
+                let n = s.forced[fi];
+                if s.tests.get(n).is_some_and(|e| e.verdict) {
+                    continue;
+                }
+                // already locked and partly snapshotted (it was a tested
+                // boundary cell); only verts/coords still need gathering
+                let ns = s.tests.get(n).expect("forced cell was never tested").neis;
+                s.tests.set_verdict(n, true);
+                let cell = self.mesh.cell(n);
+                let vs = cell.verts();
+                s.cavity.push(n);
+                s.cav_verts.push(vs);
+                s.cav_neis.push(ns);
+                for &u in &vs {
+                    s.cav_pos.push(self.mesh.pos3(u));
+                }
+            }
+            self.expand_cavity_batched(&p, s, &mut qi)?;
+        }
+        debug_assert!(s.bfaces.len() >= 4);
+
+        // Orphan guard (rationale in the scalar variant), off the snapshots.
+        s.on_boundary.clear();
+        for bf in &s.bfaces {
+            for u in bf.verts {
+                s.on_boundary.insert(u.0);
+            }
+        }
+        for vs in &s.cav_verts {
+            for v in vs {
+                if !s.on_boundary.contains(&v.0) {
+                    return Err(OpError::Degenerate);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Commit a prepared insertion: allocate the vertex, retriangulate the
@@ -285,41 +355,108 @@ impl OpCtx<'_> {
                 bf.outside,
             ]
         }));
-        s.edge_map.clear();
-        s.edge_map.reserve(bfaces.len() * 2);
-        for (bi, bf) in bfaces.iter().enumerate() {
-            for k in 0..3 {
-                let a = bf.verts[(k + 1) % 3].0;
-                let b = bf.verts[(k + 2) % 3].0;
-                let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
-                match s.edge_map.remove(&key) {
-                    Some((bj, fj)) => {
+        if self.batch {
+            // The cavity cells were last touched during expansion; the kill
+            // loop below reads their tags, so start those lines refilling now.
+            for &c in &cavity {
+                self.mesh.cells.prefetch(c.0);
+            }
+            // Batched commit: twin matching of the cavity boundary edges in
+            // one pass through the epoch-tagged edge pairer. Every key occurs
+            // exactly twice and the matching is unique, so wiring happens the
+            // moment a key's second occurrence lands.
+            s.edges.begin();
+            let mut pairs = 0usize;
+            for (bi, bf) in bfaces.iter().enumerate() {
+                for k in 0..3 {
+                    let a = bf.verts[(k + 1) % 3].0;
+                    let b = bf.verts[(k + 2) % 3].0;
+                    let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
+                    if let Some(other) = s.edges.pair(key, ((bi as u32) << 2) | k as u32) {
+                        let (bj, fj) = ((other >> 2) as usize, (other & 3) as usize);
                         s.neis[bi][k] = new_ids[bj];
                         s.neis[bj][fj] = new_ids[bi];
-                    }
-                    None => {
-                        s.edge_map.insert(key, (bi, k));
+                        pairs += 1;
                     }
                 }
             }
-        }
-        debug_assert!(s.edge_map.is_empty(), "unmatched cavity boundary edges");
-
-        for (bi, bf) in bfaces.iter().enumerate() {
-            // vertex order [f0, f1, f2, v] is positively oriented because
-            // orient3d(f, p) > 0 was enforced above.
-            self.mesh.cells.activate(
-                new_ids[bi],
-                [bf.verts[0], bf.verts[1], bf.verts[2], v],
-                s.neis[bi],
+            debug_assert_eq!(
+                pairs * 2,
+                bfaces.len() * 3,
+                "unmatched cavity boundary edges"
             );
-        }
-        // outside back-pointers (faces resolved during prepare)
-        for (bi, bf) in bfaces.iter().enumerate() {
-            if bf.outside.is_none() {
-                continue;
+        } else {
+            s.edge_map.clear();
+            s.edge_map.reserve(bfaces.len() * 2);
+            for (bi, bf) in bfaces.iter().enumerate() {
+                for k in 0..3 {
+                    let a = bf.verts[(k + 1) % 3].0;
+                    let b = bf.verts[(k + 2) % 3].0;
+                    let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
+                    match s.edge_map.remove(&key) {
+                        Some((bj, fj)) => {
+                            s.neis[bi][k] = new_ids[bj];
+                            s.neis[bj][fj] = new_ids[bi];
+                        }
+                        None => {
+                            s.edge_map.insert(key, (bi, k));
+                        }
+                    }
+                }
             }
-            self.mesh.cell(bf.outside).set_nei(bf.out_face, new_ids[bi]);
+            debug_assert!(s.edge_map.is_empty(), "unmatched cavity boundary edges");
+        }
+
+        // Publication order matters for the LOCK-FREE walkers: every new
+        // cell must be activated before any outside back-pointer flips, or a
+        // concurrent walk crossing the flipped pointer steps into a
+        // not-yet-alive cell and burns a restart. Both paths below respect
+        // that; the batched path merges the remaining rewiring (back-pointers
+        // and hint publication, both safe to interleave once the region is
+        // alive) into one linear pass.
+        if self.batch {
+            for (bi, bf) in bfaces.iter().enumerate() {
+                // vertex order [f0, f1, f2, v] is positively oriented because
+                // orient3d(f, p) > 0 was enforced above.
+                self.mesh.cells.activate(
+                    new_ids[bi],
+                    [bf.verts[0], bf.verts[1], bf.verts[2], v],
+                    s.neis[bi],
+                );
+            }
+            self.mesh.vertex(v).set_hint(new_ids[0]);
+            for (bi, bf) in bfaces.iter().enumerate() {
+                if !bf.outside.is_none() {
+                    self.mesh.cell(bf.outside).set_nei(bf.out_face, new_ids[bi]);
+                }
+                for u in bf.verts {
+                    self.mesh.vertex(u).set_hint(new_ids[bi]);
+                }
+            }
+        } else {
+            for (bi, bf) in bfaces.iter().enumerate() {
+                // vertex order [f0, f1, f2, v] is positively oriented because
+                // orient3d(f, p) > 0 was enforced above.
+                self.mesh.cells.activate(
+                    new_ids[bi],
+                    [bf.verts[0], bf.verts[1], bf.verts[2], v],
+                    s.neis[bi],
+                );
+            }
+            // outside back-pointers (faces resolved during prepare)
+            for (bi, bf) in bfaces.iter().enumerate() {
+                if bf.outside.is_none() {
+                    continue;
+                }
+                self.mesh.cell(bf.outside).set_nei(bf.out_face, new_ids[bi]);
+            }
+            self.mesh.vertex(v).set_hint(new_ids[0]);
+            // hints
+            for (bi, bf) in bfaces.iter().enumerate() {
+                for u in bf.verts {
+                    self.mesh.vertex(u).set_hint(new_ids[bi]);
+                }
+            }
         }
         // kill the cavity
         let mut killed = s.take_killed_buf();
@@ -332,13 +469,6 @@ impl OpCtx<'_> {
                 .load(std::sync::atomic::Ordering::Relaxed);
             killed.push((c, tag));
             self.mesh.cells.free(c, &mut self.free_cells);
-        }
-        // hints
-        self.mesh.vertex(v).set_hint(new_ids[0]);
-        for (bi, bf) in bfaces.iter().enumerate() {
-            for u in bf.verts {
-                self.mesh.vertex(u).set_hint(new_ids[bi]);
-            }
         }
         self.mesh.set_recent(new_ids[0]);
         // the freshly inserted vertex is the ideal hint for its region
@@ -357,7 +487,7 @@ impl OpCtx<'_> {
     /// BFS rounds of cavity expansion from `s.cavity[*qi..]`, locking every
     /// touched cell's vertices. `s.state`: true = in cavity, false = tested
     /// and rejected (boundary outside cell).
-    fn expand_cavity(
+    fn expand_cavity_scalar(
         &mut self,
         p: &[f64; 3],
         s: &mut KernelScratch,
@@ -402,6 +532,267 @@ impl OpCtx<'_> {
                     s.cavity.push(n);
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Wave-batched cavity expansion: candidates are discovered, locked, and
+    /// their coordinates gathered into the SoA staging buffers in exactly the
+    /// order the scalar loop would test them; a placeholder [`TestTable`]
+    /// entry dedupes repeat discoveries within a wave. The whole wave's
+    /// insphere tests then run through the wide-lane filter, and the verdicts
+    /// are applied in collection order — so the cavity sequence (and every
+    /// lock acquisition) is identical to the scalar path's. Each accepted
+    /// cell's snapshot moves straight from the wave buffers into the dense
+    /// cavity arrays, so later phases never re-read it from the pools.
+    fn expand_cavity_batched(
+        &mut self,
+        p: &[f64; 3],
+        s: &mut KernelScratch,
+        qi: &mut usize,
+    ) -> Result<(), OpError> {
+        while *qi < s.cavity.len() {
+            s.wave_cells.clear();
+            s.wave_verts.clear();
+            s.wave_neis.clear();
+            s.soa_xs.clear();
+            s.soa_ys.clear();
+            s.soa_zs.clear();
+            s.soa_keys.clear();
+            // Stage a wave. A cell's four faces are never split across waves
+            // relative to scalar order: the inner loop finishes the cell even
+            // if the wave overshoots the target width by up to three lanes.
+            while *qi < s.cavity.len() && s.wave_cells.len() < BATCH_LANES {
+                let neis = s.cav_neis[*qi];
+                *qi += 1;
+                for n in neis {
+                    if n.is_none() || s.tests.contains(n) {
+                        continue;
+                    }
+                    let ncell = self.mesh.cell(n);
+                    // `n` is frozen from the moment its cavity-side parent was
+                    // locked (any op retriangulating `n` must hold the face
+                    // vertices we already own), so reading the quad before
+                    // taking its locks sees exactly what the lock loop would.
+                    // Prefetching every vertex record up front overlaps the
+                    // lock-word misses; positions live in the same records, so
+                    // the coordinate gather below rides the same lines.
+                    let nv = ncell.verts();
+                    for &u in &nv {
+                        self.mesh.verts.prefetch(u.0);
+                    }
+                    for &u in &nv {
+                        self.lock_vertex(u)?;
+                    }
+                    debug_assert!(ncell.is_alive(), "neighbor died under face locks");
+                    let nn = ncell.neis();
+                    // Placeholder verdict, flipped for accepted lanes below.
+                    s.tests.insert(
+                        n,
+                        TestEntry {
+                            verdict: false,
+                            neis: nn,
+                        },
+                    );
+                    for &u in &nv {
+                        let q = self.mesh.pos3(u);
+                        s.soa_xs.push(q[0]);
+                        s.soa_ys.push(q[1]);
+                        s.soa_zs.push(q[2]);
+                    }
+                    s.soa_keys.push([
+                        nv[0].0 as u64,
+                        nv[1].0 as u64,
+                        nv[2].0 as u64,
+                        nv[3].0 as u64,
+                        PENDING_KEY,
+                    ]);
+                    s.wave_cells.push(n);
+                    s.wave_verts.push(nv);
+                    s.wave_neis.push(nn);
+                }
+            }
+            if s.wave_cells.is_empty() {
+                continue;
+            }
+            s.stats.soa_gathers += 1;
+            s.stats.soa_points += 4 * s.wave_cells.len() as u64;
+            insphere_sos_batch(
+                self.mesh.semi_static_bounds(),
+                &mut self.pred_stats,
+                &mut self.batch_stats,
+                &s.soa_xs,
+                &s.soa_ys,
+                &s.soa_zs,
+                p,
+                &s.soa_keys,
+                &mut s.soa_signs,
+            );
+            for (l, &n) in s.wave_cells.iter().enumerate() {
+                // the placeholder already recorded `false`: only accepted
+                // candidates need their verdict flipped
+                if s.soa_signs[l] > 0 {
+                    // the next wave expands through this cell's neighbor row:
+                    // start those cell lines now, while verdicts apply
+                    for m in s.wave_neis[l] {
+                        self.mesh.cells.prefetch(m.0);
+                    }
+                    s.tests.set_verdict(n, true);
+                    s.cavity.push(n);
+                    s.cav_verts.push(s.wave_verts[l]);
+                    s.cav_neis.push(s.wave_neis[l]);
+                    for k in 0..4 {
+                        s.cav_pos.push([
+                            s.soa_xs[4 * l + k],
+                            s.soa_ys[4 * l + k],
+                            s.soa_zs[4 * l + k],
+                        ]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One round of scalar boundary extraction over the current cavity,
+    /// appending outward faces to `s.bfaces` and coplanar repairs to
+    /// `s.forced`.
+    fn extract_boundary_scalar(
+        &mut self,
+        p: &[f64; 3],
+        s: &mut KernelScratch,
+    ) -> Result<(), OpError> {
+        for ci in 0..s.cavity.len() {
+            let c = s.cavity[ci];
+            let cell = self.mesh.cell(c);
+            for (i, &f) in TET_FACES.iter().enumerate() {
+                let n = cell.nei(i);
+                if !n.is_none() && s.state.get(&n.0) == Some(&true) {
+                    continue; // interior face
+                }
+                let fv = [cell.vert(f[0]), cell.vert(f[1]), cell.vert(f[2])];
+                let fp = [
+                    self.mesh.pos3(fv[0]),
+                    self.mesh.pos3(fv[1]),
+                    self.mesh.pos3(fv[2]),
+                ];
+                let sgn = self.orient3d_st(&fp[0], &fp[1], &fp[2], p);
+                self.classify_boundary_face(s, fv, n, c, sgn)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One round of batched boundary extraction: candidate faces are
+    /// collected in scalar iteration order — vertices pulled from the cavity
+    /// snapshots, never from the pools — and only three corner *indices* per
+    /// face are staged: the whole round's orient tests then run through the
+    /// gather-indexed wide-lane filter straight off the flat snapshot
+    /// coordinate table. Decisions are applied in the same order: same faces,
+    /// same errors, same `bfaces`/`forced` sequences as the scalar round.
+    /// Back-pointing faces of outside cells resolve from the neighbor rows
+    /// cached in the [`TestTable`] instead of `face_to` pool walks.
+    fn extract_boundary_batched(
+        &mut self,
+        p: &[f64; 3],
+        s: &mut KernelScratch,
+    ) -> Result<(), OpError> {
+        s.wave_faces.clear();
+        s.face_idx.clear();
+        for ci in 0..s.cavity.len() {
+            let c = s.cavity[ci];
+            let verts = s.cav_verts[ci];
+            let neis = s.cav_neis[ci];
+            for (i, &f) in TET_FACES.iter().enumerate() {
+                let n = neis[i];
+                if !n.is_none() && s.tests.get(n).is_some_and(|e| e.verdict) {
+                    continue; // interior face
+                }
+                let base = 4 * ci as u32;
+                s.face_idx
+                    .push([base + f[0] as u32, base + f[1] as u32, base + f[2] as u32]);
+                s.wave_faces
+                    .push(([verts[f[0]], verts[f[1]], verts[f[2]]], n, c));
+            }
+        }
+        if s.wave_faces.is_empty() {
+            return Ok(());
+        }
+        s.stats.soa_gathers += 1;
+        s.stats.soa_points += 3 * s.wave_faces.len() as u64;
+        orient3d_batch_gather(
+            self.mesh.semi_static_bounds(),
+            &mut self.pred_stats,
+            &mut self.batch_stats,
+            &s.cav_pos,
+            &s.face_idx,
+            p,
+            &mut s.soa_dets,
+        );
+        for l in 0..s.wave_faces.len() {
+            let (fv, n, c) = s.wave_faces[l];
+            if s.soa_dets[l] <= 0.0 {
+                if n.is_none() {
+                    // coplanar with a hull face: cannot repair
+                    return Err(OpError::Degenerate);
+                }
+                s.forced.push(n);
+                continue;
+            }
+            let out_face = if n.is_none() {
+                0
+            } else {
+                let row = s
+                    .tests
+                    .get(n)
+                    .expect("cavity neighbor was never tested")
+                    .neis;
+                match row.iter().position(|&x| x == c) {
+                    Some(j) => j,
+                    None => return Err(OpError::Kernel(KernelError::MissingBackPointer)),
+                }
+            };
+            s.bfaces.push(BFace {
+                verts: fv,
+                outside: n,
+                out_face,
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared per-face decision of boundary extraction: outward faces become
+    /// `BFace`s, coplanar faces force their outside neighbor into the cavity,
+    /// hull-coplanar faces abort the insertion.
+    #[inline]
+    fn classify_boundary_face(
+        &mut self,
+        s: &mut KernelScratch,
+        fv: [VertexId; 3],
+        n: CellId,
+        c: CellId,
+        sgn: f64,
+    ) -> Result<(), OpError> {
+        if sgn <= 0.0 {
+            if n.is_none() {
+                // coplanar with a hull face: cannot repair
+                return Err(OpError::Degenerate);
+            }
+            s.forced.push(n);
+        } else {
+            let out_face = if n.is_none() {
+                0
+            } else {
+                match self.mesh.cell(n).face_to(c) {
+                    Some(j) => j,
+                    None => return Err(OpError::Kernel(KernelError::MissingBackPointer)),
+                }
+            };
+            s.bfaces.push(BFace {
+                verts: fv,
+                outside: n,
+                out_face,
+            });
         }
         Ok(())
     }

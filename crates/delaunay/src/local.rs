@@ -18,7 +18,7 @@
 
 use crate::boxinit::box_mesh;
 use crate::fxhash::FxHashMap;
-use pi2m_geometry::{Aabb, FilterStats, SemiStaticBounds, TET_FACES};
+use pi2m_geometry::{Aabb, BatchStats, FilterStats, SemiStaticBounds, BATCH_LANES, TET_FACES};
 
 const LNONE: u32 = u32::MAX;
 
@@ -59,6 +59,13 @@ struct LScratch {
     new_ids: Vec<u32>,
     neis: Vec<[u32; 4]>,
     edge_map: FxHashMap<u64, (usize, usize)>,
+    // SoA staging for the batched expand (mirrors `KernelScratch`).
+    wave_cells: Vec<u32>,
+    soa_xs: Vec<f64>,
+    soa_ys: Vec<f64>,
+    soa_zs: Vec<f64>,
+    soa_keys: Vec<[u64; 5]>,
+    soa_signs: Vec<i8>,
 }
 
 /// Sequential Delaunay triangulation of points inside an auxiliary box.
@@ -70,6 +77,10 @@ pub struct LocalDt {
     last: u32,
     bounds: SemiStaticBounds,
     stats: FilterStats,
+    batch_stats: BatchStats,
+    /// Batched expand on/off — set per revival by the removal path so the
+    /// local triangulation follows the kernel's `--no-batch` kill switch.
+    batch: bool,
     scratch: LScratch,
 }
 
@@ -85,6 +96,8 @@ impl LocalDt {
             last: 0,
             bounds: SemiStaticBounds::none(),
             stats: FilterStats::default(),
+            batch_stats: BatchStats::default(),
+            batch: true,
             scratch: LScratch::default(),
         };
         dt.reset(bbox);
@@ -143,6 +156,17 @@ impl LocalDt {
         self.stats.take()
     }
 
+    /// Drain the batched-filter occupancy/fallback counters.
+    pub fn take_batch_stats(&mut self) -> BatchStats {
+        self.batch_stats.take()
+    }
+
+    /// Select the batched (`true`) or scalar (`false`) expand path. Both are
+    /// result-identical; see [`pi2m_predicates::batch`].
+    pub fn set_batch(&mut self, on: bool) {
+        self.batch = on;
+    }
+
     /// Total reserved element capacity (scratch-arena accounting).
     pub fn footprint(&self) -> usize {
         self.pts.capacity()
@@ -156,6 +180,12 @@ impl LocalDt {
             + self.scratch.new_ids.capacity()
             + self.scratch.neis.capacity()
             + self.scratch.edge_map.capacity()
+            + self.scratch.wave_cells.capacity()
+            + self.scratch.soa_xs.capacity()
+            + self.scratch.soa_ys.capacity()
+            + self.scratch.soa_zs.capacity()
+            + self.scratch.soa_keys.capacity()
+            + self.scratch.soa_signs.capacity()
     }
 
     /// Staged orient3d under this triangulation's own bounds.
@@ -195,7 +225,7 @@ impl LocalDt {
         s.cavity.push(c0);
         s.state.insert(c0, true);
         let mut qi = 0;
-        self.expand(&p, key, &mut s.cavity, &mut s.state, &mut qi);
+        self.expand(&p, key, s, &mut qi);
 
         // boundary + coplanar repair
         loop {
@@ -237,7 +267,7 @@ impl LocalDt {
                     s.cavity.push(n);
                 }
             }
-            self.expand(&p, key, &mut s.cavity, &mut s.state, &mut qi);
+            self.expand(&p, key, s, &mut qi);
         }
 
         // commit
@@ -309,20 +339,21 @@ impl LocalDt {
         }
     }
 
-    fn expand(
-        &mut self,
-        p: &[f64; 3],
-        key: u64,
-        cavity: &mut Vec<u32>,
-        state: &mut FxHashMap<u32, bool>,
-        qi: &mut usize,
-    ) {
-        while *qi < cavity.len() {
-            let c = cavity[*qi];
+    fn expand(&mut self, p: &[f64; 3], key: u64, s: &mut LScratch, qi: &mut usize) {
+        if self.batch {
+            self.expand_batched(p, key, s, qi);
+        } else {
+            self.expand_scalar(p, key, s, qi);
+        }
+    }
+
+    fn expand_scalar(&mut self, p: &[f64; 3], key: u64, s: &mut LScratch, qi: &mut usize) {
+        while *qi < s.cavity.len() {
+            let c = s.cavity[*qi];
             *qi += 1;
             for i in 0..4 {
                 let n = self.cells[c as usize].n[i];
-                if n == LNONE || state.contains_key(&n) {
+                if n == LNONE || s.state.contains_key(&n) {
                     continue;
                 }
                 let nv = self.cells[n as usize].v;
@@ -342,9 +373,72 @@ impl LocalDt {
                         key,
                     ],
                 ) > 0;
-                state.insert(n, inside);
+                s.state.insert(n, inside);
                 if inside {
-                    cavity.push(n);
+                    s.cavity.push(n);
+                }
+            }
+        }
+    }
+
+    /// Wave-batched BFS expand. Candidates are discovered, deduplicated (a
+    /// placeholder `state` entry plays the role of the scalar loop's
+    /// decided-already check), and gathered into the SoA lanes in exactly the
+    /// scalar discovery order; verdicts are then applied in that same order,
+    /// so the cavity sequence — and hence the whole insertion — is identical
+    /// to [`Self::expand_scalar`].
+    fn expand_batched(&mut self, p: &[f64; 3], key: u64, s: &mut LScratch, qi: &mut usize) {
+        while *qi < s.cavity.len() {
+            s.wave_cells.clear();
+            s.soa_xs.clear();
+            s.soa_ys.clear();
+            s.soa_zs.clear();
+            s.soa_keys.clear();
+            while *qi < s.cavity.len() && s.wave_cells.len() < BATCH_LANES {
+                let c = s.cavity[*qi];
+                *qi += 1;
+                for i in 0..4 {
+                    let n = self.cells[c as usize].n[i];
+                    if n == LNONE || s.state.contains_key(&n) {
+                        continue;
+                    }
+                    s.state.insert(n, false);
+                    let nv = self.cells[n as usize].v;
+                    for &v in &nv {
+                        let q = self.pts[v as usize];
+                        s.soa_xs.push(q[0]);
+                        s.soa_ys.push(q[1]);
+                        s.soa_zs.push(q[2]);
+                    }
+                    s.soa_keys.push([
+                        self.keys[nv[0] as usize],
+                        self.keys[nv[1] as usize],
+                        self.keys[nv[2] as usize],
+                        self.keys[nv[3] as usize],
+                        key,
+                    ]);
+                    s.wave_cells.push(n);
+                }
+            }
+            if s.wave_cells.is_empty() {
+                continue;
+            }
+            pi2m_predicates::insphere_sos_batch(
+                &self.bounds,
+                &mut self.stats,
+                &mut self.batch_stats,
+                &s.soa_xs,
+                &s.soa_ys,
+                &s.soa_zs,
+                p,
+                &s.soa_keys,
+                &mut s.soa_signs,
+            );
+            for (l, &n) in s.wave_cells.iter().enumerate() {
+                let inside = s.soa_signs[l] > 0;
+                s.state.insert(n, inside);
+                if inside {
+                    s.cavity.push(n);
                 }
             }
         }

@@ -28,7 +28,7 @@ use crate::scratch::{KernelScratch, ScratchStats};
 use pi2m_faults::{sites, FaultPlan, Injected};
 use pi2m_geometry::{orient3d_sign, signed_volume, Aabb, Point3, TET_FACES};
 use pi2m_obs::flight::{EventKind, FlightHandle};
-use pi2m_predicates::{FilterStats, SemiStaticBounds};
+use pi2m_predicates::{BatchStats, FilterStats, SemiStaticBounds};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -361,9 +361,11 @@ impl SharedMesh {
             rng: 0x9e37_79b9_7f4a_7c15u64 ^ ((tid as u64 + 1) << 32),
             walk_stats: WalkStats::default(),
             pred_stats: FilterStats::default(),
+            batch_stats: BatchStats::default(),
             scratch: KernelScratch::default(),
             faults,
             flight: None,
+            batch: true,
         }
     }
 
@@ -547,6 +549,14 @@ pub struct OpCtx<'m> {
     /// per emission site). Emits lock-conflict and lock-batch events on the
     /// kernel's own lock/insert/remove paths.
     pub(crate) flight: Option<FlightHandle>,
+    /// Batched (SoA wide-lane) kernel path selector. On by default; cleared
+    /// via [`OpCtx::set_batch`] (the engine wires it to `--no-batch` /
+    /// `PI2M_BATCH=0`). Both paths are op-for-op result-identical — the flag
+    /// only changes the evaluation schedule.
+    pub(crate) batch: bool,
+    /// Wide-lane filter occupancy/fallback counters (drained like
+    /// `pred_stats`).
+    pub(crate) batch_stats: BatchStats,
 }
 
 impl OpCtx<'_> {
@@ -561,6 +571,26 @@ impl OpCtx<'_> {
     #[inline]
     pub fn take_pred_stats(&mut self) -> FilterStats {
         self.pred_stats.take()
+    }
+
+    /// Drain the wide-lane batch occupancy/fallback counters accumulated
+    /// since the last call.
+    #[inline]
+    pub fn take_batch_stats(&mut self) -> BatchStats {
+        self.batch_stats.take()
+    }
+
+    /// Select the batched (SoA wide-lane) or scalar kernel path. Defaults to
+    /// batched; results are identical either way.
+    #[inline]
+    pub fn set_batch(&mut self, on: bool) {
+        self.batch = on;
+    }
+
+    /// Whether the batched kernel path is selected.
+    #[inline]
+    pub fn batch_enabled(&self) -> bool {
+        self.batch
     }
 
     /// Drain the scratch-arena reuse counters accumulated since the last

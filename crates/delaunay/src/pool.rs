@@ -280,6 +280,34 @@ macro_rules! segmented_pool {
                 id
             }
 
+            /// Best-effort prefetch of the element's cache line into L1.
+            /// Purely a performance hint: out-of-range ids (including `NONE`)
+            /// and unallocated segments are silently ignored, and no element
+            /// data is read, so calling this can never change behavior.
+            #[inline]
+            pub fn prefetch(&self, id: u32) {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if (id as usize) < self.len() {
+                        let seg = (id >> SEG_SHIFT) as usize;
+                        let off = (id as usize) & (SEG_SIZE - 1);
+                        let ptr = self.segs[seg].load(Ordering::Acquire);
+                        if !ptr.is_null() {
+                            // SAFETY: in-bounds pointer into a live segment;
+                            // prefetch dereferences nothing architecturally.
+                            unsafe {
+                                core::arch::x86_64::_mm_prefetch(
+                                    ptr.add(off) as *const i8,
+                                    core::arch::x86_64::_MM_HINT_T0,
+                                )
+                            };
+                        }
+                    }
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                let _ = id;
+            }
+
             /// Access an element. Panics on out-of-range ids.
             #[inline]
             pub fn get(&self, id: u32) -> &$elem {

@@ -254,8 +254,10 @@ impl OpCtx<'_> {
             }
             None => LocalDt::new(&bb),
         };
+        dt.set_batch(self.batch);
         let r = self.prepare_remove_with_dt(v, s, &mut dt);
         self.pred_stats.merge(&dt.take_stats());
+        self.batch_stats.merge(&dt.take_batch_stats());
         s.local_dt = Some(dt);
         r
     }

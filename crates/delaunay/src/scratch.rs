@@ -15,11 +15,216 @@
 //! result travel *with* their owner and come back via `put_*` /
 //! [`crate::OpCtx::recycle_insert`] at commit time, closing the reuse cycle.
 
-use crate::ids::{CellId, VertexId};
+use crate::ids::{CellId, VertexId, NONE};
 use crate::insert::BFace;
 use crate::local::LocalDt;
 use crate::remove::{LinkFace, Nb};
 use crate::{fxhash::FxHashMap, fxhash::FxHashSet};
+
+/// Fibonacci multiplier for the epoch-table probes (same constant family the
+/// crate's `fxhash` uses; only the high bits are kept).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Initial slot counts for the epoch tables (powers of two; both grow on
+/// demand and keep their capacity across operations).
+const TEST_SLOTS: usize = 256;
+const EDGE_SLOTS: usize = 256;
+
+/// What the batched cavity expansion learned about a tested cell, snapshotted
+/// under its vertex locks (immutable for the rest of the operation).
+#[derive(Clone, Copy)]
+pub(crate) struct TestEntry {
+    /// `true` = in the cavity, `false` = tested and rejected.
+    pub(crate) verdict: bool,
+    /// The cell's neighbor row, so boundary extraction can resolve
+    /// back-pointing faces without re-reading the cell pool.
+    pub(crate) neis: [CellId; 4],
+}
+
+/// Epoch-tagged open-addressing map from cell id to [`TestEntry`] — the
+/// batched path's replacement for the scalar BFS `state` hash map. `begin`
+/// invalidates every entry in O(1) by bumping the epoch (stale slots read as
+/// empty), so per-operation reset never touches the slot array.
+#[derive(Default)]
+pub(crate) struct TestTable {
+    /// `(epoch << 32) | cell` per slot; epoch 0 is never current.
+    keys: Vec<u64>,
+    vals: Vec<TestEntry>,
+    epoch: u32,
+    live: usize,
+}
+
+impl TestTable {
+    /// Start a new operation: previous entries become stale in O(1).
+    pub(crate) fn begin(&mut self) {
+        if self.keys.is_empty() {
+            self.keys = vec![0; TEST_SLOTS];
+            self.vals = vec![
+                TestEntry {
+                    verdict: false,
+                    neis: [CellId(NONE); 4],
+                };
+                TEST_SLOTS
+            ];
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.keys.fill(0);
+            self.epoch = 1;
+        }
+        self.live = 0;
+    }
+
+    /// Slot index for `cell` plus whether it holds a current-epoch entry.
+    #[inline]
+    fn probe(&self, cell: u32) -> (usize, bool) {
+        let mask = self.keys.len() - 1;
+        let tagged = ((self.epoch as u64) << 32) | cell as u64;
+        let mut i = ((cell as u64).wrapping_mul(HASH_MUL) >> 32) as usize & mask;
+        loop {
+            let k = self.keys[i];
+            if k == tagged {
+                return (i, true);
+            }
+            if (k >> 32) as u32 != self.epoch {
+                return (i, false);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, cell: CellId) -> bool {
+        self.probe(cell.0).1
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, cell: CellId) -> Option<&TestEntry> {
+        let (i, found) = self.probe(cell.0);
+        found.then(|| &self.vals[i])
+    }
+
+    /// Record a fresh test result; `cell` must not already be present.
+    #[inline]
+    pub(crate) fn insert(&mut self, cell: CellId, entry: TestEntry) {
+        if (self.live + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let (i, found) = self.probe(cell.0);
+        debug_assert!(!found, "cell tested twice in one operation");
+        self.keys[i] = ((self.epoch as u64) << 32) | cell.0 as u64;
+        self.vals[i] = entry;
+        self.live += 1;
+    }
+
+    /// Flip the verdict of an already-recorded cell.
+    #[inline]
+    pub(crate) fn set_verdict(&mut self, cell: CellId, verdict: bool) {
+        let (i, found) = self.probe(cell.0);
+        debug_assert!(found, "verdict flip for an untested cell");
+        if found {
+            self.vals[i].verdict = verdict;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_len = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_len]);
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            vec![
+                TestEntry {
+                    verdict: false,
+                    neis: [CellId(NONE); 4],
+                };
+                new_len
+            ],
+        );
+        for (&k, v) in old_keys.iter().zip(&old_vals) {
+            if (k >> 32) as u32 == self.epoch {
+                let (i, _) = self.probe(k as u32);
+                self.keys[i] = k;
+                self.vals[i] = *v;
+            }
+        }
+    }
+
+    pub(crate) fn footprint(&self) -> usize {
+        self.keys.capacity() + self.vals.capacity()
+    }
+}
+
+/// Epoch-tagged open-addressing pairer for cavity-boundary edges (batched
+/// commit). Every undirected boundary edge occurs on exactly two faces; the
+/// first occurrence parks its packed slot, the second retrieves it. Entries
+/// are never removed — epoch bumping retires them wholesale.
+#[derive(Default)]
+pub(crate) struct EdgeTable {
+    /// `(edge key, epoch, packed bface·slot)` per slot.
+    slots: Vec<(u64, u32, u32)>,
+    epoch: u32,
+    live: usize,
+}
+
+impl EdgeTable {
+    /// Start a new commit: previous entries become stale in O(1).
+    pub(crate) fn begin(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = vec![(0, 0, 0); EDGE_SLOTS];
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.slots.fill((0, 0, 0));
+            self.epoch = 1;
+        }
+        self.live = 0;
+    }
+
+    /// Park `packed` under `key`, or return the previously parked value if
+    /// this is the key's second occurrence.
+    #[inline]
+    pub(crate) fn pair(&mut self, key: u64, packed: u32) -> Option<u32> {
+        if (self.live + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key.wrapping_mul(HASH_MUL) >> 32) as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s.1 != self.epoch {
+                self.slots[i] = (key, self.epoch, packed);
+                self.live += 1;
+                return None;
+            }
+            if s.0 == key {
+                return Some(s.2);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0, 0); new_len]);
+        let mask = new_len - 1;
+        for &(key, epoch, packed) in &old {
+            if epoch != self.epoch {
+                continue;
+            }
+            let mut i = (key.wrapping_mul(HASH_MUL) >> 32) as usize & mask;
+            while self.slots[i].1 == self.epoch {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (key, self.epoch, packed);
+        }
+    }
+
+    pub(crate) fn footprint(&self) -> usize {
+        self.slots.capacity()
+    }
+}
 
 /// Upper bound on pooled result buffers kept per context (an operation plus
 /// the engine's in-flight results never hold more than a couple at once).
@@ -35,6 +240,10 @@ pub struct ScratchStats {
     pub reuses: u64,
     /// A buffer had to start cold (first use, or capacity lost to a panic).
     pub allocs: u64,
+    /// SoA staging waves gathered from the vertex pool (batched path only).
+    pub soa_gathers: u64,
+    /// Points copied into the SoA staging buffers across all gathers.
+    pub soa_points: u64,
 }
 
 impl ScratchStats {
@@ -60,8 +269,45 @@ pub struct KernelScratch {
     pub(crate) on_boundary: FxHashSet<u32>,
     /// New-cell neighbor table (commit phase).
     pub(crate) neis: Vec<[CellId; 4]>,
-    /// Cavity boundary edge matcher (commit phase).
+    /// Cavity boundary edge matcher (commit phase, scalar path).
     pub(crate) edge_map: FxHashMap<u64, (usize, usize)>,
+
+    // ---- SoA staging (batched path) ----
+    /// Wave candidate cells awaiting a batched insphere verdict, plus their
+    /// vertex quads and neighbor rows snapshotted at lock time.
+    pub(crate) wave_cells: Vec<CellId>,
+    pub(crate) wave_verts: Vec<[VertexId; 4]>,
+    pub(crate) wave_neis: Vec<[CellId; 4]>,
+    /// Boundary faces staged for a batched orient pass:
+    /// (face verts, outside neighbor, owning cavity cell).
+    pub(crate) wave_faces: Vec<([VertexId; 3], CellId, CellId)>,
+    /// Flat SoA lane coordinates (stride 3 for orient waves, 4 for insphere
+    /// waves), gathered once per wave from the vertex pool and handed to the
+    /// wide-lane filters in `pi2m_predicates::batch`.
+    pub(crate) soa_xs: Vec<f64>,
+    pub(crate) soa_ys: Vec<f64>,
+    pub(crate) soa_zs: Vec<f64>,
+    /// Per-lane SoS keys for batched insphere waves.
+    pub(crate) soa_keys: Vec<[u64; 5]>,
+    /// Batched predicate outputs (determinants / SoS signs).
+    pub(crate) soa_dets: Vec<f64>,
+    pub(crate) soa_signs: Vec<i8>,
+    /// Per-cavity-cell snapshots, in lockstep with `cavity` (batched path):
+    /// vertex quads, neighbor rows, and coordinates, captured once under the
+    /// cell's vertex locks and reused by boundary extraction and the orphan
+    /// guard instead of re-walking the cell/vertex pools.
+    pub(crate) cav_verts: Vec<[VertexId; 4]>,
+    pub(crate) cav_neis: Vec<[CellId; 4]>,
+    /// Flat: corner `k` of cavity cell `ci` is `cav_pos[4 * ci + k]`, so
+    /// boundary faces address corners by index (gather-batched orient).
+    pub(crate) cav_pos: Vec<[f64; 3]>,
+    /// Staged corner-index triples for the gather-batched boundary orient
+    /// pass, in lockstep with `wave_faces`.
+    pub(crate) face_idx: Vec<[u32; 3]>,
+    /// Cell → test-record map for the batched BFS (replaces `state`).
+    pub(crate) tests: TestTable,
+    /// Cavity boundary edge pairer (commit phase, batched path).
+    pub(crate) edges: EdgeTable,
 
     // ---- removal ----
     /// Ball cells (escapes into `PreparedRemove`).
@@ -109,11 +355,15 @@ impl KernelScratch {
     /// Reset the insertion-prepare buffers and account for their warmth.
     pub(crate) fn begin_insert(&mut self) {
         self.note(self.cavity.capacity() > 0);
-        self.note(self.state.capacity() > 0);
+        // whichever BFS map the active path uses counts as its warmth
+        self.note(self.state.capacity() > 0 || self.tests.footprint() > 0);
         self.cavity.clear();
         self.bfaces.clear();
         self.state.clear();
         self.forced.clear();
+        self.cav_verts.clear();
+        self.cav_neis.clear();
+        self.cav_pos.clear();
     }
 
     /// Reset the removal-prepare buffers and account for their warmth.
@@ -217,6 +467,22 @@ impl KernelScratch {
             + self.on_boundary.capacity()
             + self.neis.capacity()
             + self.edge_map.capacity()
+            + self.wave_cells.capacity()
+            + self.wave_verts.capacity()
+            + self.wave_neis.capacity()
+            + self.wave_faces.capacity()
+            + self.soa_xs.capacity()
+            + self.soa_ys.capacity()
+            + self.soa_zs.capacity()
+            + self.soa_keys.capacity()
+            + self.soa_dets.capacity()
+            + self.soa_signs.capacity()
+            + self.cav_verts.capacity()
+            + self.cav_neis.capacity()
+            + self.cav_pos.capacity()
+            + self.face_idx.capacity()
+            + self.tests.footprint()
+            + self.edges.footprint()
             + self.ball.capacity()
             + self.link_faces.capacity()
             + self.plans.capacity()

@@ -20,7 +20,8 @@
 mod transform;
 
 pub use transform::{
-    feature_transform, feature_transform_obs, surface_feature_transform,
-    surface_feature_transform_obs, try_feature_transform_obs, try_surface_feature_transform_obs,
-    FeatureTransform, NO_SITE,
+    batch_default, feature_transform, feature_transform_obs, surface_feature_transform,
+    surface_feature_transform_obs, try_feature_transform_obs, try_feature_transform_opts,
+    try_surface_feature_transform_obs, try_surface_feature_transform_opts, FeatureTransform,
+    EDT_BATCH_WIDTH, NO_SITE,
 };

@@ -10,6 +10,16 @@ use std::time::Instant;
 /// Sentinel feature value when the image contains no sites at all.
 pub const NO_SITE: u32 = u32::MAX;
 
+/// Voxels processed per inner step of the batched query sweep (see `dt1d`).
+pub const EDT_BATCH_WIDTH: usize = 8;
+
+/// Runtime default for the batched sweep: enabled unless `PI2M_BATCH=0`.
+/// Mirrors the Delaunay kernel's batch kill switch so one environment
+/// variable flips every batched code path in the pipeline.
+pub fn batch_default() -> bool {
+    std::env::var("PI2M_BATCH").map_or(true, |v| v != "0")
+}
+
 /// The result of a feature transform: for every voxel, the linear index of a
 /// nearest site voxel and the squared world-space distance to it.
 #[derive(Clone, Debug)]
@@ -168,6 +178,15 @@ fn parallel_lines(
 /// `sites[q]` the corresponding feature; positions are at `q * step` in world
 /// units. Writes the updated squared distances/features into `out_f`,
 /// `out_site`.
+///
+/// With `batch` set, the query sweep processes [`EDT_BATCH_WIDTH`] voxels per
+/// inner step: the envelope segment index `k` is monotone in `q` (breakpoints
+/// `z` are sorted), so if the first and last voxel of a block land on the
+/// same parabola, the whole block does — and it is evaluated as one
+/// straight-line loop with a constant parabola, using the *same* expression
+/// as the scalar sweep (bit-identical output). Blocks straddling a
+/// breakpoint fall back to the scalar per-voxel advance.
+#[allow(clippy::too_many_arguments)]
 fn dt1d(
     fvals: &[f64],
     sites: &[u32],
@@ -176,6 +195,7 @@ fn dt1d(
     out_site: &mut [u32],
     v: &mut Vec<usize>,
     z: &mut Vec<f64>,
+    batch: bool,
 ) {
     let n = fvals.len();
     v.clear();
@@ -218,15 +238,54 @@ fn dt1d(
     }
 
     let mut k = 0usize;
-    for q in 0..n {
-        let xq = q as f64 * step;
-        while k + 1 < v.len() && z[k + 1] < xq {
-            k += 1;
+    if batch {
+        let mut q0 = 0usize;
+        while q0 < n {
+            let qe = (q0 + EDT_BATCH_WIDTH).min(n);
+            let x0 = q0 as f64 * step;
+            while k + 1 < v.len() && z[k + 1] < x0 {
+                k += 1;
+            }
+            let xl = (qe - 1) as f64 * step;
+            let mut ke = k;
+            while ke + 1 < v.len() && z[ke + 1] < xl {
+                ke += 1;
+            }
+            if ke == k {
+                // One parabola covers the block: straight-line evaluation.
+                let p = v[k];
+                let xp = p as f64 * step;
+                let (fp, sp) = (fvals[p], sites[p]);
+                for q in q0..qe {
+                    let xq = q as f64 * step;
+                    out_f[q] = (xq - xp) * (xq - xp) + fp;
+                    out_site[q] = sp;
+                }
+            } else {
+                for q in q0..qe {
+                    let xq = q as f64 * step;
+                    while k + 1 < v.len() && z[k + 1] < xq {
+                        k += 1;
+                    }
+                    let p = v[k];
+                    let xp = p as f64 * step;
+                    out_f[q] = (xq - xp) * (xq - xp) + fvals[p];
+                    out_site[q] = sites[p];
+                }
+            }
+            q0 = qe;
         }
-        let p = v[k];
-        let xp = p as f64 * step;
-        out_f[q] = (xq - xp) * (xq - xp) + fvals[p];
-        out_site[q] = sites[p];
+    } else {
+        for q in 0..n {
+            let xq = q as f64 * step;
+            while k + 1 < v.len() && z[k + 1] < xq {
+                k += 1;
+            }
+            let p = v[k];
+            let xp = p as f64 * step;
+            out_f[q] = (xq - xp) * (xq - xp) + fvals[p];
+            out_site[q] = sites[p];
+        }
     }
 }
 
@@ -271,8 +330,34 @@ pub fn try_feature_transform_obs(
     origin: Point3,
     is_site: impl Fn(usize, usize, usize) -> bool + Sync,
     threads: usize,
+    rec: Option<&mut ThreadRecorder>,
+    cancel: Option<&CancelToken>,
+) -> Result<FeatureTransform, Cancelled> {
+    try_feature_transform_opts(
+        dims,
+        spacing,
+        origin,
+        is_site,
+        threads,
+        rec,
+        cancel,
+        batch_default(),
+    )
+}
+
+/// [`try_feature_transform_obs`] with an explicit batched-sweep selector
+/// (the engine threads its `--no-batch` / `PI2M_BATCH=0` kill switch through
+/// here; both settings produce bit-identical output).
+#[allow(clippy::too_many_arguments)]
+pub fn try_feature_transform_opts(
+    dims: [usize; 3],
+    spacing: [f64; 3],
+    origin: Point3,
+    is_site: impl Fn(usize, usize, usize) -> bool + Sync,
+    threads: usize,
     mut rec: Option<&mut ThreadRecorder>,
     cancel: Option<&CancelToken>,
+    batch: bool,
 ) -> Result<FeatureTransform, Cancelled> {
     let [nx, ny, nz] = dims;
     let n = nx * ny * nz;
@@ -309,7 +394,9 @@ pub fn try_feature_transform_obs(
             let mut of = vec![0.0; nx];
             let mut os = vec![0u32; nx];
             let (mut v, mut z) = (Vec::new(), Vec::new());
-            dt1d(&f0, &s0, spacing[0], &mut of, &mut os, &mut v, &mut z);
+            dt1d(
+                &f0, &s0, spacing[0], &mut of, &mut os, &mut v, &mut z, batch,
+            );
             for i in 0..nx {
                 // SAFETY: line (j,k) is processed by exactly one worker.
                 unsafe {
@@ -344,7 +431,9 @@ pub fn try_feature_transform_obs(
             let mut of = vec![0.0; ny];
             let mut os = vec![0u32; ny];
             let (mut v, mut z) = (Vec::new(), Vec::new());
-            dt1d(&f0, &s0, spacing[1], &mut of, &mut os, &mut v, &mut z);
+            dt1d(
+                &f0, &s0, spacing[1], &mut of, &mut os, &mut v, &mut z, batch,
+            );
             for j in 0..ny {
                 // SAFETY: line (i,k) is processed by exactly one worker.
                 unsafe {
@@ -379,7 +468,9 @@ pub fn try_feature_transform_obs(
             let mut of = vec![0.0; nz];
             let mut os = vec![0u32; nz];
             let (mut v, mut z) = (Vec::new(), Vec::new());
-            dt1d(&f0, &s0, spacing[2], &mut of, &mut os, &mut v, &mut z);
+            dt1d(
+                &f0, &s0, spacing[2], &mut of, &mut os, &mut v, &mut z, batch,
+            );
             for k in 0..nz {
                 // SAFETY: line (i,j) is processed by exactly one worker.
                 unsafe {
@@ -436,7 +527,19 @@ pub fn try_surface_feature_transform_obs(
     rec: Option<&mut ThreadRecorder>,
     cancel: Option<&CancelToken>,
 ) -> Result<FeatureTransform, Cancelled> {
-    try_feature_transform_obs(
+    try_surface_feature_transform_opts(img, threads, rec, cancel, batch_default())
+}
+
+/// [`try_surface_feature_transform_obs`] with an explicit batched-sweep
+/// selector (see [`try_feature_transform_opts`]).
+pub fn try_surface_feature_transform_opts(
+    img: &LabeledImage,
+    threads: usize,
+    rec: Option<&mut ThreadRecorder>,
+    cancel: Option<&CancelToken>,
+    batch: bool,
+) -> Result<FeatureTransform, Cancelled> {
+    try_feature_transform_opts(
         img.dims(),
         img.spacing(),
         img.origin(),
@@ -444,6 +547,7 @@ pub fn try_surface_feature_transform_obs(
         threads,
         rec,
         cancel,
+        batch,
     )
 }
 
@@ -564,6 +668,32 @@ mod tests {
             .unwrap();
         // nearest surface point from the -x direction is on the -x side
         assert!(q.x < 8.0);
+    }
+
+    #[test]
+    fn batched_sweep_is_bitwise_scalar() {
+        // Batched vs scalar query sweep must agree to the bit on every voxel,
+        // including anisotropic spacing and dense breakpoint envelopes.
+        for (img, threads) in [
+            (phantoms::nested_spheres(21, 1.0), 1),
+            (phantoms::sphere(17, 0.7), 3),
+        ] {
+            let on = try_surface_feature_transform_opts(&img, threads, None, None, true).unwrap();
+            let off = try_surface_feature_transform_opts(&img, threads, None, None, false).unwrap();
+            let [nx, ny, nz] = img.dims();
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        assert_eq!(
+                            on.dist2(i, j, k).to_bits(),
+                            off.dist2(i, j, k).to_bits(),
+                            "voxel ({i},{j},{k})"
+                        );
+                        assert_eq!(on.nearest_site(i, j, k), off.nearest_site(i, j, k));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

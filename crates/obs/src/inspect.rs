@@ -93,6 +93,67 @@ pub struct ShardInfo {
     pub chunks: Option<Vec<(u64, f64)>>,
 }
 
+/// Batched-kernel counters of a schema v5+ run report (the `pred_batch_*`
+/// and `scratch_soa_*` entries of the counter catalog). Kept as raw counts;
+/// the derived rates live in the methods so the renderer and any future
+/// consumer agree on the arithmetic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchKernelInfo {
+    /// Wide-lane orient3d waves evaluated by the batched filter.
+    pub orient_batches: u64,
+    /// orient3d lanes evaluated through those waves.
+    pub orient_lanes: u64,
+    /// orient3d lanes that fell back to the scalar cascade.
+    pub orient_fallbacks: u64,
+    /// Wide-lane insphere waves evaluated by the batched filter.
+    pub insphere_batches: u64,
+    /// insphere lanes evaluated through those waves.
+    pub insphere_lanes: u64,
+    /// insphere lanes that fell back to the scalar cascade.
+    pub insphere_fallbacks: u64,
+    /// SoA staging waves gathered from the vertex pool.
+    pub soa_gathers: u64,
+    /// Points copied into SoA staging buffers across all gathers.
+    pub soa_points: u64,
+}
+
+impl BatchKernelInfo {
+    /// Did the run drive any batched waves at all? False means the scalar
+    /// path ran (`--no-batch` / `PI2M_BATCH=0`, or a non-batched workload).
+    pub fn any(&self) -> bool {
+        self.orient_batches + self.insphere_batches + self.soa_gathers > 0
+    }
+
+    /// Mean occupied lanes per wave across both predicates.
+    pub fn lanes_per_wave(&self) -> f64 {
+        let waves = self.orient_batches + self.insphere_batches;
+        if waves == 0 {
+            0.0
+        } else {
+            (self.orient_lanes + self.insphere_lanes) as f64 / waves as f64
+        }
+    }
+
+    /// Fraction of batched lanes that fell back to the scalar cascade.
+    pub fn fallback_rate(&self) -> f64 {
+        let lanes = self.orient_lanes + self.insphere_lanes;
+        if lanes == 0 {
+            0.0
+        } else {
+            (self.orient_fallbacks + self.insphere_fallbacks) as f64 / lanes as f64
+        }
+    }
+
+    /// Mean points gathered per SoA staging wave.
+    pub fn points_per_gather(&self) -> f64 {
+        if self.soa_gathers == 0 {
+            0.0
+        } else {
+            self.soa_points as f64 / self.soa_gathers as f64
+        }
+    }
+}
+
 /// The loaded, shape-normalized view of one artifact: the fields the
 /// renderer and differ need, regardless of which artifact kind carried them.
 #[derive(Clone, Debug)]
@@ -119,6 +180,10 @@ pub struct Artifact {
     pub attribution: Option<TimeAttribution>,
     /// The sharded-run section (schema v4), when the artifact carries one.
     pub shard: Option<ShardInfo>,
+    /// Batched-kernel counters (schema v5). `None` for pre-v5 reports,
+    /// which predate the counters entirely — distinct from a v5 report
+    /// where the batched path was disabled (`Some` with zero counts).
+    pub batch: Option<BatchKernelInfo>,
     /// The per-job lifecycle view, when the artifact is a job trace.
     pub trace: Option<TraceInfo>,
 }
@@ -242,6 +307,7 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
             hot_regions: Vec::new(),
             attribution: None,
             shard: None,
+            batch: None,
             trace: Some(trace),
         });
     }
@@ -252,6 +318,24 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
             .get("time_attribution")
             .or_else(|| c.and_then(|c| c.get("time_attribution")))
             .and_then(TimeAttribution::from_json);
+        // the batched-kernel counters joined the catalog in schema v5;
+        // earlier reports cannot distinguish "batch off" from "not
+        // measured", so they get `None` and render as "not recorded"
+        let batch = if get_u64(&j, "schema_version") >= 5 {
+            let cnt = |name: &str| j.get("counters").map(|c| get_u64(c, name)).unwrap_or(0);
+            Some(BatchKernelInfo {
+                orient_batches: cnt("pred_batch_orient_batches"),
+                orient_lanes: cnt("pred_batch_orient_lanes"),
+                orient_fallbacks: cnt("pred_batch_orient_fallbacks"),
+                insphere_batches: cnt("pred_batch_insphere_batches"),
+                insphere_lanes: cnt("pred_batch_insphere_lanes"),
+                insphere_fallbacks: cnt("pred_batch_insphere_fallbacks"),
+                soa_gathers: cnt("scratch_soa_gathers"),
+                soa_points: cnt("scratch_soa_points"),
+            })
+        } else {
+            None
+        };
         Ok(Artifact {
             kind: ArtifactKind::RunReport,
             schema_version: Some(get_u64(&j, "schema_version")),
@@ -281,6 +365,7 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
             hot_vertices: hot_pairs(c.and_then(|c| c.get("hot_vertices")), "vertex"),
             hot_regions: hot_pairs(c.and_then(|c| c.get("hot_regions")), "region"),
             attribution,
+            batch,
             shard: j.get("shard").map(|s| ShardInfo {
                 grid: s
                     .get("grid")
@@ -327,6 +412,7 @@ pub fn load_artifact(text: &str) -> Result<Artifact, String> {
                 .get("time_attribution")
                 .and_then(TimeAttribution::from_json),
             shard: None,
+            batch: None,
             trace: None,
         })
     } else {
@@ -518,6 +604,39 @@ pub fn render_summary(art: &Artifact) -> String {
                 let _ = writeln!(
                     out,
                     "chunks  : not recorded (run cancelled before chunk accounting)"
+                );
+            }
+        }
+    }
+    if art.kind == ArtifactKind::RunReport {
+        match &art.batch {
+            None => {
+                let _ = writeln!(out, "batched : not recorded (pre-v5 artifact)");
+            }
+            Some(b) if !b.any() => {
+                let _ = writeln!(
+                    out,
+                    "batched : no batched waves (scalar path: --no-batch or PI2M_BATCH=0)"
+                );
+            }
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "batched : orient {} waves / {} lanes, insphere {} waves / {} lanes \
+                     ({:.1} lanes/wave, {:.2}% scalar fallback)",
+                    b.orient_batches,
+                    b.orient_lanes,
+                    b.insphere_batches,
+                    b.insphere_lanes,
+                    b.lanes_per_wave(),
+                    b.fallback_rate() * 100.0
+                );
+                let _ = writeln!(
+                    out,
+                    "soa     : {} staging gathers, {} points ({:.1} points/gather)",
+                    b.soa_gathers,
+                    b.soa_points,
+                    b.points_per_gather()
                 );
             }
         }
@@ -876,6 +995,53 @@ mod tests {
         assert!(s.contains("attempts: none recorded"), "{s}");
         assert!(s.contains("stages  : not recorded"), "{s}");
         assert!(s.contains("terminal: not recorded"), "{s}");
+    }
+
+    #[test]
+    fn batch_counters_load_and_render() {
+        let text = r#"{
+            "schema_version": 5, "tool": "pi2m", "threads": 1, "wall_s": 0.5,
+            "counters": {
+                "pred_batch_orient_batches": 100, "pred_batch_orient_lanes": 900,
+                "pred_batch_orient_fallbacks": 9,
+                "pred_batch_insphere_batches": 100, "pred_batch_insphere_lanes": 700,
+                "pred_batch_insphere_fallbacks": 7,
+                "scratch_soa_gathers": 200, "scratch_soa_points": 2400
+            }
+        }"#;
+        let art = load_artifact(text).unwrap();
+        let b = art.batch.as_ref().expect("batch info");
+        assert_eq!(b.orient_lanes, 900);
+        assert!((b.lanes_per_wave() - 8.0).abs() < 1e-9);
+        assert!((b.fallback_rate() - 0.01).abs() < 1e-9);
+        assert!((b.points_per_gather() - 12.0).abs() < 1e-9);
+        let s = render_summary(&art);
+        assert!(s.contains("batched : orient 100 waves / 900 lanes"), "{s}");
+        assert!(s.contains("8.0 lanes/wave, 1.00% scalar fallback"), "{s}");
+        assert!(s.contains("soa     : 200 staging gathers"), "{s}");
+    }
+
+    #[test]
+    fn scalar_run_renders_batch_disabled_not_missing() {
+        // a v5 report with no batched counters ran the scalar path: that is
+        // a measured zero, not a missing measurement
+        let text = r#"{"schema_version": 5, "tool": "pi2m", "threads": 1, "wall_s": 0.5}"#;
+        let art = load_artifact(text).unwrap();
+        assert!(art.batch.is_some());
+        let s = render_summary(&art);
+        assert!(s.contains("batched : no batched waves"), "{s}");
+    }
+
+    #[test]
+    fn pre_v5_report_degrades_batch_to_not_recorded() {
+        let text = r#"{"schema_version": 4, "tool": "pi2m", "threads": 1, "wall_s": 0.5}"#;
+        let art = load_artifact(text).unwrap();
+        assert!(art.batch.is_none());
+        let s = render_summary(&art);
+        assert!(
+            s.contains("batched : not recorded (pre-v5 artifact)"),
+            "{s}"
+        );
     }
 
     #[test]

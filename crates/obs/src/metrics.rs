@@ -132,6 +132,16 @@ counters! {
     SHARD_SEED_VERTICES  = ("shard_seed_vertices", "vertices", "Chunk vertices carried into the stitch triangulation"),
     SHARD_SEED_DUPLICATES = ("shard_seed_duplicates", "vertices", "Duplicate or out-of-box chunk vertices dropped at the stitch seed"),
     SHARD_STITCH_INSERTIONS = ("shard_stitch_insertions", "ops", "Refinement insertions committed by the seam-stitch pass"),
+    // batched SoA kernel path (wide-lane predicate filters + SoA staging;
+    // appended at the end — the catalog is positional)
+    PRED_BATCH_ORIENT_BATCHES   = ("pred_batch_orient_batches", "waves", "Batched orient3d waves evaluated by the wide-lane filter"),
+    PRED_BATCH_ORIENT_LANES     = ("pred_batch_orient_lanes", "ops", "orient3d lanes evaluated through the batched filter"),
+    PRED_BATCH_ORIENT_FALLBACKS = ("pred_batch_orient_fallbacks", "ops", "Batched orient3d lanes that fell back to the scalar cascade"),
+    PRED_BATCH_INSPHERE_BATCHES   = ("pred_batch_insphere_batches", "waves", "Batched insphere waves evaluated by the wide-lane filter"),
+    PRED_BATCH_INSPHERE_LANES     = ("pred_batch_insphere_lanes", "ops", "insphere lanes evaluated through the batched filter"),
+    PRED_BATCH_INSPHERE_FALLBACKS = ("pred_batch_insphere_fallbacks", "ops", "Batched insphere lanes that fell back to the scalar cascade"),
+    SCRATCH_SOA_GATHERS  = ("scratch_soa_gathers", "waves", "SoA staging waves gathered from the vertex pool"),
+    SCRATCH_SOA_POINTS   = ("scratch_soa_points", "points", "Points copied into SoA staging buffers across all gathers"),
 }
 
 histograms! {

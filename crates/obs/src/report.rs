@@ -146,8 +146,11 @@ impl RunReport {
     /// optional top-level `time_attribution` section and embeds the same
     /// decomposition inside `contention` (all v2 fields unchanged); v4 adds
     /// the optional `shard` section for sharded runs (all v3 fields
+    /// unchanged); v5 adds the batched-kernel counters (`pred_batch_*`,
+    /// `scratch_soa_*`) to the counter catalog — absent from pre-v5
+    /// reports, so consumers degrade to "not recorded" (all v4 fields
     /// unchanged).
-    pub const SCHEMA_VERSION: u32 = 4;
+    pub const SCHEMA_VERSION: u32 = 5;
 
     pub fn new(tool: &str) -> Self {
         RunReport {
@@ -386,7 +389,7 @@ mod tests {
         assert_eq!(r.elements_per_second(), 500.0);
         // optional sections absent while their producers are off: the
         // flight-derived pair (v2/v3) and the sharded-run section (v4)
-        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(4.0));
+        assert_eq!(j.get("schema_version").unwrap().as_f64(), Some(5.0));
         assert!(j.get("contention").is_none());
         assert!(j.get("time_attribution").is_none());
         assert!(j.get("shard").is_none());

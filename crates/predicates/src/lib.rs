@@ -22,12 +22,17 @@
 //! re-triangulations by inserting vertices in global timestamp order (paper
 //! §4.2).
 
+pub mod batch;
 pub mod expansion;
 pub mod insphere;
 pub mod orient;
 pub mod primitives;
 pub mod staged;
 
+pub use batch::{
+    insphere_sos_batch, orient3d_batch, orient3d_batch4, orient3d_batch_gather, BatchStats,
+    BATCH_LANES,
+};
 pub use expansion::Expansion;
 pub use insphere::{insphere, insphere_exact, insphere_fast, insphere_sign, insphere_sos};
 pub use orient::{orient3d, orient3d_exact, orient3d_fast, orient3d_sign, P3};

@@ -19,8 +19,9 @@
 #![allow(clippy::needless_range_loop)]
 
 use pi2m_predicates::{
-    insphere_sign, insphere_sign_staged, insphere_sos, insphere_sos_staged, orient3d_sign,
-    orient3d_sign_staged, FilterStats, SemiStaticBounds,
+    insphere_sign, insphere_sign_staged, insphere_sos, insphere_sos_batch, insphere_sos_staged,
+    orient3d_batch, orient3d_sign, orient3d_sign_staged, orient3d_staged, BatchStats, FilterStats,
+    SemiStaticBounds, BATCH_LANES,
 };
 
 const N_COPLANAR_ORIENT: usize = 30_000;
@@ -30,6 +31,9 @@ const N_COSPHERICAL_INSPHERE: usize = 25_000;
 const N_ULP_INSPHERE: usize = 15_000;
 const N_TRANSLATED_INSPHERE: usize = 10_000;
 const N_SOS: usize = 5_000;
+/// Batched-filter waves (each [`BATCH_LANES`] wide) per batched family.
+const N_BATCH_ORIENT_WAVES: usize = 2_500;
+const N_BATCH_INSPHERE_WAVES: usize = 2_500;
 
 #[test]
 fn suite_covers_at_least_100k_cases() {
@@ -41,6 +45,11 @@ fn suite_covers_at_least_100k_cases() {
         + N_TRANSLATED_INSPHERE
         + N_SOS;
     assert!(total >= 100_000, "suite shrank below 100k cases: {total}");
+    // the batched families re-run the same adversarial distributions through
+    // the wide-lane filters: per predicate, a degenerate and a
+    // ulp/translated distribution, each N waves of BATCH_LANES lanes
+    let batched = (N_BATCH_ORIENT_WAVES + N_BATCH_INSPHERE_WAVES) * 2 * BATCH_LANES;
+    assert!(batched >= 40_000, "batched coverage shrank: {batched}");
 }
 
 /// Deterministic xorshift stream (the suite must be reproducible; a seed is
@@ -370,4 +379,330 @@ fn sos_staged_matches_sos_exact_on_ties() {
         broken > N_SOS / 2,
         "SoS broke only {broken} of {N_SOS} ties"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Batched-filter agreement: the same adversarial distributions, staged as
+// SoA waves through the wide-lane filters. Every lane must return the
+// bit-identical determinant (orient) / identical sign (insphere) as the
+// scalar staged cascade, the sign must match the exact predicate, and the
+// shared FilterStats must advance exactly as an all-scalar run would —
+// that is the whole "batching changes the schedule, never the answer"
+// contract the kernel relies on for byte-identical meshes.
+// ---------------------------------------------------------------------------
+
+fn sign_of(d: f64) -> i8 {
+    if d > 0.0 {
+        1
+    } else if d < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+#[test]
+fn batched_orient_agrees_on_coplanar_lattice_waves() {
+    let mut r = Rng(0x5eed_1001);
+    let (mut st_b, mut st_s) = (FilterStats::default(), FilterStats::default());
+    let mut bt = BatchStats::default();
+    let mut zeros = 0usize;
+    let (mut xs, mut ys, mut zs) = (Vec::new(), Vec::new(), Vec::new());
+    let mut dets = Vec::new();
+    for wave in 0..N_BATCH_ORIENT_WAVES {
+        // one shared query point per wave, as in a cavity boundary round
+        let pd = [
+            r.int(-1000, 1000) as f64,
+            r.int(-1000, 1000) as f64,
+            r.int(-1000, 1000) as f64,
+        ];
+        xs.clear();
+        ys.clear();
+        zs.clear();
+        let mut pts: Vec<[f64; 3]> = vec![pd];
+        for lane in 0..BATCH_LANES {
+            let mut tri = [[0.0f64; 3]; 3];
+            for k in 0..3 {
+                tri[0][k] = r.int(-1000, 1000) as f64;
+                tri[1][k] = r.int(-1000, 1000) as f64;
+            }
+            // c = d + s(a-d) + t(b-d) with integer s,t: the lane's triangle
+            // is exactly coplanar with the shared query point
+            let (s, t) = (r.int(-3, 3), r.int(-3, 3));
+            for k in 0..3 {
+                tri[2][k] = pd[k] + s as f64 * (tri[0][k] - pd[k]) + t as f64 * (tri[1][k] - pd[k]);
+            }
+            if lane % 2 == 1 {
+                let k = r.below(3) as usize;
+                tri[2][k] += r.int(-1, 1) as f64;
+            }
+            for p in tri {
+                xs.push(p[0]);
+                ys.push(p[1]);
+                zs.push(p[2]);
+                pts.push(p);
+            }
+        }
+        let b = bounds_for(&pts);
+        orient3d_batch(&b, &mut st_b, &mut bt, &xs, &ys, &zs, &pd, &mut dets);
+        assert_eq!(dets.len(), BATCH_LANES);
+        for l in 0..BATCH_LANES {
+            let pa = [xs[3 * l], ys[3 * l], zs[3 * l]];
+            let pb = [xs[3 * l + 1], ys[3 * l + 1], zs[3 * l + 1]];
+            let pc = [xs[3 * l + 2], ys[3 * l + 2], zs[3 * l + 2]];
+            let scalar = orient3d_staged(&b, &mut st_s, &pa, &pb, &pc, &pd);
+            assert_eq!(
+                dets[l].to_bits(),
+                scalar.to_bits(),
+                "wave {wave} lane {l}: batched det diverged from scalar staged"
+            );
+            let exact = orient3d_sign(&pa, &pb, &pc, &pd);
+            assert_eq!(sign_of(dets[l]), exact, "wave {wave} lane {l}");
+            if exact == 0 {
+                zeros += 1;
+            }
+        }
+    }
+    assert_eq!(st_b, st_s, "filter counters must be mode-independent");
+    assert_eq!(bt.orient_lanes, (N_BATCH_ORIENT_WAVES * BATCH_LANES) as u64);
+    assert!(zeros > N_BATCH_ORIENT_WAVES, "generator lost degeneracy");
+    // every true zero must have fallen out of the batch pass into the
+    // scalar cascade — a magnitude filter cannot certify a zero
+    assert!(bt.orient_fallbacks >= zeros as u64);
+    assert!((bt.occupancy() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn batched_orient_agrees_on_translated_ulp_waves() {
+    let mut r = Rng(0x5eed_1002);
+    let (mut st_b, mut st_s) = (FilterStats::default(), FilterStats::default());
+    let mut bt = BatchStats::default();
+    let (mut xs, mut ys, mut zs) = (Vec::new(), Vec::new(), Vec::new());
+    let mut dets = Vec::new();
+    for wave in 0..N_BATCH_ORIENT_WAVES {
+        let shift = [
+            1e6 * (1.0 + r.f01()),
+            1e6 * (1.0 + r.f01()),
+            1e6 * (1.0 + r.f01()),
+        ];
+        let pd = [r.f01() + shift[0], r.f01() + shift[1], r.f01() + shift[2]];
+        xs.clear();
+        ys.clear();
+        zs.clear();
+        let mut pts: Vec<[f64; 3]> = vec![pd];
+        for lane in 0..BATCH_LANES {
+            let mut tri = [[0.0f64; 3]; 3];
+            for k in 0..3 {
+                tri[0][k] = r.f01() + shift[k];
+                tri[1][k] = r.f01() + shift[k];
+            }
+            // near-coplanar with the shared query point in the translated
+            // frame (rounded affine combination), then ulp noise on odd lanes
+            let (s, t) = (
+                (r.below(17) as f64 - 8.0) / 8.0,
+                (r.below(17) as f64 - 8.0) / 8.0,
+            );
+            for k in 0..3 {
+                tri[2][k] = pd[k] + s * (tri[0][k] - pd[k]) + t * (tri[1][k] - pd[k]);
+            }
+            if lane % 2 == 1 {
+                for p in &mut tri {
+                    for k in 0..3 {
+                        p[k] = ulp_nudge(p[k], &mut r);
+                    }
+                }
+            }
+            for p in tri {
+                xs.push(p[0]);
+                ys.push(p[1]);
+                zs.push(p[2]);
+                pts.push(p);
+            }
+        }
+        let b = bounds_for(&pts);
+        orient3d_batch(&b, &mut st_b, &mut bt, &xs, &ys, &zs, &pd, &mut dets);
+        for l in 0..BATCH_LANES {
+            let pa = [xs[3 * l], ys[3 * l], zs[3 * l]];
+            let pb = [xs[3 * l + 1], ys[3 * l + 1], zs[3 * l + 1]];
+            let pc = [xs[3 * l + 2], ys[3 * l + 2], zs[3 * l + 2]];
+            let scalar = orient3d_staged(&b, &mut st_s, &pa, &pb, &pc, &pd);
+            assert_eq!(dets[l].to_bits(), scalar.to_bits(), "wave {wave} lane {l}");
+            assert_eq!(
+                sign_of(dets[l]),
+                orient3d_sign(&pa, &pb, &pc, &pd),
+                "wave {wave} lane {l}"
+            );
+        }
+    }
+    assert_eq!(st_b, st_s, "filter counters must be mode-independent");
+    // ulp-scale determinants under a 1e6 translate sit far below the
+    // (magnitude-scaled) bound: both outcomes must be represented
+    assert!(bt.orient_fallbacks > 0);
+    assert!(st_b.orient_semi_static > 0);
+}
+
+#[test]
+fn batched_insphere_agrees_on_cospherical_orbit_waves() {
+    let mut r = Rng(0x5eed_1003);
+    let (mut st_b, mut st_s) = (FilterStats::default(), FilterStats::default());
+    let mut bt = BatchStats::default();
+    let mut zeros = 0usize;
+    let (mut xs, mut ys, mut zs) = (Vec::new(), Vec::new(), Vec::new());
+    let mut keys: Vec<[u64; 5]> = Vec::new();
+    let mut signs = Vec::new();
+    for wave in 0..N_BATCH_INSPHERE_WAVES {
+        let a = r.int(1, 30);
+        let b = a + r.int(1, 30);
+        let c = b + r.int(1, 30);
+        let orb = orbit(a, b, c);
+        let off = [
+            r.int(-100, 100) as f64,
+            r.int(-100, 100) as f64,
+            r.int(-100, 100) as f64,
+        ];
+        // the shared query point is itself an orbit point: every lane's
+        // tetrahedron is exactly cospherical with it
+        let pe_j = r.below(48) as usize;
+        let pe = [
+            orb[pe_j][0] + off[0],
+            orb[pe_j][1] + off[1],
+            orb[pe_j][2] + off[2],
+        ];
+        let pe_key = r.next();
+        xs.clear();
+        ys.clear();
+        zs.clear();
+        keys.clear();
+        let mut pts: Vec<[f64; 3]> = vec![pe];
+        for lane in 0..BATCH_LANES {
+            let mut used = [pe_j, usize::MAX, usize::MAX, usize::MAX, usize::MAX];
+            let mut lane_keys = [0u64; 5];
+            for i in 0..4 {
+                let mut j = r.below(48) as usize;
+                while used.contains(&j) {
+                    j = r.below(48) as usize;
+                }
+                used[i + 1] = j;
+                let mut p = [orb[j][0] + off[0], orb[j][1] + off[1], orb[j][2] + off[2]];
+                if lane % 2 == 1 && i == 3 {
+                    let k = r.below(3) as usize;
+                    p[k] += r.int(-1, 1) as f64;
+                }
+                xs.push(p[0]);
+                ys.push(p[1]);
+                zs.push(p[2]);
+                pts.push(p);
+                lane_keys[i] = r.next();
+            }
+            lane_keys[4] = pe_key;
+            keys.push(lane_keys);
+        }
+        let bb = bounds_for(&pts);
+        insphere_sos_batch(
+            &bb, &mut st_b, &mut bt, &xs, &ys, &zs, &pe, &keys, &mut signs,
+        );
+        assert_eq!(signs.len(), BATCH_LANES);
+        for l in 0..BATCH_LANES {
+            let pa = [xs[4 * l], ys[4 * l], zs[4 * l]];
+            let pb = [xs[4 * l + 1], ys[4 * l + 1], zs[4 * l + 1]];
+            let pc = [xs[4 * l + 2], ys[4 * l + 2], zs[4 * l + 2]];
+            let pd = [xs[4 * l + 3], ys[4 * l + 3], zs[4 * l + 3]];
+            let scalar = insphere_sos_staged(&bb, &mut st_s, &pa, &pb, &pc, &pd, &pe, keys[l]);
+            assert_eq!(signs[l], scalar, "wave {wave} lane {l}");
+            let exact = insphere_sos(&pa, &pb, &pc, &pd, &pe, keys[l]);
+            assert_eq!(signs[l], exact, "wave {wave} lane {l}");
+            // where the unperturbed determinant itself is nonzero, the SoS
+            // sign is the plain sign — check it against the exact predicate
+            let plain = insphere_sign(&pa, &pb, &pc, &pd, &pe);
+            if plain == 0 {
+                zeros += 1;
+            } else {
+                assert_eq!(signs[l], plain, "wave {wave} lane {l}");
+            }
+        }
+    }
+    assert_eq!(st_b, st_s, "filter counters must be mode-independent");
+    assert_eq!(
+        bt.insphere_lanes,
+        (N_BATCH_INSPHERE_WAVES * BATCH_LANES) as u64
+    );
+    assert!(zeros > N_BATCH_INSPHERE_WAVES, "generator lost degeneracy");
+    assert!(bt.insphere_fallbacks >= zeros as u64);
+}
+
+#[test]
+fn batched_insphere_agrees_on_ulp_sphere_waves() {
+    let mut r = Rng(0x5eed_1004);
+    let (mut st_b, mut st_s) = (FilterStats::default(), FilterStats::default());
+    let mut bt = BatchStats::default();
+    let (mut xs, mut ys, mut zs) = (Vec::new(), Vec::new(), Vec::new());
+    let mut keys: Vec<[u64; 5]> = Vec::new();
+    let mut signs = Vec::new();
+    for wave in 0..N_BATCH_INSPHERE_WAVES {
+        // all lanes on (approximately) one common sphere, half the waves
+        // pushed out to large coordinates
+        let shift = if wave % 2 == 1 {
+            [
+                1e6 * (1.0 + r.f01()),
+                1e6 * (1.0 + r.f01()),
+                1e6 * (1.0 + r.f01()),
+            ]
+        } else {
+            [0.0; 3]
+        };
+        let center = [r.f01() + shift[0], r.f01() + shift[1], r.f01() + shift[2]];
+        let radius = 0.25 + 0.5 * r.f01();
+        let on_sphere = |r: &mut Rng| {
+            let (u, v) = (r.f01() * std::f64::consts::TAU, 2.0 * r.f01() - 1.0);
+            let s = (1.0 - v * v).max(0.0).sqrt();
+            let dir = [s * u.cos(), s * u.sin(), v];
+            let mut p = [0.0f64; 3];
+            for k in 0..3 {
+                p[k] = ulp_nudge(center[k] + radius * dir[k], r);
+            }
+            p
+        };
+        let pe = on_sphere(&mut r);
+        let pe_key = r.next();
+        xs.clear();
+        ys.clear();
+        zs.clear();
+        keys.clear();
+        let mut pts: Vec<[f64; 3]> = vec![pe];
+        for _ in 0..BATCH_LANES {
+            let mut lane_keys = [0u64; 5];
+            for i in 0..4 {
+                let p = on_sphere(&mut r);
+                xs.push(p[0]);
+                ys.push(p[1]);
+                zs.push(p[2]);
+                pts.push(p);
+                lane_keys[i] = r.next();
+            }
+            lane_keys[4] = pe_key;
+            keys.push(lane_keys);
+        }
+        let bb = bounds_for(&pts);
+        insphere_sos_batch(
+            &bb, &mut st_b, &mut bt, &xs, &ys, &zs, &pe, &keys, &mut signs,
+        );
+        for l in 0..BATCH_LANES {
+            let pa = [xs[4 * l], ys[4 * l], zs[4 * l]];
+            let pb = [xs[4 * l + 1], ys[4 * l + 1], zs[4 * l + 1]];
+            let pc = [xs[4 * l + 2], ys[4 * l + 2], zs[4 * l + 2]];
+            let pd = [xs[4 * l + 3], ys[4 * l + 3], zs[4 * l + 3]];
+            let scalar = insphere_sos_staged(&bb, &mut st_s, &pa, &pb, &pc, &pd, &pe, keys[l]);
+            assert_eq!(signs[l], scalar, "wave {wave} lane {l}");
+            assert_eq!(
+                signs[l],
+                insphere_sos(&pa, &pb, &pc, &pd, &pe, keys[l]),
+                "wave {wave} lane {l}"
+            );
+        }
+    }
+    assert_eq!(st_b, st_s, "filter counters must be mode-independent");
+    // near-cospherical lanes defer, generic lanes certify: both paths of
+    // the batched classifier must be exercised by this family
+    assert!(bt.insphere_fallbacks > 0);
+    assert!(st_b.insphere_semi_static > 0);
 }

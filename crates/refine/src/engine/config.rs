@@ -51,6 +51,12 @@ pub struct MesherConfig {
     /// Always-on concurrency flight recorder (per-worker SPSC event rings).
     /// Can also be killed at runtime with `PI2M_FLIGHT=0`.
     pub flight: bool,
+    /// Batched SoA kernel path: wide-lane predicate filters, SoA cavity
+    /// staging, and the batched EDT row sweep. Result-identical to the scalar
+    /// path (bit-for-bit at one thread); exists as a performance mode with a
+    /// kill switch. Can also be killed at runtime with `PI2M_BATCH=0`
+    /// (mirroring `--no-batch`).
+    pub batch: bool,
     /// Per-worker ring capacity in events (rounded up to a power of two).
     pub flight_capacity: usize,
     /// Live telemetry tap: emit one JSONL heartbeat line to stderr every
@@ -60,6 +66,14 @@ pub struct MesherConfig {
     /// additionally consults the `shard.stitch` fault site. Set by the shard
     /// orchestrator only.
     pub shard_stitch: bool,
+}
+
+impl MesherConfig {
+    /// Effective batched-path switch: the config flag gated by the
+    /// `PI2M_BATCH=0` runtime kill switch (same pattern as `PI2M_FLIGHT`).
+    pub fn batch_runtime_enabled(&self) -> bool {
+        self.batch && std::env::var("PI2M_BATCH").map_or(true, |v| v != "0")
+    }
 }
 
 impl Default for MesherConfig {
@@ -80,6 +94,7 @@ impl Default for MesherConfig {
             max_operations: 0,
             faults: None,
             flight: true,
+            batch: true,
             flight_capacity: DEFAULT_RING_CAPACITY,
             live: None,
             shard_stitch: false,

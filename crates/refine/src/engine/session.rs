@@ -27,7 +27,6 @@ use crate::sync::EngineSync;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use pi2m_delaunay::{CellId, SharedMesh, VertexKind};
-use pi2m_edt::try_surface_feature_transform_obs;
 use pi2m_image::LabeledImage;
 use pi2m_obs::metrics::{self, MetricsSnapshot, ThreadRecorder};
 use pi2m_obs::{CancelToken, Phases};
@@ -210,8 +209,14 @@ pub(crate) fn run_pipeline(
     let t_edt = Instant::now();
     let ft = {
         let _g = phases.span(Stage::Edt.phase_name());
-        try_surface_feature_transform_obs(&img, cfg.threads, Some(&mut pipeline_rec), Some(&cancel))
-            .map_err(|_| RefineError::Cancelled)?
+        pi2m_edt::try_surface_feature_transform_opts(
+            &img,
+            cfg.threads,
+            Some(&mut pipeline_rec),
+            Some(&cancel),
+            cfg.batch_runtime_enabled(),
+        )
+        .map_err(|_| RefineError::Cancelled)?
     };
     let edt_time = t_edt.elapsed().as_secs_f64();
     reporter.finished(Stage::Edt, t0.elapsed().as_secs_f64());

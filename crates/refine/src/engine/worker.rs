@@ -116,6 +116,7 @@ pub(crate) fn worker(
     if let Some(rec) = env.sync.flight() {
         ctx.set_flight(rec.handle(tid));
     }
+    ctx.set_batch(env.cfg.batch_runtime_enabled());
     let t_spawn = env.sync.now();
 
     loop {
@@ -222,10 +223,28 @@ pub(crate) fn worker(
             rec.inc(metrics::PRED_INSPHERE_FILTERED, ps.insphere_filtered);
             rec.inc(metrics::PRED_INSPHERE_EXACT, ps.insphere_exact);
         }
+        let bs = ctx.take_batch_stats();
+        if bs.orient_batches > 0 {
+            rec.inc(metrics::PRED_BATCH_ORIENT_BATCHES, bs.orient_batches);
+            rec.inc(metrics::PRED_BATCH_ORIENT_LANES, bs.orient_lanes);
+            rec.inc(metrics::PRED_BATCH_ORIENT_FALLBACKS, bs.orient_fallbacks);
+        }
+        if bs.insphere_batches > 0 {
+            rec.inc(metrics::PRED_BATCH_INSPHERE_BATCHES, bs.insphere_batches);
+            rec.inc(metrics::PRED_BATCH_INSPHERE_LANES, bs.insphere_lanes);
+            rec.inc(
+                metrics::PRED_BATCH_INSPHERE_FALLBACKS,
+                bs.insphere_fallbacks,
+            );
+        }
         let ss = ctx.take_scratch_stats();
         if ss.reuses + ss.allocs > 0 {
             rec.inc(metrics::SCRATCH_REUSES, ss.reuses);
             rec.inc(metrics::SCRATCH_ALLOCS, ss.allocs);
+        }
+        if ss.soa_gathers > 0 {
+            rec.inc(metrics::SCRATCH_SOA_GATHERS, ss.soa_gathers);
+            rec.inc(metrics::SCRATCH_SOA_POINTS, ss.soa_points);
         }
 
         if env.cfg.max_operations > 0 {

@@ -6,7 +6,7 @@
 //!             [--no-removals] [--size S] [--off out.off] [--stats]
 //!             [--report run.json] [--trace-out trace.json] [--metrics]
 //!             [--audit] [--live[=INTERVAL]] [--contention-out c.json]
-//!             [--no-flight] [--force] [--deadline DUR]
+//!             [--no-flight] [--no-batch] [--force] [--deadline DUR]
 //!             [--shards AxBxC [--halo N]]
 //!             (a run killed by --deadline still writes its --report /
 //!             --contention-out / --trace-out artifacts; --shards meshes
@@ -116,6 +116,7 @@ struct MeshOpts {
     live: Option<f64>,
     trace: bool,
     flight: bool,
+    batch: bool,
     faults: Option<Arc<pi2m::faults::FaultPlan>>,
 }
 
@@ -191,6 +192,7 @@ fn parse_mesh_opts(args: &Args, journal: &Journal) -> Result<MeshOpts, String> {
         // per-episode overhead events are needed for the Chrome trace
         trace: args.flags.contains_key("trace-out"),
         flight: !args.switches.contains("no-flight"),
+        batch: !args.switches.contains("no-batch"),
         faults,
     })
 }
@@ -207,6 +209,7 @@ fn config_for(o: &MeshOpts, img: &LabeledImage) -> MesherConfig {
         topology: pi2m::refine::MachineTopology::flat(o.threads),
         trace: o.trace,
         flight: o.flight,
+        batch: o.batch,
         live: o.live,
         ..Default::default()
     }
@@ -1125,6 +1128,14 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         report.flight.on.ops_per_sec(),
         report.flight.off.ops_per_sec(),
         report.flight.overhead_frac() * 100.0
+    );
+    println!(
+        "batch        insertion on {:.0} vs off {:.0} ops/s (x{:.2}, occupancy {:.2}, fallback {:.1}%)",
+        report.batch.on.ops_per_sec(),
+        report.batch.off.ops_per_sec(),
+        report.batch.speedup(),
+        report.batch.occupancy,
+        report.batch.fallback_rate * 100.0
     );
     println!(
         "session      warm {:.0} vs cold {:.0} runs/s (setup saving {:.1}%/run)",

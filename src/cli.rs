@@ -27,6 +27,7 @@ pub const SWITCHES: &[&str] = &[
     "live",
     "log",
     "no-flight",
+    "no-batch",
     "force",
     "keep-going",
     "version",
